@@ -1,0 +1,83 @@
+// Ablation of §3.1's design decision: handle the predictable junction
+// collisions by RETRANSMITTING (the paper's choice) versus by DELAYING the
+// vertical sweeps to avoid them (the alternative the paper rejects, arguing
+// it costs extra delay and duplicate receptions).
+//
+// Both 2D-4 variants sweep all 512 sources; the resolver tops up whatever
+// either policy leaves stranded, so both rows reflect 100% reachability.
+
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "protocol/mesh2d4_broadcast.h"
+#include "protocol/resolver.h"
+#include "topology/mesh2d4.h"
+
+namespace {
+
+struct Row {
+  double mean_tx = 0.0;
+  double mean_dup = 0.0;
+  double mean_power = 0.0;
+  double mean_delay = 0.0;
+  wsn::Slot max_delay = 0;
+  bool all_reached = true;
+};
+
+Row evaluate(const wsn::Mesh2D4& topo,
+             wsn::Mesh2d4Broadcast::CollisionPolicy policy) {
+  const wsn::Mesh2d4Broadcast protocol(policy);
+  const wsn::SweepResult sweep = wsn::sweep_all_sources_with(
+      topo, [&](const wsn::Topology& t, wsn::NodeId src) {
+        return wsn::resolve_full_reachability(t, protocol.plan(t, src));
+      });
+  Row row;
+  for (const wsn::SourceResult& r : sweep.per_source) {
+    row.mean_tx += static_cast<double>(r.stats.tx);
+    row.mean_dup += static_cast<double>(r.stats.duplicates);
+    row.mean_power += r.stats.total_energy();
+    row.mean_delay += static_cast<double>(r.stats.delay);
+    row.all_reached = row.all_reached && r.stats.fully_reached();
+  }
+  const auto n = static_cast<double>(sweep.per_source.size());
+  row.mean_tx /= n;
+  row.mean_dup /= n;
+  row.mean_power /= n;
+  row.mean_delay /= n;
+  row.max_delay = sweep.max_delay();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const wsn::Mesh2D4 topo(32, 16);
+
+  wsn::AsciiTable table({"policy", "reach", "mean Tx", "mean dup",
+                         "mean P(J)", "mean delay", "max delay"});
+  table.set_title(
+      "Ablation: 2D-4 collision handling, retransmit (paper) vs delay-"
+      "avoidance (rejected), all 512 sources");
+
+  const auto add = [&](const char* name, const Row& row) {
+    table.add_row({name, row.all_reached ? "100%" : "<100%",
+                   wsn::fixed(row.mean_tx, 1), wsn::fixed(row.mean_dup, 1),
+                   wsn::sci(row.mean_power), wsn::fixed(row.mean_delay, 1),
+                   std::to_string(row.max_delay)});
+  };
+  add("retransmit",
+      evaluate(topo, wsn::Mesh2d4Broadcast::CollisionPolicy::kRetransmit));
+  add("delay-avoidance",
+      evaluate(topo,
+               wsn::Mesh2d4Broadcast::CollisionPolicy::kDelayAvoidance));
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nThe paper's §3.1 argument: avoiding the collisions delays the "
+      "vertical sweeps and\nmakes more nodes receive duplicated messages; "
+      "letting the junction nodes retransmit\nis cheaper.  Compare the "
+      "duplicate and delay columns.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates paper Figure 7: one-to-all broadcast on a 2D mesh with 8
+// neighbors, source (5,9) on a 14×14 grid (196 nodes).  The paper
+// highlights that only 3 of 196 nodes retransmit; we print the full
+// resolved plan so the near-source feeder retransmitters and any repairs
+// are visible.
+
+#include <cstdio>
+
+#include "analysis/ascii_viz.h"
+#include "protocol/mesh2d8_broadcast.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/mesh2d8.h"
+
+int main() {
+  const wsn::Mesh2D8 topo(14, 14);
+  const wsn::Grid2D& grid = topo.grid();
+  const wsn::Vec2 src{5, 9};
+
+  const wsn::Mesh2d8Broadcast protocol;
+  const wsn::RelayPlan base = protocol.plan(topo, grid.to_id(src));
+  wsn::ResolveReport report;
+  const wsn::RelayPlan plan =
+      wsn::paper_plan(topo, grid.to_id(src), {}, &report);
+  const wsn::BroadcastOutcome out = wsn::simulate_broadcast(topo, plan);
+
+  std::printf("Figure 7: one-to-all broadcast, 2D-8 mesh 14x14, source %s\n",
+              wsn::to_string(src).c_str());
+  std::printf("  %s  (resolver repairs: %zu)\n\n",
+              out.stats.summary().c_str(), report.repairs);
+  std::printf(
+      "relay roles (S source, # relay, R rule retransmitter, r/+ resolver "
+      "additions):\n%s\n",
+      wsn::render_roles(grid, plan, &out, &base).c_str());
+  std::printf("transmission sequence numbers:\n%s\n",
+              wsn::render_slots(grid, out).c_str());
+
+  std::printf("multi-transmission nodes (paper: 3 among 196, incl. (6,8)):");
+  for (wsn::NodeId v : plan.retransmitters()) {
+    std::printf(" %s", wsn::to_string(grid.to_coord(v)).c_str());
+  }
+  std::printf("\nreachability: %.1f%% (paper: 100%%)\n",
+              100.0 * out.stats.reachability());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates paper Figure 9: the z-relay pattern of the 3D-6 broadcast --
+// the R5 sublattice (black nodes) that forwards along the Z axis, plus the
+// gray border relays that cover the cells the clipped lattice misses.
+// Rendered for the paper's example source (6,8,k) on a 16×16 plane, then
+// verified inside an 8×8×8 broadcast.
+
+#include <cstdio>
+
+#include "analysis/ascii_viz.h"
+#include "geometry/lattice.h"
+#include "protocol/mesh3d6_broadcast.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/mesh3d6.h"
+
+int main() {
+  const wsn::Vec2 src_xy{6, 8};
+
+  std::printf("Figure 9: z-relay lattice for source (6,8,k) on a 16x16 "
+              "plane\n");
+  std::printf("(Z z-relay, b border relay waiting two slots, . covered "
+              "passive cell)\n\n");
+  const auto border = wsn::Mesh3d6Broadcast::border_relays(src_xy, 16, 16);
+  for (int y = 16; y >= 1; --y) {
+    for (int x = 1; x <= 16; ++x) {
+      char glyph = '.';
+      if (wsn::in_zrelay_lattice({x, y}, src_xy)) glyph = 'Z';
+      for (wsn::Vec2 b : border) {
+        if (b == wsn::Vec2{x, y}) glyph = 'b';
+      }
+      if (wsn::Vec2{x, y} == src_xy) glyph = 'S';
+      std::putchar(glyph);
+      if (x != 16) std::putchar(' ');
+    }
+    std::putchar('\n');
+  }
+  const auto uncovered = wsn::uncovered_by_zrelays(src_xy, 16, 16);
+  std::printf("\nz-relays per plane: %zu of 256 (1/5 of the lattice); "
+              "uncovered border cells: %zu; border relays: %zu\n\n",
+              wsn::zrelay_lattice_in_grid(src_xy, 16, 16).size(),
+              uncovered.size(), border.size());
+
+  // Full 8x8x8 broadcast from (6,8,4): show the source plane and one
+  // destination plane.
+  const wsn::Mesh3D6 topo(8, 8, 8);
+  const wsn::Grid3D& grid = topo.grid();
+  const wsn::NodeId source = grid.to_id({6, 8, 4});
+  wsn::ResolveReport report;
+  const wsn::RelayPlan plan = wsn::paper_plan(topo, source, {}, &report);
+  const wsn::BroadcastOutcome out = wsn::simulate_broadcast(topo, plan);
+  std::printf("8x8x8 broadcast from (6,8,4): %s  (repairs: %zu)\n\n",
+              out.stats.summary().c_str(), report.repairs);
+  std::printf("source plane z=4 (2D-4 protocol + delayed z-relays):\n%s\n",
+              wsn::render_roles_3d(grid, plan, 4, &out).c_str());
+  std::printf("destination plane z=7 (z-relay columns + border relays):\n%s",
+              wsn::render_roles_3d(grid, plan, 7, &out).c_str());
+  return 0;
+}

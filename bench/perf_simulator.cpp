@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the simulation engine itself:
+// per-broadcast latency across network sizes, plan construction cost, the
+// resolver's overhead, and the parallel full-sweep throughput that powers
+// Tables 3-5.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/sweep.h"
+#include "protocol/mesh2d4_broadcast.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/mesh2d4.h"
+#include "topology/mesh3d6.h"
+
+namespace {
+
+void BM_Simulate2D4(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const wsn::Mesh2D4 topo(2 * side, side);
+  const wsn::Mesh2d4Broadcast protocol;
+  const wsn::NodeId src = topo.grid().to_id({side, side / 2 + 1});
+  const wsn::RelayPlan plan = protocol.plan(topo, src);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsn::simulate_broadcast(topo, plan));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(topo.num_nodes()));
+}
+BENCHMARK(BM_Simulate2D4)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PlanConstruction2D4(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const wsn::Mesh2D4 topo(2 * side, side);
+  const wsn::Mesh2d4Broadcast protocol;
+  const wsn::NodeId src = topo.grid().to_id({side, side / 2 + 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.plan(topo, src));
+  }
+}
+BENCHMARK(BM_PlanConstruction2D4)->Arg(16)->Arg(64);
+
+void BM_ResolvedPlan3D6(benchmark::State& state) {
+  const wsn::Mesh3D6 topo(8, 8, 8);
+  const wsn::NodeId src = topo.grid().to_id({6, 8, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsn::paper_plan(topo, src));
+  }
+}
+BENCHMARK(BM_ResolvedPlan3D6);
+
+void BM_TopologyConstruction(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const wsn::Mesh2D4 topo(2 * side, side);
+    benchmark::DoNotOptimize(topo.num_nodes());
+  }
+}
+BENCHMARK(BM_TopologyConstruction)->Arg(16)->Arg(64);
+
+void BM_FullSweep2D4(benchmark::State& state) {
+  const wsn::Mesh2D4 topo(32, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsn::sweep_all_sources(topo));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(topo.num_nodes()));
+}
+BENCHMARK(BM_FullSweep2D4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

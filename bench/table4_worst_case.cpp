@@ -1,0 +1,12 @@
+// Regenerates paper Table 4: the worst case of the broadcasting protocols
+// over all 512 source positions (corner-ish sources; includes every
+// resolver repair in the counts).
+
+#include <cstdio>
+
+#include "analysis/report.h"
+
+int main() {
+  std::fputs(wsn::build_table4().render().c_str(), stdout);
+  return 0;
+}

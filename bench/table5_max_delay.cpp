@@ -1,0 +1,13 @@
+// Regenerates paper Table 5: maximum delay (slots) of the ideal case and
+// of our protocols.  The ideal column is the graph diameter (a broadcast
+// wavefront cannot outrun BFS); the paper's published column carries a ±1
+// slot convention relative to the stated mesh sizes (EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "analysis/report.h"
+
+int main() {
+  std::fputs(wsn::build_table5().render().c_str(), stdout);
+  return 0;
+}

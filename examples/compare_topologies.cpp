@@ -1,0 +1,107 @@
+// Compare the four regular WSN topologies on the same node budget -- the
+// question the paper's evaluation answers (which regular deployment should
+// you pick?).
+//
+//   $ compare_topologies [--nodes 512] [--csv]
+//
+// For each family this sweeps every source position, then prints the
+// best/mean/worst energy envelope, the max delay, and the winner per metric.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.h"
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/string_util.h"
+#include "topology/factory.h"
+
+namespace {
+
+/// Factors `nodes` into the shapes the paper uses: a 2:1-ish 2D mesh and a
+/// near-cubic 3D mesh.
+struct Shapes {
+  int m2, n2;      // 2D
+  int m3, n3, l3;  // 3D
+};
+
+Shapes shapes_for(std::size_t nodes) {
+  int side = 1;
+  while (static_cast<std::size_t>(2 * side * side) < nodes) ++side;
+  int cube = 1;
+  while (static_cast<std::size_t>(cube) * static_cast<std::size_t>(cube) *
+             static_cast<std::size_t>(cube) <
+         nodes) {
+    ++cube;
+  }
+  return {2 * side, side, cube, cube, cube};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsn::CliParser cli("compare_topologies",
+                     "sweep all sources on every regular topology");
+  cli.add_option("nodes", "approximate node budget", "512");
+  cli.add_flag("csv", "emit per-family CSV rows instead of the table");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const Shapes shape = shapes_for(cli.get_u64("nodes"));
+
+  wsn::AsciiTable table({"Topology", "nodes", "best P(J)", "mean P(J)",
+                         "worst P(J)", "best Tx", "worst Tx", "max delay"});
+  table.set_title("Source-position envelope per topology (paper protocols)");
+  wsn::CsvWriter csv(std::cout);
+  if (cli.get_flag("csv")) {
+    csv.row({"family", "nodes", "best_power", "mean_power", "worst_power",
+             "best_tx", "worst_tx", "max_delay"});
+  }
+
+  std::string power_winner;
+  std::string delay_winner;
+  double best_power = 1e30;
+  wsn::Slot best_delay = wsn::kNeverSlot;
+
+  for (const std::string& family : wsn::regular_families()) {
+    const auto topo =
+        family == "3D-6"
+            ? wsn::make_mesh(family, shape.m3, shape.n3, shape.l3)
+            : wsn::make_mesh(family, shape.m2, shape.n2);
+    const wsn::SweepResult sweep = wsn::sweep_all_sources(*topo);
+
+    const auto& best = sweep.best();
+    const auto& worst = sweep.worst();
+    if (cli.get_flag("csv")) {
+      csv.typed_row(family, topo->num_nodes(), best.stats.total_energy(),
+                    sweep.mean_energy(), worst.stats.total_energy(),
+                    best.stats.tx, worst.stats.tx, sweep.max_delay());
+    }
+    table.add_row({family, std::to_string(topo->num_nodes()),
+                   wsn::sci(best.stats.total_energy()),
+                   wsn::sci(sweep.mean_energy()),
+                   wsn::sci(worst.stats.total_energy()),
+                   std::to_string(best.stats.tx),
+                   std::to_string(worst.stats.tx),
+                   std::to_string(sweep.max_delay())});
+
+    if (sweep.mean_energy() < best_power) {
+      best_power = sweep.mean_energy();
+      power_winner = family;
+    }
+    if (sweep.max_delay() < best_delay) {
+      best_delay = sweep.max_delay();
+      delay_winner = family;
+    }
+  }
+
+  if (!cli.get_flag("csv")) {
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nmost power-efficient: %s   smallest max delay: %s\n",
+                power_winner.c_str(), delay_winner.c_str());
+    std::printf("(the paper concludes 2D-4 and 3D-6 respectively, §5)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/energy_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+#include "protocol/registry.h"
+
+namespace wsn {
+
+EnergyBalance energy_balance(const std::vector<Joules>& energy) {
+  WSN_EXPECTS(!energy.empty());
+  const auto n = static_cast<double>(energy.size());
+
+  EnergyBalance out;
+  out.min = *std::min_element(energy.begin(), energy.end());
+  const auto max_it = std::max_element(energy.begin(), energy.end());
+  out.max = *max_it;
+  out.hottest = static_cast<NodeId>(max_it - energy.begin());
+
+  const Joules total = std::accumulate(energy.begin(), energy.end(), 0.0);
+  out.mean = total / n;
+
+  double variance = 0.0;
+  for (Joules e : energy) {
+    variance += (e - out.mean) * (e - out.mean);
+  }
+  out.stddev = std::sqrt(variance / n);
+  out.peak_to_mean = out.mean > 0.0 ? out.max / out.mean : 0.0;
+
+  // Gini via the sorted mean-difference form:
+  //   G = (2 Σ_i i·x_(i) / (n Σ x)) - (n + 1)/n ,   i = 1..n ascending.
+  if (total > 0.0) {
+    std::vector<Joules> sorted = energy;
+    std::sort(sorted.begin(), sorted.end());
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * sorted[i];
+    }
+    out.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+  }
+  return out;
+}
+
+std::vector<Joules> rotating_source_energy(const Topology& topo,
+                                           const SimOptions& options) {
+  SimOptions per_run = options;
+  per_run.record_node_energy = true;
+  per_run.battery = nullptr;  // accumulation handled here
+
+  // One broadcast per source, energy vectors summed; sources are
+  // independent runs, so fan out across cores and reduce.
+  const auto partials = parallel_map<std::vector<Joules>>(
+      topo.num_nodes(), [&](std::size_t src) {
+        const RelayPlan plan =
+            paper_plan(topo, static_cast<NodeId>(src), per_run);
+        return simulate_broadcast(topo, plan, per_run).node_energy;
+      });
+
+  std::vector<Joules> total(topo.num_nodes(), 0.0);
+  for (const auto& partial : partials) {
+    for (std::size_t v = 0; v < total.size(); ++v) total[v] += partial[v];
+  }
+  return total;
+}
+
+}  // namespace wsn

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+/// Per-node energy-balance statistics.
+///
+/// The paper's §1 criticizes earlier regular-topology routing work for
+/// being "power efficient but [unable to] balance the power consumption of
+/// the relay nodes".  Its own broadcast protocols inherit the same
+/// property: a fixed source pins relay duty to the same backbone.  These
+/// helpers quantify that imbalance from a simulated outcome (run with
+/// SimOptions::record_node_energy), feeding the energy_balance bench and
+/// the lifetime analysis.
+namespace wsn {
+
+struct EnergyBalance {
+  Joules min = 0.0;
+  Joules max = 0.0;
+  Joules mean = 0.0;
+  Joules stddev = 0.0;
+  /// Gini coefficient of the per-node energy distribution in [0, 1]:
+  /// 0 = perfectly even, ->1 = all burden on a few nodes.
+  double gini = 0.0;
+  /// max / mean; the factor by which the hottest node outspends the
+  /// average -- the direct lifetime penalty of an unbalanced protocol.
+  double peak_to_mean = 0.0;
+  /// Node carrying the maximum burden (ties: lowest id).
+  NodeId hottest = kInvalidNode;
+};
+
+/// Computes balance statistics over a per-node energy vector (e.g.
+/// BroadcastOutcome::node_energy, or an accumulation across rounds).
+/// The vector must be non-empty.
+[[nodiscard]] EnergyBalance energy_balance(const std::vector<Joules>& energy);
+
+/// Accumulated per-node energy over one broadcast from every source
+/// (round-robin rotation) -- the balanced upper bound a duty-rotation
+/// scheme could approach.  Returns the summed per-node energy vector.
+[[nodiscard]] std::vector<Joules> rotating_source_energy(
+    const Topology& topo, const SimOptions& options = {});
+
+}  // namespace wsn

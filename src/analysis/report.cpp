@@ -1,0 +1,162 @@
+#include "analysis/report.h"
+
+#include "common/assert.h"
+#include "common/string_util.h"
+#include "protocol/etr.h"
+#include "protocol/ideal_model.h"
+#include "protocol/registry.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+
+namespace {
+
+struct PaperTables {
+  PaperRow ideal;
+  PaperRow best;
+  PaperRow worst;
+  Slot max_delay;
+};
+
+/// Tables 2-5 of the paper, verbatim.
+const PaperTables& paper_tables(std::string_view family) {
+  static const PaperTables k2d3{{255, 765, 2.61e-2},
+                                {301, 798, 2.81e-2},
+                                {308, 816, 2.88e-2},
+                                46};
+  static const PaperTables k2d4{{170, 680, 2.18e-2},
+                                {208, 714, 2.36e-2},
+                                {223, 778, 2.56e-2},
+                                45};
+  static const PaperTables k2d8{{102, 816, 2.35e-2},
+                                {143, 895, 2.66e-2},
+                                {147, 924, 2.74e-2},
+                                31};
+  static const PaperTables k3d6{{124, 744, 2.22e-2},
+                                {167, 815, 2.51e-2},
+                                {187, 923, 2.84e-2},
+                                20};
+  if (family == "2D-3") return k2d3;
+  if (family == "2D-4") return k2d4;
+  if (family == "2D-8") return k2d8;
+  if (family == "3D-6") return k3d6;
+  WSN_EXPECTS(false && "unknown topology family");
+  return k2d4;
+}
+
+IdealCase paper_ideal(std::string_view family) {
+  if (family == "3D-6") {
+    return ideal_case(family, PaperConfig::kMesh3d, PaperConfig::kMesh3d,
+                      PaperConfig::kMesh3d, PaperConfig::kSpacing,
+                      PaperConfig::kPacketBits);
+  }
+  return ideal_case(family, PaperConfig::kMesh2dM, PaperConfig::kMesh2dN, 1,
+                    PaperConfig::kSpacing, PaperConfig::kPacketBits);
+}
+
+}  // namespace
+
+PaperRow paper_ideal_row(std::string_view family) {
+  return paper_tables(family).ideal;
+}
+PaperRow paper_best_row(std::string_view family) {
+  return paper_tables(family).best;
+}
+PaperRow paper_worst_row(std::string_view family) {
+  return paper_tables(family).worst;
+}
+Slot paper_max_delay(std::string_view family) {
+  return paper_tables(family).max_delay;
+}
+
+SweepResult run_paper_sweep(std::string_view family, std::size_t workers) {
+  const auto topo = make_paper_topology(family);
+  SimOptions options;
+  options.packet_bits = PaperConfig::kPacketBits;
+  return sweep_all_sources(*topo, options, workers);
+}
+
+AsciiTable build_table1() {
+  AsciiTable table({"Topology", "Optimal ETR", "(value)",
+                    "measured share of relays at optimum"});
+  table.set_title("Table 1: optimal ETRs of the four topologies");
+  for (const std::string& family : regular_families()) {
+    const auto topo = make_paper_topology(family);
+    const OptimalEtr etr = optimal_etr(family);
+
+    // Measure on a broadcast from the most central node.
+    const NodeId center = graph_center(*topo);
+    const RelayPlan plan = paper_plan(*topo, center);
+    const BroadcastOutcome outcome = simulate_broadcast(*topo, plan);
+    const EtrSummary summary = summarize_etr(
+        *topo, outcome, static_cast<std::size_t>(etr.fresh), center);
+
+    table.add_row({family,
+                   std::to_string(etr.fresh) + "/" +
+                       std::to_string(etr.neighbors),
+                   fixed(etr.value(), 3),
+                   fixed(100.0 * summary.optimal_share(), 1) + "%"});
+  }
+  return table;
+}
+
+AsciiTable build_table2() {
+  AsciiTable table({"Topology", "Tx", "Rx", "Power(J)", "paper Tx",
+                    "paper Rx", "paper Power(J)"});
+  table.set_title(
+      "Table 2: the performance of the ideal case (512 nodes, k=512b, "
+      "d=0.5m)");
+  for (const std::string& family : regular_families()) {
+    const IdealCase ideal = paper_ideal(family);
+    const PaperRow paper = paper_ideal_row(family);
+    table.add_row({family, std::to_string(ideal.tx),
+                   std::to_string(ideal.rx), sci(ideal.power),
+                   std::to_string(paper.tx), std::to_string(paper.rx),
+                   sci(paper.power)});
+  }
+  return table;
+}
+
+namespace {
+
+AsciiTable build_envelope_table(bool worst) {
+  AsciiTable table({"Topology", "source", "Tx", "Rx", "Power(J)", "paper Tx",
+                    "paper Rx", "paper Power(J)"});
+  table.set_title(worst
+                      ? "Table 4: our broadcasting protocols (worst case)"
+                      : "Table 3: our broadcasting protocols (best case)");
+  for (const std::string& family : regular_families()) {
+    const SweepResult sweep = run_paper_sweep(family);
+    WSN_ASSERT(sweep.all_fully_reached());
+    const SourceResult& row = worst ? sweep.worst() : sweep.best();
+    const PaperRow paper = worst ? paper_worst_row(family)
+                                 : paper_best_row(family);
+    table.add_row({family, std::to_string(row.source),
+                   std::to_string(row.stats.tx), std::to_string(row.stats.rx),
+                   sci(row.stats.total_energy()), std::to_string(paper.tx),
+                   std::to_string(paper.rx), sci(paper.power)});
+  }
+  return table;
+}
+
+}  // namespace
+
+AsciiTable build_table3() { return build_envelope_table(/*worst=*/false); }
+AsciiTable build_table4() { return build_envelope_table(/*worst=*/true); }
+
+AsciiTable build_table5() {
+  AsciiTable table({"Topology", "ideal (diameter)", "our protocols",
+                    "paper (both)"});
+  table.set_title("Table 5: maximum delay times (slots)");
+  for (const std::string& family : regular_families()) {
+    const auto topo = make_paper_topology(family);
+    const SweepResult sweep = run_paper_sweep(family);
+    table.add_row({family, std::to_string(diameter(*topo)),
+                   std::to_string(sweep.max_delay()),
+                   std::to_string(paper_max_delay(family))});
+  }
+  return table;
+}
+
+}  // namespace wsn

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "analysis/sweep.h"
+#include "common/table.h"
+
+/// Builders for the paper's evaluation tables (one bench binary per table
+/// calls into these, so every number is produced the same way everywhere).
+///
+/// Every builder prints the paper's published value next to ours, because
+/// the goal is comparison, not just regeneration.
+namespace wsn {
+
+/// Published values from the paper, used in the side-by-side columns and in
+/// the integration tests' tolerance checks.
+struct PaperRow {
+  std::size_t tx;
+  std::size_t rx;
+  double power;
+};
+/// Paper Table 2/3/4 rows by family; aborts on unknown family.
+[[nodiscard]] PaperRow paper_ideal_row(std::string_view family);
+[[nodiscard]] PaperRow paper_best_row(std::string_view family);
+[[nodiscard]] PaperRow paper_worst_row(std::string_view family);
+/// Paper Table 5 maximum delay (ideal == protocol in the paper).
+[[nodiscard]] Slot paper_max_delay(std::string_view family);
+
+/// Runs the full 512-source sweep for one paper topology (32×16 or 8×8×8).
+[[nodiscard]] SweepResult run_paper_sweep(std::string_view family,
+                                          std::size_t workers = 0);
+
+/// Table 1: optimal ETR per topology, analytic and measured (share of
+/// relay transmissions achieving the optimal fresh-delivery count on a
+/// center-source broadcast).
+[[nodiscard]] AsciiTable build_table1();
+
+/// Table 2: the ideal case, ours vs paper.
+[[nodiscard]] AsciiTable build_table2();
+
+/// Tables 3 / 4: best / worst case of the protocols over the sweep.
+[[nodiscard]] AsciiTable build_table3();
+[[nodiscard]] AsciiTable build_table4();
+
+/// Table 5: maximum delay, ideal (graph eccentricity) vs our protocols vs
+/// the paper's published column.
+[[nodiscard]] AsciiTable build_table5();
+
+}  // namespace wsn

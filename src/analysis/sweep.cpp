@@ -1,0 +1,93 @@
+#include "analysis/sweep.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+#include "protocol/registry.h"
+
+namespace wsn {
+
+namespace {
+
+const SourceResult& extreme_by_energy(const std::vector<SourceResult>& all,
+                                      bool want_max) {
+  WSN_EXPECTS(!all.empty());
+  const SourceResult* pick = &all.front();
+  for (const SourceResult& r : all) {
+    const bool better = want_max
+                            ? r.stats.total_energy() > pick->stats.total_energy()
+                            : r.stats.total_energy() < pick->stats.total_energy();
+    if (better) pick = &r;
+  }
+  return *pick;
+}
+
+}  // namespace
+
+const SourceResult& SweepResult::best() const {
+  return extreme_by_energy(per_source, /*want_max=*/false);
+}
+
+const SourceResult& SweepResult::worst() const {
+  return extreme_by_energy(per_source, /*want_max=*/true);
+}
+
+Slot SweepResult::max_delay() const {
+  Slot out = 0;
+  for (const SourceResult& r : per_source) {
+    out = std::max(out, r.stats.delay);
+  }
+  return out;
+}
+
+Joules SweepResult::mean_energy() const {
+  if (per_source.empty()) return 0.0;
+  Joules sum = 0.0;
+  for (const SourceResult& r : per_source) sum += r.stats.total_energy();
+  return sum / static_cast<double>(per_source.size());
+}
+
+bool SweepResult::all_fully_reached() const {
+  return std::all_of(per_source.begin(), per_source.end(),
+                     [](const SourceResult& r) {
+                       return r.stats.fully_reached();
+                     });
+}
+
+SweepResult sweep_all_sources(const Topology& topo, const SimOptions& options,
+                              std::size_t workers) {
+  SweepResult result;
+  result.per_source = parallel_map<SourceResult>(
+      topo.num_nodes(),
+      [&](std::size_t src) {
+        const auto source = static_cast<NodeId>(src);
+        ResolveReport report;
+        const RelayPlan plan = paper_plan(topo, source, options, &report);
+        const BroadcastOutcome outcome =
+            simulate_broadcast(topo, plan, options);
+        return SourceResult{source, outcome.stats, report.repairs};
+      },
+      workers);
+  return result;
+}
+
+SweepResult sweep_all_sources_with(const Topology& topo,
+                                   const PlanFactory& factory,
+                                   const SimOptions& options,
+                                   std::size_t workers) {
+  SweepResult result;
+  result.per_source = parallel_map<SourceResult>(
+      topo.num_nodes(),
+      [&](std::size_t src) {
+        const auto source = static_cast<NodeId>(src);
+        const RelayPlan plan = factory(topo, source);
+        const BroadcastOutcome outcome =
+            simulate_broadcast(topo, plan, options);
+        return SourceResult{source, outcome.stats, 0};
+      },
+      workers);
+  return result;
+}
+
+}  // namespace wsn

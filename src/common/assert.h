@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Contract-checking macros in the spirit of the Core Guidelines'
+/// `Expects`/`Ensures` (I.6, I.8).  They stay enabled in release builds:
+/// every check guards an invariant whose violation would silently corrupt
+/// simulation statistics, and the cost is negligible next to the simulator's
+/// per-slot work.
+///
+/// `WSN_EXPECTS`  -- precondition at a public API boundary.
+/// `WSN_ENSURES`  -- postcondition before returning a result.
+/// `WSN_ASSERT`   -- internal invariant.
+///
+/// All three abort with a file/line diagnostic; the simulator has no
+/// meaningful way to continue past a broken invariant.
+
+namespace wsn::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "meshbcast: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace wsn::detail
+
+#define WSN_CONTRACT_CHECK(kind, cond)                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::wsn::detail::contract_failure(kind, #cond, __FILE__, __LINE__);    \
+    }                                                                      \
+  } while (false)
+
+#define WSN_EXPECTS(cond) WSN_CONTRACT_CHECK("precondition", cond)
+#define WSN_ENSURES(cond) WSN_CONTRACT_CHECK("postcondition", cond)
+#define WSN_ASSERT(cond) WSN_CONTRACT_CHECK("invariant", cond)

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// RFC-4180-style CSV emission for the bench harness (`--csv` outputs feed
+/// external plotting).  Fields containing separators, quotes or newlines are
+/// quoted and inner quotes doubled.
+namespace wsn {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Emits one row; every call terminates the line.
+  void row(const std::vector<std::string>& fields);
+
+  /// Variadic convenience: accepts any mix of string-likes, integers and
+  /// doubles (doubles rendered with max_digits10 round-trip precision).
+  template <typename... Fields>
+  void typed_row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    row(cells);
+  }
+
+  /// Escapes a single field per RFC 4180.
+  static std::string escape(std::string_view field);
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  static std::string to_cell(Int v) {
+    return std::to_string(v);
+  }
+
+  std::ostream* out_;
+};
+
+}  // namespace wsn

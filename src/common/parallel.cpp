@@ -1,0 +1,51 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+std::size_t default_worker_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  WSN_EXPECTS(begin <= end);
+  const std::size_t count = end - begin;
+  if (count == 0) return;
+
+  if (workers == 0) workers = default_worker_count();
+  workers = std::min(workers, count);
+
+  if (workers == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Static chunking: worker w owns [begin + w*chunk, ...); the last worker
+  // absorbs the remainder.  Deterministic ownership keeps per-index output
+  // slots race-free by construction.
+  const std::size_t chunk = count / workers;
+  const std::size_t remainder = count % workers;
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  std::size_t next = begin;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t size = chunk + (w < remainder ? 1 : 0);
+    const std::size_t lo = next;
+    const std::size_t hi = lo + size;
+    next = hi;
+    pool.emplace_back([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  WSN_ASSERT(next == end);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace wsn

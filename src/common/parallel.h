@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+/// Fork-join parallelism for the analysis sweeps.
+///
+/// The paper's Tables 3-5 require running one full broadcast simulation per
+/// source position (512 positions x 4 topologies).  Runs are independent, so
+/// we expose a static-chunked `parallel_for` over an index range -- the same
+/// shape as `#pragma omp parallel for schedule(static)` but with no OpenMP
+/// dependency and deterministic chunk boundaries (worker w owns chunk w, so
+/// results written to per-index slots never race and never depend on thread
+/// timing).
+namespace wsn {
+
+/// Number of workers `parallel_for` uses by default: hardware concurrency,
+/// at least 1.
+std::size_t default_worker_count() noexcept;
+
+/// Invokes `body(i)` for every `i` in `[begin, end)` across `workers`
+/// threads (0 = default).  Blocks until every invocation finished.  The body
+/// must be safe to call concurrently for distinct indices; invocations of
+/// the same index never overlap (each index runs exactly once).
+///
+/// Exceptions: the body must not throw.  A worker that throws would
+/// terminate the process (std::thread semantics), and simulation bodies have
+/// no recoverable failures -- contract violations abort anyway.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+/// Convenience: map `body` over `[0, count)` collecting results into a
+/// vector, one slot per index (no ordering hazards).
+template <typename T, typename Body>
+std::vector<T> parallel_map(std::size_t count, Body&& body,
+                            std::size_t workers = 0) {
+  std::vector<T> out(count);
+  parallel_for(
+      0, count, [&](std::size_t i) { out[i] = body(i); }, workers);
+  return out;
+}
+
+}  // namespace wsn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Small string helpers shared by the CLI parser, CSV writer and report
+/// formatting.  Kept deliberately minimal -- no locale dependence, no
+/// allocation surprises.
+namespace wsn {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats `value` with `digits` significant digits in scientific notation,
+/// e.g. 2.61e-02 -- the style of the paper's power columns.
+std::string sci(double value, int digits = 3);
+
+/// Formats `value` with `decimals` places in fixed notation.
+std::string fixed(double value, int decimals = 2);
+
+/// Left-pads (`pad_left`) or right-pads `text` with spaces to `width`.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Parses a non-negative integer; returns false on any malformed input or
+/// overflow instead of throwing.
+bool parse_u64(std::string_view text, std::uint64_t& out) noexcept;
+
+/// Parses a double via std::from_chars; returns false on malformed input.
+bool parse_f64(std::string_view text, double& out) noexcept;
+
+}  // namespace wsn

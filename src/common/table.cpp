@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/string_util.h"
+
+namespace wsn {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  WSN_EXPECTS(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  WSN_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void AsciiTable::add_rule() { pending_rule_ = true; }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto render_rule = [&] {
+    std::string line = "|";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += ' ';
+      line += pad_right(cells[c], widths[c]);
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += render_cells(headers_);
+  out += render_rule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += render_rule();
+    out += render_cells(row.cells);
+  }
+  return out;
+}
+
+}  // namespace wsn

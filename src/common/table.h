@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Fixed-width ASCII table rendering; the bench binaries print the paper's
+/// Tables 1-5 in this format so paper-vs-measured comparisons read side by
+/// side in a terminal.
+namespace wsn {
+
+class AsciiTable {
+ public:
+  /// Column headers fix the column count; rows must match it.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends one row; `cells.size()` must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with a header rule, column padding and `|` separators:
+  ///
+  ///   | Topology | Tx  | Rx  |
+  ///   |----------|-----|-----|
+  ///   | 2D-4     | 170 | 680 |
+  [[nodiscard]] std::string render() const;
+
+  /// Optional table title printed above the grid.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace wsn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+/// Core scalar types shared by every meshbcast subsystem.
+///
+/// Node identity is a dense index into the topology's node table; time is a
+/// discrete slot counter (the paper's protocols are slot-synchronous, see
+/// DESIGN.md section 3).  Both are kept as plain integral aliases rather
+/// than wrapper classes: they index arrays in the simulator hot loop and
+/// the zero-overhead guarantee matters more than nominal typing here.
+namespace wsn {
+
+/// Dense node index, 0-based.  Valid ids are `[0, Topology::num_nodes())`.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. an unreached node's delivery parent).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Discrete time slot.  Slot 0 means "before the broadcast"; the source
+/// transmits in slot 1, matching the sequence numbers in the paper's
+/// figures 5, 7 and 8.
+using Slot = std::uint32_t;
+
+/// Sentinel for "never happens" (e.g. the reception slot of an unreached
+/// node while the simulation is still running).
+inline constexpr Slot kNeverSlot = std::numeric_limits<Slot>::max();
+
+/// Energy in joules.  The First Order Radio Model works in nJ/pJ per bit;
+/// double precision holds those exactly enough for 10^6-transmission runs.
+using Joules = double;
+
+/// Distance in meters (grid spacing in the paper's evaluation is 0.5 m).
+using Meters = double;
+
+}  // namespace wsn

@@ -1,0 +1,37 @@
+#include "geometry/diagonal.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+bool in_s2_family(Vec2 v, int base, int step) noexcept {
+  return floor_mod(s2_index(v) - base, step) == 0;
+}
+
+bool in_s1_family(Vec2 v, int base, int step) noexcept {
+  return floor_mod(s1_index(v) - base, step) == 0;
+}
+
+std::vector<Vec2> s1_nodes_in_grid(int c, int m, int n) {
+  WSN_EXPECTS(m >= 1 && n >= 1);
+  std::vector<Vec2> out;
+  // x + y = c with 1 <= x <= m, 1 <= y <= n  =>  x in [c-n, c-1] ∩ [1, m].
+  const int lo = std::max(1, c - n);
+  const int hi = std::min(m, c - 1);
+  for (int x = lo; x <= hi; ++x) out.push_back({x, c - x});
+  return out;
+}
+
+std::vector<Vec2> s2_nodes_in_grid(int c, int m, int n) {
+  WSN_EXPECTS(m >= 1 && n >= 1);
+  std::vector<Vec2> out;
+  // x - y = c with 1 <= x <= m, 1 <= y <= n  =>  x in [c+1, c+n] ∩ [1, m].
+  const int lo = std::max(1, c + 1);
+  const int hi = std::min(m, c + n);
+  for (int x = lo; x <= hi; ++x) out.push_back({x, x - c});
+  return out;
+}
+
+}  // namespace wsn

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.h"
+
+/// The paper's "diagonal axis" index sets (§3, definitions before §3.1):
+///
+///   S1(c) = { (x, y) : x + y = c }   -- the "/" diagonals,
+///   S2(c) = { (x, y) : x - y = c }   -- the "\" diagonals.
+///
+/// The 2D-8 protocol relays along S1(i+j), S2(i-j) and the family
+/// S2(i-j+5k); the 2D-3 protocol pairs adjacent diagonals into its B1/B2
+/// base-relay sets.  These helpers keep that index arithmetic in one place.
+namespace wsn {
+
+/// S1 index of `v`: x + y.
+[[nodiscard]] constexpr int s1_index(Vec2 v) noexcept { return v.x + v.y; }
+
+/// S2 index of `v`: x - y.
+[[nodiscard]] constexpr int s2_index(Vec2 v) noexcept { return v.x - v.y; }
+
+/// True if `v` lies on the diagonal S1(c).
+[[nodiscard]] constexpr bool on_s1(Vec2 v, int c) noexcept {
+  return s1_index(v) == c;
+}
+
+/// True if `v` lies on the diagonal S2(c).
+[[nodiscard]] constexpr bool on_s2(Vec2 v, int c) noexcept {
+  return s2_index(v) == c;
+}
+
+/// True if s2_index(v) ≡ base (mod step); membership in the S2(base + k·step)
+/// family used by the 2D-8 protocol (step 5).  Handles negative indices
+/// correctly (floored modulus).
+[[nodiscard]] bool in_s2_family(Vec2 v, int base, int step) noexcept;
+
+/// Same for the S1(base + k·step) family.
+[[nodiscard]] bool in_s1_family(Vec2 v, int base, int step) noexcept;
+
+/// Enumerates the nodes of S1(c) inside the 1-based m×n grid, by ascending x.
+[[nodiscard]] std::vector<Vec2> s1_nodes_in_grid(int c, int m, int n);
+
+/// Enumerates the nodes of S2(c) inside the 1-based m×n grid, by ascending x.
+[[nodiscard]] std::vector<Vec2> s2_nodes_in_grid(int c, int m, int n);
+
+/// Floored modulus: result in [0, divisor) for positive divisors, matching
+/// the "k is an integer" (possibly negative) quantifier in the paper's rules.
+[[nodiscard]] constexpr int floor_mod(int value, int divisor) noexcept {
+  const int r = value % divisor;
+  return r < 0 ? r + divisor : r;
+}
+
+}  // namespace wsn

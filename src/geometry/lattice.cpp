@@ -1,0 +1,51 @@
+#include "geometry/lattice.h"
+
+#include "common/assert.h"
+#include "geometry/diagonal.h"
+
+namespace wsn {
+
+bool in_zrelay_lattice(Vec2 v, Vec2 anchor) noexcept {
+  const Vec2 d = v - anchor;
+  return floor_mod(2 * d.x + d.y, 5) == 0;
+}
+
+Vec2 covering_zrelay(Vec2 v, Vec2 anchor) noexcept {
+  if (in_zrelay_lattice(v, anchor)) return v;
+  // Exactly one of the four unit neighbors is a lattice point: the residue
+  // r = 2dx+dy mod 5 of v is in {1,2,3,4}, and the steps (±1,0)/(0,±1)
+  // change r by ±2/±1, each hitting 0 for exactly one residue.
+  constexpr Vec2 kSteps[] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  for (Vec2 step : kSteps) {
+    if (in_zrelay_lattice(v + step, anchor)) return v + step;
+  }
+  WSN_ASSERT(false);  // unreachable: the lattice is a perfect Lee cover
+  return v;
+}
+
+std::vector<Vec2> zrelay_lattice_in_grid(Vec2 anchor, int m, int n) {
+  WSN_EXPECTS(m >= 1 && n >= 1);
+  std::vector<Vec2> out;
+  for (int y = 1; y <= n; ++y) {
+    for (int x = 1; x <= m; ++x) {
+      if (in_zrelay_lattice({x, y}, anchor)) out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+std::vector<Vec2> uncovered_by_zrelays(Vec2 anchor, int m, int n) {
+  WSN_EXPECTS(m >= 1 && n >= 1);
+  std::vector<Vec2> out;
+  for (int y = 1; y <= n; ++y) {
+    for (int x = 1; x <= m; ++x) {
+      const Vec2 cover = covering_zrelay({x, y}, anchor);
+      const bool in_grid = cover.x >= 1 && cover.x <= m && cover.y >= 1 &&
+                           cover.y <= n;
+      if (!in_grid) out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn

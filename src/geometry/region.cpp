@@ -1,0 +1,35 @@
+#include "geometry/region.h"
+
+#include "geometry/diagonal.h"
+
+namespace wsn {
+
+BaseNodes base_nodes_2d3(Vec2 source) noexcept {
+  if (brick_has_down(source)) {
+    return {{source.x, source.y - 2}, {source.x, source.y + 1}};
+  }
+  return {{source.x, source.y - 1}, {source.x, source.y + 2}};
+}
+
+Region region_of(Vec2 v, Vec2 source) noexcept {
+  const BaseNodes base = base_nodes_2d3(source);
+  if (s1_index(v) <= s1_index(base.a) && s2_index(v) >= s2_index(base.a)) {
+    return Region::kTwo;
+  }
+  if (s1_index(v) >= s1_index(base.b) && s2_index(v) <= s2_index(base.b)) {
+    return Region::kThree;
+  }
+  return Region::kOne;
+}
+
+DiagonalPair b1_indices(Vec2 node) noexcept {
+  const int c = s1_index(node);
+  return brick_has_up(node) ? DiagonalPair{c, c + 1} : DiagonalPair{c, c - 1};
+}
+
+DiagonalPair b2_indices(Vec2 node) noexcept {
+  const int c = s2_index(node);
+  return brick_has_up(node) ? DiagonalPair{c, c - 1} : DiagonalPair{c, c + 1};
+}
+
+}  // namespace wsn

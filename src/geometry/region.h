@@ -1,0 +1,63 @@
+#pragma once
+
+#include "geometry/vec2.h"
+
+/// The region partition of the 2D-3 broadcast protocol (paper §3.3, Fig. 8).
+///
+/// The 2D-3 mesh is a brick wall: node (x, y) always has horizontal
+/// neighbors (x±1, y) and exactly one vertical neighbor, alternating with
+/// the parity of x + y.  We fix the convention
+///
+///   (x + y) even  ->  vertical neighbor is UP   (x, y+1)
+///   (x + y) odd   ->  vertical neighbor is DOWN (x, y-1)
+///
+/// which reproduces the paper's worked examples: (5,4) has no neighbor
+/// (5,5) (Fig. 1 discussion, §3.3), and source (10,7) yields base nodes
+/// (10,5) / (10,8) and B1 = S1(17) ∪ S1(16), B2 = S2(3) ∪ S2(4) (Fig. 8).
+///
+/// From the source, two *base nodes* a = (i_a, j_a), b = (i_b, j_b) split
+/// the grid into three regions:
+///
+///   region 2:  x + y ≤ i_a + j_a  and  x − y ≥ i_a − j_a   (below the source)
+///   region 3:  x + y ≥ i_b + j_b  and  x − y ≤ i_b − j_b   (above the source)
+///   region 1:  everything else.
+namespace wsn {
+
+/// True if the brick-wall vertical neighbor of `v` is (x, y+1).
+[[nodiscard]] constexpr bool brick_has_up(Vec2 v) noexcept {
+  return ((v.x + v.y) & 1) == 0;
+}
+
+/// True if the brick-wall vertical neighbor of `v` is (x, y-1).
+[[nodiscard]] constexpr bool brick_has_down(Vec2 v) noexcept {
+  return !brick_has_up(v);
+}
+
+/// The two base nodes derived from a source (paper §3.3):
+/// if (i, j-1) is a neighbor: a = (i, j-2), b = (i, j+1);
+/// otherwise:                 a = (i, j-1), b = (i, j+2).
+struct BaseNodes {
+  Vec2 a;
+  Vec2 b;
+};
+[[nodiscard]] BaseNodes base_nodes_2d3(Vec2 source) noexcept;
+
+enum class Region : int { kOne = 1, kTwo = 2, kThree = 3 };
+
+/// Classifies `v` relative to `source`'s base nodes.
+[[nodiscard]] Region region_of(Vec2 v, Vec2 source) noexcept;
+
+/// The B1/B2 paired-diagonal base-relay sets of §3.3, as index pairs:
+/// B1(i,j) = S1(c1a) ∪ S1(c1b), B2(i,j) = S2(c2a) ∪ S2(c2b).
+struct DiagonalPair {
+  int first;
+  int second;
+
+  [[nodiscard]] constexpr bool contains(int c) const noexcept {
+    return c == first || c == second;
+  }
+};
+[[nodiscard]] DiagonalPair b1_indices(Vec2 node) noexcept;
+[[nodiscard]] DiagonalPair b2_indices(Vec2 node) noexcept;
+
+}  // namespace wsn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+/// Integer lattice coordinates.
+///
+/// The paper addresses nodes by 1-based grid ids (x, y) with x ∈ [1, m] and
+/// y ∈ [1, n]; every protocol rule (relay columns i+3k, diagonal sets
+/// S1/S2, the R5 sublattice) is arithmetic on these ids, so they are plain
+/// ints here and the topology layer owns the mapping to dense NodeIds.
+namespace wsn {
+
+struct Vec2 {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(int k, Vec2 v) noexcept {
+    return {k * v.x, k * v.y};
+  }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+  friend constexpr auto operator<=>(Vec2, Vec2) noexcept = default;
+};
+
+/// Manhattan (L1 / Lee) distance.
+[[nodiscard]] constexpr int manhattan(Vec2 a, Vec2 b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Chebyshev (L∞) distance -- the hop metric of the 2D-8 mesh.
+[[nodiscard]] constexpr int chebyshev(Vec2 a, Vec2 b) noexcept {
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  return dx > dy ? dx : dy;
+}
+
+[[nodiscard]] inline std::string to_string(Vec2 v) {
+  std::string out;
+  out += '(';
+  out += std::to_string(v.x);
+  out += ',';
+  out += std::to_string(v.y);
+  out += ')';
+  return out;
+}
+
+}  // namespace wsn

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <compare>
+#include <cstdlib>
+#include <string>
+
+#include "geometry/vec2.h"
+
+/// 3D lattice coordinates for the 3D mesh with 6 neighbors (paper §3.4).
+namespace wsn {
+
+struct Vec3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  /// The XY-plane projection; the 3D-6 protocol runs the 2D-4 protocol on
+  /// these projections.
+  [[nodiscard]] constexpr Vec2 xy() const noexcept { return {x, y}; }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr bool operator==(Vec3, Vec3) noexcept = default;
+  friend constexpr auto operator<=>(Vec3, Vec3) noexcept = default;
+};
+
+[[nodiscard]] constexpr int manhattan(Vec3 a, Vec3 b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z);
+}
+
+[[nodiscard]] inline std::string to_string(Vec3 v) {
+  std::string out;
+  out += '(';
+  out += std::to_string(v.x);
+  out += ',';
+  out += std::to_string(v.y);
+  out += ',';
+  out += std::to_string(v.z);
+  out += ')';
+  return out;
+}
+
+}  // namespace wsn

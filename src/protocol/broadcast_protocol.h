@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/plan.h"
+#include "topology/topology.h"
+
+/// A broadcasting protocol: a pure function from (topology, source) to a
+/// RelayPlan.
+///
+/// This mirrors the paper's key premise -- "since the network topologies
+/// are regular and fixed, we may choose the necessary relay nodes according
+/// to the network topology" (§3).  Everything a node does is decidable
+/// offline from the topology and the source id; the simulator then executes
+/// the plan under real collision semantics.
+namespace wsn {
+
+class BroadcastProtocol {
+ public:
+  virtual ~BroadcastProtocol() = default;
+
+  /// Builds the relay plan for broadcasting from `source`.  Aborts if the
+  /// topology is not of the family this protocol understands (programming
+  /// error; pick protocols via protocol/registry.h).
+  [[nodiscard]] virtual RelayPlan plan(const Topology& topo,
+                                       NodeId source) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace wsn

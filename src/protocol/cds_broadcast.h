@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "protocol/broadcast_protocol.h"
+
+/// Generic topology-aware broadcast: greedy connected-dominating-set relay
+/// selection over BFS layers.
+///
+/// The paper's four protocols exploit closed-form structure that only
+/// regular meshes have.  This protocol is the library's generalization to
+/// *any* connected topology (random unit-disk graphs, tori, meshes with
+/// holes): it computes BFS layers from the source and greedily picks, per
+/// layer, the covered nodes whose transmissions cover the most
+/// still-uncovered next-layer nodes -- a classic dominant-pruning relay
+/// set.  Relays forward one slot after first reception plus a small
+/// deterministic per-node stagger that breaks the lock-step collisions of
+/// synchronized wavefronts.
+///
+/// On the paper's own meshes it lands close to the specialized protocols
+/// (see bench/baseline_comparison), which is exactly the point: the
+/// specialized rules buy the last ~10-20% and the perfect delay, the CDS
+/// buys generality.
+namespace wsn {
+
+class CdsBroadcast final : public BroadcastProtocol {
+ public:
+  /// `stagger_window` spreads relay forwarding over [1, 1+window] slots
+  /// (deterministic per node); 0 forwards everything next-slot.
+  explicit CdsBroadcast(Slot stagger_window = 2,
+                        std::uint64_t seed = 0xcd5b40adca57ull) noexcept
+      : window_(stagger_window), seed_(seed) {}
+
+  [[nodiscard]] RelayPlan plan(const Topology& topo,
+                               NodeId source) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Slot window_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,38 @@
+#include "protocol/etr.h"
+
+#include <algorithm>
+
+namespace wsn {
+
+std::vector<EtrSample> etr_samples(const Topology& topo,
+                                   const BroadcastOutcome& outcome) {
+  std::vector<EtrSample> out;
+  out.reserve(outcome.transmissions.size());
+  for (const TxRecord& rec : outcome.transmissions) {
+    out.push_back(EtrSample{rec.node, rec.slot, rec.fresh,
+                            topo.degree(rec.node)});
+  }
+  return out;
+}
+
+EtrSummary summarize_etr(const Topology& topo,
+                         const BroadcastOutcome& outcome,
+                         std::size_t fresh_opt, NodeId source,
+                         bool exclude_source) {
+  EtrSummary summary;
+  double sum = 0.0;
+  for (const EtrSample& s : etr_samples(topo, outcome)) {
+    summary.transmissions += 1;
+    const double v = s.value();
+    sum += v;
+    summary.max = std::max(summary.max, v);
+    if (exclude_source && s.node == source) continue;
+    if (s.fresh >= fresh_opt) summary.at_optimum += 1;
+  }
+  if (summary.transmissions > 0) {
+    summary.mean = sum / static_cast<double>(summary.transmissions);
+  }
+  return summary;
+}
+
+}  // namespace wsn

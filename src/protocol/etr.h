@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+/// Efficient-transmission-ratio analysis over a simulated broadcast.
+///
+/// ETR of one transmission = M/N: of the transmitter's N neighbors, M
+/// decoded a *non-duplicate* message from it (paper §3).  The TxRecord
+/// trace carries exactly M (`fresh`), so this module is pure arithmetic
+/// over an outcome.
+namespace wsn {
+
+struct EtrSample {
+  NodeId node;
+  Slot slot;
+  std::size_t fresh;      // M
+  std::size_t neighbors;  // N
+
+  [[nodiscard]] double value() const noexcept {
+    return neighbors == 0
+               ? 0.0
+               : static_cast<double>(fresh) / static_cast<double>(neighbors);
+  }
+};
+
+struct EtrSummary {
+  std::size_t transmissions = 0;
+  double mean = 0.0;
+  double max = 0.0;
+  /// Transmissions achieving at least `fresh_opt` fresh deliveries (the
+  /// per-family optimum M); the paper's "most of the relay nodes can
+  /// achieve the optimal ETR" claim quantified.
+  std::size_t at_optimum = 0;
+
+  [[nodiscard]] double optimal_share() const noexcept {
+    return transmissions == 0 ? 0.0
+                              : static_cast<double>(at_optimum) /
+                                    static_cast<double>(transmissions);
+  }
+};
+
+/// Per-transmission ETR samples in trace order.
+[[nodiscard]] std::vector<EtrSample> etr_samples(const Topology& topo,
+                                                 const BroadcastOutcome& outcome);
+
+/// Aggregates samples; `fresh_opt` is the family's optimal M (e.g. 3 for
+/// 2D-4).  The source transmission is excluded from `at_optimum` counting
+/// when `exclude_source` (its ETR is 100%, above any relay's optimum).
+[[nodiscard]] EtrSummary summarize_etr(const Topology& topo,
+                                       const BroadcastOutcome& outcome,
+                                       std::size_t fresh_opt,
+                                       NodeId source,
+                                       bool exclude_source = true);
+
+}  // namespace wsn

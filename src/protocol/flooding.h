@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "protocol/broadcast_protocol.h"
+
+/// Blind flooding: every node forwards the message once after first
+/// hearing it -- the "traditional broadcasting protocol [where] almost all
+/// the nodes need to forward the data and thus cause severe collisions"
+/// that the paper's §3 argues against.
+///
+/// With `jitter_window == 0` every first-time receiver forwards in the very
+/// next slot; on regular meshes whole wavefronts transmit simultaneously
+/// and the broadcast can strand large regions behind collisions.  A nonzero
+/// window draws each node's forwarding delay uniformly from
+/// [1, 1 + window], the classic randomized repair, trading delay for
+/// reachability.  The draw is deterministic in (seed, source, node).
+namespace wsn {
+
+class Flooding final : public BroadcastProtocol {
+ public:
+  explicit Flooding(Slot jitter_window = 0,
+                    std::uint64_t seed = 0x5eedf100du) noexcept
+      : window_(jitter_window), seed_(seed) {}
+
+  [[nodiscard]] RelayPlan plan(const Topology& topo,
+                               NodeId source) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Slot window_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wsn

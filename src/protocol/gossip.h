@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "protocol/broadcast_protocol.h"
+
+/// Probabilistic gossip: each node forwards once with probability `p`
+/// after first hearing the message.  The standard stochastic remedy for
+/// flooding's redundancy; included as the second "traditional" baseline --
+/// it trades reachability for transmissions, while the paper's protocols
+/// keep reachability at 100% *and* cut transmissions.
+///
+/// Forwarding decisions and the optional jitter are deterministic in
+/// (seed, source, node) so every run is reproducible.
+namespace wsn {
+
+class Gossip final : public BroadcastProtocol {
+ public:
+  explicit Gossip(double forward_probability, Slot jitter_window = 0,
+                  std::uint64_t seed = 0x90551eedull) noexcept
+      : p_(forward_probability), window_(jitter_window), seed_(seed) {}
+
+  [[nodiscard]] RelayPlan plan(const Topology& topo,
+                               NodeId source) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double p_;
+  Slot window_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wsn

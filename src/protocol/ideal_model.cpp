@@ -1,0 +1,62 @@
+#include "protocol/ideal_model.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+OptimalEtr optimal_etr(std::string_view family) {
+  if (family == "2D-3") return {2, 3};
+  if (family == "2D-4") return {3, 4};
+  if (family == "2D-8") return {5, 8};
+  if (family == "3D-6") return {5, 6};
+  WSN_EXPECTS(false && "unknown topology family");
+  return {0, 1};
+}
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Ideal transmissions for a 2D family: source reaches deg_full nodes, each
+/// further relay M_opt fresh ones.
+std::size_t ideal_tx_2d(std::string_view family, std::size_t nodes) {
+  const OptimalEtr etr = optimal_etr(family);
+  const auto deg = static_cast<std::size_t>(etr.neighbors);
+  const auto fresh = static_cast<std::size_t>(etr.fresh);
+  if (nodes <= deg + 1) return 1;
+  return 1 + ceil_div(nodes - 1 - deg, fresh);
+}
+
+}  // namespace
+
+IdealCase ideal_case(std::string_view family, int m, int n, int l,
+                     Meters spacing, std::size_t bits,
+                     const FirstOrderRadioModel& radio) {
+  WSN_EXPECTS(m >= 1 && n >= 1 && l >= 1);
+  const auto plane = static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+
+  IdealCase out;
+  Meters range = spacing;
+  if (family == "3D-6") {
+    // 2D-4 sweep of the source plane plus one transmission per z-column per
+    // plane; the source column's plane-k transmission is already in the
+    // sweep, hence the -1.
+    out.tx = ideal_tx_2d("2D-4", plane) +
+             ceil_div(plane, 5) * static_cast<std::size_t>(l) - 1;
+  } else {
+    out.tx = ideal_tx_2d(family, plane * static_cast<std::size_t>(l));
+    if (family == "2D-8") range = spacing * std::sqrt(2.0);  // diagonal hops
+  }
+  const auto deg =
+      static_cast<std::size_t>(optimal_etr(family).neighbors);
+  out.rx = out.tx * deg;
+  out.power = static_cast<double>(out.tx) * radio.tx_energy(bits, range) +
+              static_cast<double>(out.rx) * radio.rx_energy(bits);
+  return out;
+}
+
+}  // namespace wsn

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "radio/energy_model.h"
+
+/// The paper's "ideal case" comparator (§4, Table 2): every relay achieves
+/// the optimal ETR and no collision ever happens.
+///
+/// Reverse-engineered closed forms that reproduce Table 2 exactly
+/// (DESIGN.md §5):
+///
+///   2D meshes:  Tx = 1 + ⌈(N − 1 − deg_full) / M_opt⌉
+///               (source covers deg_full nodes; every further relay covers
+///               M_opt = deg_full·ETR_opt fresh ones)
+///   3D-6:       Tx = Tx_2D4(m×n) + ⌈mn/5⌉·l − 1
+///               (2D-4 sweep of the source plane, plus ⌈mn/5⌉ z-columns
+///               transmitting in every plane, the source's own column
+///               counted once)
+///   Rx = Tx · deg_full     (every transmission heard by a full
+///                           neighborhood; the ideal case ignores borders)
+///   Power = Σ E_Tx + Σ E_Rx with the First Order Radio Model.
+namespace wsn {
+
+/// Optimal ETR of a topology family as the exact rational of Table 1.
+struct OptimalEtr {
+  int fresh;      // M: new receivers per ideal transmission
+  int neighbors;  // N: full degree
+
+  [[nodiscard]] double value() const noexcept {
+    return static_cast<double>(fresh) / static_cast<double>(neighbors);
+  }
+};
+
+/// Table 1: 2D-3 -> 2/3, 2D-4 -> 3/4, 2D-8 -> 5/8, 3D-6 -> 5/6.
+/// Aborts on an unknown family.
+[[nodiscard]] OptimalEtr optimal_etr(std::string_view family);
+
+struct IdealCase {
+  std::size_t tx = 0;
+  std::size_t rx = 0;
+  Joules power = 0.0;
+};
+
+/// Ideal case for a 2D family on an m×n mesh (`spacing` meters, `bits` per
+/// packet), or for "3D-6" on an m×n×l mesh.
+[[nodiscard]] IdealCase ideal_case(std::string_view family, int m, int n,
+                                   int l = 1, Meters spacing = 0.5,
+                                   std::size_t bits = 512,
+                                   const FirstOrderRadioModel& radio =
+                                       FirstOrderRadioModel{});
+
+}  // namespace wsn

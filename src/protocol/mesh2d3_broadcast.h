@@ -1,0 +1,49 @@
+#pragma once
+
+#include "protocol/broadcast_protocol.h"
+#include "topology/mesh2d3.h"
+
+/// The 2D-3 broadcasting protocol (paper §3.3).
+///
+/// In the brick-wall mesh a "diagonal" is a staircase: a connected zigzag
+/// alternating between two adjacent diagonal indices.  That is why the
+/// paper's base-relay sets are *pairs* -- B1(i,j) = S1(c) ∪ S1(c±1) and
+/// B2(i,j) = S2(c) ∪ S2(c∓1), the pairing chosen by the node's vertical
+/// parity.  A B1 staircase runs upper-left/lower-right; a B2 staircase
+/// upper-right/lower-left.  Each staircase touches the source row at two
+/// adjacent nodes (one feeds the climb, one the descent), so the X-axis
+/// sweep seeds them all.
+///
+/// Relay selection:
+///   * every node of the source row relays;
+///   * staircases are anchored at row nodes x = i + 4k (a staircase's
+///     transmissions cover 4 consecutive diagonal indices, hence the
+///     spacing);
+///   * in region 1, a node takes the staircase family that flows *toward*
+///     it: B1 for the upper-right / lower-left quadrants, B2 for
+///     upper-left / lower-right (rules R1/R2);
+///   * in the wedges straight above (region 3) and below (region 2) the
+///     source, the family is chosen so its anchors stay inside the grid:
+///     a source in the left half uses B1 above / B2 below (R3), a source
+///     in the right half the mirror image (R4).
+///
+/// The paper gives no explicit retransmission table for this topology
+/// ("since the topology ... is predetermined, we know where the collision
+/// will occur"); the deterministic resolver supplies those retransmissions
+/// and they are counted in every reported figure.
+namespace wsn {
+
+class Mesh2d3Broadcast final : public BroadcastProtocol {
+ public:
+  [[nodiscard]] RelayPlan plan(const Topology& topo,
+                               NodeId source) const override;
+  [[nodiscard]] std::string name() const override { return "mesh2d3-broadcast"; }
+
+  /// True if `v` is in the B1(i+4k, j) family for the given source (any
+  /// valid anchor k).  Exposed for tests.
+  [[nodiscard]] static bool in_b1_family(Vec2 v, Vec2 src) noexcept;
+  /// Same for B2(i+4k, j).
+  [[nodiscard]] static bool in_b2_family(Vec2 v, Vec2 src) noexcept;
+};
+
+}  // namespace wsn

@@ -1,0 +1,87 @@
+#include "protocol/mesh2d4_broadcast.h"
+
+#include <cstdlib>
+
+#include "common/assert.h"
+#include "geometry/diagonal.h"
+
+namespace wsn {
+
+namespace {
+
+/// (x - i) ≡ 0 (mod 3): x is one of the paper's i + 3k columns.
+bool on_column_lattice(int x, int i) noexcept {
+  return floor_mod(x - i, 3) == 0;
+}
+
+}  // namespace
+
+bool Mesh2d4Broadcast::is_relay_column(int x, int i, int m) noexcept {
+  if (on_column_lattice(x, i)) return true;
+  // Border rule (§3.1): node (1, y) / (m, y) becomes a relay when column
+  // 2 / m-1 is not a relay column, otherwise nobody ever covers column
+  // 1 / m vertically.
+  if (x == 1 && m >= 2 && !on_column_lattice(2, i)) return true;
+  if (x == m && m >= 2 && !on_column_lattice(m - 1, i)) return true;
+  return false;
+}
+
+bool Mesh2d4Broadcast::is_row_retransmitter(int x, int i, int m) noexcept {
+  if (x < 1 || x > m) return false;
+  if (x > i) return floor_mod(x - i, 3) == 1;  // x = i + 1 + 3k
+  if (x < i) return floor_mod(i - x, 3) == 1;  // x = i - 1 - 3k
+  return false;
+}
+
+std::size_t Mesh2d4Broadcast::analytic_tx_count(int i, int m,
+                                                int n) noexcept {
+  std::size_t columns = 0;
+  std::size_t retransmitters = 0;
+  for (int x = 1; x <= m; ++x) {
+    if (is_relay_column(x, i, m)) ++columns;
+    if (is_row_retransmitter(x, i, m)) ++retransmitters;
+  }
+  return static_cast<std::size_t>(m) + retransmitters +
+         columns * static_cast<std::size_t>(n - 1);
+}
+
+RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
+  const auto* mesh = dynamic_cast<const Mesh2D4*>(&topo);
+  WSN_EXPECTS(mesh != nullptr);
+  const Grid2D& grid = mesh->grid();
+  const Vec2 src = grid.to_coord(source);
+
+  RelayPlan plan = RelayPlan::empty(grid.num_nodes(), source);
+  for (NodeId id = 0; id < grid.num_nodes(); ++id) {
+    const Vec2 v = grid.to_coord(id);
+    if (v.y == src.y) {
+      // X-axis sweep: every row node forwards; the nodes straddling a relay
+      // column collide with its first vertical hop and retransmit.
+      if (policy_ == CollisionPolicy::kRetransmit &&
+          is_row_retransmitter(v.x, src.x, grid.m())) {
+        plan.tx_offsets[id] = {1, 2};
+      } else {
+        plan.tx_offsets[id] = {1};
+      }
+    } else if (is_relay_column(v.x, src.x, grid.m())) {
+      // Y-axis sweeps.  Under the rejected delay-avoidance policy the first
+      // vertical hop waits an extra slot so it never overlaps the row
+      // wavefront (the paper's §3.1 alternative, kept for the ablation).
+      const bool first_hop = std::abs(v.y - src.y) == 1;
+      if (policy_ == CollisionPolicy::kDelayAvoidance && first_hop) {
+        plan.tx_offsets[id] = {2};
+      } else {
+        plan.tx_offsets[id] = {1};
+      }
+    }
+  }
+  return plan;
+}
+
+std::string Mesh2d4Broadcast::name() const {
+  return policy_ == CollisionPolicy::kRetransmit
+             ? "mesh2d4-broadcast"
+             : "mesh2d4-broadcast(delay-avoidance)";
+}
+
+}  // namespace wsn

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "protocol/broadcast_protocol.h"
+#include "topology/mesh2d8.h"
+
+/// The 2D-8 broadcasting protocol (paper §3.2).
+///
+/// Diagonal transmissions dominate here: a hop along a diagonal delivers 5
+/// fresh neighbors (ETR 5/8) versus 3 for an axis hop (Fig. 6), and covers
+/// the 5 diagonals c-2..c+2 of the perpendicular family.  The plan is:
+///
+///   * a *feeder* diagonal through the source (the paper's basic relays
+///     S1(i+j) and S2(i-j); the perpendicular one seeds the family);
+///   * the *family* of parallel diagonals spaced 5 apart
+///     (S2(i-j+5k) in the paper's presentation), each propagating both ways
+///     from where the feeder's transmissions first reach it;
+///   * the two feeder nodes adjacent to the source retransmit once: their
+///     first transmissions overlap the family's first hops and collide at
+///     the axis neighbors two steps from the source (the paper's (i+2, j)
+///     example, resolved by letting (i+1, j-1) retransmit).
+///
+/// The paper fixes the family on the S2 axis "(or S1 but not both)"; we use
+/// that freedom adaptively, picking as feeder whichever source diagonal is
+/// longer so the family is seeded as widely as possible.  Sources near a
+/// border still leave far wedges unseeded (beyond feeder reach ±2); those
+/// are repaired by the deterministic resolver, and the repairs are counted
+/// in every reported number (DESIGN.md §3).
+namespace wsn {
+
+class Mesh2d8Broadcast final : public BroadcastProtocol {
+ public:
+  [[nodiscard]] RelayPlan plan(const Topology& topo,
+                               NodeId source) const override;
+  [[nodiscard]] std::string name() const override { return "mesh2d8-broadcast"; }
+
+  /// Which axis carries the parallel relay family for this source: true if
+  /// the family runs along S2 (feeder S1), the paper's default.  Chooses the
+  /// longer feeder; ties keep the paper's S2 family.
+  [[nodiscard]] static bool family_on_s2(Vec2 src, int m, int n) noexcept;
+
+ private:
+};
+
+}  // namespace wsn

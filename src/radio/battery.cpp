@@ -1,0 +1,36 @@
+#include "radio/battery.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+BatteryBank::BatteryBank(std::size_t count, Joules initial_charge)
+    : initial_(initial_charge), charge_(count, initial_charge) {
+  WSN_EXPECTS(count >= 1);
+  WSN_EXPECTS(initial_charge > 0.0);
+}
+
+std::size_t BatteryBank::alive_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(charge_.begin(), charge_.end(),
+                    [](Joules c) { return c > 0.0; }));
+}
+
+void BatteryBank::drain(NodeId id, Joules amount) noexcept {
+  WSN_EXPECTS(amount >= 0.0);
+  charge_[id] = std::max(0.0, charge_[id] - amount);
+}
+
+Joules BatteryBank::total_consumed() const noexcept {
+  Joules spent = 0.0;
+  for (Joules c : charge_) spent += initial_ - c;
+  return spent;
+}
+
+Joules BatteryBank::min_charge() const noexcept {
+  return *std::min_element(charge_.begin(), charge_.end());
+}
+
+}  // namespace wsn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+/// Per-node energy ledger.
+///
+/// Sensor nodes have no plug-in power (paper §1); the broadcasting
+/// protocols exist to stretch a fixed budget.  `BatteryBank` tracks every
+/// node's remaining charge across repeated broadcasts so the
+/// network-lifetime example can measure rounds-until-first-death and
+/// rounds-until-partition, LEACH-style.
+namespace wsn {
+
+class BatteryBank {
+ public:
+  /// All `count` nodes start with `initial_charge` joules.
+  BatteryBank(std::size_t count, Joules initial_charge);
+
+  [[nodiscard]] std::size_t size() const noexcept { return charge_.size(); }
+  [[nodiscard]] Joules charge(NodeId id) const noexcept {
+    return charge_[id];
+  }
+  [[nodiscard]] Joules initial_charge() const noexcept { return initial_; }
+
+  /// A node is alive while its charge is positive.  Dead nodes neither
+  /// transmit nor receive ("can still work even [with] little remaining
+  /// power" -- we model the cutoff at zero).
+  [[nodiscard]] bool alive(NodeId id) const noexcept {
+    return charge_[id] > 0.0;
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept;
+
+  /// Deducts `amount` joules; clamps at zero (the node dies mid-operation).
+  void drain(NodeId id, Joules amount) noexcept;
+
+  /// Total energy spent so far across all nodes.
+  [[nodiscard]] Joules total_consumed() const noexcept;
+
+  /// Lowest remaining charge among live nodes; 0 when any node has died.
+  [[nodiscard]] Joules min_charge() const noexcept;
+
+ private:
+  Joules initial_;
+  std::vector<Joules> charge_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,19 @@
+#include "radio/energy_model.h"
+
+// FirstOrderRadioModel is fully constexpr in the header; this translation
+// unit anchors the library target and pins the paper's defaults with a
+// compile-time sanity check.
+
+namespace wsn {
+namespace {
+
+constexpr FirstOrderRadioModel kPaperModel{};
+
+// k = 512 bits, d = 0.5 m (the paper's evaluation): E_Tx ≈ 2.5613e-5 J and
+// E_Rx = 2.56e-5 J, the constants behind Tables 2-4.
+static_assert(kPaperModel.rx_energy(512) == 50e-9 * 512.0);
+static_assert(kPaperModel.tx_energy(512, 0.5) ==
+              50e-9 * 512.0 + 100e-12 * 512.0 * 0.25);
+
+}  // namespace
+}  // namespace wsn

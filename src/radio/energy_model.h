@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+/// The First Order Radio Model (Heinzelman et al., adopted by the paper §2).
+///
+/// Transmitting k bits over distance d costs
+///     E_Tx(k, d) = E_elec · k + E_amp · k · d²          (paper eq. 1)
+/// and receiving k bits costs
+///     E_Rx(k)    = E_elec · k                           (paper eq. 2)
+/// with E_elec = 50 nJ/bit and E_amp = 100 pJ/bit/m².
+///
+/// Accounting conventions (validated against the paper's published power
+/// numbers -- DESIGN.md §4): every *successful* reception is charged,
+/// duplicates included; collided receptions are not charged; a broadcast
+/// transmission's d is the transmitter's range (distance to its farthest
+/// neighbor), since the amplifier must reach all of them.
+namespace wsn {
+
+class FirstOrderRadioModel {
+ public:
+  /// Defaults are the paper's constants.
+  explicit constexpr FirstOrderRadioModel(
+      double elec_joules_per_bit = 50e-9,
+      double amp_joules_per_bit_m2 = 100e-12) noexcept
+      : elec_(elec_joules_per_bit), amp_(amp_joules_per_bit_m2) {}
+
+  /// E_Tx(k, d) in joules.
+  [[nodiscard]] constexpr Joules tx_energy(std::size_t bits,
+                                           Meters distance) const noexcept {
+    const auto k = static_cast<double>(bits);
+    return elec_ * k + amp_ * k * distance * distance;
+  }
+
+  /// E_Rx(k) in joules.
+  [[nodiscard]] constexpr Joules rx_energy(std::size_t bits) const noexcept {
+    return elec_ * static_cast<double>(bits);
+  }
+
+  [[nodiscard]] constexpr double elec() const noexcept { return elec_; }
+  [[nodiscard]] constexpr double amp() const noexcept { return amp_; }
+
+ private:
+  double elec_;
+  double amp_;
+};
+
+}  // namespace wsn

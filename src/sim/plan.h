@@ -1,0 +1,96 @@
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+/// The simulator's input language: a relay plan.
+///
+/// Every broadcasting protocol in this library -- the paper's four mesh
+/// protocols as well as the flooding/gossip baselines -- compiles to the
+/// same representation: for each node, the list of *offsets* (in slots,
+/// ≥ 1) after its first successful reception at which it transmits.
+///
+///   * not a relay                -> {}
+///   * plain relay                -> {1}        (forward in the next slot)
+///   * relay that retransmits     -> {1, 2}     (paper: "retransmit the
+///                                               collided message in next
+///                                               time slot")
+///   * delayed z-relay (3D-6)     -> {2} or {3} (paper §3.4 staggering)
+///
+/// The source's offsets are interpreted relative to slot 0, so its default
+/// {1} means "transmit in slot 1", matching the sequence numbers of the
+/// paper's figures.
+///
+/// Keeping the plan purely data -- no callbacks -- is what makes the
+/// deterministic collision-repair resolver possible: it can append repair
+/// offsets and re-simulate without touching protocol code.
+namespace wsn {
+
+struct RelayPlan {
+  NodeId source = kInvalidNode;
+  /// tx_offsets[v] = slots after v's first reception at which v transmits.
+  /// Offsets must be ≥ 1 and strictly increasing.
+  std::vector<std::vector<Slot>> tx_offsets;
+
+  /// An empty plan for `count` nodes with the source transmitting at slot 1.
+  static RelayPlan empty(std::size_t count, NodeId source) {
+    WSN_EXPECTS(source < count);
+    RelayPlan plan;
+    plan.source = source;
+    plan.tx_offsets.assign(count, {});
+    plan.tx_offsets[source] = {1};
+    return plan;
+  }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return tx_offsets.size();
+  }
+
+  [[nodiscard]] bool is_relay(NodeId v) const noexcept {
+    return !tx_offsets[v].empty();
+  }
+
+  /// Number of relays (nodes with at least one scheduled transmission).
+  [[nodiscard]] std::size_t relay_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& offsets : tx_offsets) {
+      if (!offsets.empty()) ++count;
+    }
+    return count;
+  }
+
+  /// Nodes scheduled to transmit more than once (the paper's gray nodes).
+  [[nodiscard]] std::vector<NodeId> retransmitters() const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < tx_offsets.size(); ++v) {
+      if (tx_offsets[v].size() > 1) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Planned transmission count assuming every relay gets the message
+  /// (= Σ offsets sizes).  The simulator's actual Tx equals this whenever
+  /// reachability is 100%.
+  [[nodiscard]] std::size_t planned_tx() const noexcept {
+    std::size_t count = 0;
+    for (const auto& offsets : tx_offsets) count += offsets.size();
+    return count;
+  }
+
+  /// Contract check used by tests and the simulator: offsets ≥ 1, strictly
+  /// increasing, source is a relay.
+  void validate() const {
+    WSN_EXPECTS(source < num_nodes());
+    WSN_EXPECTS(is_relay(source));
+    for (const auto& offsets : tx_offsets) {
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        WSN_EXPECTS(offsets[i] >= 1);
+        WSN_EXPECTS(i == 0 || offsets[i] > offsets[i - 1]);
+      }
+    }
+  }
+};
+
+}  // namespace wsn

@@ -1,0 +1,144 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+std::vector<NodeId> BroadcastOutcome::unreached() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < first_rx.size(); ++v) {
+    if (first_rx[v] == kNeverSlot) out.push_back(v);
+  }
+  return out;
+}
+
+Slot BroadcastOutcome::first_tx(NodeId node) const noexcept {
+  for (const TxRecord& rec : transmissions) {
+    if (rec.node == node) return rec.slot;
+  }
+  return kNeverSlot;
+}
+
+BroadcastOutcome simulate_broadcast(const Topology& topo,
+                                    const RelayPlan& plan,
+                                    const SimOptions& options) {
+  const std::size_t n = topo.num_nodes();
+  WSN_EXPECTS(plan.num_nodes() == n);
+  WSN_EXPECTS(options.battery == nullptr || options.battery->size() == n);
+  plan.validate();
+
+  BroadcastOutcome out;
+  out.stats.num_nodes = n;
+  out.first_rx.assign(n, kNeverSlot);
+  out.first_rx[plan.source] = 0;
+  if (options.record_node_energy) out.node_energy.assign(n, 0.0);
+
+  // slot -> transmitters scheduled for it.  An ordered map keeps the main
+  // loop a strict slot sweep even when plans schedule far ahead.
+  std::map<Slot, std::vector<NodeId>> schedule;
+  const auto schedule_node = [&](NodeId v, Slot received_at) {
+    for (Slot offset : plan.tx_offsets[v]) {
+      schedule[received_at + offset].push_back(v);
+    }
+  };
+  schedule_node(plan.source, 0);
+
+  // Per-slot scratch, epoch-free via the `touched` list: hear_count[u] is
+  // nonzero only for u in touched and reset before the slot ends.
+  std::vector<std::uint32_t> hear_count(n, 0);
+  std::vector<NodeId> heard_from(n, kInvalidNode);
+  std::vector<char> is_transmitting(n, 0);
+  std::vector<NodeId> touched;
+  std::vector<std::size_t> record_of(n, 0);  // transmitter -> index into out.transmissions (valid per slot)
+
+  while (!schedule.empty()) {
+    auto it = schedule.begin();
+    const Slot slot = it->first;
+    std::vector<NodeId> transmitters = std::move(it->second);
+    schedule.erase(it);
+    if (slot > options.max_slots) break;
+
+    // Deterministic order; a node appears at most once per slot (plan
+    // offsets are strictly increasing).
+    std::sort(transmitters.begin(), transmitters.end());
+
+    // Battery-dead nodes drop out of the medium entirely this slot.
+    if (options.battery != nullptr) {
+      std::erase_if(transmitters, [&](NodeId v) {
+        return !options.battery->alive(v);
+      });
+    }
+    if (transmitters.empty()) continue;
+
+    for (NodeId v : transmitters) {
+      is_transmitting[v] = 1;
+      record_of[v] = out.transmissions.size();
+      out.transmissions.push_back(TxRecord{slot, v, 0, 0});
+      out.stats.tx += 1;
+      const Joules cost =
+          options.radio.tx_energy(options.packet_bits, topo.tx_range(v));
+      out.stats.tx_energy += cost;
+      if (options.record_node_energy) out.node_energy[v] += cost;
+      if (options.battery != nullptr) options.battery->drain(v, cost);
+    }
+
+    touched.clear();
+    for (NodeId v : transmitters) {
+      for (NodeId u : topo.neighbors(v)) {
+        if (options.battery != nullptr && !options.battery->alive(u)) {
+          continue;
+        }
+        if (hear_count[u] == 0) touched.push_back(u);
+        hear_count[u] += 1;
+        heard_from[u] = v;
+      }
+    }
+
+    for (NodeId u : touched) {
+      const std::uint32_t contenders = hear_count[u];
+      hear_count[u] = 0;
+      if (is_transmitting[u]) continue;  // half-duplex: deaf while sending
+
+      if (contenders == 1) {
+        out.stats.rx += 1;
+        const Joules cost = options.radio.rx_energy(options.packet_bits);
+        out.stats.rx_energy += cost;
+        if (options.record_node_energy) out.node_energy[u] += cost;
+        if (options.battery != nullptr) options.battery->drain(u, cost);
+
+        TxRecord& rec = out.transmissions[record_of[heard_from[u]]];
+        rec.delivered += 1;
+        if (out.first_rx[u] == kNeverSlot) {
+          rec.fresh += 1;
+          out.first_rx[u] = slot;
+          out.stats.delay = std::max(out.stats.delay, slot);
+          schedule_node(u, slot);
+        } else {
+          out.stats.duplicates += 1;
+        }
+      } else {
+        out.stats.collisions += 1;
+        if (options.charge_collisions) {
+          const Joules cost = options.radio.rx_energy(options.packet_bits);
+          out.stats.rx_energy += cost;
+          if (options.record_node_energy) out.node_energy[u] += cost;
+          if (options.battery != nullptr) options.battery->drain(u, cost);
+        }
+        if (options.record_collisions) {
+          out.collision_events.push_back(
+              CollisionRecord{slot, u, contenders});
+        }
+      }
+    }
+
+    for (NodeId v : transmitters) is_transmitting[v] = 0;
+  }
+
+  out.stats.reached = n - out.unreached().size();
+  return out;
+}
+
+}  // namespace wsn

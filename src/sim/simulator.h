@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "radio/battery.h"
+#include "radio/energy_model.h"
+#include "sim/plan.h"
+#include "sim/stats.h"
+#include "topology/topology.h"
+
+/// Slot-synchronous broadcast simulator.
+///
+/// Semantics (paper §2/§3, "all the sensor nodes are synchronized"):
+///
+///   * Time advances in discrete slots; one packet fits one slot.
+///   * A node transmitting in a slot is heard by all its topology
+///     neighbors ("a transmission can cover all the neighboring nodes").
+///   * A non-transmitting node with exactly ONE transmitting neighbor in a
+///     slot decodes the packet (counted as a reception -- a duplicate if it
+///     already had the message).
+///   * A non-transmitting node with TWO OR MORE transmitting neighbors
+///     suffers a collision: nothing is decoded, one collision event is
+///     recorded at that node.
+///   * A transmitting node hears nothing that slot (half-duplex).
+///   * A relay's transmissions are scheduled by the RelayPlan relative to
+///     its first successful reception; the source's relative to slot 0.
+///
+/// The run ends when no transmission remains scheduled, or at
+/// `max_slots` (a runaway guard -- plans are finite so this only triggers
+/// on misuse).
+namespace wsn {
+
+struct SimOptions {
+  /// Packet length in bits; the paper evaluates with 512.
+  std::size_t packet_bits = 512;
+  /// Energy model; defaults to the paper's First Order Radio Model.
+  FirstOrderRadioModel radio{};
+  /// Record per-collision events (slot, node) in the outcome.
+  bool record_collisions = false;
+  /// Optional battery bank: transmissions/receptions drain it, dead nodes
+  /// drop out of the medium.  Must have one cell per node when set.
+  BatteryBank* battery = nullptr;
+  /// Charge E_Rx for collided receptions too.  Off by default: the paper's
+  /// published power numbers charge only successful decodes (DESIGN.md §4).
+  bool charge_collisions = false;
+  /// Track each node's individual energy spend in the outcome (the paper
+  /// only totals energy; the per-node view exposes how unevenly relay duty
+  /// burdens nodes -- its §1 critique of non-balancing protocols).
+  bool record_node_energy = false;
+  /// Hard stop. Generous default: plans terminate on their own.
+  Slot max_slots = 1u << 20;
+};
+
+/// One transmission as it happened, with its delivery outcome:
+/// `delivered` neighbors decoded it, of which `fresh` were first-time
+/// receptions.  ETR of the transmission = fresh / degree(node).
+struct TxRecord {
+  Slot slot = 0;
+  NodeId node = kInvalidNode;
+  std::uint32_t delivered = 0;
+  std::uint32_t fresh = 0;
+};
+
+/// A collision event: `contenders` neighbors of `node` transmitted in
+/// `slot` and nothing was decoded.
+struct CollisionRecord {
+  Slot slot = 0;
+  NodeId node = kInvalidNode;
+  std::uint32_t contenders = 0;
+};
+
+struct BroadcastOutcome {
+  BroadcastStats stats;
+  /// Slot of each node's first successful reception; 0 for the source,
+  /// kNeverSlot for unreached nodes.
+  std::vector<Slot> first_rx;
+  /// Every transmission in slot order (ties by node id).
+  std::vector<TxRecord> transmissions;
+  /// Collision events; populated only when SimOptions::record_collisions.
+  std::vector<CollisionRecord> collision_events;
+  /// Per-node energy spend (J); populated only when
+  /// SimOptions::record_node_energy.  Sums to stats.total_energy().
+  std::vector<Joules> node_energy;
+
+  [[nodiscard]] std::vector<NodeId> unreached() const;
+  /// Slot of `node`'s first transmission, or kNeverSlot if it never
+  /// transmitted.
+  [[nodiscard]] Slot first_tx(NodeId node) const noexcept;
+};
+
+/// Runs one broadcast to completion.  `plan.num_nodes()` must match the
+/// topology.  Deterministic: identical inputs give identical outcomes.
+[[nodiscard]] BroadcastOutcome simulate_broadcast(const Topology& topo,
+                                                  const RelayPlan& plan,
+                                                  const SimOptions& options = {});
+
+}  // namespace wsn

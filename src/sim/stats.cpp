@@ -1,0 +1,19 @@
+#include "sim/stats.h"
+
+#include "common/string_util.h"
+
+namespace wsn {
+
+std::string BroadcastStats::summary() const {
+  std::string out;
+  out += "tx=" + std::to_string(tx);
+  out += " rx=" + std::to_string(rx);
+  out += " dup=" + std::to_string(duplicates);
+  out += " coll=" + std::to_string(collisions);
+  out += " delay=" + std::to_string(delay);
+  out += " energy=" + sci(total_energy()) + "J";
+  out += " reach=" + fixed(100.0 * reachability(), 1) + "%";
+  return out;
+}
+
+}  // namespace wsn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+
+/// Aggregate metrics of one broadcast, matching the paper's §4 definitions:
+///
+///   * tx          -- "total times the message is transmitted by nodes"
+///   * rx          -- "total times the message is received" (successful
+///                    decodes, duplicates included)
+///   * duplicates  -- receptions by nodes that already had the message
+///   * collisions  -- (slot, node) events where ≥ 2 neighbors transmitted
+///                    simultaneously and nothing was decoded
+///   * delay       -- slot of the last first-reception ("time from the
+///                    source initiated the broadcast to the time the
+///                    broadcast is over", in time slots)
+///   * energy      -- E_Tx summed over transmissions plus E_Rx summed over
+///                    successful receptions (the paper's accounting; see
+///                    DESIGN.md §4)
+namespace wsn {
+
+struct BroadcastStats {
+  std::size_t num_nodes = 0;
+  std::size_t reached = 0;  // nodes holding the message, source included
+  std::size_t tx = 0;
+  std::size_t rx = 0;
+  std::size_t duplicates = 0;
+  std::size_t collisions = 0;
+  Slot delay = 0;
+  Joules tx_energy = 0.0;
+  Joules rx_energy = 0.0;
+
+  [[nodiscard]] Joules total_energy() const noexcept {
+    return tx_energy + rx_energy;
+  }
+
+  /// Fraction of nodes reached, in [0, 1]; the paper's protocols guarantee
+  /// 1.0.
+  [[nodiscard]] double reachability() const noexcept {
+    return num_nodes == 0
+               ? 0.0
+               : static_cast<double>(reached) / static_cast<double>(num_nodes);
+  }
+
+  [[nodiscard]] bool fully_reached() const noexcept {
+    return reached == num_nodes;
+  }
+
+  /// One-line human-readable summary for examples and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace wsn

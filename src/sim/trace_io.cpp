@@ -1,0 +1,108 @@
+#include "sim/trace_io.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/csv.h"
+
+namespace wsn {
+
+namespace {
+
+struct RxEvent {
+  Slot slot;
+  NodeId node;
+  NodeId from;
+};
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const Topology& topo,
+                     const BroadcastOutcome& outcome) {
+  CsvWriter csv(out);
+  csv.row({"event", "slot", "node", "x", "y", "z", "detail1", "detail2"});
+
+  // First receptions, attributed to the transmitter whose slot matches.
+  std::vector<RxEvent> receptions;
+  for (NodeId v = 0; v < outcome.first_rx.size(); ++v) {
+    const Slot slot = outcome.first_rx[v];
+    if (slot == 0 || slot == kNeverSlot) continue;  // source / unreached
+    NodeId from = kInvalidNode;
+    for (const TxRecord& rec : outcome.transmissions) {
+      if (rec.slot == slot && topo.adjacent(rec.node, v)) {
+        from = rec.node;
+        break;
+      }
+    }
+    receptions.push_back(RxEvent{slot, v, from});
+  }
+  std::sort(receptions.begin(), receptions.end(),
+            [](const RxEvent& a, const RxEvent& b) {
+              return a.slot != b.slot ? a.slot < b.slot : a.node < b.node;
+            });
+
+  // Merge the three streams by slot; within a slot: tx, rx, coll.
+  const auto emit_position = [&](NodeId v) {
+    const auto p = topo.position(v);
+    return std::array<std::string, 3>{std::to_string(p[0]),
+                                      std::to_string(p[1]),
+                                      std::to_string(p[2])};
+  };
+  std::size_t ti = 0;
+  std::size_t ri = 0;
+  std::size_t ci = 0;
+  Slot slot = 1;
+  while (ti < outcome.transmissions.size() || ri < receptions.size() ||
+         ci < outcome.collision_events.size()) {
+    for (; ti < outcome.transmissions.size() &&
+           outcome.transmissions[ti].slot == slot;
+         ++ti) {
+      const TxRecord& rec = outcome.transmissions[ti];
+      const auto pos = emit_position(rec.node);
+      csv.row({"tx", std::to_string(rec.slot), std::to_string(rec.node),
+               pos[0], pos[1], pos[2], std::to_string(rec.delivered),
+               std::to_string(rec.fresh)});
+    }
+    for (; ri < receptions.size() && receptions[ri].slot == slot; ++ri) {
+      const RxEvent& rx = receptions[ri];
+      const auto pos = emit_position(rx.node);
+      csv.row({"rx", std::to_string(rx.slot), std::to_string(rx.node),
+               pos[0], pos[1], pos[2], std::to_string(rx.from), "1"});
+    }
+    for (; ci < outcome.collision_events.size() &&
+           outcome.collision_events[ci].slot == slot;
+         ++ci) {
+      const CollisionRecord& ev = outcome.collision_events[ci];
+      const auto pos = emit_position(ev.node);
+      csv.row({"coll", std::to_string(ev.slot), std::to_string(ev.node),
+               pos[0], pos[1], pos[2], std::to_string(ev.contenders), "0"});
+    }
+    ++slot;
+  }
+}
+
+void write_plan_csv(std::ostream& out, const Topology& topo,
+                    const RelayPlan& plan) {
+  CsvWriter csv(out);
+  csv.row({"node", "x", "y", "z", "role", "offsets"});
+  for (NodeId v = 0; v < plan.num_nodes(); ++v) {
+    const auto p = topo.position(v);
+    std::string role = "passive";
+    if (v == plan.source) {
+      role = "source";
+    } else if (plan.tx_offsets[v].size() > 1) {
+      role = "retransmitter";
+    } else if (plan.tx_offsets[v].size() == 1) {
+      role = "relay";
+    }
+    std::string offsets;
+    for (std::size_t i = 0; i < plan.tx_offsets[v].size(); ++i) {
+      if (i != 0) offsets += '|';
+      offsets += std::to_string(plan.tx_offsets[v][i]);
+    }
+    csv.row({std::to_string(v), std::to_string(p[0]), std::to_string(p[1]),
+             std::to_string(p[2]), role, offsets});
+  }
+}
+
+}  // namespace wsn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <ostream>
+
+#include "sim/plan.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+/// ns-style trace export: serializes a simulated broadcast as flat CSV
+/// event streams that external tooling (pandas, gnuplot, trace diffing)
+/// can consume.  Three record kinds share one file, discriminated by the
+/// first column:
+///
+///   event,slot,node,x,y,z,detail1,detail2
+///   tx,3,17,2,1,0,5,4        -- transmission: delivered=5, fresh=4
+///   rx,3,18,3,1,0,17,1       -- reception: from=17, fresh=1
+///   coll,3,20,5,1,0,2,0      -- collision: contenders=2
+///
+/// Receptions are reconstructed from first_rx plus the transmission trace;
+/// duplicate receptions are not individually timestamped by the simulator,
+/// so the rx stream carries first receptions only (fresh=1 always) -- the
+/// tx stream's `delivered` column accounts for the duplicates in aggregate.
+namespace wsn {
+
+/// Writes the header plus every event of `outcome`, in slot order.
+/// Collision events require the simulation to have run with
+/// SimOptions::record_collisions.
+void write_trace_csv(std::ostream& out, const Topology& topo,
+                     const BroadcastOutcome& outcome);
+
+/// Writes the relay plan itself (node, role, offsets) -- enough to replay
+/// or diff plans across protocol versions:
+///
+///   node,x,y,z,role,offsets
+///   17,2,1,0,relay,1
+///   33,4,3,0,retransmitter,1|2
+void write_plan_csv(std::ostream& out, const Topology& topo,
+                    const RelayPlan& plan);
+
+}  // namespace wsn

@@ -1,0 +1,70 @@
+#include "topology/graph_algos.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+
+namespace wsn {
+
+std::vector<std::uint32_t> bfs_distances(const Topology& topo,
+                                         NodeId source) {
+  WSN_EXPECTS(source < topo.num_nodes());
+  std::vector<std::uint32_t> dist(topo.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : topo.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          dist[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Topology& topo, NodeId source) {
+  const auto dist = bfs_distances(topo, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    WSN_EXPECTS(d != kUnreachable);
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Topology& topo) {
+  const std::size_t n = topo.num_nodes();
+  const auto eccs = parallel_map<std::uint32_t>(
+      n, [&](std::size_t v) {
+        return eccentricity(topo, static_cast<NodeId>(v));
+      });
+  return *std::max_element(eccs.begin(), eccs.end());
+}
+
+bool is_connected(const Topology& topo) {
+  const auto dist = bfs_distances(topo, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::uint32_t d) {
+    return d == kUnreachable;
+  });
+}
+
+NodeId graph_center(const Topology& topo) {
+  const std::size_t n = topo.num_nodes();
+  const auto eccs = parallel_map<std::uint32_t>(
+      n, [&](std::size_t v) {
+        return eccentricity(topo, static_cast<NodeId>(v));
+      });
+  const auto it = std::min_element(eccs.begin(), eccs.end());
+  return static_cast<NodeId>(it - eccs.begin());
+}
+
+}  // namespace wsn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+/// Graph algorithms over topologies.
+///
+/// The paper's "ideal" delay (Table 5) is a pure hop-count quantity: the
+/// broadcast wavefront cannot outrun BFS distance, so the ideal maximum
+/// delay from a source is its eccentricity and the worst source gives the
+/// diameter.  These run once per analysis, so plain BFS is the right tool.
+namespace wsn {
+
+/// Hop distance from `source` to every node; kUnreachable for nodes in
+/// other components.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Topology& topo,
+                                                       NodeId source);
+
+/// max over reachable nodes of bfs distance; precondition: connected from
+/// `source`.
+[[nodiscard]] std::uint32_t eccentricity(const Topology& topo, NodeId source);
+
+/// max over sources of eccentricity (O(V·E); fine at WSN scales).
+[[nodiscard]] std::uint32_t diameter(const Topology& topo);
+
+/// True if every node is reachable from node 0.
+[[nodiscard]] bool is_connected(const Topology& topo);
+
+/// The node whose eccentricity is smallest (a graph center); ties broken by
+/// lowest id.  The paper's "best case" sources sit near here.
+[[nodiscard]] NodeId graph_center(const Topology& topo);
+
+}  // namespace wsn

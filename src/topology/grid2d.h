@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "geometry/vec2.h"
+
+/// Mapping between the paper's 1-based grid coordinates and dense NodeIds
+/// for an m×n 2D mesh with uniform physical spacing.
+///
+/// Pure value type shared by every 2D mesh; ids are row-major:
+/// id = (y-1)·m + (x-1).
+namespace wsn {
+
+class Grid2D {
+ public:
+  /// `m` columns (x ∈ [1, m]), `n` rows (y ∈ [1, n]), `spacing` meters
+  /// between axis neighbors (the paper evaluates with 0.5 m).
+  Grid2D(int m, int n, Meters spacing) noexcept
+      : m_(m), n_(n), spacing_(spacing) {
+    WSN_EXPECTS(m >= 1 && n >= 1);
+    WSN_EXPECTS(spacing > 0.0);
+  }
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] Meters spacing() const noexcept { return spacing_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return static_cast<std::size_t>(m_) * static_cast<std::size_t>(n_);
+  }
+
+  [[nodiscard]] bool contains(Vec2 v) const noexcept {
+    return v.x >= 1 && v.x <= m_ && v.y >= 1 && v.y <= n_;
+  }
+
+  [[nodiscard]] NodeId to_id(Vec2 v) const noexcept {
+    WSN_EXPECTS(contains(v));
+    return static_cast<NodeId>((v.y - 1) * m_ + (v.x - 1));
+  }
+
+  [[nodiscard]] Vec2 to_coord(NodeId id) const noexcept {
+    WSN_EXPECTS(id < num_nodes());
+    const int idx = static_cast<int>(id);
+    return {idx % m_ + 1, idx / m_ + 1};
+  }
+
+  /// Physical position in meters (z = 0); node (1,1) sits at the origin.
+  [[nodiscard]] std::array<Meters, 3> position(Vec2 v) const noexcept {
+    return {static_cast<Meters>(v.x - 1) * spacing_,
+            static_cast<Meters>(v.y - 1) * spacing_, 0.0};
+  }
+
+ private:
+  int m_;
+  int n_;
+  Meters spacing_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "geometry/vec3.h"
+
+/// Mapping between 1-based 3D grid coordinates and dense NodeIds for an
+/// m×n×l mesh with uniform spacing; ids are plane-major then row-major:
+/// id = (z-1)·m·n + (y-1)·m + (x-1).
+namespace wsn {
+
+class Grid3D {
+ public:
+  Grid3D(int m, int n, int l, Meters spacing) noexcept
+      : m_(m), n_(n), l_(l), spacing_(spacing) {
+    WSN_EXPECTS(m >= 1 && n >= 1 && l >= 1);
+    WSN_EXPECTS(spacing > 0.0);
+  }
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int l() const noexcept { return l_; }
+  [[nodiscard]] Meters spacing() const noexcept { return spacing_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return static_cast<std::size_t>(m_) * static_cast<std::size_t>(n_) *
+           static_cast<std::size_t>(l_);
+  }
+  [[nodiscard]] std::size_t plane_size() const noexcept {
+    return static_cast<std::size_t>(m_) * static_cast<std::size_t>(n_);
+  }
+
+  [[nodiscard]] bool contains(Vec3 v) const noexcept {
+    return v.x >= 1 && v.x <= m_ && v.y >= 1 && v.y <= n_ && v.z >= 1 &&
+           v.z <= l_;
+  }
+
+  [[nodiscard]] NodeId to_id(Vec3 v) const noexcept {
+    WSN_EXPECTS(contains(v));
+    return static_cast<NodeId>(((v.z - 1) * n_ + (v.y - 1)) * m_ + (v.x - 1));
+  }
+
+  [[nodiscard]] Vec3 to_coord(NodeId id) const noexcept {
+    WSN_EXPECTS(id < num_nodes());
+    const int idx = static_cast<int>(id);
+    return {idx % m_ + 1, (idx / m_) % n_ + 1, idx / (m_ * n_) + 1};
+  }
+
+  [[nodiscard]] std::array<Meters, 3> position(Vec3 v) const noexcept {
+    return {static_cast<Meters>(v.x - 1) * spacing_,
+            static_cast<Meters>(v.y - 1) * spacing_,
+            static_cast<Meters>(v.z - 1) * spacing_};
+  }
+
+ private:
+  int m_;
+  int n_;
+  int l_;
+  Meters spacing_;
+};
+
+}  // namespace wsn

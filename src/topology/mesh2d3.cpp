@@ -1,0 +1,27 @@
+#include "topology/mesh2d3.h"
+
+namespace wsn {
+
+Mesh2D3::Mesh2D3(int m, int n, Meters spacing) : grid_(m, n, spacing) {
+  const std::size_t count = grid_.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(count);
+  std::vector<std::array<Meters, 3>> positions(count);
+
+  for (NodeId id = 0; id < count; ++id) {
+    const Vec2 v = grid_.to_coord(id);
+    positions[id] = grid_.position(v);
+    const Vec2 candidates[] = {{v.x - 1, v.y}, {v.x + 1, v.y},
+                               vertical_neighbor(v)};
+    for (Vec2 u : candidates) {
+      if (grid_.contains(u)) adjacency[id].push_back(grid_.to_id(u));
+    }
+  }
+  build(adjacency, std::move(positions));
+}
+
+std::string Mesh2D3::name() const {
+  return "2D-3 mesh " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n());
+}
+
+}  // namespace wsn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "geometry/region.h"
+#include "topology/grid2d.h"
+#include "topology/topology.h"
+
+/// 2D mesh with 3 neighbors (paper Fig. 1): the brick-wall / hexagonal
+/// mesh.  Node (x, y) connects to (x±1, y) and to exactly one vertical
+/// neighbor: (x, y+1) when x+y is even, (x, y-1) when odd (the convention
+/// validated against the paper's §3.3 examples -- see geometry/region.h).
+namespace wsn {
+
+class Mesh2D3 final : public Topology {
+ public:
+  Mesh2D3(int m, int n, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 3; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "2D-3"; }
+
+  /// The vertical neighbor of `v`, whether or not it is inside the grid.
+  [[nodiscard]] static Vec2 vertical_neighbor(Vec2 v) noexcept {
+    return brick_has_up(v) ? Vec2{v.x, v.y + 1} : Vec2{v.x, v.y - 1};
+  }
+
+ private:
+  Grid2D grid_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,27 @@
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+
+Mesh2D4::Mesh2D4(int m, int n, Meters spacing) : grid_(m, n, spacing) {
+  const std::size_t count = grid_.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(count);
+  std::vector<std::array<Meters, 3>> positions(count);
+
+  constexpr Vec2 kSteps[] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  for (NodeId id = 0; id < count; ++id) {
+    const Vec2 v = grid_.to_coord(id);
+    positions[id] = grid_.position(v);
+    for (Vec2 step : kSteps) {
+      const Vec2 u = v + step;
+      if (grid_.contains(u)) adjacency[id].push_back(grid_.to_id(u));
+    }
+  }
+  build(adjacency, std::move(positions));
+}
+
+std::string Mesh2D4::name() const {
+  return "2D-4 mesh " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n());
+}
+
+}  // namespace wsn

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "topology/grid2d.h"
+#include "topology/topology.h"
+
+/// 2D mesh with 4 neighbors (paper Fig. 2): node (x, y) connects to
+/// (x±1, y) and (x, y±1) -- the von Neumann neighborhood.  Border nodes
+/// simply have fewer neighbors.
+namespace wsn {
+
+class Mesh2D4 final : public Topology {
+ public:
+  Mesh2D4(int m, int n, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 4; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "2D-4"; }
+
+ private:
+  Grid2D grid_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,29 @@
+#include "topology/mesh2d8.h"
+
+namespace wsn {
+
+Mesh2D8::Mesh2D8(int m, int n, Meters spacing) : grid_(m, n, spacing) {
+  const std::size_t count = grid_.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(count);
+  std::vector<std::array<Meters, 3>> positions(count);
+
+  for (NodeId id = 0; id < count; ++id) {
+    const Vec2 v = grid_.to_coord(id);
+    positions[id] = grid_.position(v);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const Vec2 u = v + Vec2{dx, dy};
+        if (grid_.contains(u)) adjacency[id].push_back(grid_.to_id(u));
+      }
+    }
+  }
+  build(adjacency, std::move(positions));
+}
+
+std::string Mesh2D8::name() const {
+  return "2D-8 mesh " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n());
+}
+
+}  // namespace wsn

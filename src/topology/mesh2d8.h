@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "topology/grid2d.h"
+#include "topology/topology.h"
+
+/// 2D mesh with 8 neighbors (paper Fig. 3): the Moore neighborhood --
+/// (x±1, y), (x, y±1) and the four diagonals (x±1, y±1).  Diagonal links
+/// span distance spacing·√2, so interior nodes must provision their
+/// amplifier for that range (tx_range reflects it).
+namespace wsn {
+
+class Mesh2D8 final : public Topology {
+ public:
+  Mesh2D8(int m, int n, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 8; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "2D-8"; }
+
+ private:
+  Grid2D grid_;
+};
+
+}  // namespace wsn

@@ -1,0 +1,29 @@
+#include "topology/mesh3d6.h"
+
+namespace wsn {
+
+Mesh3D6::Mesh3D6(int m, int n, int l, Meters spacing)
+    : grid_(m, n, l, spacing) {
+  const std::size_t count = grid_.num_nodes();
+  std::vector<std::vector<NodeId>> adjacency(count);
+  std::vector<std::array<Meters, 3>> positions(count);
+
+  constexpr Vec3 kSteps[] = {{1, 0, 0},  {-1, 0, 0}, {0, 1, 0},
+                             {0, -1, 0}, {0, 0, 1},  {0, 0, -1}};
+  for (NodeId id = 0; id < count; ++id) {
+    const Vec3 v = grid_.to_coord(id);
+    positions[id] = grid_.position(v);
+    for (Vec3 step : kSteps) {
+      const Vec3 u = v + step;
+      if (grid_.contains(u)) adjacency[id].push_back(grid_.to_id(u));
+    }
+  }
+  build(adjacency, std::move(positions));
+}
+
+std::string Mesh3D6::name() const {
+  return "3D-6 mesh " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n()) + "x" + std::to_string(grid_.l());
+}
+
+}  // namespace wsn

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "topology/grid3d.h"
+#include "topology/topology.h"
+
+/// 3D mesh with 6 neighbors (paper Fig. 4): node (x, y, z) connects to
+/// (x±1, y, z), (x, y±1, z) and (x, y, z±1).  Equivalently, a stack of
+/// 2D-4 XY planes with vertical links -- exactly how the 3D-6 broadcast
+/// protocol treats it (§3.4).
+namespace wsn {
+
+class Mesh3D6 final : public Topology {
+ public:
+  Mesh3D6(int m, int n, int l, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid3D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 6; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "3D-6"; }
+
+ private:
+  Grid3D grid_;
+};
+
+}  // namespace wsn

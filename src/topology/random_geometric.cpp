@@ -1,0 +1,48 @@
+#include "topology/random_geometric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/random.h"
+
+namespace wsn {
+
+RandomGeometric::RandomGeometric(std::size_t count, Meters side,
+                                 Meters radius, std::uint64_t seed)
+    : side_(side), radius_(radius), seed_(seed) {
+  WSN_EXPECTS(count >= 1);
+  WSN_EXPECTS(side > 0.0 && radius > 0.0);
+
+  Xoshiro256 rng(seed);
+  std::vector<std::array<Meters, 3>> positions(count);
+  for (auto& p : positions) {
+    p = {rng.canonical() * side, rng.canonical() * side, 0.0};
+  }
+
+  // O(count²) link test; baseline networks are a few thousand nodes at most,
+  // so a spatial index would be complexity without payoff here.
+  std::vector<std::vector<NodeId>> adjacency(count);
+  const double r2 = radius * radius;
+  for (std::size_t a = 0; a < count; ++a) {
+    for (std::size_t b = a + 1; b < count; ++b) {
+      const double dx = positions[a][0] - positions[b][0];
+      const double dy = positions[a][1] - positions[b][1];
+      if (dx * dx + dy * dy <= r2) {
+        adjacency[a].push_back(static_cast<NodeId>(b));
+        adjacency[b].push_back(static_cast<NodeId>(a));
+      }
+    }
+  }
+  for (const auto& list : adjacency) {
+    max_degree_ = std::max(max_degree_, static_cast<int>(list.size()));
+  }
+  build(adjacency, std::move(positions));
+}
+
+std::string RandomGeometric::name() const {
+  return "random unit-disk n=" + std::to_string(num_nodes()) +
+         " r=" + std::to_string(radius_);
+}
+
+}  // namespace wsn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/topology.h"
+
+/// Random-geometric (unit-disk) topology: `count` nodes placed uniformly in
+/// a `side`×`side` square, connected when within `radius` meters.
+///
+/// This is the "WSN with random topology" the paper's introduction contrasts
+/// against (citing [12, 14]: regular topologies communicate more
+/// efficiently).  The flooding/gossip baselines run on it in
+/// bench/baseline_comparison to quantify that contrast; the paper's own
+/// protocols are undefined here (they need grid ids).
+namespace wsn {
+
+class RandomGeometric final : public Topology {
+ public:
+  RandomGeometric(std::size_t count, Meters side, Meters radius,
+                  std::uint64_t seed);
+
+  [[nodiscard]] int full_degree() const noexcept override {
+    return max_degree_;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "random"; }
+
+  [[nodiscard]] Meters side() const noexcept { return side_; }
+  [[nodiscard]] Meters radius() const noexcept { return radius_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  Meters side_;
+  Meters radius_;
+  std::uint64_t seed_;
+  int max_degree_ = 0;
+};
+
+}  // namespace wsn

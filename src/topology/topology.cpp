@@ -1,0 +1,65 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+bool Topology::adjacent(NodeId a, NodeId b) const noexcept {
+  const auto span = neighbors(a);
+  return std::binary_search(span.begin(), span.end(), b);
+}
+
+Meters Topology::distance(NodeId a, NodeId b) const noexcept {
+  const auto& pa = positions_[a];
+  const auto& pb = positions_[b];
+  const double dx = pa[0] - pb[0];
+  const double dy = pa[1] - pb[1];
+  const double dz = pa[2] - pb[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+void Topology::override_tx_range(Meters range) {
+  WSN_EXPECTS(range > 0.0);
+  tx_range_.assign(tx_range_.size(), range);
+}
+
+void Topology::build(const std::vector<std::vector<NodeId>>& adjacency,
+                     std::vector<std::array<Meters, 3>> positions) {
+  const std::size_t n = adjacency.size();
+  WSN_EXPECTS(n >= 1);
+  WSN_EXPECTS(positions.size() == n);
+
+  positions_ = std::move(positions);
+  offsets_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += adjacency[v].size();
+    offsets_[v + 1] = total;
+  }
+  flat_.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::copy(adjacency[v].begin(), adjacency[v].end(),
+              flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]));
+    auto lo = flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto hi = flat_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(lo, hi);
+    WSN_ASSERT(std::adjacent_find(lo, hi) == hi);  // no duplicate edges
+  }
+
+  // Validate irreflexivity + symmetry, and precompute transmission ranges.
+  tx_range_.assign(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto id = static_cast<NodeId>(v);
+    for (NodeId u : neighbors(id)) {
+      WSN_ASSERT(u < n);
+      WSN_ASSERT(u != id);
+      WSN_ASSERT(adjacent(u, id));
+      tx_range_[v] = std::max(tx_range_[v], distance(id, u));
+    }
+  }
+}
+
+}  // namespace wsn

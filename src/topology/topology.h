@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+/// Abstract network topology.
+///
+/// A topology owns three things the rest of the system needs:
+///   * the adjacency structure (who hears whose transmissions) in CSR form,
+///     built once at construction so the simulator's per-slot loop only
+///     walks contiguous spans;
+///   * physical node positions in meters, which the First Order Radio Model
+///     turns into amplifier energy (E_amp · k · d²);
+///   * each node's transmission range -- the distance to its farthest
+///     neighbor, i.e. the distance the amplifier must be provisioned for.
+///     In the 2D-8 mesh this is the diagonal spacing d·√2, not d (see
+///     DESIGN.md §4).
+///
+/// Adjacency is symmetric (the paper assumes a symmetric radio channel,
+/// §2) and irreflexive; derived constructors must provide it that way and
+/// the base class verifies in debug-style contract checks.
+namespace wsn {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.size() - 1;
+  }
+
+  /// Neighbors of `id`, sorted ascending (deterministic iteration order).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const noexcept {
+    const std::size_t lo = offsets_[id];
+    const std::size_t hi = offsets_[id + 1];
+    return {flat_.data() + lo, hi - lo};
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId id) const noexcept {
+    return offsets_[id + 1] - offsets_[id];
+  }
+
+  /// True if `a` and `b` are adjacent (binary search over `a`'s span).
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const noexcept;
+
+  /// Position in meters; z is 0 for 2D topologies.
+  [[nodiscard]] std::array<Meters, 3> position(NodeId id) const noexcept {
+    return positions_[id];
+  }
+
+  /// Euclidean distance between two nodes, in meters.
+  [[nodiscard]] Meters distance(NodeId a, NodeId b) const noexcept;
+
+  /// Distance to the farthest neighbor; what a broadcast transmission's
+  /// amplifier must cover.  Zero for isolated nodes.
+  [[nodiscard]] Meters tx_range(NodeId id) const noexcept {
+    return tx_range_[id];
+  }
+
+  /// Total number of directed (transmitter, hearer) pairs = Σ degree.
+  [[nodiscard]] std::size_t num_directed_links() const noexcept {
+    return flat_.size();
+  }
+
+  /// The degree of an interior node ("the maximum number of directly
+  /// connective nodes", paper §2): 3, 4, 8 or 6 for the regular meshes.
+  [[nodiscard]] virtual int full_degree() const noexcept = 0;
+
+  /// Human-readable name, e.g. "2D-4 mesh 32x16".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Short topology-family tag used in reports: "2D-3", "2D-4", "2D-8",
+  /// "3D-6" or "random".
+  [[nodiscard]] virtual std::string family() const = 0;
+
+ protected:
+  Topology() = default;
+
+  /// Builds the CSR structure.  `adjacency[v]` lists v's neighbors in any
+  /// order (they get sorted); `positions[v]` is v's location in meters.
+  /// Validates symmetry and irreflexivity.
+  void build(const std::vector<std::vector<NodeId>>& adjacency,
+             std::vector<std::array<Meters, 3>> positions);
+
+  /// Overrides every node's transmission range with `range`.  For wrapped
+  /// topologies (tori) the planar embedding makes wrap-around links look
+  /// like full-plane jumps; their true link metric is uniform, and the
+  /// derived constructor states it explicitly with this call (after
+  /// build()).
+  void override_tx_range(Meters range);
+
+ private:
+  std::vector<std::size_t> offsets_{0};
+  std::vector<NodeId> flat_;
+  std::vector<std::array<Meters, 3>> positions_;
+  std::vector<Meters> tx_range_;
+};
+
+}  // namespace wsn

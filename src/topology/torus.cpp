@@ -1,0 +1,84 @@
+#include "topology/torus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "geometry/diagonal.h"
+
+namespace wsn {
+
+Vec2 torus_wrap(Vec2 v, int m, int n) noexcept {
+  return {1 + floor_mod(v.x - 1, m), 1 + floor_mod(v.y - 1, n)};
+}
+
+namespace {
+
+/// Builds wrap-around adjacency from a step set.  Positions stay planar
+/// (for rendering); the constructors fix the energy metric afterwards with
+/// override_tx_range, since in the wrapped metric every link spans exactly
+/// one step.
+template <typename Steps>
+void build_torus(const Grid2D& grid, const Steps& steps,
+                 std::vector<std::vector<NodeId>>& adjacency,
+                 std::vector<std::array<Meters, 3>>& positions) {
+  const std::size_t count = grid.num_nodes();
+  adjacency.assign(count, {});
+  positions.assign(count, {});
+  for (NodeId id = 0; id < count; ++id) {
+    const Vec2 v = grid.to_coord(id);
+    positions[id] = grid.position(v);
+    for (Vec2 step : steps) {
+      const Vec2 u = torus_wrap(v + step, grid.m(), grid.n());
+      if (u == v) continue;  // degenerate axis (size 1) folds onto itself
+      const NodeId uid = grid.to_id(u);
+      // Duplicate links can appear on size-2 axes (left == right); keep one.
+      if (std::find(adjacency[id].begin(), adjacency[id].end(), uid) ==
+          adjacency[id].end()) {
+        adjacency[id].push_back(uid);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Torus2D4::Torus2D4(int m, int n, Meters spacing) : grid_(m, n, spacing) {
+  WSN_EXPECTS(m >= 3 && n >= 3);  // keep wrap links distinct per direction
+  constexpr Vec2 kSteps[] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  std::vector<std::vector<NodeId>> adjacency;
+  std::vector<std::array<Meters, 3>> positions;
+  build_torus(grid_, kSteps, adjacency, positions);
+  build(adjacency, std::move(positions));
+  // In the wrapped metric every link spans exactly one spacing; the planar
+  // embedding (kept for rendering) would otherwise bill wrap links for the
+  // whole plane.
+  override_tx_range(spacing);
+}
+
+std::string Torus2D4::name() const {
+  return "2D-4 torus " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n());
+}
+
+Torus2D8::Torus2D8(int m, int n, Meters spacing) : grid_(m, n, spacing) {
+  WSN_EXPECTS(m >= 3 && n >= 3);
+  std::vector<Vec2> steps;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx != 0 || dy != 0) steps.push_back({dx, dy});
+    }
+  }
+  std::vector<std::vector<NodeId>> adjacency;
+  std::vector<std::array<Meters, 3>> positions;
+  build_torus(grid_, steps, adjacency, positions);
+  build(adjacency, std::move(positions));
+  override_tx_range(spacing * std::sqrt(2.0));  // diagonal wrapped links
+}
+
+std::string Torus2D8::name() const {
+  return "2D-8 torus " + std::to_string(grid_.m()) + "x" +
+         std::to_string(grid_.n());
+}
+
+}  // namespace wsn

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "topology/grid2d.h"
+#include "topology/topology.h"
+
+/// Toroidal (wrap-around) variants of the 2D meshes.
+///
+/// The paper closes by noting its protocols "also can be applied to the
+/// infrastructure wireless networks" of fixed stations; such deployments
+/// (and many NoC-style fabrics) often wrap their edges.  A torus removes
+/// every border effect: all nodes have the full degree, so it isolates how
+/// much of a protocol's cost is border handling versus structure.  The
+/// paper protocols assume borders (their relay-column and wedge rules key
+/// off them), so tori are served by the generic CdsBroadcast and the
+/// baselines.
+///
+/// For physical positions the torus keeps the planar grid layout; link
+/// *distances* for the energy model use the wrapped metric, so every link
+/// costs the same `spacing` (or spacing·√2 diagonally), as in an actual
+/// ring deployment.
+namespace wsn {
+
+class Torus2D4 final : public Topology {
+ public:
+  Torus2D4(int m, int n, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 4; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "2D-4T"; }
+
+ private:
+  Grid2D grid_;
+};
+
+class Torus2D8 final : public Topology {
+ public:
+  Torus2D8(int m, int n, Meters spacing = 0.5);
+
+  [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
+  [[nodiscard]] int full_degree() const noexcept override { return 8; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "2D-8T"; }
+
+ private:
+  Grid2D grid_;
+};
+
+/// Wraps a (possibly out-of-range) 1-based coordinate onto an m×n torus.
+[[nodiscard]] Vec2 torus_wrap(Vec2 v, int m, int n) noexcept;
+
+}  // namespace wsn

@@ -1,0 +1,64 @@
+#include "radio/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Battery, StartsFullAndAlive) {
+  const BatteryBank bank(10, 2.0);
+  EXPECT_EQ(bank.size(), 10u);
+  EXPECT_EQ(bank.alive_count(), 10u);
+  EXPECT_DOUBLE_EQ(bank.initial_charge(), 2.0);
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(bank.charge(v), 2.0);
+    EXPECT_TRUE(bank.alive(v));
+  }
+}
+
+TEST(Battery, DrainReducesCharge) {
+  BatteryBank bank(3, 1.0);
+  bank.drain(1, 0.25);
+  EXPECT_DOUBLE_EQ(bank.charge(1), 0.75);
+  EXPECT_DOUBLE_EQ(bank.charge(0), 1.0);
+}
+
+TEST(Battery, DrainClampsAtZeroAndKills) {
+  BatteryBank bank(2, 1.0);
+  bank.drain(0, 5.0);
+  EXPECT_DOUBLE_EQ(bank.charge(0), 0.0);
+  EXPECT_FALSE(bank.alive(0));
+  EXPECT_EQ(bank.alive_count(), 1u);
+}
+
+TEST(Battery, TotalConsumedSumsDrains) {
+  BatteryBank bank(4, 1.0);
+  bank.drain(0, 0.5);
+  bank.drain(1, 0.25);
+  bank.drain(1, 0.25);
+  EXPECT_DOUBLE_EQ(bank.total_consumed(), 1.0);
+}
+
+TEST(Battery, TotalConsumedClampsOverdrain) {
+  BatteryBank bank(2, 1.0);
+  bank.drain(0, 100.0);  // only 1 J existed
+  EXPECT_DOUBLE_EQ(bank.total_consumed(), 1.0);
+}
+
+TEST(Battery, MinCharge) {
+  BatteryBank bank(3, 1.0);
+  EXPECT_DOUBLE_EQ(bank.min_charge(), 1.0);
+  bank.drain(2, 0.7);
+  EXPECT_DOUBLE_EQ(bank.min_charge(), 0.3);
+  bank.drain(0, 1.0);
+  EXPECT_DOUBLE_EQ(bank.min_charge(), 0.0);
+}
+
+TEST(Battery, ZeroDrainIsNoop) {
+  BatteryBank bank(1, 1.0);
+  bank.drain(0, 0.0);
+  EXPECT_DOUBLE_EQ(bank.charge(0), 1.0);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,65 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wsn {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RowAppliesEscaping) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"x,y", "z"});
+  EXPECT_EQ(out.str(), "\"x,y\",z\n");
+}
+
+TEST(Csv, TypedRowMixesTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.typed_row("2D-4", std::size_t{170}, 2.18e-2);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("2D-4,170,"), std::string::npos);
+  EXPECT_NE(line.find("0.0218"), std::string::npos);
+}
+
+TEST(Csv, DoubleRoundTripsExactly) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.typed_row(0.1 + 0.2);
+  double parsed = 0.0;
+  EXPECT_EQ(std::sscanf(out.str().c_str(), "%lf", &parsed), 1);
+  EXPECT_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"h1", "h2"});
+  csv.typed_row(1, 2);
+  EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+TEST(Csv, EmptyFieldStaysEmpty) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"", "b"});
+  EXPECT_EQ(out.str(), ",b\n");
+}
+
+}  // namespace
+}  // namespace wsn

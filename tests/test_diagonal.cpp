@@ -1,0 +1,94 @@
+#include "geometry/diagonal.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Diagonal, PaperExamplesForS1AndS2) {
+  // Paper §3: nodes (5,7), (6,6), (7,5) are in S1(12); (5,3), (6,4), (7,5)
+  // are in S2(2).
+  for (Vec2 v : {Vec2{5, 7}, Vec2{6, 6}, Vec2{7, 5}}) {
+    EXPECT_TRUE(on_s1(v, 12)) << to_string(v);
+  }
+  for (Vec2 v : {Vec2{5, 3}, Vec2{6, 4}, Vec2{7, 5}}) {
+    EXPECT_TRUE(on_s2(v, 2)) << to_string(v);
+  }
+  EXPECT_FALSE(on_s1({5, 6}, 12));
+  EXPECT_FALSE(on_s2({5, 4}, 2));
+}
+
+TEST(Diagonal, FloorModHandlesNegatives) {
+  EXPECT_EQ(floor_mod(7, 5), 2);
+  EXPECT_EQ(floor_mod(-1, 5), 4);
+  EXPECT_EQ(floor_mod(-5, 5), 0);
+  EXPECT_EQ(floor_mod(-12, 4), 0);
+  EXPECT_EQ(floor_mod(0, 3), 0);
+}
+
+TEST(Diagonal, S2FamilyMembership) {
+  // Family S2(base + 5k), the 2D-8 relay family.
+  const int base = -4;  // source (5,9): i-j = -4
+  for (int k : {-2, -1, 0, 1, 2, 3}) {
+    const int c = base + 5 * k;
+    EXPECT_TRUE(in_s2_family({c + 1, 1}, base, 5)) << c;
+  }
+  EXPECT_FALSE(in_s2_family({base + 2, 0}, base, 5));
+  EXPECT_FALSE(in_s2_family({base + 4 + 1, 1}, base, 5));
+}
+
+TEST(Diagonal, S1FamilyMembership) {
+  EXPECT_TRUE(in_s1_family({3, 4}, 7, 5));    // s1 = 7
+  EXPECT_TRUE(in_s1_family({6, 6}, 7, 5));    // s1 = 12
+  EXPECT_TRUE(in_s1_family({1, 1}, 7, 5));    // s1 = 2 = 7 - 5
+  EXPECT_FALSE(in_s1_family({2, 2}, 7, 5));   // s1 = 4
+}
+
+TEST(Diagonal, S1NodesInGridEnumerates) {
+  // S1(5) in a 4×4 grid: (1,4), (2,3), (3,2), (4,1).
+  const auto nodes = s1_nodes_in_grid(5, 4, 4);
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes.front(), (Vec2{1, 4}));
+  EXPECT_EQ(nodes.back(), (Vec2{4, 1}));
+  for (Vec2 v : nodes) EXPECT_EQ(s1_index(v), 5);
+}
+
+TEST(Diagonal, S1NodesClippedByGrid) {
+  EXPECT_EQ(s1_nodes_in_grid(2, 4, 4).size(), 1u);   // only (1,1)
+  EXPECT_EQ(s1_nodes_in_grid(8, 4, 4).size(), 1u);   // only (4,4)
+  EXPECT_TRUE(s1_nodes_in_grid(1, 4, 4).empty());    // below range
+  EXPECT_TRUE(s1_nodes_in_grid(9, 4, 4).empty());    // above range
+}
+
+TEST(Diagonal, S2NodesInGridEnumerates) {
+  // S2(0) in a 3×5 grid: the main diagonal (1,1), (2,2), (3,3).
+  const auto nodes = s2_nodes_in_grid(0, 3, 5);
+  ASSERT_EQ(nodes.size(), 3u);
+  for (Vec2 v : nodes) EXPECT_EQ(s2_index(v), 0);
+}
+
+TEST(Diagonal, S2NodesNegativeIndex) {
+  // S2(-2) in a 4×4 grid: (1,3), (2,4).
+  const auto nodes = s2_nodes_in_grid(-2, 4, 4);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], (Vec2{1, 3}));
+  EXPECT_EQ(nodes[1], (Vec2{2, 4}));
+}
+
+TEST(Diagonal, GridEnumerationMatchesPredicate) {
+  // Property: enumeration and per-cell predicates agree on a whole grid.
+  constexpr int kM = 9;
+  constexpr int kN = 7;
+  for (int c = -10; c <= 20; ++c) {
+    std::size_t count = 0;
+    for (int y = 1; y <= kN; ++y) {
+      for (int x = 1; x <= kM; ++x) {
+        if (on_s1({x, y}, c)) ++count;
+      }
+    }
+    EXPECT_EQ(s1_nodes_in_grid(c, kM, kN).size(), count) << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,94 @@
+#include "analysis/energy_balance.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "protocol/registry.h"
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+namespace {
+
+TEST(EnergyBalance, UniformDistributionIsPerfectlyBalanced) {
+  const std::vector<Joules> energy(100, 2.5);
+  const EnergyBalance balance = energy_balance(energy);
+  EXPECT_DOUBLE_EQ(balance.min, 2.5);
+  EXPECT_DOUBLE_EQ(balance.max, 2.5);
+  EXPECT_DOUBLE_EQ(balance.mean, 2.5);
+  EXPECT_DOUBLE_EQ(balance.stddev, 0.0);
+  EXPECT_NEAR(balance.gini, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(balance.peak_to_mean, 1.0);
+}
+
+TEST(EnergyBalance, SingleHotNodeMaximizesGini) {
+  std::vector<Joules> energy(100, 0.0);
+  energy[42] = 7.0;
+  const EnergyBalance balance = energy_balance(energy);
+  EXPECT_EQ(balance.hottest, 42u);
+  EXPECT_DOUBLE_EQ(balance.max, 7.0);
+  EXPECT_NEAR(balance.gini, 0.99, 1e-12);  // (n-1)/n
+  EXPECT_DOUBLE_EQ(balance.peak_to_mean, 100.0);
+}
+
+TEST(EnergyBalance, KnownSmallCase) {
+  // {1, 2, 3}: mean 2, Gini = 2/9.
+  const EnergyBalance balance = energy_balance({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(balance.mean, 2.0);
+  EXPECT_DOUBLE_EQ(balance.min, 1.0);
+  EXPECT_DOUBLE_EQ(balance.max, 3.0);
+  EXPECT_NEAR(balance.gini, 2.0 / 9.0, 1e-12);
+}
+
+TEST(EnergyBalance, OrderInvariantGini) {
+  const EnergyBalance a = energy_balance({5.0, 1.0, 3.0, 1.0});
+  const EnergyBalance b = energy_balance({1.0, 1.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(a.gini, b.gini);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(EnergyBalance, BroadcastNodeEnergySumsToTotal) {
+  const Mesh2D4 topo(8, 8);
+  SimOptions options;
+  options.record_node_energy = true;
+  const auto out = simulate_broadcast(topo, paper_plan(topo, 12), options);
+  ASSERT_EQ(out.node_energy.size(), topo.num_nodes());
+  const Joules sum =
+      std::accumulate(out.node_energy.begin(), out.node_energy.end(), 0.0);
+  EXPECT_NEAR(sum, out.stats.total_energy(), 1e-12);
+}
+
+TEST(EnergyBalance, FixedSourceBroadcastIsUnbalanced) {
+  // Relays pay Tx+Rx, passive nodes only Rx: a single broadcast is visibly
+  // unbalanced -- the §1 critique quantified.
+  const Mesh2D4 topo(16, 16);
+  SimOptions options;
+  options.record_node_energy = true;
+  const auto out = simulate_broadcast(
+      topo, paper_plan(topo, topo.grid().to_id({8, 8})), options);
+  const EnergyBalance balance = energy_balance(out.node_energy);
+  EXPECT_GT(balance.gini, 0.15);
+  EXPECT_GT(balance.peak_to_mean, 1.5);
+}
+
+TEST(EnergyBalance, SourceRotationEvensTheLoad) {
+  const Mesh2D4 topo(8, 8);
+  // One broadcast, fixed center source.
+  SimOptions options;
+  options.record_node_energy = true;
+  const auto fixed = simulate_broadcast(
+      topo, paper_plan(topo, topo.grid().to_id({4, 4})), options);
+  // One broadcast from every source, summed.
+  const std::vector<Joules> rotated = rotating_source_energy(topo);
+  EXPECT_LT(energy_balance(rotated).gini,
+            energy_balance(fixed.node_energy).gini);
+}
+
+using EnergyBalanceDeathTest = ::testing::Test;
+
+TEST(EnergyBalanceDeathTest, EmptyVectorRejected) {
+  EXPECT_DEATH((void)energy_balance({}), "precondition");
+}
+
+}  // namespace
+}  // namespace wsn

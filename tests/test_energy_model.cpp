@@ -1,0 +1,55 @@
+#include "radio/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(FirstOrderRadio, PaperEquationOne) {
+  // E_Tx(k, d) = 50 nJ/bit · k + 100 pJ/bit/m² · k · d².
+  constexpr FirstOrderRadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.tx_energy(512, 0.5),
+                   50e-9 * 512 + 100e-12 * 512 * 0.25);
+  EXPECT_DOUBLE_EQ(radio.tx_energy(1, 1.0), 50e-9 + 100e-12);
+  EXPECT_DOUBLE_EQ(radio.tx_energy(0, 3.0), 0.0);
+}
+
+TEST(FirstOrderRadio, PaperEquationTwo) {
+  constexpr FirstOrderRadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.rx_energy(512), 50e-9 * 512);
+  EXPECT_DOUBLE_EQ(radio.rx_energy(0), 0.0);
+}
+
+TEST(FirstOrderRadio, PaperEvaluationConstants) {
+  // The constant behind Tables 2-4: at k = 512, d = 0.5 both sides are
+  // ≈ 2.56e-5 J, so power ≈ (Tx + Rx) · 2.56e-5.
+  constexpr FirstOrderRadioModel radio;
+  EXPECT_NEAR(radio.rx_energy(512), 2.56e-5, 1e-12);
+  EXPECT_NEAR(radio.tx_energy(512, 0.5), 2.56e-5, 2e-8);
+}
+
+TEST(FirstOrderRadio, AmplifierGrowsQuadratically) {
+  constexpr FirstOrderRadioModel radio;
+  const double base = radio.tx_energy(100, 0.0);
+  const double at1 = radio.tx_energy(100, 1.0) - base;
+  const double at2 = radio.tx_energy(100, 2.0) - base;
+  EXPECT_NEAR(at2, 4.0 * at1, 1e-18);
+}
+
+TEST(FirstOrderRadio, CustomConstants) {
+  constexpr FirstOrderRadioModel radio(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(radio.elec(), 1.0);
+  EXPECT_DOUBLE_EQ(radio.amp(), 2.0);
+  EXPECT_DOUBLE_EQ(radio.tx_energy(3, 2.0), 3.0 + 2.0 * 3 * 4.0);
+  EXPECT_DOUBLE_EQ(radio.rx_energy(3), 3.0);
+}
+
+TEST(FirstOrderRadio, TxAlwaysAtLeastRx) {
+  constexpr FirstOrderRadioModel radio;
+  for (double d : {0.0, 0.1, 0.5, 1.0, 10.0}) {
+    EXPECT_GE(radio.tx_energy(512, d), radio.rx_energy(512));
+  }
+}
+
+}  // namespace
+}  // namespace wsn

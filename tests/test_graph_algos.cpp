@@ -1,0 +1,87 @@
+#include "topology/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/vec2.h"
+#include "topology/factory.h"
+#include "topology/mesh2d4.h"
+#include "topology/mesh2d8.h"
+#include "topology/random_geometric.h"
+
+namespace wsn {
+namespace {
+
+TEST(Bfs, Mesh2D4DistancesAreManhattan) {
+  const Mesh2D4 mesh(8, 6);
+  const Grid2D& g = mesh.grid();
+  const Vec2 src{3, 2};
+  const auto dist = bfs_distances(mesh, g.to_id(src));
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    EXPECT_EQ(dist[v],
+              static_cast<std::uint32_t>(manhattan(g.to_coord(v), src)));
+  }
+}
+
+TEST(Bfs, Mesh2D8DistancesAreChebyshev) {
+  const Mesh2D8 mesh(8, 6);
+  const Grid2D& g = mesh.grid();
+  const Vec2 src{5, 3};
+  const auto dist = bfs_distances(mesh, g.to_id(src));
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    EXPECT_EQ(dist[v],
+              static_cast<std::uint32_t>(chebyshev(g.to_coord(v), src)));
+  }
+}
+
+TEST(Bfs, SourceDistanceIsZero) {
+  const Mesh2D4 mesh(5, 5);
+  const auto dist = bfs_distances(mesh, 12);
+  EXPECT_EQ(dist[12], 0u);
+}
+
+TEST(Diameter, PaperTopologies) {
+  // Corner-to-corner hop counts of the paper's meshes; the baseline for
+  // Table 5 (see DESIGN.md on the paper's ±1 conventions).
+  EXPECT_EQ(diameter(*make_paper_topology("2D-4")), 46u);   // 31 + 15
+  EXPECT_EQ(diameter(*make_paper_topology("2D-8")), 31u);   // max(31, 15)
+  EXPECT_EQ(diameter(*make_paper_topology("2D-3")), 46u);
+  EXPECT_EQ(diameter(*make_paper_topology("3D-6")), 21u);   // 7 + 7 + 7
+}
+
+TEST(Eccentricity, CornerVersusCenter) {
+  const Mesh2D4 mesh(9, 9);
+  const Grid2D& g = mesh.grid();
+  EXPECT_EQ(eccentricity(mesh, g.to_id({1, 1})), 16u);
+  EXPECT_EQ(eccentricity(mesh, g.to_id({5, 5})), 8u);
+}
+
+TEST(GraphCenter, FindsMiddleOfOddMesh) {
+  const Mesh2D4 mesh(9, 9);
+  const Grid2D& g = mesh.grid();
+  EXPECT_EQ(graph_center(mesh), g.to_id({5, 5}));
+}
+
+TEST(Connectivity, MeshesAreConnected) {
+  for (const std::string& family : regular_families()) {
+    EXPECT_TRUE(is_connected(*make_paper_topology(family))) << family;
+  }
+}
+
+TEST(Connectivity, SparseRandomGraphDisconnects) {
+  // 30 nodes in a 100 m box with 1 m radius: essentially isolated points.
+  const RandomGeometric topo(30, 100.0, 1.0, 9);
+  EXPECT_FALSE(is_connected(topo));
+}
+
+TEST(Bfs, UnreachableMarkedOnDisconnectedGraph) {
+  const RandomGeometric topo(30, 100.0, 1.0, 9);
+  const auto dist = bfs_distances(topo, 0);
+  bool any_unreachable = false;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) any_unreachable = true;
+  }
+  EXPECT_TRUE(any_unreachable);
+}
+
+}  // namespace
+}  // namespace wsn

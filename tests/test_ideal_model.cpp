@@ -1,0 +1,77 @@
+#include "protocol/ideal_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(OptimalEtr, MatchesTable1) {
+  EXPECT_EQ(optimal_etr("2D-3").fresh, 2);
+  EXPECT_EQ(optimal_etr("2D-3").neighbors, 3);
+  EXPECT_EQ(optimal_etr("2D-4").fresh, 3);
+  EXPECT_EQ(optimal_etr("2D-4").neighbors, 4);
+  EXPECT_EQ(optimal_etr("2D-8").fresh, 5);
+  EXPECT_EQ(optimal_etr("2D-8").neighbors, 8);
+  EXPECT_EQ(optimal_etr("3D-6").fresh, 5);
+  EXPECT_EQ(optimal_etr("3D-6").neighbors, 6);
+  EXPECT_NEAR(optimal_etr("3D-6").value(), 5.0 / 6.0, 1e-15);
+}
+
+TEST(IdealCase, Table2TransmissionsExactly) {
+  EXPECT_EQ(ideal_case("2D-3", 32, 16).tx, 255u);
+  EXPECT_EQ(ideal_case("2D-4", 32, 16).tx, 170u);
+  EXPECT_EQ(ideal_case("2D-8", 32, 16).tx, 102u);
+  EXPECT_EQ(ideal_case("3D-6", 8, 8, 8).tx, 124u);
+}
+
+TEST(IdealCase, Table2ReceptionsExactly) {
+  EXPECT_EQ(ideal_case("2D-3", 32, 16).rx, 765u);
+  EXPECT_EQ(ideal_case("2D-4", 32, 16).rx, 680u);
+  EXPECT_EQ(ideal_case("2D-8", 32, 16).rx, 816u);
+  EXPECT_EQ(ideal_case("3D-6", 8, 8, 8).rx, 744u);
+}
+
+TEST(IdealCase, Table2PowerWithinRounding) {
+  // The paper prints 3 significant digits.
+  EXPECT_NEAR(ideal_case("2D-3", 32, 16).power, 2.61e-2, 0.005e-2);
+  EXPECT_NEAR(ideal_case("2D-4", 32, 16).power, 2.18e-2, 0.005e-2);
+  EXPECT_NEAR(ideal_case("2D-8", 32, 16).power, 2.35e-2, 0.005e-2);
+  EXPECT_NEAR(ideal_case("3D-6", 8, 8, 8).power, 2.22e-2, 0.005e-2);
+}
+
+TEST(IdealCase, TinyMeshNeedsOnlySourceTransmission) {
+  // Everything within one hop of the source: a single transmission.
+  EXPECT_EQ(ideal_case("2D-4", 2, 2).tx, 1u);
+  EXPECT_EQ(ideal_case("2D-8", 3, 3).tx, 1u);
+}
+
+TEST(IdealCase, Mesh2D8PaysDiagonalAmplifier) {
+  // 2D-8 transmissions reach the diagonal neighbor at d√2; the per-tx
+  // energy must exceed the axis families'.
+  const FirstOrderRadioModel radio;
+  const auto i8 = ideal_case("2D-8", 32, 16);
+  const double per_tx_8 =
+      (i8.power - static_cast<double>(i8.rx) * radio.rx_energy(512)) /
+      static_cast<double>(i8.tx);
+  const auto i4 = ideal_case("2D-4", 32, 16);
+  const double per_tx_4 =
+      (i4.power - static_cast<double>(i4.rx) * radio.rx_energy(512)) /
+      static_cast<double>(i4.tx);
+  EXPECT_GT(per_tx_8, per_tx_4);
+}
+
+TEST(IdealCase, ScalesWithPacketLength) {
+  const auto k512 = ideal_case("2D-4", 32, 16, 1, 0.5, 512);
+  const auto k1024 = ideal_case("2D-4", 32, 16, 1, 0.5, 1024);
+  EXPECT_EQ(k512.tx, k1024.tx);
+  EXPECT_NEAR(k1024.power, 2.0 * k512.power, 1e-12);
+}
+
+using IdealModelDeathTest = ::testing::Test;
+
+TEST(IdealModelDeathTest, UnknownFamilyAborts) {
+  EXPECT_DEATH((void)optimal_etr("4D-80"), "precondition");
+}
+
+}  // namespace
+}  // namespace wsn

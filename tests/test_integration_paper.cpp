@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/report.h"
+#include "protocol/ideal_model.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+namespace {
+
+/// End-to-end reproduction bands for the paper's evaluation (Tables 2-5).
+/// Exact equality is not the bar -- the paper's own retransmission tables
+/// are partly unstated (DESIGN.md §3) -- but every number must land inside
+/// a tight band around the published value and every qualitative claim must
+/// hold.
+
+class PaperEvaluation : public ::testing::TestWithParam<std::string> {
+ protected:
+  static const SweepResult& sweep(const std::string& family) {
+    static std::map<std::string, SweepResult> cache;
+    auto it = cache.find(family);
+    if (it == cache.end()) {
+      it = cache.emplace(family, run_paper_sweep(family)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(PaperEvaluation, HundredPercentReachabilityFromEverySource) {
+  EXPECT_TRUE(sweep(GetParam()).all_fully_reached());
+}
+
+TEST_P(PaperEvaluation, IdealCaseMatchesTable2Exactly) {
+  const std::string family = GetParam();
+  const IdealCase ours = family == "3D-6"
+                             ? ideal_case(family, 8, 8, 8)
+                             : ideal_case(family, 32, 16);
+  const PaperRow paper = paper_ideal_row(family);
+  EXPECT_EQ(ours.tx, paper.tx);
+  EXPECT_EQ(ours.rx, paper.rx);
+  EXPECT_NEAR(ours.power, paper.power, 0.005e-2);  // 3-digit rounding
+}
+
+TEST_P(PaperEvaluation, BestCaseWithinBandOfTable3) {
+  const std::string family = GetParam();
+  const SourceResult& best = sweep(family).best();
+  const PaperRow paper = paper_best_row(family);
+  EXPECT_NEAR(static_cast<double>(best.stats.tx),
+              static_cast<double>(paper.tx), 0.08 * static_cast<double>(paper.tx));
+  EXPECT_NEAR(static_cast<double>(best.stats.rx),
+              static_cast<double>(paper.rx), 0.10 * static_cast<double>(paper.rx));
+  EXPECT_NEAR(best.stats.total_energy(), paper.power, 0.10 * paper.power);
+}
+
+TEST_P(PaperEvaluation, WorstCaseWithinBandOfTable4) {
+  const std::string family = GetParam();
+  const SourceResult& worst = sweep(family).worst();
+  const PaperRow paper = paper_worst_row(family);
+  // The resolver's repairs ride on the worst sources, so the band is wider
+  // on the high side; undershooting the paper is fine by at most 10%.
+  EXPECT_GE(static_cast<double>(worst.stats.tx), 0.90 * static_cast<double>(paper.tx));
+  EXPECT_LE(static_cast<double>(worst.stats.tx), 1.30 * static_cast<double>(paper.tx));
+  EXPECT_GE(static_cast<double>(worst.stats.rx), 0.85 * static_cast<double>(paper.rx));
+  EXPECT_LE(static_cast<double>(worst.stats.rx), 1.15 * static_cast<double>(paper.rx));
+  EXPECT_GE(worst.stats.total_energy(), 0.85 * paper.power);
+  EXPECT_LE(worst.stats.total_energy(), 1.20 * paper.power);
+}
+
+TEST_P(PaperEvaluation, MaxDelayNearTable5) {
+  const std::string family = GetParam();
+  const Slot ours = sweep(family).max_delay();
+  const Slot paper = paper_max_delay(family);
+  const auto diam = diameter(*make_paper_topology(family));
+  // Delay can't beat the diameter, and stays within the repair slack of it.
+  EXPECT_GE(ours, diam);
+  EXPECT_LE(ours, diam + 10);
+  // And within a small absolute band of the published number (the paper's
+  // column carries a documented ±1 slot convention, DESIGN.md §5).
+  EXPECT_GE(ours + 3, paper);
+  EXPECT_LE(ours, paper + 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PaperEvaluation,
+                         ::testing::Values("2D-3", "2D-4", "2D-8", "3D-6"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(PaperEvaluationCross, Mesh2D4WinsOnPower) {
+  // The headline result: "2D mesh with 4 neighbors possesses the minimum
+  // power consumption" -- in best case, worst case and on average.
+  std::map<std::string, SweepResult> sweeps;
+  for (const std::string& family : regular_families()) {
+    sweeps.emplace(family, run_paper_sweep(family));
+  }
+  for (const std::string family : {"2D-3", "2D-8", "3D-6"}) {
+    EXPECT_LT(sweeps.at("2D-4").best().stats.total_energy(),
+              sweeps.at(family).best().stats.total_energy())
+        << family;
+    EXPECT_LT(sweeps.at("2D-4").worst().stats.total_energy(),
+              sweeps.at(family).worst().stats.total_energy())
+        << family;
+    EXPECT_LT(sweeps.at("2D-4").mean_energy(),
+              sweeps.at(family).mean_energy())
+        << family;
+  }
+}
+
+TEST(PaperEvaluationCross, Mesh3D6HasSmallestMaxDelay) {
+  // "3D mesh with 6 neighbors has the smallest maximum delay time."
+  std::map<std::string, Slot> delays;
+  for (const std::string& family : regular_families()) {
+    delays[family] = run_paper_sweep(family).max_delay();
+  }
+  for (const std::string family : {"2D-3", "2D-4", "2D-8"}) {
+    EXPECT_LT(delays.at("3D-6"), delays.at(family)) << family;
+  }
+  // And among the 2D meshes, 2D-8 is fastest.
+  EXPECT_LT(delays.at("2D-8"), delays.at("2D-4"));
+  EXPECT_LT(delays.at("2D-8"), delays.at("2D-3"));
+}
+
+TEST(PaperEvaluationCross, MoreNeighborsFewerTransmissionsMoreReceptions) {
+  // §5: "when the number of neighbors increase, the total number of
+  // transmissions decrease, but the total number of receptions increase"
+  // (across the 2D topologies).
+  const auto s3 = run_paper_sweep("2D-3").best().stats;
+  const auto s4 = run_paper_sweep("2D-4").best().stats;
+  const auto s8 = run_paper_sweep("2D-8").best().stats;
+  EXPECT_GT(s3.tx, s4.tx);
+  EXPECT_GT(s4.tx, s8.tx);
+  EXPECT_LT(s4.rx, s8.rx);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,127 @@
+#include "geometry/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/vec2.h"
+
+namespace wsn {
+namespace {
+
+TEST(ZRelayLattice, GeneratorsAreMembers) {
+  const Vec2 anchor{6, 8};
+  // Paper rule R5: from (x, y), the nodes (x-2,y-1), (x-1,y+2), (x+1,y-2),
+  // (x+2,y+1) are z-relays.
+  EXPECT_TRUE(in_zrelay_lattice(anchor, anchor));
+  EXPECT_TRUE(in_zrelay_lattice({4, 7}, anchor));
+  EXPECT_TRUE(in_zrelay_lattice({5, 10}, anchor));
+  EXPECT_TRUE(in_zrelay_lattice({7, 6}, anchor));
+  EXPECT_TRUE(in_zrelay_lattice({8, 9}, anchor));
+}
+
+TEST(ZRelayLattice, UnitNeighborsAreNotMembers) {
+  const Vec2 anchor{6, 8};
+  for (Vec2 step : {Vec2{1, 0}, Vec2{-1, 0}, Vec2{0, 1}, Vec2{0, -1}}) {
+    EXPECT_FALSE(in_zrelay_lattice(anchor + step, anchor));
+  }
+}
+
+TEST(ZRelayLattice, ClosedUnderGeneratorSums) {
+  const Vec2 anchor{0, 0};
+  for (int a = -3; a <= 3; ++a) {
+    for (int b = -3; b <= 3; ++b) {
+      const Vec2 p = a * Vec2{2, 1} + b * Vec2{-1, 2};
+      EXPECT_TRUE(in_zrelay_lattice(p, anchor))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(ZRelayLattice, PerfectLeeCoverProperty) {
+  // Every point of a window has EXACTLY ONE lattice point within Manhattan
+  // distance 1 -- the property that gives the 3D-6 protocol its 5/6 ETR.
+  const Vec2 anchor{3, 5};
+  for (int y = -10; y <= 10; ++y) {
+    for (int x = -10; x <= 10; ++x) {
+      int covers = 0;
+      for (Vec2 step : {Vec2{0, 0}, Vec2{1, 0}, Vec2{-1, 0}, Vec2{0, 1},
+                        Vec2{0, -1}}) {
+        if (in_zrelay_lattice(Vec2{x, y} + step, anchor)) ++covers;
+      }
+      EXPECT_EQ(covers, 1) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(ZRelayLattice, CoveringZRelayIsWithinDistanceOne) {
+  const Vec2 anchor{6, 8};
+  for (int y = 0; y <= 20; ++y) {
+    for (int x = 0; x <= 20; ++x) {
+      const Vec2 cover = covering_zrelay({x, y}, anchor);
+      EXPECT_LE(manhattan(cover, {x, y}), 1);
+      EXPECT_TRUE(in_zrelay_lattice(cover, anchor));
+    }
+  }
+}
+
+TEST(ZRelayLattice, LatticeDensityIsOneFifth) {
+  // Index-5 sublattice: a large grid holds ~mn/5 members.
+  const auto members = zrelay_lattice_in_grid({1, 1}, 50, 50);
+  EXPECT_EQ(members.size(), 500u);  // exactly 2500/5
+}
+
+TEST(ZRelayLattice, GridMembersSortedRowMajorAndInGrid) {
+  const auto members = zrelay_lattice_in_grid({6, 8}, 16, 16);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    EXPECT_GE(members[i].x, 1);
+    EXPECT_LE(members[i].x, 16);
+    EXPECT_GE(members[i].y, 1);
+    EXPECT_LE(members[i].y, 16);
+    if (i > 0) {
+      const bool ordered = members[i - 1].y < members[i].y ||
+                           (members[i - 1].y == members[i].y &&
+                            members[i - 1].x < members[i].x);
+      EXPECT_TRUE(ordered);
+    }
+  }
+}
+
+TEST(ZRelayLattice, UncoveredCellsHugTheBorder) {
+  const auto uncovered = uncovered_by_zrelays({6, 8}, 8, 8);
+  for (Vec2 u : uncovered) {
+    const bool on_border = u.x == 1 || u.x == 8 || u.y == 1 || u.y == 8;
+    EXPECT_TRUE(on_border) << to_string(u);
+  }
+}
+
+TEST(ZRelayLattice, UncoveredMatchesDefinition) {
+  const Vec2 anchor{2, 3};
+  constexpr int kM = 9;
+  constexpr int kN = 7;
+  const auto uncovered = uncovered_by_zrelays(anchor, kM, kN);
+  const auto members = zrelay_lattice_in_grid(anchor, kM, kN);
+  for (int y = 1; y <= kN; ++y) {
+    for (int x = 1; x <= kM; ++x) {
+      bool covered = false;
+      for (Vec2 zr : members) {
+        if (manhattan(zr, {x, y}) <= 1) covered = true;
+      }
+      const bool listed =
+          std::find(uncovered.begin(), uncovered.end(), Vec2{x, y}) !=
+          uncovered.end();
+      EXPECT_EQ(listed, !covered) << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(ZRelayLattice, AnchorTranslationInvariance) {
+  // Membership depends only on the offset from the anchor.
+  for (int y = -5; y <= 5; ++y) {
+    for (int x = -5; x <= 5; ++x) {
+      EXPECT_EQ(in_zrelay_lattice({x, y}, {0, 0}),
+                in_zrelay_lattice({x + 7, y + 11}, {7, 11}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsn

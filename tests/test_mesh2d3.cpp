@@ -1,0 +1,84 @@
+#include "topology/mesh2d3.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Mesh2D3, PaperExampleAdjacency) {
+  // §3.3 assumes node (5,5) is NOT node (5,4)'s neighbor.
+  const Mesh2D3 mesh(10, 10);
+  const Grid2D& g = mesh.grid();
+  EXPECT_FALSE(mesh.adjacent(g.to_id({5, 4}), g.to_id({5, 5})));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({5, 4}), g.to_id({5, 3})));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({5, 4}), g.to_id({4, 4})));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({5, 4}), g.to_id({6, 4})));
+}
+
+TEST(Mesh2D3, ExactlyOneVerticalLinkPerNode) {
+  const Mesh2D3 mesh(8, 8);
+  const Grid2D& g = mesh.grid();
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    const Vec2 c = g.to_coord(v);
+    int vertical = 0;
+    for (NodeId u : mesh.neighbors(v)) {
+      if (g.to_coord(u).x == c.x) ++vertical;
+    }
+    EXPECT_LE(vertical, 1) << to_string(c);
+    // Interior rows always have their vertical link; border rows may lose it
+    // when it points outside.
+    if (c.y > 1 && c.y < 8) {
+      EXPECT_EQ(vertical, 1) << to_string(c);
+    }
+  }
+}
+
+TEST(Mesh2D3, VerticalNeighborHelperAgreesWithAdjacency) {
+  const Mesh2D3 mesh(8, 8);
+  const Grid2D& g = mesh.grid();
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    const Vec2 c = g.to_coord(v);
+    const Vec2 u = Mesh2D3::vertical_neighbor(c);
+    if (g.contains(u)) {
+      EXPECT_TRUE(mesh.adjacent(v, g.to_id(u))) << to_string(c);
+    }
+  }
+}
+
+TEST(Mesh2D3, MaxDegreeIsThree) {
+  const Mesh2D3 mesh(32, 16);
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    EXPECT_LE(mesh.degree(v), 3u);
+  }
+  EXPECT_EQ(mesh.full_degree(), 3);
+}
+
+TEST(Mesh2D3, DegreeHistogramAtPaperSize) {
+  const Mesh2D3 mesh(32, 16);
+  std::size_t by_degree[4] = {};
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    by_degree[mesh.degree(v)] += 1;
+  }
+  // All 512 nodes have their two horizontal links except the 2 per row on
+  // the x borders; vertical links exist except where they point off-grid
+  // (half of the top and bottom rows).
+  EXPECT_EQ(by_degree[0], 0u);
+  // Two opposite corners lose BOTH the off-grid horizontal and the off-grid
+  // vertical link: (32,1) points down and (32,16) points up.
+  EXPECT_EQ(by_degree[1], 2u);
+  EXPECT_EQ(by_degree[1] + by_degree[2] + by_degree[3], 512u);
+  EXPECT_GT(by_degree[3], 400u);
+}
+
+TEST(Mesh2D3, StillConnectedDespiteSparsity) {
+  // Walk the brick wall: (1,1) to (8,8) must be reachable; verified more
+  // thoroughly by graph_algos tests -- here just adjacency chains exist.
+  const Mesh2D3 mesh(8, 8);
+  const Grid2D& g = mesh.grid();
+  // A vertical zigzag from (1,1): (1,1)->(1,2)? depends on parity of 2.
+  EXPECT_TRUE(brick_has_up(Vec2{1, 1}));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({1, 1}), g.to_id({1, 2})));
+}
+
+}  // namespace
+}  // namespace wsn

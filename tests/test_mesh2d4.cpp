@@ -1,0 +1,66 @@
+#include "topology/mesh2d4.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Mesh2D4, InteriorNodeHasVonNeumannNeighborhood) {
+  const Mesh2D4 mesh(5, 5);
+  const Grid2D& g = mesh.grid();
+  const NodeId center = g.to_id({3, 3});
+  ASSERT_EQ(mesh.degree(center), 4u);
+  for (Vec2 u : {Vec2{2, 3}, Vec2{4, 3}, Vec2{3, 2}, Vec2{3, 4}}) {
+    EXPECT_TRUE(mesh.adjacent(center, g.to_id(u))) << to_string(u);
+  }
+  EXPECT_FALSE(mesh.adjacent(center, g.to_id({2, 2})));  // no diagonals
+}
+
+TEST(Mesh2D4, CornerAndEdgeDegrees) {
+  const Mesh2D4 mesh(6, 4);
+  const Grid2D& g = mesh.grid();
+  EXPECT_EQ(mesh.degree(g.to_id({1, 1})), 2u);
+  EXPECT_EQ(mesh.degree(g.to_id({6, 4})), 2u);
+  EXPECT_EQ(mesh.degree(g.to_id({3, 1})), 3u);
+  EXPECT_EQ(mesh.degree(g.to_id({1, 2})), 3u);
+  EXPECT_EQ(mesh.degree(g.to_id({3, 2})), 4u);
+}
+
+TEST(Mesh2D4, DegreeHistogramAtPaperSize) {
+  const Mesh2D4 mesh(32, 16);
+  std::size_t by_degree[5] = {};
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    by_degree[mesh.degree(v)] += 1;
+  }
+  EXPECT_EQ(by_degree[2], 4u);                       // corners
+  EXPECT_EQ(by_degree[3], 2u * 30 + 2u * 14);        // edges
+  EXPECT_EQ(by_degree[4], 30u * 14);                 // interior
+}
+
+TEST(Mesh2D4, IdCoordRoundTrip) {
+  const Mesh2D4 mesh(7, 3);
+  const Grid2D& g = mesh.grid();
+  for (NodeId id = 0; id < mesh.num_nodes(); ++id) {
+    EXPECT_EQ(g.to_id(g.to_coord(id)), id);
+  }
+}
+
+TEST(Mesh2D4, GridContains) {
+  const Grid2D g(4, 4, 0.5);
+  EXPECT_TRUE(g.contains({1, 1}));
+  EXPECT_TRUE(g.contains({4, 4}));
+  EXPECT_FALSE(g.contains({0, 1}));
+  EXPECT_FALSE(g.contains({5, 1}));
+  EXPECT_FALSE(g.contains({1, 0}));
+  EXPECT_FALSE(g.contains({1, 5}));
+}
+
+TEST(Mesh2D4, SingleRowDegenerateMesh) {
+  const Mesh2D4 mesh(8, 1);
+  EXPECT_EQ(mesh.num_nodes(), 8u);
+  EXPECT_EQ(mesh.degree(0), 1u);
+  EXPECT_EQ(mesh.degree(3), 2u);
+}
+
+}  // namespace
+}  // namespace wsn

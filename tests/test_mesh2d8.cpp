@@ -1,0 +1,61 @@
+#include "topology/mesh2d8.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Mesh2D8, InteriorNodeHasMooreNeighborhood) {
+  const Mesh2D8 mesh(5, 5);
+  const Grid2D& g = mesh.grid();
+  const NodeId center = g.to_id({3, 3});
+  ASSERT_EQ(mesh.degree(center), 8u);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      EXPECT_TRUE(mesh.adjacent(center, g.to_id({3 + dx, 3 + dy})));
+    }
+  }
+}
+
+TEST(Mesh2D8, CornerAndEdgeDegrees) {
+  const Mesh2D8 mesh(6, 4);
+  const Grid2D& g = mesh.grid();
+  EXPECT_EQ(mesh.degree(g.to_id({1, 1})), 3u);
+  EXPECT_EQ(mesh.degree(g.to_id({3, 1})), 5u);
+  EXPECT_EQ(mesh.degree(g.to_id({3, 2})), 8u);
+}
+
+TEST(Mesh2D8, DegreeHistogramAtPaperSize) {
+  const Mesh2D8 mesh(32, 16);
+  std::size_t by_degree[9] = {};
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    by_degree[mesh.degree(v)] += 1;
+  }
+  EXPECT_EQ(by_degree[3], 4u);
+  EXPECT_EQ(by_degree[5], 2u * 30 + 2u * 14);
+  EXPECT_EQ(by_degree[8], 30u * 14);
+}
+
+TEST(Mesh2D8, SupersetOfMesh2D4Adjacency) {
+  const Mesh2D8 m8(6, 5);
+  const Grid2D& g = m8.grid();
+  // Every axis link of the 4-neighbor mesh exists here too.
+  for (int y = 1; y <= 5; ++y) {
+    for (int x = 1; x < 6; ++x) {
+      EXPECT_TRUE(m8.adjacent(g.to_id({x, y}), g.to_id({x + 1, y})));
+    }
+  }
+}
+
+TEST(Mesh2D8, DiagonalHopReducesDistance) {
+  // The paper's Fig. 6 point: (1,4) to (4,1) is 3 diagonal hops.
+  const Mesh2D8 mesh(4, 4);
+  const Grid2D& g = mesh.grid();
+  EXPECT_TRUE(mesh.adjacent(g.to_id({1, 4}), g.to_id({2, 3})));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({2, 3}), g.to_id({3, 2})));
+  EXPECT_TRUE(mesh.adjacent(g.to_id({3, 2}), g.to_id({4, 1})));
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,71 @@
+#include "topology/mesh3d6.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Mesh3D6, InteriorNodeHasSixAxisNeighbors) {
+  const Mesh3D6 mesh(4, 4, 4);
+  const Grid3D& g = mesh.grid();
+  const NodeId center = g.to_id({2, 2, 2});
+  ASSERT_EQ(mesh.degree(center), 6u);
+  for (Vec3 u : {Vec3{1, 2, 2}, Vec3{3, 2, 2}, Vec3{2, 1, 2}, Vec3{2, 3, 2},
+                 Vec3{2, 2, 1}, Vec3{2, 2, 3}}) {
+    EXPECT_TRUE(mesh.adjacent(center, g.to_id(u))) << to_string(u);
+  }
+  EXPECT_FALSE(mesh.adjacent(center, g.to_id({3, 3, 2})));  // no diagonals
+}
+
+TEST(Mesh3D6, CornerEdgeFaceDegrees) {
+  const Mesh3D6 mesh(8, 8, 8);
+  const Grid3D& g = mesh.grid();
+  EXPECT_EQ(mesh.degree(g.to_id({1, 1, 1})), 3u);  // corner
+  EXPECT_EQ(mesh.degree(g.to_id({4, 1, 1})), 4u);  // edge
+  EXPECT_EQ(mesh.degree(g.to_id({4, 4, 1})), 5u);  // face
+  EXPECT_EQ(mesh.degree(g.to_id({4, 4, 4})), 6u);  // interior
+}
+
+TEST(Mesh3D6, DegreeHistogramAtPaperSize) {
+  const Mesh3D6 mesh(8, 8, 8);
+  std::size_t by_degree[7] = {};
+  for (NodeId v = 0; v < mesh.num_nodes(); ++v) {
+    by_degree[mesh.degree(v)] += 1;
+  }
+  EXPECT_EQ(by_degree[3], 8u);              // corners
+  EXPECT_EQ(by_degree[4], 12u * 6);         // edges
+  EXPECT_EQ(by_degree[5], 6u * 36);         // faces
+  EXPECT_EQ(by_degree[6], 6u * 6 * 6);      // interior
+}
+
+TEST(Mesh3D6, IdCoordRoundTrip) {
+  const Mesh3D6 mesh(3, 5, 7);
+  const Grid3D& g = mesh.grid();
+  for (NodeId id = 0; id < mesh.num_nodes(); ++id) {
+    EXPECT_EQ(g.to_id(g.to_coord(id)), id);
+  }
+}
+
+TEST(Mesh3D6, PlaneStructureMatches2D4) {
+  // Within one XY plane the adjacency is exactly the 4-neighbor mesh.
+  const Mesh3D6 mesh(5, 5, 3);
+  const Grid3D& g = mesh.grid();
+  const NodeId center = g.to_id({3, 3, 2});
+  int in_plane = 0;
+  for (NodeId u : mesh.neighbors(center)) {
+    if (g.to_coord(u).z == 2) ++in_plane;
+  }
+  EXPECT_EQ(in_plane, 4);
+}
+
+TEST(Mesh3D6, PositionsSpanThreeAxes) {
+  const Mesh3D6 mesh(2, 2, 2, 0.5);
+  const Grid3D& g = mesh.grid();
+  const auto p = mesh.position(g.to_id({2, 2, 2}));
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,70 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wsn {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(0, kCount, [&](std::size_t i) { visits[i] += 1; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, RespectsRangeBounds) {
+  std::vector<std::atomic<int>> visits(100);
+  parallel_for(10, 90, [&](std::size_t i) { visits[i] += 1; });
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(visits[i].load(), (i >= 10 && i < 90) ? 1 : 0);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleWorkerRunsSequentially) {
+  std::vector<std::size_t> order;
+  parallel_for(
+      0, 100, [&](std::size_t i) { order.push_back(i); }, /*workers=*/1);
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, MoreWorkersThanItems) {
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(
+      0, 3, [&](std::size_t i) { visits[i] += 1; }, /*workers=*/16);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelMap, ResultsLandInTheirSlots) {
+  const auto out = parallel_map<std::size_t>(
+      1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, SumMatchesSequential) {
+  const auto out =
+      parallel_map<std::uint64_t>(5000, [](std::size_t i) { return i; });
+  const std::uint64_t total =
+      std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 5000ull * 4999ull / 2);
+}
+
+TEST(DefaultWorkerCount, IsPositive) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace wsn

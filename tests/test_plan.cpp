@@ -1,0 +1,69 @@
+#include "sim/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(RelayPlan, EmptyPlanHasSourceAtSlotOne) {
+  const RelayPlan plan = RelayPlan::empty(8, 3);
+  EXPECT_EQ(plan.num_nodes(), 8u);
+  EXPECT_EQ(plan.source, 3u);
+  EXPECT_TRUE(plan.is_relay(3));
+  ASSERT_EQ(plan.tx_offsets[3].size(), 1u);
+  EXPECT_EQ(plan.tx_offsets[3][0], 1u);
+  for (NodeId v = 0; v < 8; ++v) {
+    if (v != 3) {
+      EXPECT_FALSE(plan.is_relay(v));
+    }
+  }
+}
+
+TEST(RelayPlan, RelayCountAndPlannedTx) {
+  RelayPlan plan = RelayPlan::empty(5, 0);
+  plan.tx_offsets[1] = {1};
+  plan.tx_offsets[2] = {1, 2};
+  EXPECT_EQ(plan.relay_count(), 3u);   // source + 2
+  EXPECT_EQ(plan.planned_tx(), 4u);    // 1 + 1 + 2
+}
+
+TEST(RelayPlan, RetransmittersAreMultiTxNodes) {
+  RelayPlan plan = RelayPlan::empty(6, 0);
+  plan.tx_offsets[2] = {1, 2};
+  plan.tx_offsets[4] = {1};
+  plan.tx_offsets[5] = {2, 3, 7};
+  const auto retx = plan.retransmitters();
+  ASSERT_EQ(retx.size(), 2u);
+  EXPECT_EQ(retx[0], 2u);
+  EXPECT_EQ(retx[1], 5u);
+}
+
+TEST(RelayPlan, ValidateAcceptsWellFormedPlans) {
+  RelayPlan plan = RelayPlan::empty(4, 1);
+  plan.tx_offsets[0] = {1, 2, 5};
+  plan.tx_offsets[2] = {3};
+  plan.validate();  // must not abort
+}
+
+using RelayPlanDeathTest = ::testing::Test;
+
+TEST(RelayPlanDeathTest, ValidateRejectsZeroOffset) {
+  RelayPlan plan = RelayPlan::empty(4, 0);
+  plan.tx_offsets[2] = {0};
+  EXPECT_DEATH(plan.validate(), "precondition");
+}
+
+TEST(RelayPlanDeathTest, ValidateRejectsNonIncreasingOffsets) {
+  RelayPlan plan = RelayPlan::empty(4, 0);
+  plan.tx_offsets[2] = {2, 2};
+  EXPECT_DEATH(plan.validate(), "precondition");
+}
+
+TEST(RelayPlanDeathTest, ValidateRejectsNonRelaySource) {
+  RelayPlan plan = RelayPlan::empty(4, 0);
+  plan.tx_offsets[0].clear();
+  EXPECT_DEATH(plan.validate(), "precondition");
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,122 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace wsn {
+namespace {
+
+TEST(Xoshiro256, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);  // 64-bit collisions should be essentially absent
+}
+
+TEST(Xoshiro256, ZeroSeedStillProducesEntropy) {
+  // splitmix64 seeding must never leave the all-zero state (which would be
+  // a fixed point of the xoshiro transition).
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 512ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(1234);
+  constexpr std::uint64_t kBound = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    histogram[rng.below(kBound)] += 1;
+  }
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (int count : histogram) {
+    EXPECT_NEAR(count, expected, expected * 0.10);
+  }
+}
+
+TEST(Xoshiro256, CanonicalInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.canonical();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceEdgeCases) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, JumpDecorrelatesStreams) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  // Regression anchor: fixed outputs for a fixed seed.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64(state2), first);
+  EXPECT_EQ(splitmix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace wsn

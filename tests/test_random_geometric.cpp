@@ -1,0 +1,67 @@
+#include "topology/random_geometric.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(RandomGeometric, DeterministicForEqualSeeds) {
+  const RandomGeometric a(100, 10.0, 1.5, 42);
+  const RandomGeometric b(100, 10.0, 1.5, 42);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v));
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(RandomGeometric, DifferentSeedsDiffer) {
+  const RandomGeometric a(100, 10.0, 1.5, 1);
+  const RandomGeometric b(100, 10.0, 1.5, 2);
+  bool differs = false;
+  for (NodeId v = 0; v < a.num_nodes() && !differs; ++v) {
+    if (a.degree(v) != b.degree(v)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomGeometric, PositionsInsideTheSquare) {
+  const RandomGeometric topo(200, 8.0, 1.0, 7);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    const auto p = topo.position(v);
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LT(p[0], 8.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LT(p[1], 8.0);
+    EXPECT_DOUBLE_EQ(p[2], 0.0);
+  }
+}
+
+TEST(RandomGeometric, LinksRespectRadius) {
+  const RandomGeometric topo(150, 10.0, 1.2, 5);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (NodeId u : topo.neighbors(v)) {
+      EXPECT_LE(topo.distance(v, u), 1.2 + 1e-12);
+    }
+  }
+}
+
+TEST(RandomGeometric, LargerRadiusNeverDropsLinks) {
+  const RandomGeometric small(80, 10.0, 1.0, 3);
+  const RandomGeometric large(80, 10.0, 2.0, 3);  // same seed => same points
+  for (NodeId v = 0; v < small.num_nodes(); ++v) {
+    for (NodeId u : small.neighbors(v)) {
+      EXPECT_TRUE(large.adjacent(v, u));
+    }
+  }
+}
+
+TEST(RandomGeometric, FamilyTag) {
+  const RandomGeometric topo(10, 5.0, 2.0, 1);
+  EXPECT_EQ(topo.family(), "random");
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,115 @@
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include "geometry/diagonal.h"
+
+namespace wsn {
+namespace {
+
+TEST(Brick, ParityConventionMatchesPaperExamples) {
+  // §3.3: "node (5,5) is not node (5,4)'s neighbor" -- (5,4) has odd x+y,
+  // so its vertical link points down.
+  EXPECT_TRUE(brick_has_down({5, 4}));
+  EXPECT_FALSE(brick_has_up({5, 4}));
+  // Source (10, 7) of Fig. 8 also links down.
+  EXPECT_TRUE(brick_has_down({10, 7}));
+  // And the parity alternates along a row.
+  EXPECT_TRUE(brick_has_up({4, 4}));
+  EXPECT_TRUE(brick_has_down({5, 4}));
+}
+
+TEST(Brick, VerticalLinksAreMutual) {
+  for (int y = 1; y <= 8; ++y) {
+    for (int x = 1; x <= 8; ++x) {
+      const Vec2 v{x, y};
+      const Vec2 u = brick_has_up(v) ? Vec2{x, y + 1} : Vec2{x, y - 1};
+      const Vec2 back = brick_has_up(u) ? Vec2{u.x, u.y + 1}
+                                        : Vec2{u.x, u.y - 1};
+      EXPECT_EQ(back, v) << to_string(v);
+    }
+  }
+}
+
+TEST(BaseNodes, DownNeighborCase) {
+  // (i, j-1) is a neighbor: a = (i, j-2), b = (i, j+1).  Fig. 8's source
+  // (10, 7) has x+y odd -> links down.
+  const BaseNodes base = base_nodes_2d3({10, 7});
+  EXPECT_EQ(base.a, (Vec2{10, 5}));
+  EXPECT_EQ(base.b, (Vec2{10, 8}));
+}
+
+TEST(BaseNodes, UpNeighborCase) {
+  // (i, j+1) is the neighbor: a = (i, j-1), b = (i, j+2).
+  const BaseNodes base = base_nodes_2d3({16, 8});
+  EXPECT_EQ(base.a, (Vec2{16, 7}));
+  EXPECT_EQ(base.b, (Vec2{16, 10}));
+}
+
+TEST(Region, WedgesPointUpAndDown) {
+  const Vec2 src{10, 7};  // base nodes (10,5) / (10,8)
+  EXPECT_EQ(region_of({10, 1}, src), Region::kTwo);   // straight below
+  EXPECT_EQ(region_of({10, 14}, src), Region::kThree);  // straight above
+  EXPECT_EQ(region_of({1, 7}, src), Region::kOne);    // sideways
+  EXPECT_EQ(region_of({20, 7}, src), Region::kOne);
+  EXPECT_EQ(region_of({10, 7}, src), Region::kOne);   // the source itself
+}
+
+TEST(Region, BoundariesFollowBaseDiagonals) {
+  const Vec2 src{10, 7};
+  // Region 2: x+y <= 15 and x-y >= 5 (base a = (10,5)).
+  EXPECT_EQ(region_of({10, 5}, src), Region::kTwo);
+  EXPECT_EQ(region_of({11, 4}, src), Region::kTwo);
+  EXPECT_EQ(region_of({12, 4}, src), Region::kOne);  // x+y = 16 > 15
+  // Region 3: x+y >= 18 and x-y <= 2 (base b = (10,8)).
+  EXPECT_EQ(region_of({10, 8}, src), Region::kThree);
+  EXPECT_EQ(region_of({9, 9}, src), Region::kThree);
+  EXPECT_EQ(region_of({12, 9}, src), Region::kOne);  // x-y = 3 > 2
+}
+
+TEST(Region, PartitionIsTotal) {
+  const Vec2 src{7, 6};
+  for (int y = 1; y <= 16; ++y) {
+    for (int x = 1; x <= 16; ++x) {
+      const Region r = region_of({x, y}, src);
+      EXPECT_TRUE(r == Region::kOne || r == Region::kTwo ||
+                  r == Region::kThree);
+    }
+  }
+}
+
+TEST(DiagonalPairs, MatchPaperSource54) {
+  // §3.3: source (5,4) has no up neighbor, so B1(5,4) = S1(9) ∪ S1(8) and
+  // B2(5,4) = S2(1) ∪ S2(2).
+  const DiagonalPair b1 = b1_indices({5, 4});
+  EXPECT_TRUE(b1.contains(9));
+  EXPECT_TRUE(b1.contains(8));
+  EXPECT_FALSE(b1.contains(10));
+  const DiagonalPair b2 = b2_indices({5, 4});
+  EXPECT_TRUE(b2.contains(1));
+  EXPECT_TRUE(b2.contains(2));
+  EXPECT_FALSE(b2.contains(0));
+}
+
+TEST(DiagonalPairs, MatchPaperFig8Source) {
+  // Fig. 8: source (10,7): B1 = S1(17) ∪ S1(16), B2 = S2(3) ∪ S2(4).
+  const DiagonalPair b1 = b1_indices({10, 7});
+  EXPECT_TRUE(b1.contains(17));
+  EXPECT_TRUE(b1.contains(16));
+  const DiagonalPair b2 = b2_indices({10, 7});
+  EXPECT_TRUE(b2.contains(3));
+  EXPECT_TRUE(b2.contains(4));
+}
+
+TEST(DiagonalPairs, UpNeighborCaseUsesOtherOrientation) {
+  // has-up node: B1 = {c, c+1}, B2 = {c, c-1}.
+  const Vec2 v{4, 4};
+  ASSERT_TRUE(brick_has_up(v));
+  EXPECT_TRUE(b1_indices(v).contains(8));
+  EXPECT_TRUE(b1_indices(v).contains(9));
+  EXPECT_TRUE(b2_indices(v).contains(0));
+  EXPECT_TRUE(b2_indices(v).contains(-1));
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,48 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Report, PaperRowsAreThePublishedNumbers) {
+  EXPECT_EQ(paper_ideal_row("2D-4").tx, 170u);
+  EXPECT_EQ(paper_ideal_row("2D-4").rx, 680u);
+  EXPECT_DOUBLE_EQ(paper_ideal_row("2D-4").power, 2.18e-2);
+  EXPECT_EQ(paper_best_row("2D-8").tx, 143u);
+  EXPECT_EQ(paper_worst_row("2D-8").tx, 147u);
+  EXPECT_EQ(paper_best_row("3D-6").tx, 167u);
+  EXPECT_EQ(paper_worst_row("2D-3").rx, 816u);
+  EXPECT_EQ(paper_max_delay("2D-3"), 46u);
+  EXPECT_EQ(paper_max_delay("3D-6"), 20u);
+}
+
+TEST(Report, Table1ListsAllFamilies) {
+  const std::string table = build_table1().render();
+  for (const char* family : {"2D-3", "2D-4", "2D-8", "3D-6"}) {
+    EXPECT_NE(table.find(family), std::string::npos) << family;
+  }
+  EXPECT_NE(table.find("2/3"), std::string::npos);
+  EXPECT_NE(table.find("5/6"), std::string::npos);
+}
+
+TEST(Report, Table2ShowsExactIdealValues) {
+  const std::string table = build_table2().render();
+  // Our ideal-case model reproduces the paper's Table 2 exactly, so each
+  // published Tx count appears (twice: ours and the paper column).
+  for (const char* value : {"255", "170", "102", "124"}) {
+    EXPECT_NE(table.find(value), std::string::npos) << value;
+  }
+  EXPECT_NE(table.find("2.61e-02"), std::string::npos);
+}
+
+TEST(Report, SweepRunsAndReachesEveryone) {
+  const SweepResult sweep = run_paper_sweep("2D-4");
+  EXPECT_EQ(sweep.per_source.size(), 512u);
+  EXPECT_TRUE(sweep.all_fully_reached());
+  EXPECT_EQ(sweep.best().stats.tx, 208u);
+  EXPECT_EQ(sweep.worst().stats.tx, 223u);
+}
+
+}  // namespace
+}  // namespace wsn

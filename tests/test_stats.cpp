@@ -1,0 +1,52 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Stats, ReachabilityFraction) {
+  BroadcastStats stats;
+  stats.num_nodes = 512;
+  stats.reached = 512;
+  EXPECT_DOUBLE_EQ(stats.reachability(), 1.0);
+  EXPECT_TRUE(stats.fully_reached());
+  stats.reached = 256;
+  EXPECT_DOUBLE_EQ(stats.reachability(), 0.5);
+  EXPECT_FALSE(stats.fully_reached());
+}
+
+TEST(Stats, ReachabilityOfEmptyNetworkIsZero) {
+  const BroadcastStats stats;
+  EXPECT_DOUBLE_EQ(stats.reachability(), 0.0);
+}
+
+TEST(Stats, TotalEnergySumsTxAndRx) {
+  BroadcastStats stats;
+  stats.tx_energy = 1.5e-3;
+  stats.rx_energy = 2.5e-3;
+  EXPECT_DOUBLE_EQ(stats.total_energy(), 4.0e-3);
+}
+
+TEST(Stats, SummaryMentionsEveryMetric) {
+  BroadcastStats stats;
+  stats.num_nodes = 10;
+  stats.reached = 10;
+  stats.tx = 7;
+  stats.rx = 21;
+  stats.duplicates = 3;
+  stats.collisions = 2;
+  stats.delay = 5;
+  stats.tx_energy = 1e-4;
+  stats.rx_energy = 1e-4;
+  const std::string s = stats.summary();
+  EXPECT_NE(s.find("tx=7"), std::string::npos);
+  EXPECT_NE(s.find("rx=21"), std::string::npos);
+  EXPECT_NE(s.find("dup=3"), std::string::npos);
+  EXPECT_NE(s.find("coll=2"), std::string::npos);
+  EXPECT_NE(s.find("delay=5"), std::string::npos);
+  EXPECT_NE(s.find("reach=100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,99 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(Join, InsertsSeparators) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Sci, MatchesPaperStyle) {
+  EXPECT_EQ(sci(2.61e-2), "2.61e-02");
+  EXPECT_EQ(sci(2.18e-2), "2.18e-02");
+  EXPECT_EQ(sci(0.0), "0.00e+00");
+}
+
+TEST(Fixed, RoundsToDecimals) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(100.0, 1), "100.0");
+  EXPECT_EQ(fixed(0.666, 3), "0.666");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(ParseU64, AcceptsWellFormedInput) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("512", v));
+  EXPECT_EQ(v, 512u);
+  EXPECT_TRUE(parse_u64("  42 ", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(ParseU64, RejectsMalformedInput) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+  EXPECT_FALSE(parse_u64("x12", v));
+  EXPECT_FALSE(parse_u64("99999999999999999999999", v));  // overflow
+}
+
+TEST(ParseF64, AcceptsAndRejects) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_f64("0.5", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(parse_f64("-2.5e-2", v));
+  EXPECT_DOUBLE_EQ(v, -2.5e-2);
+  EXPECT_FALSE(parse_f64("", v));
+  EXPECT_FALSE(parse_f64("abc", v));
+  EXPECT_FALSE(parse_f64("1.5zz", v));
+}
+
+}  // namespace
+}  // namespace wsn

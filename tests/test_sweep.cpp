@@ -1,0 +1,69 @@
+#include "analysis/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "protocol/flooding.h"
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+namespace {
+
+TEST(Sweep, OneResultPerSource) {
+  const Mesh2D4 topo(8, 6);
+  const SweepResult sweep = sweep_all_sources(topo);
+  ASSERT_EQ(sweep.per_source.size(), topo.num_nodes());
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(sweep.per_source[v].source, v);
+  }
+}
+
+TEST(Sweep, PaperProtocolReachesEveryoneFromEverySource) {
+  const Mesh2D4 topo(8, 6);
+  const SweepResult sweep = sweep_all_sources(topo);
+  EXPECT_TRUE(sweep.all_fully_reached());
+}
+
+TEST(Sweep, BestNeverExceedsWorst) {
+  const Mesh2D4 topo(10, 7);
+  const SweepResult sweep = sweep_all_sources(topo);
+  EXPECT_LE(sweep.best().stats.total_energy(),
+            sweep.worst().stats.total_energy());
+  EXPECT_LE(sweep.best().stats.total_energy(), sweep.mean_energy());
+  EXPECT_LE(sweep.mean_energy(), sweep.worst().stats.total_energy());
+}
+
+TEST(Sweep, MaxDelayDominatesEachSource) {
+  const Mesh2D4 topo(9, 5);
+  const SweepResult sweep = sweep_all_sources(topo);
+  for (const SourceResult& r : sweep.per_source) {
+    EXPECT_LE(r.stats.delay, sweep.max_delay());
+  }
+}
+
+TEST(Sweep, DeterministicAcrossWorkerCounts) {
+  const Mesh2D4 topo(8, 6);
+  const SweepResult a = sweep_all_sources(topo, {}, /*workers=*/1);
+  const SweepResult b = sweep_all_sources(topo, {}, /*workers=*/4);
+  ASSERT_EQ(a.per_source.size(), b.per_source.size());
+  for (std::size_t i = 0; i < a.per_source.size(); ++i) {
+    EXPECT_EQ(a.per_source[i].stats.tx, b.per_source[i].stats.tx);
+    EXPECT_EQ(a.per_source[i].stats.delay, b.per_source[i].stats.delay);
+    EXPECT_DOUBLE_EQ(a.per_source[i].stats.total_energy(),
+                     b.per_source[i].stats.total_energy());
+  }
+}
+
+TEST(Sweep, CustomFactoryIsUsed) {
+  const Mesh2D4 topo(6, 6);
+  const Flooding flooding(0);
+  const SweepResult sweep = sweep_all_sources_with(
+      topo,
+      [&](const Topology& t, NodeId src) { return flooding.plan(t, src); });
+  // Synchronous flooding always transmits from every node it reaches, which
+  // is far fewer than all of them on a mesh (collisions), so reachability
+  // cannot be universal.
+  EXPECT_FALSE(sweep.all_fully_reached());
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,61 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable table({"Topology", "Tx"});
+  table.add_row({"2D-4", "170"});
+  const std::string out = table.render();
+  EXPECT_EQ(out,
+            "| Topology | Tx  |\n"
+            "|----------|-----|\n"
+            "| 2D-4     | 170 |\n");
+}
+
+TEST(AsciiTable, ColumnWidthTracksWidestCell) {
+  AsciiTable table({"A", "B"});
+  table.add_row({"very-long-cell", "x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| very-long-cell | x |"), std::string::npos);
+  EXPECT_NE(out.find("| A              | B |"), std::string::npos);
+}
+
+TEST(AsciiTable, TitleGoesAboveGrid) {
+  AsciiTable table({"A"});
+  table.set_title("Table 2");
+  table.add_row({"x"});
+  const std::string out = table.render();
+  EXPECT_EQ(out.find("Table 2\n"), 0u);
+}
+
+TEST(AsciiTable, RuleInsertsBeforeNextRow) {
+  AsciiTable table({"A"});
+  table.add_row({"one"});
+  table.add_rule();
+  table.add_row({"two"});
+  const std::string out = table.render();
+  // header rule + midrule = two rule lines
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("|-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(AsciiTable, EveryLineEndsWithNewline) {
+  AsciiTable table({"A", "B", "C"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"4", "5", "6"});
+  const std::string out = table.render();
+  EXPECT_EQ(out.back(), '\n');
+  // 1 header + 1 rule + 2 rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,144 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "topology/factory.h"
+#include "topology/mesh2d4.h"
+#include "topology/mesh2d8.h"
+
+namespace wsn {
+namespace {
+
+// Cross-family structural invariants, parameterized over every regular
+// topology at paper size.
+class AllTopologies : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<Topology> topo_ = make_paper_topology(GetParam());
+};
+
+TEST_P(AllTopologies, Has512Nodes) {
+  EXPECT_EQ(topo_->num_nodes(), PaperConfig::kNumNodes);
+}
+
+TEST_P(AllTopologies, AdjacencyIsSymmetric) {
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    for (NodeId u : topo_->neighbors(v)) {
+      EXPECT_TRUE(topo_->adjacent(u, v));
+    }
+  }
+}
+
+TEST_P(AllTopologies, AdjacencyIsIrreflexive) {
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    EXPECT_FALSE(topo_->adjacent(v, v));
+  }
+}
+
+TEST_P(AllTopologies, NeighborsAreSortedAndUnique) {
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    const auto span = topo_->neighbors(v);
+    for (std::size_t i = 1; i < span.size(); ++i) {
+      EXPECT_LT(span[i - 1], span[i]);
+    }
+  }
+}
+
+TEST_P(AllTopologies, DegreeNeverExceedsFullDegree) {
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    EXPECT_LE(topo_->degree(v),
+              static_cast<std::size_t>(topo_->full_degree()));
+    EXPECT_GE(topo_->degree(v), 1u);
+  }
+}
+
+TEST_P(AllTopologies, SomeNodeAttainsFullDegree) {
+  bool found = false;
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    if (topo_->degree(v) ==
+        static_cast<std::size_t>(topo_->full_degree())) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(AllTopologies, DirectedLinkCountMatchesDegreeSum) {
+  std::size_t sum = 0;
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) sum += topo_->degree(v);
+  EXPECT_EQ(topo_->num_directed_links(), sum);
+}
+
+TEST_P(AllTopologies, TxRangeCoversEveryNeighbor) {
+  for (NodeId v = 0; v < topo_->num_nodes(); ++v) {
+    for (NodeId u : topo_->neighbors(v)) {
+      EXPECT_LE(topo_->distance(v, u), topo_->tx_range(v) + 1e-12);
+    }
+  }
+}
+
+TEST_P(AllTopologies, DistanceIsSymmetricMetric) {
+  // Spot-check a few pairs.
+  for (NodeId v : {NodeId{0}, NodeId{100}, NodeId{511}}) {
+    for (NodeId u : {NodeId{1}, NodeId{250}, NodeId{510}}) {
+      EXPECT_DOUBLE_EQ(topo_->distance(v, u), topo_->distance(u, v));
+    }
+    EXPECT_DOUBLE_EQ(topo_->distance(v, v), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RegularFamilies, AllTopologies,
+                         ::testing::Values("2D-3", "2D-4", "2D-8", "3D-6"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TopologyNames, FamilyAndNameAreConsistent) {
+  for (const std::string& family : regular_families()) {
+    const auto topo = make_paper_topology(family);
+    EXPECT_EQ(topo->family(), family);
+    EXPECT_NE(topo->name().find(family), std::string::npos);
+  }
+}
+
+TEST(TopologyFactory, PaperSizesAreCorrect) {
+  EXPECT_EQ(make_paper_topology("2D-4")->num_nodes(), 512u);
+  EXPECT_EQ(make_paper_topology("3D-6")->num_nodes(), 512u);
+}
+
+TEST(TopologyFactory, CustomMeshSizes) {
+  EXPECT_EQ(make_mesh("2D-4", 5, 7)->num_nodes(), 35u);
+  EXPECT_EQ(make_mesh("3D-6", 3, 4, 5)->num_nodes(), 60u);
+}
+
+TEST(TopologyGeometry, PositionsMatchSpacing) {
+  const Mesh2D4 mesh(4, 4, 0.5);
+  const NodeId origin = mesh.grid().to_id({1, 1});
+  const NodeId right = mesh.grid().to_id({2, 1});
+  const NodeId diag = mesh.grid().to_id({2, 2});
+  EXPECT_DOUBLE_EQ(mesh.distance(origin, right), 0.5);
+  EXPECT_NEAR(mesh.distance(origin, diag), 0.5 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(TopologyGeometry, Mesh2D8TxRangeIsDiagonal) {
+  const Mesh2D8 mesh(5, 5, 0.5);
+  // Interior node: farthest neighbor is diagonal at 0.5·√2.
+  const NodeId center = mesh.grid().to_id({3, 3});
+  EXPECT_NEAR(mesh.tx_range(center), 0.5 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(TopologyGeometry, Mesh2D4TxRangeIsAxis) {
+  const Mesh2D4 mesh(5, 5, 0.5);
+  const NodeId center = mesh.grid().to_id({3, 3});
+  EXPECT_DOUBLE_EQ(mesh.tx_range(center), 0.5);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,86 @@
+#include "topology/torus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "topology/graph_algos.h"
+
+namespace wsn {
+namespace {
+
+TEST(TorusWrap, WrapsBothAxes) {
+  EXPECT_EQ(torus_wrap({0, 5}, 8, 8), (Vec2{8, 5}));
+  EXPECT_EQ(torus_wrap({9, 5}, 8, 8), (Vec2{1, 5}));
+  EXPECT_EQ(torus_wrap({3, 0}, 8, 8), (Vec2{3, 8}));
+  EXPECT_EQ(torus_wrap({3, 9}, 8, 8), (Vec2{3, 1}));
+  EXPECT_EQ(torus_wrap({4, 4}, 8, 8), (Vec2{4, 4}));
+  EXPECT_EQ(torus_wrap({-1, 17}, 8, 8), (Vec2{7, 1}));
+}
+
+TEST(Torus2D4, EveryNodeHasFullDegree) {
+  const Torus2D4 topo(8, 6);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(topo.degree(v), 4u);
+  }
+}
+
+TEST(Torus2D8, EveryNodeHasFullDegree) {
+  const Torus2D8 topo(8, 6);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(topo.degree(v), 8u);
+  }
+}
+
+TEST(Torus2D4, WrapLinksExist) {
+  const Torus2D4 topo(8, 6);
+  const Grid2D& g = topo.grid();
+  EXPECT_TRUE(topo.adjacent(g.to_id({1, 3}), g.to_id({8, 3})));
+  EXPECT_TRUE(topo.adjacent(g.to_id({4, 1}), g.to_id({4, 6})));
+  EXPECT_FALSE(topo.adjacent(g.to_id({1, 1}), g.to_id({8, 6})));
+}
+
+TEST(Torus2D8, CornerWrapsDiagonally) {
+  const Torus2D8 topo(8, 6);
+  const Grid2D& g = topo.grid();
+  EXPECT_TRUE(topo.adjacent(g.to_id({1, 1}), g.to_id({8, 6})));
+}
+
+TEST(Torus2D4, UniformTxRange) {
+  const Torus2D4 topo(8, 6, 0.5);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(topo.tx_range(v), 0.5);
+  }
+}
+
+TEST(Torus2D8, UniformDiagonalTxRange) {
+  const Torus2D8 topo(8, 6, 0.5);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    EXPECT_NEAR(topo.tx_range(v), 0.5 * std::sqrt(2.0), 1e-12);
+  }
+}
+
+TEST(Torus2D4, DiameterHalvesAgainstTheMesh) {
+  // Wrapping halves per-axis worst distances: 8x6 mesh diameter 7+5=12,
+  // torus 4+3=7.
+  const Torus2D4 topo(8, 6);
+  EXPECT_EQ(diameter(topo), 7u);
+  EXPECT_TRUE(is_connected(topo));
+}
+
+TEST(Torus2D4, VertexTransitiveEccentricity) {
+  // No borders: every node has the same eccentricity.
+  const Torus2D4 topo(6, 6);
+  const auto first = eccentricity(topo, 0);
+  for (NodeId v = 1; v < topo.num_nodes(); ++v) {
+    EXPECT_EQ(eccentricity(topo, v), first);
+  }
+}
+
+TEST(Torus2D4, FamilyTags) {
+  EXPECT_EQ(Torus2D4(4, 4).family(), "2D-4T");
+  EXPECT_EQ(Torus2D8(4, 4).family(), "2D-8T");
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,112 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "protocol/registry.h"
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceIo, HeaderAndTxEventsPresent) {
+  const Mesh2D4 topo(5, 1);
+  RelayPlan plan = RelayPlan::empty(5, 0);
+  for (NodeId v = 1; v < 5; ++v) plan.tx_offsets[v] = {1};
+  const auto out = simulate_broadcast(topo, plan);
+
+  std::ostringstream stream;
+  write_trace_csv(stream, topo, out);
+  const auto lines = lines_of(stream.str());
+  EXPECT_EQ(lines[0], "event,slot,node,x,y,z,detail1,detail2");
+  std::size_t tx_lines = 0;
+  std::size_t rx_lines = 0;
+  for (const auto& line : lines) {
+    if (starts_with(line, "tx,")) ++tx_lines;
+    if (starts_with(line, "rx,")) ++rx_lines;
+  }
+  EXPECT_EQ(tx_lines, out.stats.tx);
+  EXPECT_EQ(rx_lines, 4u);  // first receptions only
+}
+
+TEST(TraceIo, EventsAreSlotOrdered) {
+  const Mesh2D4 topo(6, 6);
+  const auto plan = paper_plan(topo, 14);
+  SimOptions options;
+  options.record_collisions = true;
+  const auto out = simulate_broadcast(topo, plan, options);
+
+  std::ostringstream stream;
+  write_trace_csv(stream, topo, out);
+  Slot last = 0;
+  for (const auto& line : lines_of(stream.str())) {
+    if (line.empty() || starts_with(line, "event")) continue;
+    const auto fields = split(line, ',');
+    std::uint64_t slot = 0;
+    ASSERT_TRUE(parse_u64(fields[1], slot));
+    EXPECT_GE(slot, last);
+    last = static_cast<Slot>(slot);
+  }
+}
+
+TEST(TraceIo, RxEventsAttributeATransmitter) {
+  const Mesh2D4 topo(4, 4);
+  const auto plan = paper_plan(topo, 5);
+  const auto out = simulate_broadcast(topo, plan);
+
+  std::ostringstream stream;
+  write_trace_csv(stream, topo, out);
+  for (const auto& line : lines_of(stream.str())) {
+    if (!starts_with(line, "rx,")) continue;
+    const auto fields = split(line, ',');
+    std::uint64_t from = 0;
+    ASSERT_TRUE(parse_u64(fields[6], from));
+    std::uint64_t node = 0;
+    ASSERT_TRUE(parse_u64(fields[2], node));
+    EXPECT_TRUE(topo.adjacent(static_cast<NodeId>(from),
+                              static_cast<NodeId>(node)));
+  }
+}
+
+TEST(TraceIo, PlanCsvListsEveryNodeWithRole) {
+  const Mesh2D4 topo(16, 16);
+  const auto plan = paper_plan(topo, topo.grid().to_id({6, 8}));
+
+  std::ostringstream stream;
+  write_plan_csv(stream, topo, plan);
+  const auto lines = lines_of(stream.str());
+  ASSERT_EQ(lines.size(), topo.num_nodes() + 1);
+  EXPECT_EQ(lines[0], "node,x,y,z,role,offsets");
+  std::size_t sources = 0;
+  std::size_t relays = 0;
+  std::size_t retransmitters = 0;
+  for (const auto& line : lines) {
+    if (line.find(",source,") != std::string::npos) ++sources;
+    if (line.find(",relay,") != std::string::npos) ++relays;
+    if (line.find(",retransmitter,") != std::string::npos) ++retransmitters;
+  }
+  EXPECT_EQ(sources, 1u);
+  EXPECT_EQ(retransmitters, plan.retransmitters().size());
+  EXPECT_EQ(relays + retransmitters + sources, plan.relay_count());
+}
+
+TEST(TraceIo, RetransmitterOffsetsPipeSeparated) {
+  const Mesh2D4 topo(16, 16);
+  const auto plan = paper_plan(topo, topo.grid().to_id({6, 8}));
+  std::ostringstream stream;
+  write_plan_csv(stream, topo, plan);
+  EXPECT_NE(stream.str().find(",retransmitter,1|2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

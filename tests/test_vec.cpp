@@ -1,0 +1,62 @@
+#include "geometry/vec2.h"
+#include "geometry/vec3.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  constexpr Vec2 a{3, 4};
+  constexpr Vec2 b{-1, 2};
+  static_assert(a + b == Vec2{2, 6});
+  static_assert(a - b == Vec2{4, 2});
+  static_assert(2 * a == Vec2{6, 8});
+  EXPECT_EQ(a + b, (Vec2{2, 6}));
+}
+
+TEST(Vec2, Comparisons) {
+  EXPECT_EQ((Vec2{1, 2}), (Vec2{1, 2}));
+  EXPECT_NE((Vec2{1, 2}), (Vec2{2, 1}));
+  EXPECT_LT((Vec2{1, 5}), (Vec2{2, 0}));  // lexicographic on (x, y)
+}
+
+TEST(Vec2, ManhattanDistance) {
+  EXPECT_EQ(manhattan(Vec2{0, 0}, Vec2{0, 0}), 0);
+  EXPECT_EQ(manhattan(Vec2{1, 1}, Vec2{4, 5}), 7);
+  EXPECT_EQ(manhattan(Vec2{4, 5}, Vec2{1, 1}), 7);  // symmetric
+  EXPECT_EQ(manhattan(Vec2{-2, -3}, Vec2{2, 3}), 10);
+}
+
+TEST(Vec2, ChebyshevDistance) {
+  EXPECT_EQ(chebyshev(Vec2{0, 0}, Vec2{0, 0}), 0);
+  EXPECT_EQ(chebyshev(Vec2{1, 1}, Vec2{4, 5}), 4);
+  EXPECT_EQ(chebyshev(Vec2{1, 1}, Vec2{5, 4}), 4);
+  EXPECT_EQ(chebyshev(Vec2{1, 1}, Vec2{2, 2}), 1);  // one 2D-8 hop
+}
+
+TEST(Vec2, ToString) {
+  EXPECT_EQ(to_string(Vec2{5, 9}), "(5,9)");
+  EXPECT_EQ(to_string(Vec2{-1, 0}), "(-1,0)");
+}
+
+TEST(Vec3, ArithmeticAndProjection) {
+  constexpr Vec3 a{1, 2, 3};
+  constexpr Vec3 b{4, 5, 6};
+  static_assert(a + b == Vec3{5, 7, 9});
+  static_assert(b - a == Vec3{3, 3, 3});
+  static_assert(a.xy() == Vec2{1, 2});
+  EXPECT_EQ(a.xy(), (Vec2{1, 2}));
+}
+
+TEST(Vec3, Manhattan) {
+  EXPECT_EQ(manhattan(Vec3{1, 1, 1}, Vec3{2, 3, 5}), 7);
+  EXPECT_EQ(manhattan(Vec3{0, 0, 0}, Vec3{0, 0, 0}), 0);
+}
+
+TEST(Vec3, ToString) {
+  EXPECT_EQ(to_string(Vec3{6, 8, 4}), "(6,8,4)");
+}
+
+}  // namespace
+}  // namespace wsn
