@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collision_policy.dir/ablation_collision_policy.cpp.o"
+  "CMakeFiles/ablation_collision_policy.dir/ablation_collision_policy.cpp.o.d"
+  "ablation_collision_policy"
+  "ablation_collision_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collision_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

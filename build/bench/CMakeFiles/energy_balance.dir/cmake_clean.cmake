@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_balance.dir/energy_balance.cpp.o"
+  "CMakeFiles/energy_balance.dir/energy_balance.cpp.o.d"
+  "energy_balance"
+  "energy_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

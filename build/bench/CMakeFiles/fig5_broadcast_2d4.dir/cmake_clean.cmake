@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_broadcast_2d4.dir/fig5_broadcast_2d4.cpp.o"
+  "CMakeFiles/fig5_broadcast_2d4.dir/fig5_broadcast_2d4.cpp.o.d"
+  "fig5_broadcast_2d4"
+  "fig5_broadcast_2d4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_broadcast_2d4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

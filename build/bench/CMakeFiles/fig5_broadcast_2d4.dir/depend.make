@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_broadcast_2d4.
+# This may be replaced when dependencies are built.

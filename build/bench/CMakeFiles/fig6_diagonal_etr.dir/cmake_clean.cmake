@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_diagonal_etr.dir/fig6_diagonal_etr.cpp.o"
+  "CMakeFiles/fig6_diagonal_etr.dir/fig6_diagonal_etr.cpp.o.d"
+  "fig6_diagonal_etr"
+  "fig6_diagonal_etr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_diagonal_etr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

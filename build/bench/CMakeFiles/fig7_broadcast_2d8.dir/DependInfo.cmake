@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_broadcast_2d8.cpp" "bench/CMakeFiles/fig7_broadcast_2d8.dir/fig7_broadcast_2d8.cpp.o" "gcc" "bench/CMakeFiles/fig7_broadcast_2d8.dir/fig7_broadcast_2d8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wsn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/wsn_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wsn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wsn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wsn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_broadcast_2d8.dir/fig7_broadcast_2d8.cpp.o"
+  "CMakeFiles/fig7_broadcast_2d8.dir/fig7_broadcast_2d8.cpp.o.d"
+  "fig7_broadcast_2d8"
+  "fig7_broadcast_2d8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_broadcast_2d8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_broadcast_2d8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_zrelay_3d6.dir/fig9_zrelay_3d6.cpp.o"
+  "CMakeFiles/fig9_zrelay_3d6.dir/fig9_zrelay_3d6.cpp.o.d"
+  "fig9_zrelay_3d6"
+  "fig9_zrelay_3d6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_zrelay_3d6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

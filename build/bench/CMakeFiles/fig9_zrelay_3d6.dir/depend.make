@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_zrelay_3d6.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_optimal_etr.dir/table1_optimal_etr.cpp.o"
+  "CMakeFiles/table1_optimal_etr.dir/table1_optimal_etr.cpp.o.d"
+  "table1_optimal_etr"
+  "table1_optimal_etr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_optimal_etr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

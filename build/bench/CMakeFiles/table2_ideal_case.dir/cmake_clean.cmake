@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ideal_case.dir/table2_ideal_case.cpp.o"
+  "CMakeFiles/table2_ideal_case.dir/table2_ideal_case.cpp.o.d"
+  "table2_ideal_case"
+  "table2_ideal_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ideal_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

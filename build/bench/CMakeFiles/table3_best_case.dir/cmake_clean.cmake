@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_best_case.dir/table3_best_case.cpp.o"
+  "CMakeFiles/table3_best_case.dir/table3_best_case.cpp.o.d"
+  "table3_best_case"
+  "table3_best_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_best_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_worst_case.dir/table4_worst_case.cpp.o"
+  "CMakeFiles/table4_worst_case.dir/table4_worst_case.cpp.o.d"
+  "table4_worst_case"
+  "table4_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

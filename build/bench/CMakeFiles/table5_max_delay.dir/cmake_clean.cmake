@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_max_delay.dir/table5_max_delay.cpp.o"
+  "CMakeFiles/table5_max_delay.dir/table5_max_delay.cpp.o.d"
+  "table5_max_delay"
+  "table5_max_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_max_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_generalization.dir/torus_generalization.cpp.o"
+  "CMakeFiles/torus_generalization.dir/torus_generalization.cpp.o.d"
+  "torus_generalization"
+  "torus_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

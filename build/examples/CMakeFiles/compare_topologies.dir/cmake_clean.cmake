@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_topologies.dir/compare_topologies.cpp.o"
+  "CMakeFiles/compare_topologies.dir/compare_topologies.cpp.o.d"
+  "compare_topologies"
+  "compare_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshbcast_cli.dir/meshbcast_cli.cpp.o"
+  "CMakeFiles/meshbcast_cli.dir/meshbcast_cli.cpp.o.d"
+  "meshbcast_cli"
+  "meshbcast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshbcast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_viz.dir/wavefront_viz.cpp.o"
+  "CMakeFiles/wavefront_viz.dir/wavefront_viz.cpp.o.d"
+  "wavefront_viz"
+  "wavefront_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

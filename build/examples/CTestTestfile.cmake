@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--width" "8" "--height" "8" "--src-x" "2" "--src-y" "3")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_topologies "/root/repo/build/examples/compare_topologies" "--nodes" "128")
+set_tests_properties(example_compare_topologies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_lifetime "/root/repo/build/examples/network_lifetime" "--budget-uj" "500" "--max-rounds" "50")
+set_tests_properties(example_network_lifetime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wavefront_viz "/root/repo/build/examples/wavefront_viz" "--family" "2D-4" "--width" "8" "--height" "8" "--src-x" "4" "--src-y" "4" "--max-frames" "3")
+set_tests_properties(example_wavefront_viz PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_trace "/root/repo/build/examples/export_trace" "--width" "8" "--height" "8" "--src" "20" "--plan-out" "/root/repo/build/smoke_plan.csv" "--trace-out" "/root/repo/build/smoke_trace.csv")
+set_tests_properties(example_export_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_run "/root/repo/build/examples/meshbcast_cli" "run" "--family" "2D-8" "--width" "10" "--height" "10")
+set_tests_properties(example_cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_pipeline "/root/repo/build/examples/meshbcast_cli" "pipeline" "--family" "2D-4" "--width" "12" "--height" "8" "--packets" "2")
+set_tests_properties(example_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "meshbcast::wsn_common" for configuration "Release"
+set_property(TARGET meshbcast::wsn_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_common )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_common "${_IMPORT_PREFIX}/lib/libwsn_common.a" )
+
+# Import target "meshbcast::wsn_geometry" for configuration "Release"
+set_property(TARGET meshbcast::wsn_geometry APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_geometry PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_geometry.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_geometry )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_geometry "${_IMPORT_PREFIX}/lib/libwsn_geometry.a" )
+
+# Import target "meshbcast::wsn_topology" for configuration "Release"
+set_property(TARGET meshbcast::wsn_topology APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_topology PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_topology.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_topology )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_topology "${_IMPORT_PREFIX}/lib/libwsn_topology.a" )
+
+# Import target "meshbcast::wsn_radio" for configuration "Release"
+set_property(TARGET meshbcast::wsn_radio APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_radio PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_radio.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_radio )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_radio "${_IMPORT_PREFIX}/lib/libwsn_radio.a" )
+
+# Import target "meshbcast::wsn_sim" for configuration "Release"
+set_property(TARGET meshbcast::wsn_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_sim )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_sim "${_IMPORT_PREFIX}/lib/libwsn_sim.a" )
+
+# Import target "meshbcast::wsn_protocol" for configuration "Release"
+set_property(TARGET meshbcast::wsn_protocol APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_protocol PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_protocol.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_protocol )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_protocol "${_IMPORT_PREFIX}/lib/libwsn_protocol.a" )
+
+# Import target "meshbcast::wsn_analysis" for configuration "Release"
+set_property(TARGET meshbcast::wsn_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(meshbcast::wsn_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libwsn_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets meshbcast::wsn_analysis )
+list(APPEND _cmake_import_check_files_for_meshbcast::wsn_analysis "${_IMPORT_PREFIX}/lib/libwsn_analysis.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_analysis.dir/ascii_viz.cpp.o"
+  "CMakeFiles/wsn_analysis.dir/ascii_viz.cpp.o.d"
+  "CMakeFiles/wsn_analysis.dir/energy_balance.cpp.o"
+  "CMakeFiles/wsn_analysis.dir/energy_balance.cpp.o.d"
+  "CMakeFiles/wsn_analysis.dir/report.cpp.o"
+  "CMakeFiles/wsn_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/wsn_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/wsn_analysis.dir/sweep.cpp.o.d"
+  "libwsn_analysis.a"
+  "libwsn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

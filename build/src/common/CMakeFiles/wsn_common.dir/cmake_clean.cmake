@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_common.dir/cli.cpp.o"
+  "CMakeFiles/wsn_common.dir/cli.cpp.o.d"
+  "CMakeFiles/wsn_common.dir/csv.cpp.o"
+  "CMakeFiles/wsn_common.dir/csv.cpp.o.d"
+  "CMakeFiles/wsn_common.dir/parallel.cpp.o"
+  "CMakeFiles/wsn_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/wsn_common.dir/random.cpp.o"
+  "CMakeFiles/wsn_common.dir/random.cpp.o.d"
+  "CMakeFiles/wsn_common.dir/string_util.cpp.o"
+  "CMakeFiles/wsn_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/wsn_common.dir/table.cpp.o"
+  "CMakeFiles/wsn_common.dir/table.cpp.o.d"
+  "libwsn_common.a"
+  "libwsn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/diagonal.cpp" "src/geometry/CMakeFiles/wsn_geometry.dir/diagonal.cpp.o" "gcc" "src/geometry/CMakeFiles/wsn_geometry.dir/diagonal.cpp.o.d"
+  "/root/repo/src/geometry/lattice.cpp" "src/geometry/CMakeFiles/wsn_geometry.dir/lattice.cpp.o" "gcc" "src/geometry/CMakeFiles/wsn_geometry.dir/lattice.cpp.o.d"
+  "/root/repo/src/geometry/region.cpp" "src/geometry/CMakeFiles/wsn_geometry.dir/region.cpp.o" "gcc" "src/geometry/CMakeFiles/wsn_geometry.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

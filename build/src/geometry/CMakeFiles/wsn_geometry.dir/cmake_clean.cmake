@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_geometry.dir/diagonal.cpp.o"
+  "CMakeFiles/wsn_geometry.dir/diagonal.cpp.o.d"
+  "CMakeFiles/wsn_geometry.dir/lattice.cpp.o"
+  "CMakeFiles/wsn_geometry.dir/lattice.cpp.o.d"
+  "CMakeFiles/wsn_geometry.dir/region.cpp.o"
+  "CMakeFiles/wsn_geometry.dir/region.cpp.o.d"
+  "libwsn_geometry.a"
+  "libwsn_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/cds_broadcast.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/cds_broadcast.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/cds_broadcast.cpp.o.d"
+  "/root/repo/src/protocol/etr.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/etr.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/etr.cpp.o.d"
+  "/root/repo/src/protocol/flooding.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/flooding.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/flooding.cpp.o.d"
+  "/root/repo/src/protocol/gossip.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/gossip.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/gossip.cpp.o.d"
+  "/root/repo/src/protocol/ideal_model.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/ideal_model.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/ideal_model.cpp.o.d"
+  "/root/repo/src/protocol/mesh2d3_broadcast.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d3_broadcast.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d3_broadcast.cpp.o.d"
+  "/root/repo/src/protocol/mesh2d4_broadcast.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d4_broadcast.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d4_broadcast.cpp.o.d"
+  "/root/repo/src/protocol/mesh2d8_broadcast.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d8_broadcast.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh2d8_broadcast.cpp.o.d"
+  "/root/repo/src/protocol/mesh3d6_broadcast.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh3d6_broadcast.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/mesh3d6_broadcast.cpp.o.d"
+  "/root/repo/src/protocol/registry.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/registry.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/registry.cpp.o.d"
+  "/root/repo/src/protocol/resolver.cpp" "src/protocol/CMakeFiles/wsn_protocol.dir/resolver.cpp.o" "gcc" "src/protocol/CMakeFiles/wsn_protocol.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wsn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wsn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wsn_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

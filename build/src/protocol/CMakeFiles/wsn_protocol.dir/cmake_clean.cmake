@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_protocol.dir/cds_broadcast.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/cds_broadcast.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/etr.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/etr.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/flooding.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/flooding.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/gossip.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/gossip.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/ideal_model.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/ideal_model.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/mesh2d3_broadcast.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/mesh2d3_broadcast.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/mesh2d4_broadcast.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/mesh2d4_broadcast.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/mesh2d8_broadcast.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/mesh2d8_broadcast.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/mesh3d6_broadcast.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/mesh3d6_broadcast.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/registry.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/registry.cpp.o.d"
+  "CMakeFiles/wsn_protocol.dir/resolver.cpp.o"
+  "CMakeFiles/wsn_protocol.dir/resolver.cpp.o.d"
+  "libwsn_protocol.a"
+  "libwsn_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

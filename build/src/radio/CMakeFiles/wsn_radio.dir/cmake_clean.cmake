@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_radio.dir/battery.cpp.o"
+  "CMakeFiles/wsn_radio.dir/battery.cpp.o.d"
+  "CMakeFiles/wsn_radio.dir/energy_model.cpp.o"
+  "CMakeFiles/wsn_radio.dir/energy_model.cpp.o.d"
+  "libwsn_radio.a"
+  "libwsn_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

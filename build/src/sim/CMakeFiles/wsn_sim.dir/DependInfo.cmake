@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/wsn_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/wsn_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/wsn_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/wsn_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/wsn_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/wsn_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/sim/CMakeFiles/wsn_sim.dir/trace_io.cpp.o" "gcc" "src/sim/CMakeFiles/wsn_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wsn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wsn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wsn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/factory.cpp" "src/topology/CMakeFiles/wsn_topology.dir/factory.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/factory.cpp.o.d"
+  "/root/repo/src/topology/graph_algos.cpp" "src/topology/CMakeFiles/wsn_topology.dir/graph_algos.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/graph_algos.cpp.o.d"
+  "/root/repo/src/topology/mesh2d3.cpp" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d3.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d3.cpp.o.d"
+  "/root/repo/src/topology/mesh2d4.cpp" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d4.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d4.cpp.o.d"
+  "/root/repo/src/topology/mesh2d8.cpp" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d8.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/mesh2d8.cpp.o.d"
+  "/root/repo/src/topology/mesh3d6.cpp" "src/topology/CMakeFiles/wsn_topology.dir/mesh3d6.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/mesh3d6.cpp.o.d"
+  "/root/repo/src/topology/random_geometric.cpp" "src/topology/CMakeFiles/wsn_topology.dir/random_geometric.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/random_geometric.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/topology/CMakeFiles/wsn_topology.dir/topology.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/topology.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/topology/CMakeFiles/wsn_topology.dir/torus.cpp.o" "gcc" "src/topology/CMakeFiles/wsn_topology.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wsn_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_topology.dir/factory.cpp.o"
+  "CMakeFiles/wsn_topology.dir/factory.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/graph_algos.cpp.o"
+  "CMakeFiles/wsn_topology.dir/graph_algos.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/mesh2d3.cpp.o"
+  "CMakeFiles/wsn_topology.dir/mesh2d3.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/mesh2d4.cpp.o"
+  "CMakeFiles/wsn_topology.dir/mesh2d4.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/mesh2d8.cpp.o"
+  "CMakeFiles/wsn_topology.dir/mesh2d8.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/mesh3d6.cpp.o"
+  "CMakeFiles/wsn_topology.dir/mesh3d6.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/random_geometric.cpp.o"
+  "CMakeFiles/wsn_topology.dir/random_geometric.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/topology.cpp.o"
+  "CMakeFiles/wsn_topology.dir/topology.cpp.o.d"
+  "CMakeFiles/wsn_topology.dir/torus.cpp.o"
+  "CMakeFiles/wsn_topology.dir/torus.cpp.o.d"
+  "libwsn_topology.a"
+  "libwsn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

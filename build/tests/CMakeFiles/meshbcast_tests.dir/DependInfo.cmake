@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ascii_viz.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_ascii_viz.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_ascii_viz.cpp.o.d"
+  "/root/repo/tests/test_battery.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_battery.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_battery.cpp.o.d"
+  "/root/repo/tests/test_broadcast2d3.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d3.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d3.cpp.o.d"
+  "/root/repo/tests/test_broadcast2d4.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d4.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d4.cpp.o.d"
+  "/root/repo/tests/test_broadcast2d8.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d8.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast2d8.cpp.o.d"
+  "/root/repo/tests/test_broadcast3d6.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast3d6.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_broadcast3d6.cpp.o.d"
+  "/root/repo/tests/test_cds.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_cds.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_cds.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_diagonal.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_diagonal.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_diagonal.cpp.o.d"
+  "/root/repo/tests/test_energy_balance.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_energy_balance.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_energy_balance.cpp.o.d"
+  "/root/repo/tests/test_energy_model.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_energy_model.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_energy_model.cpp.o.d"
+  "/root/repo/tests/test_etr.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_etr.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_etr.cpp.o.d"
+  "/root/repo/tests/test_flooding.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_flooding.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_flooding.cpp.o.d"
+  "/root/repo/tests/test_gossip.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_gossip.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_gossip.cpp.o.d"
+  "/root/repo/tests/test_graph_algos.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_graph_algos.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_graph_algos.cpp.o.d"
+  "/root/repo/tests/test_ideal_model.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_ideal_model.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_ideal_model.cpp.o.d"
+  "/root/repo/tests/test_integration_paper.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_integration_paper.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_integration_paper.cpp.o.d"
+  "/root/repo/tests/test_lattice.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_lattice.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_lattice.cpp.o.d"
+  "/root/repo/tests/test_lifetime.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_lifetime.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_lifetime.cpp.o.d"
+  "/root/repo/tests/test_mesh2d3.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d3.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d3.cpp.o.d"
+  "/root/repo/tests/test_mesh2d4.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d4.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d4.cpp.o.d"
+  "/root/repo/tests/test_mesh2d8.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d8.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh2d8.cpp.o.d"
+  "/root/repo/tests/test_mesh3d6.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh3d6.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_mesh3d6.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_random_geometric.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_random_geometric.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_random_geometric.cpp.o.d"
+  "/root/repo/tests/test_region.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_region.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_region.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_resolver.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_resolver.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_resolver.cpp.o.d"
+  "/root/repo/tests/test_sim_differential.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_sim_differential.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_sim_differential.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_string_util.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_string_util.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_torus.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_torus.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_torus.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_vec.cpp" "tests/CMakeFiles/meshbcast_tests.dir/test_vec.cpp.o" "gcc" "tests/CMakeFiles/meshbcast_tests.dir/test_vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wsn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/wsn_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/wsn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/wsn_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wsn_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
