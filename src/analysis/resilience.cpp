@@ -1,0 +1,164 @@
+#include "analysis/resilience.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/csv.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "fault/models.h"
+
+namespace wsn {
+
+namespace {
+
+/// Stream-splits the master seed so every (cell, trial) pair gets a
+/// decorrelated seed, stable under reordering of the sweep loops.
+std::uint64_t trial_seed(std::uint64_t master, std::size_t cell,
+                         std::size_t trial) noexcept {
+  std::uint64_t state = master;
+  state ^= splitmix64(state) + cell;
+  state ^= splitmix64(state) + trial;
+  return splitmix64(state);
+}
+
+struct TrialResult {
+  double reachability = 0.0;
+  bool full = false;
+  double delay = 0.0;
+  double tx = 0.0;
+  Joules energy = 0.0;
+  double lost_fading = 0.0;
+  double lost_crash = 0.0;
+};
+
+}  // namespace
+
+const ResilienceCell* ResilienceSweep::find(double loss_rate,
+                                            RecoveryPolicy policy) const {
+  for (const ResilienceCell& cell : cells) {
+    if (cell.loss_rate == loss_rate && cell.policy == policy) return &cell;
+  }
+  return nullptr;
+}
+
+void ResilienceSweep::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.typed_row("topology", "loss_rate", "policy", "trials", "planned_tx",
+                "mean_reachability", "min_reachability", "full_reach_share",
+                "mean_delay", "mean_tx", "mean_energy_j",
+                "mean_lost_fading", "mean_lost_crash");
+  for (const ResilienceCell& cell : cells) {
+    csv.typed_row(topology, cell.loss_rate, to_string(cell.policy),
+                  cell.trials, cell.planned_tx, cell.mean_reachability,
+                  cell.min_reachability, cell.full_reach_share,
+                  cell.mean_delay, cell.mean_tx, cell.mean_energy,
+                  cell.mean_lost_fading, cell.mean_lost_crash);
+  }
+}
+
+ResilienceSweep run_resilience_sweep(const Topology& topo,
+                                     const RelayPlan& plan,
+                                     const ResilienceConfig& config) {
+  WSN_EXPECTS(config.trials >= 1);
+  WSN_EXPECTS(!config.loss_rates.empty());
+  WSN_EXPECTS(!config.policies.empty());
+
+  ResilienceSweep sweep;
+  sweep.topology = topo.name();
+
+  // Each policy's augmented plan is deterministic; build it once.
+  std::vector<RelayPlan> plans;
+  plans.reserve(config.policies.size());
+  for (RecoveryPolicy policy : config.policies) {
+    plans.push_back(apply_recovery(topo, plan, policy, config.repeat_k));
+  }
+
+  std::size_t cell_index = 0;
+  for (double loss_rate : config.loss_rates) {
+    for (std::size_t p = 0; p < config.policies.size(); ++p) {
+      const RelayPlan& recovered = plans[p];
+
+      const std::vector<TrialResult> results =
+          parallel_map<TrialResult>(
+              config.trials,
+              [&](std::size_t trial) {
+                const std::uint64_t seed =
+                    trial_seed(config.seed, cell_index, trial);
+                // Per-trial models: FaultModel is stateful and must not be
+                // shared across the concurrent trials.
+                std::unique_ptr<FaultModel> medium;
+                if (config.bursty) {
+                  medium = std::make_unique<GilbertElliottModel>(
+                      GilbertElliottModel::from_mean_loss(
+                          loss_rate, config.burst_len, seed));
+                } else {
+                  medium =
+                      std::make_unique<IidLossModel>(loss_rate, seed);
+                }
+                std::unique_ptr<CrashScheduleModel> crashes;
+                std::unique_ptr<CompositeFaultModel> composite;
+                FaultModel* faults = medium.get();
+                if (config.crash_prob > 0.0) {
+                  std::uint64_t crash_state = seed ^ 0xc7a5ull;
+                  crashes = std::make_unique<CrashScheduleModel>(
+                      CrashScheduleModel::sample(
+                          topo.num_nodes(), config.crash_prob,
+                          config.crash_horizon, config.crash_outage,
+                          splitmix64(crash_state)));
+                  composite = std::make_unique<CompositeFaultModel>(
+                      std::vector<FaultModel*>{medium.get(),
+                                               crashes.get()});
+                  faults = composite.get();
+                }
+
+                SimOptions options;
+                options.faults = faults;
+                const BroadcastOutcome outcome =
+                    simulate_broadcast(topo, recovered, options);
+                const BroadcastStats& s = outcome.stats;
+                return TrialResult{
+                    s.reachability(),
+                    s.fully_reached(),
+                    static_cast<double>(s.delay),
+                    static_cast<double>(s.tx),
+                    s.total_energy(),
+                    static_cast<double>(s.lost_to_fading),
+                    static_cast<double>(s.lost_to_crash)};
+              },
+              config.workers);
+
+      ResilienceCell cell;
+      cell.loss_rate = loss_rate;
+      cell.policy = config.policies[p];
+      cell.trials = config.trials;
+      cell.planned_tx = recovered.planned_tx();
+      cell.min_reachability = 1.0;
+      for (const TrialResult& r : results) {
+        cell.mean_reachability += r.reachability;
+        cell.min_reachability = std::min(cell.min_reachability,
+                                         r.reachability);
+        cell.full_reach_share += r.full ? 1.0 : 0.0;
+        cell.mean_delay += r.delay;
+        cell.mean_tx += r.tx;
+        cell.mean_energy += r.energy;
+        cell.mean_lost_fading += r.lost_fading;
+        cell.mean_lost_crash += r.lost_crash;
+      }
+      const double inv = 1.0 / static_cast<double>(config.trials);
+      cell.mean_reachability *= inv;
+      cell.full_reach_share *= inv;
+      cell.mean_delay *= inv;
+      cell.mean_tx *= inv;
+      cell.mean_energy *= inv;
+      cell.mean_lost_fading *= inv;
+      cell.mean_lost_crash *= inv;
+      sweep.cells.push_back(cell);
+      cell_index += 1;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace wsn

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault/recovery.h"
+#include "sim/plan.h"
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+/// Resilience sweeps: Monte-Carlo degradation curves under fault
+/// injection.
+///
+/// The paper's tables assume a perfect medium; the first question any
+/// deployment asks is how the relay plans degrade when links drop packets
+/// or nodes die mid-broadcast (cf. Xin & Xia's noisy-mesh evaluation and
+/// Mehta & Kwak's delivery-ratio ranking).  This harness answers it: for
+/// each (loss rate x recovery policy) cell it runs N independently seeded
+/// trials of one broadcast -- i.i.d. or bursty link loss, optionally
+/// composed with sampled node crashes -- and folds the outcomes into
+/// reachability / delay / energy statistics.  Trials run via
+/// `parallel_for`, one fault-model instance per trial, and the whole sweep
+/// is a pure function of its config: same seed, same curves.
+namespace wsn {
+
+struct ResilienceConfig {
+  /// Mean per-link loss probabilities to sweep (the x axis).
+  std::vector<double> loss_rates = {0.0, 0.02, 0.05, 0.1, 0.2, 0.3};
+  /// Recovery policies to compare (the curve family).
+  std::vector<RecoveryPolicy> policies = {RecoveryPolicy::kNone,
+                                          RecoveryPolicy::kRepeatK,
+                                          RecoveryPolicy::kEchoRepair};
+  /// Monte-Carlo trials per cell.
+  std::size_t trials = 64;
+  /// Repetition factor of the repeat-k policy.
+  unsigned repeat_k = 2;
+  /// false: i.i.d. loss per link-slot; true: Gilbert-Elliott bursty loss
+  /// with the same mean rate and `burst_len` mean bad-burst length.
+  bool bursty = false;
+  double burst_len = 4.0;
+  /// Per-node crash probability per trial (0 disables crash injection);
+  /// crash slots are uniform in [1, crash_horizon], outages last
+  /// `crash_outage` slots (0 = permanent).
+  double crash_prob = 0.0;
+  Slot crash_horizon = 32;
+  Slot crash_outage = 0;
+  /// Master seed; trial t of cell c derives its own stream from it.
+  std::uint64_t seed = 0x5eed;
+  /// parallel_for worker count (0 = all cores).
+  std::size_t workers = 0;
+};
+
+/// One (loss rate, policy) cell, aggregated over the trials.
+struct ResilienceCell {
+  double loss_rate = 0.0;
+  RecoveryPolicy policy = RecoveryPolicy::kNone;
+  std::size_t trials = 0;
+  std::size_t planned_tx = 0;  // the recovered plan's scheduled Tx
+  double mean_reachability = 0.0;
+  double min_reachability = 0.0;
+  double full_reach_share = 0.0;  // fraction of trials reaching everyone
+  double mean_delay = 0.0;
+  double mean_tx = 0.0;
+  Joules mean_energy = 0.0;
+  double mean_lost_fading = 0.0;
+  double mean_lost_crash = 0.0;
+};
+
+struct ResilienceSweep {
+  std::string topology;  // Topology::name() of the swept instance
+  std::vector<ResilienceCell> cells;  // loss-rate-major, policy-minor
+
+  /// The cell at (loss_rate, policy), or nullptr if not swept.
+  [[nodiscard]] const ResilienceCell* find(double loss_rate,
+                                           RecoveryPolicy policy) const;
+
+  /// CSV: one header plus one row per cell (degradation curves ready for
+  /// external plotting).
+  void write_csv(std::ostream& out) const;
+};
+
+/// Runs the sweep for one topology + base plan.  The base plan should
+/// already be resolved to full reachability; each policy's augmented plan
+/// is built once and reused across that policy's cells.
+[[nodiscard]] ResilienceSweep run_resilience_sweep(
+    const Topology& topo, const RelayPlan& plan,
+    const ResilienceConfig& config);
+
+}  // namespace wsn

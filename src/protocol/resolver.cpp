@@ -6,11 +6,6 @@
 
 namespace wsn {
 
-namespace {
-
-/// True if `a` and `b` are within 2 hops: adjacent, or sharing a neighbor.
-/// Helpers this close must not transmit in the same repair slot -- a shared
-/// neighbor would see two transmitters and decode nothing.
 bool within_two_hops(const Topology& topo, NodeId a, NodeId b) {
   if (topo.adjacent(a, b)) return true;
   const auto na = topo.neighbors(a);
@@ -28,8 +23,6 @@ bool within_two_hops(const Topology& topo, NodeId a, NodeId b) {
   }
   return false;
 }
-
-}  // namespace
 
 namespace {
 
@@ -231,6 +224,7 @@ RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
     if (helpers.empty()) {
       // Nothing adjacent to the reached region: the rest is disconnected.
       local.unreachable = unreached.size();
+      local.unrepaired = unreached.size();
       if (report != nullptr) *report = local;
       return plan;
     }
@@ -263,7 +257,12 @@ RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
     }
   }
 
-  WSN_ASSERT(false && "resolver failed to converge");  // unreachable
+  // Round budget exhausted without convergence.  Each round strictly grows
+  // the reached set, so this cannot happen on any topology the simulator
+  // accepts -- but degrade gracefully instead of aborting: report what is
+  // left unrepaired and return the best plan built so far.
+  local.unrepaired =
+      simulate_broadcast(topo, plan, options).unreached().size();
   if (report != nullptr) *report = local;
   return plan;
 }

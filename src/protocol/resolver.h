@@ -40,6 +40,12 @@ struct ResolveReport {
   /// Nodes that could not be repaired (disconnected from the source);
   /// always 0 on connected topologies.
   std::size_t unreachable = 0;
+  /// Nodes still unreached when the resolver stopped -- the disconnected
+  /// remainder, or (never observed in practice) nodes left over if the
+  /// round budget were exhausted.  0 means the returned plan reaches
+  /// everyone; callers needing graceful degradation branch on this
+  /// instead of trusting full reachability.
+  std::size_t unrepaired = 0;
 };
 
 /// Returns `plan` augmented with repair transmissions until a simulation
@@ -48,5 +54,12 @@ struct ResolveReport {
 [[nodiscard]] RelayPlan resolve_full_reachability(
     const Topology& topo, RelayPlan plan, const SimOptions& options = {},
     ResolveReport* report = nullptr);
+
+/// True if `a` and `b` are within 2 hops: adjacent, or sharing a neighbor.
+/// Two transmitters this close must not share a slot -- a common neighbor
+/// would see both and decode nothing.  Exposed for the echo-repair
+/// recovery policy (fault/recovery.h), which packs redundant helpers into
+/// slots under the same separation rule as the resolver's repairs.
+[[nodiscard]] bool within_two_hops(const Topology& topo, NodeId a, NodeId b);
 
 }  // namespace wsn

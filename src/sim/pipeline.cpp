@@ -33,6 +33,9 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
   WSN_EXPECTS(options.sim.battery == nullptr);
   plan.validate();
 
+  FaultModel* const faults = options.sim.faults;
+  if (faults != nullptr) faults->begin_run();
+
   PipelineOutcome out;
   out.per_packet.assign(packets, BroadcastStats{});
   for (auto& stats : out.per_packet) stats.num_nodes = n;
@@ -89,6 +92,17 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
       i = j;
     }
 
+    // Crashed transmitters lose the slot's transmission outright, exactly
+    // as in the single-packet simulator; the loss is charged per would-be
+    // hearer to the suppressed packet.
+    if (faults != nullptr) {
+      std::erase_if(transmitters, [&](const Pending& t) {
+        if (faults->node_up(t.node, slot)) return false;
+        out.per_packet[t.packet].lost_to_crash += topo.degree(t.node);
+        return true;
+      });
+    }
+
     for (const Pending& t : transmitters) {
       is_transmitting[t.node] = 1;
       tx_packet[t.node] = t.packet;
@@ -101,6 +115,16 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
     touched.clear();
     for (const Pending& t : transmitters) {
       for (NodeId u : topo.neighbors(t.node)) {
+        if (faults != nullptr) {
+          if (!faults->node_up(u, slot)) {
+            out.per_packet[t.packet].lost_to_crash += 1;
+            continue;
+          }
+          if (!faults->link_delivers(t.node, u, slot)) {
+            out.per_packet[t.packet].lost_to_fading += 1;
+            continue;
+          }
+        }
         if (hear_count[u] == 0) touched.push_back(u);
         hear_count[u] += 1;
         heard_from[u] = t.node;
@@ -145,6 +169,8 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
     out.aggregate.tx += stats.tx;
     out.aggregate.rx += stats.rx;
     out.aggregate.duplicates += stats.duplicates;
+    out.aggregate.lost_to_fading += stats.lost_to_fading;
+    out.aggregate.lost_to_crash += stats.lost_to_crash;
     out.aggregate.tx_energy += stats.tx_energy;
     out.aggregate.rx_energy += stats.rx_energy;
     const Slot base = static_cast<Slot>(p) * options.interval;

@@ -33,7 +33,9 @@ struct PipelineOptions {
   std::size_t packets = 4;
   /// Slots between consecutive injections (≥ 1).
   Slot interval = 8;
-  /// Medium / energy configuration (battery not supported here).
+  /// Medium / energy configuration (battery not supported here; fault
+  /// injection via `sim.faults` is honored, with losses attributed to the
+  /// affected packet's stats).
   SimOptions sim{};
 };
 

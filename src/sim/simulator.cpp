@@ -30,6 +30,9 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
   WSN_EXPECTS(options.battery == nullptr || options.battery->size() == n);
   plan.validate();
 
+  FaultModel* const faults = options.faults;
+  if (faults != nullptr) faults->begin_run();
+
   BroadcastOutcome out;
   out.stats.num_nodes = n;
   out.first_rx.assign(n, kNeverSlot);
@@ -71,6 +74,16 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
         return !options.battery->alive(v);
       });
     }
+    // Crashed transmitters lose the scheduled transmission outright (the
+    // radio was off when the timer fired): no energy spent, and every
+    // would-be hearer's delivery is charged to the crash.
+    if (faults != nullptr) {
+      std::erase_if(transmitters, [&](NodeId v) {
+        if (faults->node_up(v, slot)) return false;
+        out.stats.lost_to_crash += topo.degree(v);
+        return true;
+      });
+    }
     if (transmitters.empty()) continue;
 
     for (NodeId v : transmitters) {
@@ -90,6 +103,19 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
       for (NodeId u : topo.neighbors(v)) {
         if (options.battery != nullptr && !options.battery->alive(u)) {
           continue;
+        }
+        if (faults != nullptr) {
+          if (!faults->node_up(u, slot)) {
+            out.stats.lost_to_crash += 1;
+            continue;
+          }
+          // A faded packet is below the decode *and* interference
+          // thresholds: it neither delivers nor contributes to collisions
+          // (fault/fault_model.h).
+          if (!faults->link_delivers(v, u, slot)) {
+            out.stats.lost_to_fading += 1;
+            continue;
+          }
         }
         if (hear_count[u] == 0) touched.push_back(u);
         hear_count[u] += 1;

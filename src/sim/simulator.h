@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault_model.h"
 #include "radio/battery.h"
 #include "radio/energy_model.h"
 #include "sim/plan.h"
@@ -49,6 +50,13 @@ struct SimOptions {
   /// only totals energy; the per-node view exposes how unevenly relay duty
   /// burdens nodes -- its §1 critique of non-balancing protocols).
   bool record_node_energy = false;
+  /// Optional fault injection (fault/fault_model.h): per-link packet loss
+  /// and per-node crash windows.  nullptr (the default) keeps the paper's
+  /// perfect medium and leaves the hot path untouched; when set, the model
+  /// is consulted per (tx, rx, slot) edge and losses are attributed to
+  /// `BroadcastStats::lost_to_fading` / `lost_to_crash`.  Like `battery`,
+  /// the model is stateful and must not be shared across concurrent runs.
+  FaultModel* faults = nullptr;
   /// Hard stop. Generous default: plans terminate on their own.
   Slot max_slots = 1u << 20;
 };

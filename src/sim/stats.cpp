@@ -10,6 +10,12 @@ std::string BroadcastStats::summary() const {
   out += " rx=" + std::to_string(rx);
   out += " dup=" + std::to_string(duplicates);
   out += " coll=" + std::to_string(collisions);
+  // Fault-injection counters only when present, so fault-free output is
+  // byte-identical to the pre-fault-subsystem format.
+  if (lost_to_fading + lost_to_crash > 0) {
+    out += " fade=" + std::to_string(lost_to_fading);
+    out += " crash=" + std::to_string(lost_to_crash);
+  }
   out += " delay=" + std::to_string(delay);
   out += " energy=" + sci(total_energy()) + "J";
   out += " reach=" + fixed(100.0 * reachability(), 1) + "%";

@@ -19,6 +19,17 @@
 ///   * energy      -- E_Tx summed over transmissions plus E_Rx summed over
 ///                    successful receptions (the paper's accounting; see
 ///                    DESIGN.md §4)
+///
+/// Under fault injection (SimOptions::faults) two loss counters join the
+/// collision count; each counts directed (transmitter, receiver) reception
+/// opportunities destroyed, so decode + collide + fade + crash partitions
+/// the links a perfect medium would have delivered (half-duplex deafness
+/// excepted, which was never a delivery in the paper's medium either):
+///
+///   * lost_to_fading -- the fault model dropped the packet on that link
+///   * lost_to_crash  -- the transmitter was down when its slot fired (one
+///                       loss per would-be hearer) or the receiver was
+///                       down when the packet arrived
 namespace wsn {
 
 struct BroadcastStats {
@@ -28,6 +39,8 @@ struct BroadcastStats {
   std::size_t rx = 0;
   std::size_t duplicates = 0;
   std::size_t collisions = 0;
+  std::size_t lost_to_fading = 0;  // nonzero only under fault injection
+  std::size_t lost_to_crash = 0;   // nonzero only under fault injection
   Slot delay = 0;
   Joules tx_energy = 0.0;
   Joules rx_energy = 0.0;

@@ -1,0 +1,162 @@
+#include "fault/models.h"
+
+#include <gtest/gtest.h>
+
+namespace wsn {
+namespace {
+
+TEST(IidLossModel, EmpiricalRateMatchesParameter) {
+  IidLossModel model(0.25, 42);
+  std::size_t losses = 0;
+  const std::size_t draws = 40000;
+  for (Slot s = 1; s <= draws; ++s) {
+    if (!model.link_delivers(3, 7, s)) losses += 1;
+  }
+  const double rate = static_cast<double>(losses) / draws;
+  EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(IidLossModel, PureFunctionOfSeedLinkSlot) {
+  IidLossModel a(0.3, 99);
+  IidLossModel b(0.3, 99);
+  for (Slot s = 1; s <= 200; ++s) {
+    EXPECT_EQ(a.link_delivers(1, 2, s), b.link_delivers(1, 2, s));
+  }
+  // Query order must not matter (counter-mode, not a stream).
+  IidLossModel c(0.3, 99);
+  for (Slot s = 200; s >= 1; --s) {
+    EXPECT_EQ(c.link_delivers(1, 2, s), b.link_delivers(1, 2, s));
+  }
+}
+
+TEST(IidLossModel, DirectedLinksAreIndependentStreams) {
+  IidLossModel model(0.5, 7);
+  std::size_t differs = 0;
+  for (Slot s = 1; s <= 500; ++s) {
+    if (model.link_delivers(1, 2, s) != model.link_delivers(2, 1, s)) {
+      differs += 1;
+    }
+  }
+  EXPECT_GT(differs, 100u);  // ~250 expected at p=0.5
+}
+
+TEST(IidLossModel, ZeroAndOneAreDegenerate) {
+  IidLossModel never(0.0, 1);
+  IidLossModel always(1.0, 1);
+  for (Slot s = 1; s <= 50; ++s) {
+    EXPECT_TRUE(never.link_delivers(0, 1, s));
+    EXPECT_FALSE(always.link_delivers(0, 1, s));
+  }
+  EXPECT_TRUE(never.node_up(0, 1));  // loss models never crash nodes
+}
+
+TEST(GilbertElliott, StationaryLossMatchesMean) {
+  GilbertElliottModel model =
+      GilbertElliottModel::from_mean_loss(0.2, 4.0, 11);
+  std::size_t losses = 0;
+  const std::size_t draws = 60000;
+  for (Slot s = 1; s <= draws; ++s) {
+    if (!model.link_delivers(0, 1, s)) losses += 1;
+  }
+  const double rate = static_cast<double>(losses) / draws;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(GilbertElliott, LossesAreBursty) {
+  // Conditional loss probability after a loss must exceed the marginal
+  // rate -- the whole point of the bad state.
+  GilbertElliottModel model =
+      GilbertElliottModel::from_mean_loss(0.15, 8.0, 5);
+  std::size_t losses = 0;
+  std::size_t pairs = 0;
+  std::size_t consecutive = 0;
+  bool prev_lost = false;
+  const std::size_t draws = 60000;
+  for (Slot s = 1; s <= draws; ++s) {
+    const bool lost = !model.link_delivers(2, 3, s);
+    if (lost) losses += 1;
+    if (prev_lost) {
+      pairs += 1;
+      if (lost) consecutive += 1;
+    }
+    prev_lost = lost;
+  }
+  const double marginal = static_cast<double>(losses) / draws;
+  const double conditional =
+      static_cast<double>(consecutive) / static_cast<double>(pairs);
+  EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(GilbertElliott, BeginRunReplaysIdentically) {
+  GilbertElliottModel model =
+      GilbertElliottModel::from_mean_loss(0.3, 4.0, 17);
+  std::vector<bool> first;
+  for (Slot s = 1; s <= 300; ++s) {
+    first.push_back(model.link_delivers(4, 5, s));
+  }
+  model.begin_run();
+  for (Slot s = 1; s <= 300; ++s) {
+    EXPECT_EQ(model.link_delivers(4, 5, s), first[static_cast<std::size_t>(s - 1)]);
+  }
+}
+
+TEST(GilbertElliott, StationaryBadShare) {
+  const GilbertElliottModel model(0.1, 0.3, 0.0, 1.0, 1);
+  EXPECT_NEAR(model.stationary_bad(), 0.25, 1e-12);
+}
+
+TEST(CrashSchedule, DownExactlyDuringWindow) {
+  CrashScheduleModel model(5, {CrashEvent{2, 3, 7}});
+  for (Slot s = 0; s <= 10; ++s) {
+    EXPECT_EQ(model.node_up(2, s), s < 3 || s >= 7) << "slot " << s;
+    EXPECT_TRUE(model.node_up(1, s));
+  }
+}
+
+TEST(CrashSchedule, PermanentCrashNeverRecovers) {
+  CrashScheduleModel model(3, {CrashEvent{0, 5, kNeverSlot}});
+  EXPECT_TRUE(model.node_up(0, 4));
+  EXPECT_FALSE(model.node_up(0, 5));
+  EXPECT_FALSE(model.node_up(0, 100000));
+  for (Slot s = 0; s <= 10; ++s) {
+    EXPECT_TRUE(model.link_delivers(0, 1, s));  // crash models never fade
+  }
+}
+
+TEST(CrashSchedule, SampleIsDeterministicAndBounded) {
+  const auto a = CrashScheduleModel::sample(100, 0.2, 16, 4, 31);
+  const auto b = CrashScheduleModel::sample(100, 0.2, 16, 4, 31);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_GT(a.events().size(), 5u);   // ~20 expected
+  EXPECT_LT(a.events().size(), 50u);
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].down_from, b.events()[i].down_from);
+    EXPECT_EQ(a.events()[i].up_at, b.events()[i].up_at);
+    EXPECT_GE(a.events()[i].down_from, 1u);
+    EXPECT_LE(a.events()[i].down_from, 16u);
+    EXPECT_EQ(a.events()[i].up_at, a.events()[i].down_from + 4);
+  }
+}
+
+TEST(CrashSchedule, SampleZeroProbabilityIsEmpty) {
+  const auto model = CrashScheduleModel::sample(50, 0.0, 16, 0, 1);
+  EXPECT_TRUE(model.events().empty());
+}
+
+TEST(Composite, ConjunctionOfParts) {
+  IidLossModel lossy(1.0, 3);                           // drops everything
+  CrashScheduleModel crash(4, {CrashEvent{1, 2, 5}});   // node 1 down [2,5)
+  CompositeFaultModel both({&lossy, &crash});
+  EXPECT_FALSE(both.link_delivers(0, 1, 1));  // lossy part drops
+  EXPECT_FALSE(both.node_up(1, 3));           // crash part is down
+  EXPECT_TRUE(both.node_up(1, 6));
+  EXPECT_TRUE(both.node_up(0, 3));
+
+  IidLossModel clean(0.0, 3);
+  CompositeFaultModel clean_crash({&clean, &crash});
+  EXPECT_TRUE(clean_crash.link_delivers(0, 1, 1));
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,137 @@
+#include "analysis/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "protocol/registry.h"
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+namespace {
+
+ResilienceConfig small_config() {
+  ResilienceConfig config;
+  config.loss_rates = {0.0, 0.1};
+  config.trials = 24;
+  config.seed = 2024;
+  config.workers = 2;
+  return config;
+}
+
+TEST(Resilience, ZeroLossIsAlwaysFullyReached) {
+  const Mesh2D4 topo(8, 8);
+  const RelayPlan plan = paper_plan(topo, 0);
+  const ResilienceSweep sweep =
+      run_resilience_sweep(topo, plan, small_config());
+  for (const RecoveryPolicy policy :
+       {RecoveryPolicy::kNone, RecoveryPolicy::kRepeatK,
+        RecoveryPolicy::kEchoRepair}) {
+    const ResilienceCell* cell = sweep.find(0.0, policy);
+    ASSERT_NE(cell, nullptr);
+    EXPECT_DOUBLE_EQ(cell->mean_reachability, 1.0);
+    EXPECT_DOUBLE_EQ(cell->full_reach_share, 1.0);
+    EXPECT_DOUBLE_EQ(cell->mean_lost_fading, 0.0);
+  }
+}
+
+TEST(Resilience, RecoveryLiftsReachabilityAtTenPercentLoss) {
+  // The acceptance criterion: at 10% i.i.d. link loss on 2D-4, both
+  // recovery policies must lift mean reachability by a measurable margin
+  // over the unmodified plan.
+  const Mesh2D4 topo(8, 8);
+  const RelayPlan plan = paper_plan(topo, 0);
+  const ResilienceSweep sweep =
+      run_resilience_sweep(topo, plan, small_config());
+  const ResilienceCell* none = sweep.find(0.1, RecoveryPolicy::kNone);
+  const ResilienceCell* repeat = sweep.find(0.1, RecoveryPolicy::kRepeatK);
+  const ResilienceCell* echo = sweep.find(0.1, RecoveryPolicy::kEchoRepair);
+  ASSERT_NE(none, nullptr);
+  ASSERT_NE(repeat, nullptr);
+  ASSERT_NE(echo, nullptr);
+  EXPECT_LT(none->mean_reachability, 1.0);  // loss does bite the bare plan
+  EXPECT_GT(repeat->mean_reachability, none->mean_reachability + 0.02);
+  EXPECT_GT(echo->mean_reachability, none->mean_reachability + 0.02);
+  // And the policies' cost is visible: more planned transmissions, more
+  // energy.
+  EXPECT_GT(repeat->planned_tx, none->planned_tx);
+  EXPECT_GT(echo->planned_tx, none->planned_tx);
+  EXPECT_GT(repeat->mean_energy, none->mean_energy);
+}
+
+TEST(Resilience, SweepIsReproducible) {
+  const Mesh2D4 topo(6, 6);
+  const RelayPlan plan = paper_plan(topo, 5);
+  ResilienceConfig config = small_config();
+  config.trials = 8;
+  const ResilienceSweep a = run_resilience_sweep(topo, plan, config);
+  const ResilienceSweep b = run_resilience_sweep(topo, plan, config);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_reachability,
+                     b.cells[i].mean_reachability);
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_delay, b.cells[i].mean_delay);
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_energy, b.cells[i].mean_energy);
+    EXPECT_DOUBLE_EQ(a.cells[i].mean_lost_fading,
+                     b.cells[i].mean_lost_fading);
+  }
+}
+
+TEST(Resilience, WorkerCountDoesNotChangeResults) {
+  const Mesh2D4 topo(6, 6);
+  const RelayPlan plan = paper_plan(topo, 5);
+  ResilienceConfig config = small_config();
+  config.trials = 8;
+  config.workers = 1;
+  const ResilienceSweep serial = run_resilience_sweep(topo, plan, config);
+  config.workers = 4;
+  const ResilienceSweep parallel = run_resilience_sweep(topo, plan, config);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.cells[i].mean_reachability,
+                     parallel.cells[i].mean_reachability);
+    EXPECT_DOUBLE_EQ(serial.cells[i].mean_energy,
+                     parallel.cells[i].mean_energy);
+  }
+}
+
+TEST(Resilience, BurstyAndCrashConfigurationsRun) {
+  const Mesh2D4 topo(6, 6);
+  const RelayPlan plan = paper_plan(topo, 0);
+  ResilienceConfig config = small_config();
+  config.trials = 8;
+  config.bursty = true;
+  config.crash_prob = 0.05;
+  config.crash_outage = 4;
+  const ResilienceSweep sweep = run_resilience_sweep(topo, plan, config);
+  ASSERT_EQ(sweep.cells.size(), 2u * 3u);
+  // Crashes bite even at zero link loss.
+  const ResilienceCell* cell = sweep.find(0.0, RecoveryPolicy::kNone);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GT(cell->mean_lost_crash, 0.0);
+}
+
+TEST(Resilience, CsvHasHeaderAndOneRowPerCell) {
+  const Mesh2D4 topo(6, 6);
+  const RelayPlan plan = paper_plan(topo, 0);
+  ResilienceConfig config = small_config();
+  config.trials = 4;
+  const ResilienceSweep sweep = run_resilience_sweep(topo, plan, config);
+  std::ostringstream out;
+  sweep.write_csv(out);
+  const std::vector<std::string> lines = split(trim(out.str()), '\n');
+  ASSERT_EQ(lines.size(), 1 + sweep.cells.size());
+  EXPECT_TRUE(starts_with(lines[0], "topology,loss_rate,policy,trials"));
+  const std::vector<std::string> first_row = split(lines[1], ',');
+  ASSERT_EQ(first_row.size(), 13u);
+  EXPECT_EQ(first_row[2], "none");
+  // Reachability, delay and energy are recorded per cell (the acceptance
+  // criterion's CSV contract).
+  EXPECT_TRUE(lines[0].find("mean_reachability") != std::string::npos);
+  EXPECT_TRUE(lines[0].find("mean_delay") != std::string::npos);
+  EXPECT_TRUE(lines[0].find("mean_energy_j") != std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -75,6 +75,35 @@ TEST(Resolver, ReportsDisconnectedRemainder) {
   EXPECT_EQ(report.unreachable, out.unreached().size());
 }
 
+TEST(Resolver, UnrepairedPopulatedOnDisconnectedTopology) {
+  // Graceful degradation contract: instead of aborting, the resolver
+  // reports exactly the nodes it could not repair, and the returned plan
+  // still reaches the whole source component.
+  const RandomGeometric topo(40, 100.0, 5.0, 11);
+  ASSERT_FALSE(is_connected(topo));
+  RelayPlan plan = RelayPlan::empty(topo.num_nodes(), 0);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) plan.tx_offsets[v] = {1};
+  ResolveReport report;
+  const RelayPlan resolved = resolve_full_reachability(topo, plan, {},
+                                                       &report);
+  const auto out = simulate_broadcast(topo, resolved);
+  EXPECT_GT(report.unrepaired, 0u);
+  EXPECT_EQ(report.unrepaired, out.unreached().size());
+  EXPECT_EQ(report.unrepaired, report.unreachable);
+  // The source component itself is fully served.
+  EXPECT_EQ(out.stats.reached + report.unrepaired, topo.num_nodes());
+}
+
+TEST(Resolver, UnrepairedZeroOnConnectedTopology) {
+  const Mesh2D4 topo(7, 5);
+  ResolveReport report;
+  const RelayPlan resolved = resolve_full_reachability(
+      topo, RelayPlan::empty(topo.num_nodes(), 3), {}, &report);
+  const auto out = simulate_broadcast(topo, resolved);
+  EXPECT_TRUE(out.stats.fully_reached());
+  EXPECT_EQ(report.unrepaired, 0u);
+}
+
 TEST(Resolver, DeterministicAcrossRuns) {
   const Mesh2D3 topo(16, 16);
   const Mesh2d3Broadcast proto;
