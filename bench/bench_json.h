@@ -1,0 +1,113 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Machine-readable bench output: BENCH_perf.json.
+///
+/// Every perf bench emits one JSON document so the bench trajectory can be
+/// tracked across commits (schema documented in EXPERIMENTS.md):
+///
+///   {
+///     "schema": "meshbcast.bench", "version": 1, "bench": "<binary>",
+///     "results": [
+///       {"name": "simulate/2D-4", "iterations": 64,
+///        "runs_per_sec": 10443.2, "mean_ms": 0.0957,
+///        "p50_ms": 0.0951, "p95_ms": 0.0987}, ...
+///     ]
+///   }
+///
+/// `measure` times a callable with a fixed warmup, collects per-iteration
+/// wall times and reports runs/sec plus p50/p95 -- enough to catch both
+/// mean regressions and tail wobble.  Header-only and bench-local on
+/// purpose: the library itself stays free of benchmarking concerns.
+namespace wsn::bench {
+
+struct BenchResult {
+  std::string name;
+  std::size_t iterations = 0;
+  double runs_per_sec = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// `index` in [0, 1]; linear interpolation between order statistics.
+inline double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted_ms.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+/// Runs `fn` until both `min_iterations` and `min_seconds` are met
+/// (after one untimed warmup call) and folds the per-iteration wall
+/// times into a BenchResult.
+template <typename Fn>
+BenchResult measure(std::string name, Fn&& fn,
+                    std::size_t min_iterations = 16,
+                    double min_seconds = 0.2,
+                    std::size_t max_iterations = 4096) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+
+  std::vector<double> times_ms;
+  double total_s = 0.0;
+  while ((times_ms.size() < min_iterations || total_s < min_seconds) &&
+         times_ms.size() < max_iterations) {
+    const auto start = clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = clock::now() - start;
+    times_ms.push_back(elapsed.count() * 1e3);
+    total_s += elapsed.count();
+  }
+
+  BenchResult result;
+  result.name = std::move(name);
+  result.iterations = times_ms.size();
+  result.runs_per_sec =
+      total_s > 0.0 ? static_cast<double>(times_ms.size()) / total_s : 0.0;
+  double sum = 0.0;
+  for (double t : times_ms) sum += t;
+  result.mean_ms = sum / static_cast<double>(times_ms.size());
+  std::sort(times_ms.begin(), times_ms.end());
+  result.p50_ms = percentile(times_ms, 0.50);
+  result.p95_ms = percentile(times_ms, 0.95);
+  return result;
+}
+
+/// Writes the document; returns false (with a stderr note) on I/O error.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& bench,
+                             const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\"schema\":\"meshbcast.bench\",\"version\":1,\"bench\":\""
+      << bench << "\",\n \"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    if (i != 0) out << ",";
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "\n  {\"name\":\"%s\",\"iterations\":%zu,"
+                  "\"runs_per_sec\":%.3f,\"mean_ms\":%.6f,"
+                  "\"p50_ms\":%.6f,\"p95_ms\":%.6f}",
+                  r.name.c_str(), r.iterations, r.runs_per_sec, r.mean_ms,
+                  r.p50_ms, r.p95_ms);
+    out << line;
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace wsn::bench

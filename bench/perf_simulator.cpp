@@ -2,13 +2,28 @@
 // per-broadcast latency across network sizes, plan construction cost, the
 // resolver's overhead, and the parallel full-sweep throughput that powers
 // Tables 3-5.
+//
+// Besides the interactive google-benchmark output, the binary self-times
+// one broadcast per paper topology and writes BENCH_perf.json
+// (meshbcast.bench schema, see EXPERIMENTS.md) so CI can archive the perf
+// trajectory:
+//
+//   $ perf_simulator [--json-out BENCH_perf.json] [--no-gbench] [gbench args]
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "analysis/sweep.h"
+#include "bench_json.h"
 #include "protocol/mesh2d4_broadcast.h"
 #include "protocol/registry.h"
 #include "sim/simulator.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
 #include "topology/mesh2d4.h"
 #include "topology/mesh3d6.h"
 
@@ -67,4 +82,67 @@ void BM_FullSweep2D4(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSweep2D4)->Unit(benchmark::kMillisecond);
 
+// One self-timed broadcast per paper topology (center source) plus the
+// parallel full sweep -- the numbers the BENCH_perf.json trajectory tracks.
+std::vector<wsn::bench::BenchResult> run_json_benches() {
+  std::vector<wsn::bench::BenchResult> results;
+  for (const std::string& family : wsn::regular_families()) {
+    const auto topo = wsn::make_paper_topology(family);
+    const wsn::NodeId src = wsn::graph_center(*topo);
+    const wsn::RelayPlan plan = wsn::paper_plan(*topo, src);
+    results.push_back(wsn::bench::measure("simulate/" + family, [&] {
+      benchmark::DoNotOptimize(wsn::simulate_broadcast(*topo, plan));
+    }));
+  }
+  {
+    const wsn::Mesh2D4 topo(32, 16);
+    results.push_back(wsn::bench::measure(
+        "sweep_all_sources/2D-4",
+        [&] { benchmark::DoNotOptimize(wsn::sweep_all_sources(topo)); },
+        /*min_iterations=*/4, /*min_seconds=*/0.5));
+  }
+  return results;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the json-emission flags before handing the rest to
+  // google-benchmark (it rejects unknown arguments).
+  std::string json_path = "BENCH_perf.json";
+  bool run_gbench = true;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-gbench") {
+      run_gbench = false;
+    } else if (arg == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json-out="));
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+
+  const std::vector<wsn::bench::BenchResult> results = run_json_benches();
+  if (!json_path.empty()) {
+    if (!wsn::bench::write_bench_json(json_path, "perf_simulator", results)) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu results)\n\n", json_path.c_str(),
+                results.size());
+  }
+
+  if (run_gbench) {
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "common/cli.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "obs/profile.h"
 #include "protocol/registry.h"
 #include "topology/factory.h"
 
@@ -61,7 +62,11 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "master seed", "24083");
   cli.add_option("csv", "CSV output path ('-' = stdout, '' = none)", "");
   cli.add_option("workers", "worker threads (0 = all cores)", "0");
+  cli.add_flag("profile", "print the profiling-span report");
   if (!cli.parse(argc, argv)) return 1;
+  if (cli.get_flag("profile")) {
+    wsn::Profiler::instance().set_enabled(true);
+  }
 
   const auto topo = wsn::make_paper_topology(cli.get("family"));
   const auto src = static_cast<wsn::NodeId>(cli.get_u64("src"));
@@ -117,6 +122,9 @@ int main(int argc, char** argv) {
     sweep.write_csv(out);
     std::printf("\nwrote %zu cells to %s\n", sweep.cells.size(),
                 csv_path.c_str());
+  }
+  if (cli.get_flag("profile")) {
+    std::printf("\n%s", wsn::Profiler::instance().report_text().c_str());
   }
   return 0;
 }

@@ -9,8 +9,14 @@
 // source sweep, role-map rendering, and pipeline-period search.  The
 // --protocol flag switches between the paper's specialized rules, the
 // generic CDS, and the flooding/gossip baselines.
+//
+// Observability (any command):
+//   --trace-out t.json     Chrome/Perfetto trace (t.jsonl -> JSONL events)
+//   --metrics-out m.json   metrics-registry scrape after the run
+//   --profile              print the profiling-span report on exit
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -18,6 +24,11 @@
 #include "analysis/sweep.h"
 #include "common/cli.h"
 #include "common/string_util.h"
+#include "obs/event_sink.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/profile.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/flooding.h"
 #include "protocol/gossip.h"
@@ -71,12 +82,33 @@ int main(int argc, char** argv) {
                  "center");
   cli.add_option("protocol", "paper, cds, flood or gossip", "paper");
   cli.add_option("packets", "pipeline depth (pipeline command)", "4");
+  cli.add_option("trace-out",
+                 "event trace path: .jsonl = JSONL, else Chrome/Perfetto "
+                 "trace-event JSON",
+                 "");
+  cli.add_option("metrics-out", "metrics JSON path", "");
+  cli.add_flag("profile", "print the profiling-span report");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::fputs(cli.usage().c_str(), stderr);
     return 1;
   }
   const std::string command = cli.positional().front();
+
+  const std::string trace_path = cli.get("trace-out");
+  const std::string metrics_path = cli.get("metrics-out");
+  const bool profile = cli.get_flag("profile");
+  if (profile) wsn::Profiler::instance().set_enabled(true);
+  if (!trace_path.empty() && command == "sweep") {
+    std::fprintf(stderr,
+                 "--trace-out is per-run; sweep runs sources concurrently "
+                 "(use --metrics-out / --profile there)\n");
+    return 1;
+  }
+  wsn::EventSink sink;
+  wsn::MetricsRegistry registry;
+  wsn::Observer observer(trace_path.empty() ? nullptr : &sink, &registry);
+  const bool observe = !trace_path.empty() || !metrics_path.empty();
 
   const auto topo = wsn::make_mesh(cli.get("family"),
                                    static_cast<int>(cli.get_u64("width")),
@@ -95,20 +127,57 @@ int main(int argc, char** argv) {
     src = static_cast<wsn::NodeId>(value);
   }
 
+  wsn::SimOptions sim_options;
+  sim_options.observer = observe ? &observer : nullptr;
+
+  // Writes the requested observability artifacts, then forwards `code`.
+  const auto finish = [&](int code) {
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      if (trace_path.size() >= 6 &&
+          trace_path.rfind(".jsonl") == trace_path.size() - 6) {
+        wsn::write_events_jsonl(file, sink);
+      } else {
+        wsn::write_chrome_trace(file, sink);
+      }
+      std::printf("trace: %s (%llu events)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(sink.total()));
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      wsn::write_metrics_json(file, registry.scrape());
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (profile) {
+      std::fputs(wsn::Profiler::instance().report_text().c_str(), stdout);
+    }
+    return code;
+  };
+
   if (command == "run") {
     const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
-    const auto out = wsn::simulate_broadcast(*topo, plan);
+    const auto out = wsn::simulate_broadcast(*topo, plan, sim_options);
     std::printf("%s, source %u, %s protocol\n  %s\n", topo->name().c_str(),
                 src, cli.get("protocol").c_str(),
                 out.stats.summary().c_str());
-    return 0;
+    return finish(0);
   }
   if (command == "sweep") {
     const std::string protocol = cli.get("protocol");
     const wsn::SweepResult sweep = wsn::sweep_all_sources_with(
-        *topo, [&](const wsn::Topology& t, wsn::NodeId s) {
+        *topo,
+        [&](const wsn::Topology& t, wsn::NodeId s) {
           return make_plan(protocol, t, s);
-        });
+        },
+        sim_options);
     std::printf("%s, %zu sources, %s protocol\n", topo->name().c_str(),
                 sweep.per_source.size(), protocol.c_str());
     std::printf("  best  src=%u  %s\n", sweep.best().source,
@@ -118,7 +187,7 @@ int main(int argc, char** argv) {
     std::printf("  mean power %s J, max delay %u, all reached: %s\n",
                 wsn::sci(sweep.mean_energy()).c_str(), sweep.max_delay(),
                 sweep.all_fully_reached() ? "yes" : "NO");
-    return 0;
+    return finish(0);
   }
   if (command == "viz") {
     const wsn::Grid2D* grid = grid2d_of(*topo);
@@ -127,10 +196,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
-    const auto out = wsn::simulate_broadcast(*topo, plan);
+    const auto out = wsn::simulate_broadcast(*topo, plan, sim_options);
     std::printf("%s\n", out.stats.summary().c_str());
     std::fputs(wsn::render_roles(*grid, plan, &out).c_str(), stdout);
-    return 0;
+    return finish(0);
   }
   if (command == "pipeline") {
     const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
@@ -142,8 +211,17 @@ int main(int argc, char** argv) {
     } else {
       std::printf("%s: %zu-packet pipeline period = %u slots\n",
                   topo->name().c_str(), packets, period);
+      // Replay the found period once with the observer installed so the
+      // trace/metrics artifacts show the steady-state pipeline.
+      if (observe) {
+        wsn::PipelineOptions pipeline_options;
+        pipeline_options.packets = packets;
+        pipeline_options.interval = period;
+        pipeline_options.sim = sim_options;
+        (void)wsn::simulate_pipeline(*topo, plan, pipeline_options);
+      }
     }
-    return 0;
+    return finish(0);
   }
 
   std::fprintf(stderr, "unknown command '%s' (run|sweep|viz|pipeline)\n",

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "fault/models.h"
+#include "obs/profile.h"
 
 namespace wsn {
 
@@ -64,6 +65,7 @@ ResilienceSweep run_resilience_sweep(const Topology& topo,
   WSN_EXPECTS(config.trials >= 1);
   WSN_EXPECTS(!config.loss_rates.empty());
   WSN_EXPECTS(!config.policies.empty());
+  WSN_SPAN("resilience.sweep");
 
   ResilienceSweep sweep;
   sweep.topology = topo.name();
@@ -84,6 +86,7 @@ ResilienceSweep run_resilience_sweep(const Topology& topo,
           parallel_map<TrialResult>(
               config.trials,
               [&](std::size_t trial) {
+                WSN_SPAN("resilience.trial");
                 const std::uint64_t seed =
                     trial_seed(config.seed, cell_index, trial);
                 // Per-trial models: FaultModel is stateful and must not be

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/parallel.h"
+#include "obs/profile.h"
 #include "protocol/registry.h"
 
 namespace wsn {
@@ -57,10 +58,16 @@ bool SweepResult::all_fully_reached() const {
 
 SweepResult sweep_all_sources(const Topology& topo, const SimOptions& options,
                               std::size_t workers) {
+  // The per-source runs execute concurrently: an event sink (single-run
+  // by contract) cannot absorb them, while shared metrics handles can.
+  WSN_EXPECTS(options.observer == nullptr ||
+              options.observer->events == nullptr);
+  WSN_SPAN("sweep.all_sources");
   SweepResult result;
   result.per_source = parallel_map<SourceResult>(
       topo.num_nodes(),
       [&](std::size_t src) {
+        WSN_SPAN("sweep.source");
         const auto source = static_cast<NodeId>(src);
         ResolveReport report;
         const RelayPlan plan = paper_plan(topo, source, options, &report);
@@ -76,10 +83,14 @@ SweepResult sweep_all_sources_with(const Topology& topo,
                                    const PlanFactory& factory,
                                    const SimOptions& options,
                                    std::size_t workers) {
+  WSN_EXPECTS(options.observer == nullptr ||
+              options.observer->events == nullptr);
+  WSN_SPAN("sweep.all_sources");
   SweepResult result;
   result.per_source = parallel_map<SourceResult>(
       topo.num_nodes(),
       [&](std::size_t src) {
+        WSN_SPAN("sweep.source");
         const auto source = static_cast<NodeId>(src);
         const RelayPlan plan = factory(topo, source);
         const BroadcastOutcome outcome =

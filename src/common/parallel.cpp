@@ -1,12 +1,27 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/assert.h"
 
 namespace wsn {
 
 std::size_t default_worker_count() noexcept {
+  // MESHBCAST_THREADS pins the pool size: CI machines oversubscribe
+  // hardware_concurrency, and reproducible sweeps want a fixed width.
+  // Non-numeric or zero values fall through to the hardware default.
+  if (const char* env = std::getenv("MESHBCAST_THREADS")) {
+    // strtoul alone would accept "-2" (it wraps negatives), so insist the
+    // value is plain digits before parsing.
+    if (env[0] >= '0' && env[0] <= '9') {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (*end == '\0' && parsed >= 1) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }

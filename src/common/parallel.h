@@ -16,8 +16,9 @@
 /// timing).
 namespace wsn {
 
-/// Number of workers `parallel_for` uses by default: hardware concurrency,
-/// at least 1.
+/// Number of workers `parallel_for` uses by default: the MESHBCAST_THREADS
+/// environment variable when set to a positive integer (pinning for CI and
+/// reproducible sweeps), otherwise hardware concurrency, at least 1.
 std::size_t default_worker_count() noexcept;
 
 /// Invokes `body(i)` for every `i` in `[begin, end)` across `workers`

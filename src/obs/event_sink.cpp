@@ -1,0 +1,51 @@
+#include "obs/event_sink.h"
+
+#include "common/assert.h"
+
+namespace wsn {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kTx: return "tx";
+    case EventKind::kRx: return "rx";
+    case EventKind::kDuplicate: return "dup";
+    case EventKind::kCollision: return "coll";
+    case EventKind::kLossFading: return "fade";
+    case EventKind::kLossCrash: return "crash";
+    case EventKind::kRelayActivation: return "relay_on";
+    case EventKind::kPipelineDefer: return "defer";
+  }
+  return "?";
+}
+
+EventSink::EventSink(std::size_t capacity) : ring_(capacity) {
+  WSN_EXPECTS(capacity >= 1);
+}
+
+void EventSink::record(const Event& event) {
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) size_ += 1;
+  total_ += 1;
+  kind_counts_[static_cast<std::size_t>(event.kind)] += 1;
+}
+
+std::vector<Event> EventSink::events() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  // Oldest retained event: `next_` once the ring wrapped, 0 before.
+  const std::size_t start = size_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void EventSink::clear() noexcept {
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+  kind_counts_.fill(0);
+}
+
+}  // namespace wsn

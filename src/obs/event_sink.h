@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.h"
+
+/// Ring-buffered event sink.
+///
+/// Recording must be cheap enough to leave on for full paper-sized runs,
+/// so the sink is a fixed-capacity ring that keeps the *most recent*
+/// `capacity` events: long runs lose their oldest history, never their
+/// tail, and `dropped()` says exactly how much fell off.  Per-kind totals
+/// are counted for every recorded event -- dropped or retained -- so
+/// aggregate checks (e.g. "collision events == BroadcastStats::collisions")
+/// hold regardless of retention.
+///
+/// Like FaultModel and BatteryBank, a sink is owned by one run at a time:
+/// `record` is not synchronized and must not be shared across concurrent
+/// simulations (metrics -- obs/metrics.h -- are the thread-safe half of the
+/// observability story).
+namespace wsn {
+
+class EventSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit EventSink(std::size_t capacity = kDefaultCapacity);
+
+  void record(const Event& event);
+
+  /// Retained events in chronological order (oldest first).
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Events recorded since construction/clear, dropped ones included.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Events that fell off the ring (total - retained).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size_;
+  }
+  /// Retained event count (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+
+  /// Total recorded events of `kind`, dropped ones included.
+  [[nodiscard]] std::uint64_t count(EventKind kind) const noexcept {
+    return kind_counts_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Forgets every event and zeroes all counts; capacity is kept.
+  void clear() noexcept;
+
+ private:
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;   // ring slot the next event lands in
+  std::size_t size_ = 0;   // retained events
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kEventKindCount> kind_counts_{};
+};
+
+}  // namespace wsn

@@ -1,0 +1,89 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace wsn {
+
+namespace {
+
+/// Chrome's viewer groups instants by name; collisions get a loud one.
+const char* chrome_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCollision: return "collision";
+    case EventKind::kLossFading: return "loss:fade";
+    case EventKind::kLossCrash: return "loss:crash";
+    case EventKind::kRelayActivation: return "relay-activation";
+    case EventKind::kPipelineDefer: return "defer";
+    default: return to_string(kind).data();  // names are literals
+  }
+}
+
+}  // namespace
+
+void write_events_jsonl(std::ostream& out, const EventSink& sink) {
+  out << "{\"schema\":\"meshbcast.trace\",\"version\":" << kEventSchemaVersion
+      << ",\"events\":" << sink.size() << ",\"dropped\":" << sink.dropped()
+      << "}\n";
+  for (const Event& e : sink.events()) {
+    out << "{\"slot\":" << e.slot << ",\"kind\":\"" << to_string(e.kind)
+        << "\",\"node\":" << e.node;
+    if (e.peer != kInvalidNode) out << ",\"peer\":" << e.peer;
+    if (e.packet != 0) out << ",\"packet\":" << e.packet;
+    if (e.detail != 0) out << ",\"detail\":" << e.detail;
+    out << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const EventSink& sink,
+                        std::uint32_t slot_us) {
+  const std::vector<Event> events = sink.events();
+
+  out << "[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Track metadata: one named row per node that appears, sorted so the
+  // viewer lists node 0 at the top.
+  std::vector<NodeId> nodes;
+  for (const Event& e : events) nodes.push_back(e.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  sep();
+  out << R"({"name":"process_name","ph":"M","pid":0,)"
+      << R"("args":{"name":"meshbcast"}})";
+  for (NodeId v : nodes) {
+    sep();
+    out << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << v
+        << R"(,"args":{"name":"node )" << v << "\"}}";
+    sep();
+    out << R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)" << v
+        << R"(,"args":{"sort_index":)" << v << "}}";
+  }
+
+  for (const Event& e : events) {
+    const std::uint64_t ts =
+        static_cast<std::uint64_t>(e.slot) * slot_us;
+    sep();
+    out << "{\"name\":\"" << chrome_name(e.kind) << "\",\"cat\":\"sim\",";
+    if (e.kind == EventKind::kTx) {
+      out << "\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << slot_us << ",";
+    } else {
+      out << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts << ",";
+    }
+    out << "\"pid\":0,\"tid\":" << e.node << ",\"args\":{\"slot\":"
+        << e.slot;
+    if (e.peer != kInvalidNode) out << ",\"peer\":" << e.peer;
+    if (e.packet != 0) out << ",\"packet\":" << e.packet;
+    if (e.detail != 0) out << ",\"detail\":" << e.detail;
+    out << "}}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace wsn

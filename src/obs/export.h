@@ -1,0 +1,35 @@
+#pragma once
+
+#include <ostream>
+
+#include "obs/event_sink.h"
+
+/// Exporters for the structured event stream.
+///
+/// Two formats cover the two consumers:
+///
+///   * JSONL -- one self-describing header line, then one JSON object per
+///     event.  Greppable, streamable, trivially loaded by pandas
+///     (`pd.read_json(path, lines=True, skiprows=1)`-style tooling).
+///
+///   * Chrome trace-event JSON -- the `[{...}, ...]` array format that
+///     `about://tracing` and https://ui.perfetto.dev open directly.  Each
+///     simulation slot is rendered as `slot_us` microseconds of trace
+///     time; every node becomes a named track (tid), transmissions are
+///     duration blocks and everything else instants, so a broadcast's
+///     wavefront reads left-to-right off the timeline.
+namespace wsn {
+
+/// Header line:
+///   {"schema":"meshbcast.trace","version":1,"events":N,"dropped":D}
+/// then the retained events oldest-first, e.g.
+///   {"slot":3,"kind":"rx","node":18,"peer":17}
+/// `peer` is omitted when unattributed, `packet`/`detail` when zero.
+void write_events_jsonl(std::ostream& out, const EventSink& sink);
+
+/// Chrome trace-event array.  `slot_us` sets the rendered width of one
+/// slot (default 1000 us = 1 ms per slot).
+void write_chrome_trace(std::ostream& out, const EventSink& sink,
+                        std::uint32_t slot_us = 1000);
+
+}  // namespace wsn

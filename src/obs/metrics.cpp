@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+namespace obs_detail {
+
+std::size_t thread_shard() noexcept {
+  // Round-robin assignment at first use spreads threads evenly even when
+  // parallel_for spawns short-lived workers in bursts.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace obs_detail
+
+namespace {
+
+/// Relaxed fetch-min/max via CAS; first observation seeds the slot.
+void atomic_min(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+T* find_named(
+    std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+    std::string_view name) {
+  for (auto& [key, metric] : entries) {
+    if (key == name) return metric.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  WSN_EXPECTS(!upper_bounds_.empty());
+  WSN_EXPECTS(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(upper_bounds_.begin(),
+                                   upper_bounds_.end(), value);
+  const auto index =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+double Histogram::min() const noexcept {
+  const double v = min_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+double Histogram::max() const noexcept {
+  const double v = max_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Counter* existing = find_named(counters_, name)) return *existing;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Gauge* existing = find_named(gauges_, name)) return *existing;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (Histogram* existing = find_named(histograms_, name)) return *existing;
+  histograms_.emplace_back(
+      std::string(name),
+      std::make_unique<Histogram>(std::move(upper_bounds)));
+  return *histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, metric] : counters_) {
+    snap.counters.emplace_back(name, metric->value());
+  }
+  for (const auto& [name, metric] : gauges_) {
+    snap.gauges.emplace_back(name, metric->value());
+  }
+  for (const auto& [name, metric] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.upper_bounds = metric->upper_bounds();
+    h.buckets = metric->bucket_counts();
+    h.count = metric->count();
+    h.sum = metric->sum();
+    h.min = metric->min();
+    h.max = metric->max();
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+void write_metrics_json(std::ostream& out,
+                        const MetricsSnapshot& snapshot) {
+  const auto number = [&out](double v) {
+    // Infinities are not valid JSON; clamp to null-free sentinels.
+    if (v == std::numeric_limits<double>::infinity()) {
+      out << "1e308";
+    } else if (v == -std::numeric_limits<double>::infinity()) {
+      out << "-1e308";
+    } else {
+      out << v;
+    }
+  };
+
+  out << "{\"schema\":\"meshbcast.metrics\",\"version\":1,\n";
+  out << " \"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << snapshot.counters[i].first
+        << "\":" << snapshot.counters[i].second;
+  }
+  out << "},\n \"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << snapshot.gauges[i].first << "\":";
+    number(snapshot.gauges[i].second);
+  }
+  out << "},\n \"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i != 0) out << ",";
+    out << "\n  \"" << h.name << "\":{\"upper_bounds\":[";
+    for (std::size_t j = 0; j < h.upper_bounds.size(); ++j) {
+      if (j != 0) out << ",";
+      number(h.upper_bounds[j]);
+    }
+    out << "],\"buckets\":[";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j != 0) out << ",";
+      out << h.buckets[j];
+    }
+    out << "],\"count\":" << h.count << ",\"sum\":";
+    number(h.sum);
+    out << ",\"min\":";
+    number(h.min);
+    out << ",\"max\":";
+    number(h.max);
+    out << "}";
+  }
+  out << "}}\n";
+}
+
+}  // namespace wsn

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Metrics registry: named counters, gauges and fixed-bucket histograms.
+///
+/// Built for the analysis sweeps: hundreds of simulations run concurrently
+/// under `parallel_for` and all of them hammer the same handful of
+/// metrics.  Counters therefore shard their storage across cache-line-
+/// padded cells -- each thread picks a shard once (thread-local) and
+/// increments it with a relaxed atomic add, so concurrent writers almost
+/// never touch the same cache line -- and `value()`/`scrape()` merge the
+/// shards on read.  Gauges and histograms use plain relaxed atomics: they
+/// are written orders of magnitude less often than the tx/rx counters.
+///
+/// Handles returned by the registry (`Counter&` etc.) are stable for the
+/// registry's lifetime; resolve them once (obs/observer.h does) and keep
+/// the hot path lookup-free.
+namespace wsn {
+
+namespace obs_detail {
+/// Shard index of the calling thread, stable for the thread's lifetime.
+[[nodiscard]] std::size_t thread_shard() noexcept;
+inline constexpr std::size_t kShards = 16;
+}  // namespace obs_detail
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    shards_[obs_detail::thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Merged total across shards.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, obs_detail::kShards> shards_{};
+};
+
+/// Last-writer-wins scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of
+/// the finite buckets (strictly increasing); one implicit overflow bucket
+/// catches everything above the last edge.  Tracks count/sum/min/max
+/// exactly, so extrema (e.g. Table 5's max delay) never suffer bucket
+/// resolution.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return upper_bounds_;
+  }
+  /// Per-bucket counts; the last entry is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// Smallest / largest observed value; 0 when empty.
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of one histogram, for snapshots and exporters.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> buckets;  // bounds + overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Everything the registry held at scrape time.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; `fallback` when absent.
+  [[nodiscard]] std::uint64_t counter_or(std::string_view name,
+                                         std::uint64_t fallback = 0) const;
+  /// Histogram by name, or nullptr.
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      std::string_view name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the reference stays valid for the registry's
+  /// lifetime.  For an existing histogram the bounds argument is ignored.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  /// Merged point-in-time copy of every metric, sorted by name.
+  [[nodiscard]] MetricsSnapshot scrape() const;
+
+  /// Zeroes every metric (names and handles survive).
+  void reset();
+
+ private:
+  template <typename T>
+  using Named = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+  mutable std::mutex mutex_;
+  Named<Counter> counters_;
+  Named<Gauge> gauges_;
+  Named<Histogram> histograms_;
+};
+
+/// JSON object: {"schema":"meshbcast.metrics","version":1,
+/// "counters":{...},"gauges":{...},"histograms":{...}}.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+}  // namespace wsn

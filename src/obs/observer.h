@@ -1,0 +1,56 @@
+#pragma once
+
+#include "obs/event_sink.h"
+#include "obs/metrics.h"
+
+/// The simulator-facing instrumentation bundle.
+///
+/// `SimOptions::observer` takes one of these (nullable, like `faults`):
+/// the simulator then mirrors every stats increment into pre-resolved
+/// metric handles and every per-slot phenomenon into the event sink.
+/// Either half may be absent -- a metrics-only observer is safe to share
+/// across the concurrent runs of a `parallel_for` sweep (the registry is
+/// thread-safe), while the event sink, like FaultModel, belongs to one
+/// run at a time.
+///
+/// Metric names mirror BroadcastStats one-to-one, so after any run
+/// `scrape().counter_or("sim.tx") == stats.tx` and so on -- the
+/// registry is the long-lived, cross-run accumulation of the same
+/// quantities the per-run struct reports.
+namespace wsn {
+
+struct Observer {
+  Observer() = default;
+  /// Binds the metric handles when `metrics` is non-null.
+  explicit Observer(EventSink* event_sink,
+                    MetricsRegistry* metrics = nullptr);
+
+  EventSink* events = nullptr;
+
+  /// Pre-resolved handles; all null until a registry is bound.
+  Counter* tx = nullptr;
+  Counter* rx = nullptr;
+  Counter* duplicates = nullptr;
+  Counter* collisions = nullptr;
+  Counter* lost_to_fading = nullptr;
+  Counter* lost_to_crash = nullptr;
+  Counter* relay_activations = nullptr;
+  Counter* pipeline_defers = nullptr;
+  Counter* runs = nullptr;
+  Gauge* reached = nullptr;
+  Histogram* slot_delay = nullptr;
+  Histogram* node_energy = nullptr;
+  Histogram* etr = nullptr;
+
+  /// Resolves every handle out of `registry` (idempotent per registry).
+  void bind_metrics(MetricsRegistry& registry);
+
+  void emit(const Event& event) {
+    if (events != nullptr) events->record(event);
+  }
+  static void count(Counter* counter, std::uint64_t n = 1) noexcept {
+    if (counter != nullptr) counter->add(n);
+  }
+};
+
+}  // namespace wsn

@@ -1,0 +1,74 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wsn {
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::record(const char* name, std::uint64_t ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (SpanStats& s : stats_) {
+    if (s.name == name) {
+      s.count += 1;
+      s.total_ns += ns;
+      s.min_ns = std::min(s.min_ns, ns);
+      s.max_ns = std::max(s.max_ns, ns);
+      return;
+    }
+  }
+  stats_.push_back(SpanStats{name, 1, ns, ns, ns});
+}
+
+std::vector<Profiler::SpanStats> Profiler::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanStats> out = stats_;
+  std::sort(out.begin(), out.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return out;
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+}
+
+std::string Profiler::report_text() const {
+  const std::vector<SpanStats> spans = snapshot();
+  std::ostringstream out;
+  out << "span                      count     total ms      mean us"
+      << "       max us\n";
+  for (const SpanStats& s : spans) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-24s %6llu %12.3f %12.3f %12.3f\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<double>(s.total_ns) / 1e6, s.mean_ns() / 1e3,
+                  static_cast<double>(s.max_ns) / 1e3);
+    out << line;
+  }
+  if (spans.empty()) out << "(no spans recorded -- profiling enabled?)\n";
+  return out.str();
+}
+
+void Profiler::write_report_json(std::ostream& out) const {
+  const std::vector<SpanStats> spans = snapshot();
+  out << "{\"schema\":\"meshbcast.profile\",\"version\":1,\"spans\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanStats& s = spans[i];
+    if (i != 0) out << ",";
+    out << "\n {\"name\":\"" << s.name << "\",\"count\":" << s.count
+        << ",\"total_ns\":" << s.total_ns << ",\"min_ns\":" << s.min_ns
+        << ",\"max_ns\":" << s.max_ns << "}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace wsn

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// RAII profiling spans over the hot phases of the stack.
+///
+///   void resolve(...) {
+///     WSN_SPAN("plan.resolve");
+///     ...
+///   }
+///
+/// Spans aggregate into the process-wide Profiler: per-name call count,
+/// total/min/max wall time.  Profiling is *off* by default -- a disabled
+/// span costs one relaxed atomic load and no clock read, which is what
+/// lets the spans live permanently inside `simulate_broadcast` and the
+/// sweep loops without moving the benchmarks.  Enable with
+/// `Profiler::instance().set_enabled(true)` (the CLI's `--profile` flag),
+/// then render `report_text()` or `write_report_json()`.
+namespace wsn {
+
+class Profiler {
+ public:
+  struct SpanStats {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+
+    [[nodiscard]] double mean_ns() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(total_ns) /
+                              static_cast<double>(count);
+    }
+  };
+
+  static Profiler& instance();
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds one finished span into the aggregate.  Thread-safe.
+  void record(const char* name, std::uint64_t ns);
+
+  /// Aggregates so far, sorted by descending total time.
+  [[nodiscard]] std::vector<SpanStats> snapshot() const;
+
+  /// Drops every aggregate (the enabled flag is kept).
+  void reset();
+
+  /// Fixed-width text table of `snapshot()`.
+  [[nodiscard]] std::string report_text() const;
+
+  /// {"schema":"meshbcast.profile","version":1,"spans":[...]}.
+  void write_report_json(std::ostream& out) const;
+
+ private:
+  Profiler() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanStats> stats_;  // few distinct names; linear scan
+};
+
+/// One timed region; construct via WSN_SPAN.  Non-copyable, tolerates
+/// being moved out of scope only by not supporting it.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(const char* name) noexcept
+      : name_(name), active_(Profiler::instance().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileSpan() {
+    if (!active_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().record(
+        name_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+  }
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+#define WSN_SPAN_CONCAT_IMPL(a, b) a##b
+#define WSN_SPAN_CONCAT(a, b) WSN_SPAN_CONCAT_IMPL(a, b)
+#define WSN_SPAN(name) \
+  ::wsn::ProfileSpan WSN_SPAN_CONCAT(wsn_profile_span_, __LINE__)(name)
+
+}  // namespace wsn

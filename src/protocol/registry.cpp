@@ -1,6 +1,7 @@
 #include "protocol/registry.h"
 
 #include "common/assert.h"
+#include "obs/profile.h"
 #include "protocol/mesh2d3_broadcast.h"
 #include "protocol/mesh2d4_broadcast.h"
 #include "protocol/mesh2d8_broadcast.h"
@@ -21,8 +22,12 @@ std::unique_ptr<BroadcastProtocol> make_paper_protocol(
 RelayPlan paper_plan(const Topology& topo, NodeId source,
                      const SimOptions& options, ResolveReport* report) {
   const auto protocol = make_paper_protocol(topo.family());
-  return resolve_full_reachability(topo, protocol->plan(topo, source),
-                                   options, report);
+  RelayPlan plan = [&] {
+    WSN_SPAN("plan.build");
+    return protocol->plan(topo, source);
+  }();
+  WSN_SPAN("plan.resolve");
+  return resolve_full_reachability(topo, std::move(plan), options, report);
 }
 
 }  // namespace wsn

@@ -163,8 +163,14 @@ RelayPlan optimistic_repairs(const Topology& topo, RelayPlan plan,
 }  // namespace
 
 RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
-                                    const SimOptions& options,
+                                    const SimOptions& caller_options,
                                     ResolveReport* report) {
+  // Probe simulations are plan-construction internals: they must not leak
+  // into the caller's observer (metrics/trace describe requested runs, not
+  // the resolver's trial broadcasts).
+  SimOptions options = caller_options;
+  options.observer = nullptr;
+
   ResolveReport local;
   const std::size_t n = topo.num_nodes();
   WSN_EXPECTS(plan.num_nodes() == n);

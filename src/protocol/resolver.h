@@ -50,7 +50,8 @@ struct ResolveReport {
 
 /// Returns `plan` augmented with repair transmissions until a simulation
 /// under `options` reaches every node connected to the source.  Pure:
-/// deterministic in its inputs.
+/// deterministic in its inputs.  `options.observer` is ignored: probe
+/// simulations are construction internals and never emit events/metrics.
 [[nodiscard]] RelayPlan resolve_full_reachability(
     const Topology& topo, RelayPlan plan, const SimOptions& options = {},
     ResolveReport* report = nullptr);

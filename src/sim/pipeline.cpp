@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/assert.h"
+#include "obs/profile.h"
 
 namespace wsn {
 
@@ -21,10 +22,12 @@ struct Pending {
   }
 };
 
-}  // namespace
-
-PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
-                                  const PipelineOptions& options) {
+/// The slot loop, compiled twice -- same split as simulator.cpp:
+/// kObserved=false contains no observer code, keeping the pipeline-period
+/// search exactly as fast as before instrumentation.
+template <bool kObserved>
+PipelineOutcome pipeline_impl(const Topology& topo, const RelayPlan& plan,
+                              const PipelineOptions& options) {
   const std::size_t n = topo.num_nodes();
   const std::size_t packets = options.packets;
   WSN_EXPECTS(plan.num_nodes() == n);
@@ -35,6 +38,7 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
 
   FaultModel* const faults = options.sim.faults;
   if (faults != nullptr) faults->begin_run();
+  [[maybe_unused]] Observer* const obs = options.sim.observer;
 
   PipelineOutcome out;
   out.per_packet.assign(packets, BroadcastStats{});
@@ -48,6 +52,15 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
   std::map<Slot, std::vector<Pending>> schedule;
   const auto schedule_node = [&](NodeId v, std::uint32_t packet,
                                  Slot received_at) {
+    if constexpr (kObserved) {
+      if (!plan.tx_offsets[v].empty()) {
+        Observer::count(obs->relay_activations);
+        obs->emit(
+            Event{received_at, EventKind::kRelayActivation, v, kInvalidNode,
+                  packet,
+                  static_cast<std::uint32_t>(plan.tx_offsets[v].size())});
+      }
+    }
     for (Slot offset : plan.tx_offsets[v]) {
       schedule[received_at + offset].push_back(Pending{v, packet});
     }
@@ -87,6 +100,12 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
         if (std::find(next_slot.begin(), next_slot.end(), entries[k]) ==
             next_slot.end()) {
           next_slot.push_back(entries[k]);
+          if constexpr (kObserved) {
+            Observer::count(obs->pipeline_defers);
+            obs->emit(Event{slot, EventKind::kPipelineDefer,
+                            entries[k].node, kInvalidNode,
+                            entries[k].packet, 1});
+          }
         }
       }
       i = j;
@@ -98,7 +117,13 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
     if (faults != nullptr) {
       std::erase_if(transmitters, [&](const Pending& t) {
         if (faults->node_up(t.node, slot)) return false;
-        out.per_packet[t.packet].lost_to_crash += topo.degree(t.node);
+        const auto lost = static_cast<std::uint32_t>(topo.degree(t.node));
+        out.per_packet[t.packet].lost_to_crash += lost;
+        if constexpr (kObserved) {
+          Observer::count(obs->lost_to_crash, lost);
+          obs->emit(Event{slot, EventKind::kLossCrash, t.node,
+                          kInvalidNode, t.packet, lost});
+        }
         return true;
       });
     }
@@ -107,6 +132,11 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
       is_transmitting[t.node] = 1;
       tx_packet[t.node] = t.packet;
       out.per_packet[t.packet].tx += 1;
+      if constexpr (kObserved) {
+        Observer::count(obs->tx);
+        obs->emit(Event{slot, EventKind::kTx, t.node, kInvalidNode,
+                        t.packet});
+      }
       const Joules cost = options.sim.radio.tx_energy(
           options.sim.packet_bits, topo.tx_range(t.node));
       out.per_packet[t.packet].tx_energy += cost;
@@ -118,10 +148,20 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
         if (faults != nullptr) {
           if (!faults->node_up(u, slot)) {
             out.per_packet[t.packet].lost_to_crash += 1;
+            if constexpr (kObserved) {
+              Observer::count(obs->lost_to_crash);
+              obs->emit(Event{slot, EventKind::kLossCrash, u, t.node,
+                              t.packet, 1});
+            }
             continue;
           }
           if (!faults->link_delivers(t.node, u, slot)) {
             out.per_packet[t.packet].lost_to_fading += 1;
+            if constexpr (kObserved) {
+              Observer::count(obs->lost_to_fading);
+              obs->emit(Event{slot, EventKind::kLossFading, u, t.node,
+                              t.packet});
+            }
             continue;
           }
         }
@@ -140,20 +180,39 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
         const std::uint32_t packet = tx_packet[heard_from[u]];
         auto& stats = out.per_packet[packet];
         stats.rx += 1;
+        if constexpr (kObserved) Observer::count(obs->rx);
         stats.rx_energy +=
             options.sim.radio.rx_energy(options.sim.packet_bits);
         if (first_rx[packet][u] == kNeverSlot) {
           first_rx[packet][u] = slot;
           const Slot base = static_cast<Slot>(packet) * options.interval;
           stats.delay = std::max(stats.delay, slot - base);
+          if constexpr (kObserved) {
+            obs->emit(Event{slot, EventKind::kRx, u, heard_from[u],
+                            packet});
+            if (obs->slot_delay != nullptr) {
+              obs->slot_delay->observe(static_cast<double>(slot - base));
+            }
+          }
           schedule_node(u, packet, slot);
         } else {
           stats.duplicates += 1;
+          if constexpr (kObserved) {
+            Observer::count(obs->duplicates);
+            obs->emit(Event{slot, EventKind::kDuplicate, u, heard_from[u],
+                            packet});
+          }
         }
       } else {
         // Cross- or same-packet pileup; attribution is ambiguous, so the
-        // event counts once, in the aggregate.
+        // event counts once, in the aggregate (the event's packet field
+        // names one of the contenders: the last transmitter heard).
         out.aggregate.collisions += 1;
+        if constexpr (kObserved) {
+          Observer::count(obs->collisions);
+          obs->emit(Event{slot, EventKind::kCollision, u, kInvalidNode,
+                          tx_packet[heard_from[u]], contenders});
+        }
       }
     }
 
@@ -177,7 +236,24 @@ PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
     out.aggregate.delay = std::max(out.aggregate.delay, stats.delay + base);
     out.aggregate.reached = stats.reached;  // last packet's reach
   }
+  if constexpr (kObserved) {
+    Observer::count(obs->runs);
+    if (obs->reached != nullptr) {
+      obs->reached->set(static_cast<double>(out.aggregate.reached));
+    }
+  }
   return out;
+}
+
+}  // namespace
+
+PipelineOutcome simulate_pipeline(const Topology& topo, const RelayPlan& plan,
+                                  const PipelineOptions& options) {
+  WSN_SPAN("sim.pipeline");
+  if (options.sim.observer != nullptr) {
+    return pipeline_impl<true>(topo, plan, options);
+  }
+  return pipeline_impl<false>(topo, plan, options);
 }
 
 Slot min_pipeline_interval(const Topology& topo, const RelayPlan& plan,

@@ -4,8 +4,43 @@
 #include <map>
 
 #include "common/assert.h"
+#include "obs/profile.h"
 
 namespace wsn {
+
+namespace {
+
+/// End-of-run observability: distribution histograms and the reached
+/// gauge.  Counters are mirrored inline at each stats increment; the
+/// distributions (slot delay, per-node energy, per-transmission ETR) only
+/// exist once the run is complete.
+void observe_outcome(const Topology& topo, const BroadcastOutcome& out,
+                     Observer& obs) {
+  Observer::count(obs.runs);
+  if (obs.reached != nullptr) {
+    obs.reached->set(static_cast<double>(out.stats.reached));
+  }
+  if (obs.slot_delay != nullptr) {
+    for (NodeId v = 0; v < out.first_rx.size(); ++v) {
+      const Slot slot = out.first_rx[v];
+      if (slot == 0 || slot == kNeverSlot) continue;  // source / unreached
+      obs.slot_delay->observe(static_cast<double>(slot));
+    }
+  }
+  if (obs.node_energy != nullptr) {
+    for (Joules j : out.node_energy) obs.node_energy->observe(j);
+  }
+  if (obs.etr != nullptr) {
+    for (const TxRecord& rec : out.transmissions) {
+      const std::size_t degree = topo.degree(rec.node);
+      if (degree == 0) continue;
+      obs.etr->observe(static_cast<double>(rec.fresh) /
+                       static_cast<double>(degree));
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<NodeId> BroadcastOutcome::unreached() const {
   std::vector<NodeId> out;
@@ -22,9 +57,15 @@ Slot BroadcastOutcome::first_tx(NodeId node) const noexcept {
   return kNeverSlot;
 }
 
-BroadcastOutcome simulate_broadcast(const Topology& topo,
-                                    const RelayPlan& plan,
-                                    const SimOptions& options) {
+namespace {
+
+/// The slot loop, compiled twice.  kObserved=false contains no observer
+/// code at all -- identical work to the pre-instrumentation simulator, so
+/// installing no observer costs nothing -- while kObserved=true carries
+/// the event/metric emission inline.  simulate_broadcast dispatches once.
+template <bool kObserved>
+BroadcastOutcome simulate_impl(const Topology& topo, const RelayPlan& plan,
+                               const SimOptions& options) {
   const std::size_t n = topo.num_nodes();
   WSN_EXPECTS(plan.num_nodes() == n);
   WSN_EXPECTS(options.battery == nullptr || options.battery->size() == n);
@@ -32,6 +73,7 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
 
   FaultModel* const faults = options.faults;
   if (faults != nullptr) faults->begin_run();
+  [[maybe_unused]] Observer* const obs = options.observer;
 
   BroadcastOutcome out;
   out.stats.num_nodes = n;
@@ -43,6 +85,15 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
   // loop a strict slot sweep even when plans schedule far ahead.
   std::map<Slot, std::vector<NodeId>> schedule;
   const auto schedule_node = [&](NodeId v, Slot received_at) {
+    if constexpr (kObserved) {
+      if (!plan.tx_offsets[v].empty()) {
+        Observer::count(obs->relay_activations);
+        obs->emit(
+            Event{received_at, EventKind::kRelayActivation, v, kInvalidNode,
+                  0,
+                  static_cast<std::uint32_t>(plan.tx_offsets[v].size())});
+      }
+    }
     for (Slot offset : plan.tx_offsets[v]) {
       schedule[received_at + offset].push_back(v);
     }
@@ -80,7 +131,13 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
     if (faults != nullptr) {
       std::erase_if(transmitters, [&](NodeId v) {
         if (faults->node_up(v, slot)) return false;
-        out.stats.lost_to_crash += topo.degree(v);
+        const auto lost = static_cast<std::uint32_t>(topo.degree(v));
+        out.stats.lost_to_crash += lost;
+        if constexpr (kObserved) {
+          Observer::count(obs->lost_to_crash, lost);
+          obs->emit(Event{slot, EventKind::kLossCrash, v, kInvalidNode, 0,
+                          lost});
+        }
         return true;
       });
     }
@@ -91,6 +148,10 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
       record_of[v] = out.transmissions.size();
       out.transmissions.push_back(TxRecord{slot, v, 0, 0});
       out.stats.tx += 1;
+      if constexpr (kObserved) {
+        Observer::count(obs->tx);
+        obs->emit(Event{slot, EventKind::kTx, v});
+      }
       const Joules cost =
           options.radio.tx_energy(options.packet_bits, topo.tx_range(v));
       out.stats.tx_energy += cost;
@@ -107,6 +168,10 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
         if (faults != nullptr) {
           if (!faults->node_up(u, slot)) {
             out.stats.lost_to_crash += 1;
+            if constexpr (kObserved) {
+              Observer::count(obs->lost_to_crash);
+              obs->emit(Event{slot, EventKind::kLossCrash, u, v, 0, 1});
+            }
             continue;
           }
           // A faded packet is below the decode *and* interference
@@ -114,6 +179,10 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
           // (fault/fault_model.h).
           if (!faults->link_delivers(v, u, slot)) {
             out.stats.lost_to_fading += 1;
+            if constexpr (kObserved) {
+              Observer::count(obs->lost_to_fading);
+              obs->emit(Event{slot, EventKind::kLossFading, u, v});
+            }
             continue;
           }
         }
@@ -130,6 +199,7 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
 
       if (contenders == 1) {
         out.stats.rx += 1;
+        if constexpr (kObserved) Observer::count(obs->rx);
         const Joules cost = options.radio.rx_energy(options.packet_bits);
         out.stats.rx_energy += cost;
         if (options.record_node_energy) out.node_energy[u] += cost;
@@ -141,12 +211,24 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
           rec.fresh += 1;
           out.first_rx[u] = slot;
           out.stats.delay = std::max(out.stats.delay, slot);
+          if constexpr (kObserved) {
+            obs->emit(Event{slot, EventKind::kRx, u, heard_from[u]});
+          }
           schedule_node(u, slot);
         } else {
           out.stats.duplicates += 1;
+          if constexpr (kObserved) {
+            Observer::count(obs->duplicates);
+            obs->emit(Event{slot, EventKind::kDuplicate, u, heard_from[u]});
+          }
         }
       } else {
         out.stats.collisions += 1;
+        if constexpr (kObserved) {
+          Observer::count(obs->collisions);
+          obs->emit(Event{slot, EventKind::kCollision, u, kInvalidNode, 0,
+                          contenders});
+        }
         if (options.charge_collisions) {
           const Joules cost = options.radio.rx_energy(options.packet_bits);
           out.stats.rx_energy += cost;
@@ -164,7 +246,20 @@ BroadcastOutcome simulate_broadcast(const Topology& topo,
   }
 
   out.stats.reached = n - out.unreached().size();
+  if constexpr (kObserved) observe_outcome(topo, out, *obs);
   return out;
+}
+
+}  // namespace
+
+BroadcastOutcome simulate_broadcast(const Topology& topo,
+                                    const RelayPlan& plan,
+                                    const SimOptions& options) {
+  WSN_SPAN("sim.simulate");
+  if (options.observer != nullptr) {
+    return simulate_impl<true>(topo, plan, options);
+  }
+  return simulate_impl<false>(topo, plan, options);
 }
 
 }  // namespace wsn

@@ -5,6 +5,7 @@
 
 #include "common/types.h"
 #include "fault/fault_model.h"
+#include "obs/observer.h"
 #include "radio/battery.h"
 #include "radio/energy_model.h"
 #include "sim/plan.h"
@@ -57,6 +58,13 @@ struct SimOptions {
   /// `BroadcastStats::lost_to_fading` / `lost_to_crash`.  Like `battery`,
   /// the model is stateful and must not be shared across concurrent runs.
   FaultModel* faults = nullptr;
+  /// Optional instrumentation (obs/observer.h): structured events into the
+  /// observer's sink, stats mirrored into its metrics handles, end-of-run
+  /// histograms (slot delay, per-node energy, per-transmission ETR).
+  /// nullptr (the default) keeps the hot path untouched.  An observer with
+  /// an event sink belongs to one run at a time; a metrics-only observer
+  /// may be shared across concurrent sweep runs.
+  Observer* observer = nullptr;
   /// Hard stop. Generous default: plans terminate on their own.
   Slot max_slots = 1u << 20;
 };

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/csv.h"
+#include "common/string_util.h"
 
 namespace wsn {
 
@@ -79,6 +80,36 @@ void write_trace_csv(std::ostream& out, const Topology& topo,
     }
     ++slot;
   }
+}
+
+std::vector<LegacyTraceRecord> read_trace_csv(std::istream& in) {
+  std::vector<LegacyTraceRecord> records;
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    if (!header_seen) {  // "event,slot,node,..." header row
+      header_seen = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line, ',');
+    if (fields.size() != 8) continue;
+    LegacyTraceRecord rec;
+    rec.event = fields[0];
+    std::uint64_t slot = 0;
+    std::uint64_t node = 0;
+    if (!parse_u64(fields[1], slot) || !parse_u64(fields[2], node) ||
+        !parse_f64(fields[3], rec.x) || !parse_f64(fields[4], rec.y) ||
+        !parse_f64(fields[5], rec.z) ||
+        !parse_u64(fields[6], rec.detail1) ||
+        !parse_u64(fields[7], rec.detail2)) {
+      continue;
+    }
+    rec.slot = static_cast<Slot>(slot);
+    rec.node = static_cast<NodeId>(node);
+    records.push_back(std::move(rec));
+  }
+  return records;
 }
 
 void write_plan_csv(std::ostream& out, const Topology& topo,

@@ -1,14 +1,20 @@
 #pragma once
 
+#include <istream>
 #include <ostream>
+#include <vector>
 
 #include "sim/plan.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
 
+/// DEPRECATED trace format (kept for old artifacts; new code should
+/// record through an Observer and export with obs/export.h -- JSONL or
+/// Chrome/Perfetto trace-event JSON, both schema-versioned and richer:
+/// duplicates, losses, relay activations, pipeline deferrals).
+///
 /// ns-style trace export: serializes a simulated broadcast as flat CSV
-/// event streams that external tooling (pandas, gnuplot, trace diffing)
-/// can consume.  Three record kinds share one file, discriminated by the
+/// event streams.  Three record kinds share one file, discriminated by the
 /// first column:
 ///
 ///   event,slot,node,x,y,z,detail1,detail2
@@ -24,9 +30,27 @@ namespace wsn {
 
 /// Writes the header plus every event of `outcome`, in slot order.
 /// Collision events require the simulation to have run with
-/// SimOptions::record_collisions.
+/// SimOptions::record_collisions.  Deprecated -- see the header comment.
 void write_trace_csv(std::ostream& out, const Topology& topo,
                      const BroadcastOutcome& outcome);
+
+/// One parsed row of the legacy CSV trace.
+struct LegacyTraceRecord {
+  std::string event;  // "tx" | "rx" | "coll"
+  Slot slot = 0;
+  NodeId node = kInvalidNode;
+  Meters x = 0.0;
+  Meters y = 0.0;
+  Meters z = 0.0;
+  std::uint64_t detail1 = 0;  // delivered / from / contenders
+  std::uint64_t detail2 = 0;  // fresh / 1 / 0
+};
+
+/// Reads a legacy CSV trace back (header line required).  Malformed rows
+/// are skipped; the reader exists so archived traces from earlier
+/// releases stay loadable now that new exports use the obs schema.
+[[nodiscard]] std::vector<LegacyTraceRecord> read_trace_csv(
+    std::istream& in);
 
 /// Writes the relay plan itself (node, role, offsets) -- enough to replay
 /// or diff plans across protocol versions:

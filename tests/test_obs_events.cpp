@@ -1,0 +1,80 @@
+#include "obs/event_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wsn {
+namespace {
+
+TEST(EventKind, NamesAreStable) {
+  EXPECT_EQ(to_string(EventKind::kTx), "tx");
+  EXPECT_EQ(to_string(EventKind::kRx), "rx");
+  EXPECT_EQ(to_string(EventKind::kDuplicate), "dup");
+  EXPECT_EQ(to_string(EventKind::kCollision), "coll");
+  EXPECT_EQ(to_string(EventKind::kLossFading), "fade");
+  EXPECT_EQ(to_string(EventKind::kLossCrash), "crash");
+  EXPECT_EQ(to_string(EventKind::kRelayActivation), "relay_on");
+  EXPECT_EQ(to_string(EventKind::kPipelineDefer), "defer");
+}
+
+TEST(EventSink, RecordsInOrder) {
+  EventSink sink(8);
+  sink.record({1, EventKind::kTx, 3});
+  sink.record({1, EventKind::kRx, 4, 3});
+  sink.record({2, EventKind::kCollision, 5, kInvalidNode, 0, 2});
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  const std::vector<Event> events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (Event{1, EventKind::kTx, 3}));
+  EXPECT_EQ(events[1], (Event{1, EventKind::kRx, 4, 3}));
+  EXPECT_EQ(events[2].detail, 2u);
+}
+
+TEST(EventSink, RingKeepsTheMostRecentEvents) {
+  EventSink sink(4);
+  EXPECT_EQ(sink.capacity(), 4u);
+  for (Slot s = 1; s <= 10; ++s) sink.record({s, EventKind::kTx, 0});
+  EXPECT_EQ(sink.total(), 10u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+
+  const std::vector<Event> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].slot, 7u + i);  // oldest retained first
+  }
+}
+
+TEST(EventSink, KindCountsIncludeDroppedEvents) {
+  EventSink sink(2);
+  for (int i = 0; i < 5; ++i) sink.record({1, EventKind::kCollision, 0});
+  sink.record({2, EventKind::kTx, 0});
+  EXPECT_EQ(sink.count(EventKind::kCollision), 5u);
+  EXPECT_EQ(sink.count(EventKind::kTx), 1u);
+  EXPECT_EQ(sink.count(EventKind::kRx), 0u);
+  EXPECT_EQ(sink.size(), 2u);  // only the tail is retained...
+  EXPECT_EQ(sink.total(), 6u);  // ...but the totals see everything
+}
+
+TEST(EventSink, ClearForgetsEventsAndCounts) {
+  EventSink sink(4);
+  sink.record({1, EventKind::kTx, 0});
+  sink.record({1, EventKind::kRx, 1, 0});
+  sink.clear();
+  EXPECT_EQ(sink.total(), 0u);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.count(EventKind::kTx), 0u);
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.capacity(), 4u);
+
+  sink.record({3, EventKind::kDuplicate, 2, 1});
+  EXPECT_EQ(sink.total(), 1u);
+  EXPECT_EQ(sink.events().front().slot, 3u);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,97 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/event_sink.h"
+
+namespace wsn {
+namespace {
+
+EventSink small_sink() {
+  EventSink sink(8);
+  sink.record({1, EventKind::kTx, 5});
+  sink.record({1, EventKind::kRx, 6, 5});
+  sink.record({2, EventKind::kCollision, 7, kInvalidNode, 0, 3});
+  sink.record({2, EventKind::kPipelineDefer, 8, kInvalidNode, 2, 1});
+  return sink;
+}
+
+TEST(JsonlExport, MatchesGolden) {
+  const EventSink sink = small_sink();
+  std::ostringstream out;
+  write_events_jsonl(out, sink);
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"meshbcast.trace\",\"version\":1,"
+            "\"events\":4,\"dropped\":0}\n"
+            "{\"slot\":1,\"kind\":\"tx\",\"node\":5}\n"
+            "{\"slot\":1,\"kind\":\"rx\",\"node\":6,\"peer\":5}\n"
+            "{\"slot\":2,\"kind\":\"coll\",\"node\":7,\"detail\":3}\n"
+            "{\"slot\":2,\"kind\":\"defer\",\"node\":8,\"packet\":2,"
+            "\"detail\":1}\n");
+}
+
+TEST(JsonlExport, HeaderReportsDrops) {
+  EventSink sink(2);
+  for (Slot s = 1; s <= 5; ++s) sink.record({s, EventKind::kTx, 0});
+  std::ostringstream out;
+  write_events_jsonl(out, sink);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"events\":2,\"dropped\":3}"), std::string::npos);
+}
+
+TEST(ChromeExport, MatchesGolden) {
+  EventSink sink(8);
+  sink.record({1, EventKind::kTx, 3});
+  sink.record({2, EventKind::kCollision, 4, kInvalidNode, 0, 2});
+  std::ostringstream out;
+  write_chrome_trace(out, sink);
+  EXPECT_EQ(
+      out.str(),
+      "[\n"
+      R"({"name":"process_name","ph":"M","pid":0,)"
+      R"("args":{"name":"meshbcast"}})"
+      ",\n"
+      R"({"name":"thread_name","ph":"M","pid":0,"tid":3,)"
+      R"("args":{"name":"node 3"}})"
+      ",\n"
+      R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":3,)"
+      R"("args":{"sort_index":3}})"
+      ",\n"
+      R"({"name":"thread_name","ph":"M","pid":0,"tid":4,)"
+      R"("args":{"name":"node 4"}})"
+      ",\n"
+      R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":4,)"
+      R"("args":{"sort_index":4}})"
+      ",\n"
+      R"({"name":"tx","cat":"sim","ph":"X","ts":1000,"dur":1000,)"
+      R"("pid":0,"tid":3,"args":{"slot":1}})"
+      ",\n"
+      R"({"name":"collision","cat":"sim","ph":"i","s":"t","ts":2000,)"
+      R"("pid":0,"tid":4,"args":{"slot":2,"detail":2}})"
+      "\n]\n");
+}
+
+TEST(ChromeExport, HonorsSlotDuration) {
+  EventSink sink(4);
+  sink.record({3, EventKind::kTx, 0});
+  std::ostringstream out;
+  write_chrome_trace(out, sink, /*slot_us=*/10);
+  EXPECT_NE(out.str().find("\"ts\":30,\"dur\":10,"), std::string::npos);
+}
+
+TEST(ChromeExport, EmptySinkIsAValidArray) {
+  const EventSink sink(4);
+  std::ostringstream out;
+  write_chrome_trace(out, sink);
+  EXPECT_EQ(out.str(),
+            "[\n"
+            R"({"name":"process_name","ph":"M","pid":0,)"
+            R"("args":{"name":"meshbcast"}})"
+            "\n]\n");
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace wsn {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ShardsMergeExactlyUnderParallelFor) {
+  Counter c;
+  constexpr std::size_t kIters = 200000;
+  parallel_for(0, kIters, [&](std::size_t) { c.increment(); });
+  EXPECT_EQ(c.value(), kIters);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Gauge, ConcurrentAddsAllLand) {
+  Gauge g;
+  parallel_for(0, 10000, [&](std::size_t) { g.add(1.0); });
+  EXPECT_DOUBLE_EQ(g.value(), 10000.0);
+}
+
+TEST(Histogram, BucketsOnInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (inclusive edge)
+  h.observe(1.5);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(9.0);  // overflow
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.2);
+}
+
+TEST(Histogram, EmptyReportsZeroExtrema) {
+  const Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExactTotalsUnderParallelFor) {
+  Histogram h({10.0, 100.0, 1000.0});
+  constexpr std::size_t kIters = 50000;
+  parallel_for(0, kIters, [&](std::size_t i) {
+    h.observe(static_cast<double>(i % 2000));
+  });
+  EXPECT_EQ(h.count(), kIters);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, kIters);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1999.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("sim.tx");
+  Counter& b = registry.counter("sim.tx");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(registry.counter("sim.tx").value(), 7u);
+
+  Histogram& h1 = registry.histogram("sim.delay", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("sim.delay", {99.0});  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, ScrapeIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.gauge("mid.gauge").set(3.5);
+  registry.histogram("h.delay", {4.0}).observe(2.0);
+
+  const MetricsSnapshot snap = registry.scrape();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "z.last");
+  EXPECT_EQ(snap.counter_or("z.last"), 1u);
+  EXPECT_EQ(snap.counter_or("missing", 17), 17u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 3.5);
+  const HistogramSnapshot* h = snap.histogram("h.delay");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ConcurrentFindOrCreateAndIncrement) {
+  MetricsRegistry registry;
+  const std::vector<std::string> names = {"m.a", "m.b", "m.c", "m.d"};
+  parallel_for(0, 8000, [&](std::size_t i) {
+    registry.counter(names[i % names.size()]).increment();
+  });
+  const MetricsSnapshot snap = registry.scrape();
+  ASSERT_EQ(snap.counters.size(), names.size());
+  for (const std::string& name : names) {
+    EXPECT_EQ(snap.counter_or(name), 2000u) << name;
+  }
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("sim.tx");
+  Histogram& h = registry.histogram("sim.delay", {8.0});
+  c.add(5);
+  h.observe(3.0);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // the handle still feeds the same registry entry
+  EXPECT_EQ(registry.scrape().counter_or("sim.tx"), 1u);
+}
+
+TEST(MetricsJson, EmitsSchemaAndValues) {
+  MetricsRegistry registry;
+  registry.counter("sim.tx").add(12);
+  registry.gauge("sim.reached").set(128.0);
+  registry.histogram("sim.delay", {2.0, 4.0}).observe(3.0);
+  std::ostringstream out;
+  write_metrics_json(out, registry.scrape());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"schema\":\"meshbcast.metrics\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"sim.tx\":12"), std::string::npos);
+  EXPECT_NE(text.find("\"sim.reached\":128"), std::string::npos);
+  EXPECT_NE(text.find("\"sim.delay\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

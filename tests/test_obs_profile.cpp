@@ -1,0 +1,92 @@
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wsn {
+namespace {
+
+// The Profiler is process-wide; every test starts from a clean, disabled
+// aggregate and leaves it that way for the rest of the suite.
+class ProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().reset();
+  }
+  void TearDown() override {
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().reset();
+  }
+};
+
+TEST_F(ProfileTest, DisabledSpansRecordNothing) {
+  { WSN_SPAN("test.disabled"); }
+  EXPECT_TRUE(Profiler::instance().snapshot().empty());
+}
+
+TEST_F(ProfileTest, EnabledSpansAggregateByName) {
+  Profiler::instance().set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    WSN_SPAN("test.phase");
+  }
+  { WSN_SPAN("test.other"); }
+  const std::vector<Profiler::SpanStats> spans =
+      Profiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  std::uint64_t phase_count = 0;
+  for (const Profiler::SpanStats& s : spans) {
+    if (s.name == "test.phase") phase_count = s.count;
+    EXPECT_LE(s.min_ns, s.max_ns);
+    EXPECT_GE(s.total_ns, s.max_ns);
+  }
+  EXPECT_EQ(phase_count, 3u);
+}
+
+TEST_F(ProfileTest, EnableMidRunOnlyCountsLaterSpans) {
+  { WSN_SPAN("test.early"); }
+  Profiler::instance().set_enabled(true);
+  { WSN_SPAN("test.late"); }
+  const auto spans = Profiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.late");
+}
+
+TEST_F(ProfileTest, RecordFoldsIntoStats) {
+  Profiler::instance().record("test.manual", 100);
+  Profiler::instance().record("test.manual", 300);
+  const auto spans = Profiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].count, 2u);
+  EXPECT_EQ(spans[0].total_ns, 400u);
+  EXPECT_EQ(spans[0].min_ns, 100u);
+  EXPECT_EQ(spans[0].max_ns, 300u);
+  EXPECT_DOUBLE_EQ(spans[0].mean_ns(), 200.0);
+}
+
+TEST_F(ProfileTest, SnapshotSortsByDescendingTotal) {
+  Profiler::instance().record("test.small", 10);
+  Profiler::instance().record("test.big", 9999);
+  const auto spans = Profiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "test.big");
+}
+
+TEST_F(ProfileTest, ReportsNameEveryRecordedSpan) {
+  Profiler::instance().record("test.report", 1500);
+  const std::string text = Profiler::instance().report_text();
+  EXPECT_NE(text.find("test.report"), std::string::npos);
+
+  std::ostringstream json;
+  Profiler::instance().write_report_json(json);
+  EXPECT_NE(json.str().find("\"schema\":\"meshbcast.profile\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"name\":\"test.report\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"total_ns\":1500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace wsn {
@@ -64,6 +66,50 @@ TEST(ParallelMap, SumMatchesSequential) {
 
 TEST(DefaultWorkerCount, IsPositive) {
   EXPECT_GE(default_worker_count(), 1u);
+}
+
+// Restores (or clears) MESHBCAST_THREADS when the test ends.
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* old = std::getenv("MESHBCAST_THREADS")) saved_ = old;
+  }
+  ~ThreadsEnvGuard() {
+    if (saved_.empty()) {
+      ::unsetenv("MESHBCAST_THREADS");
+    } else {
+      ::setenv("MESHBCAST_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(DefaultWorkerCount, HonorsThreadsEnvOverride) {
+  ThreadsEnvGuard guard;
+  ::setenv("MESHBCAST_THREADS", "3", 1);
+  EXPECT_EQ(default_worker_count(), 3u);
+  ::setenv("MESHBCAST_THREADS", "1", 1);
+  EXPECT_EQ(default_worker_count(), 1u);
+}
+
+TEST(DefaultWorkerCount, IgnoresMalformedThreadsEnv) {
+  ThreadsEnvGuard guard;
+  ::unsetenv("MESHBCAST_THREADS");
+  const std::size_t hardware = default_worker_count();
+  for (const char* bad : {"", "0", "-2", "abc", "4cores", "3.5"}) {
+    ::setenv("MESHBCAST_THREADS", bad, 1);
+    EXPECT_EQ(default_worker_count(), hardware) << "env '" << bad << "'";
+  }
+}
+
+TEST(ParallelFor, RunsUnderThreadsEnvOverride) {
+  ThreadsEnvGuard guard;
+  ::setenv("MESHBCAST_THREADS", "2", 1);
+  std::vector<std::atomic<int>> visits(500);
+  parallel_for(0, visits.size(), [&](std::size_t i) { visits[i] += 1; });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
 }  // namespace

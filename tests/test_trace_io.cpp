@@ -100,6 +100,53 @@ TEST(TraceIo, PlanCsvListsEveryNodeWithRole) {
   EXPECT_EQ(relays + retransmitters + sources, plan.relay_count());
 }
 
+TEST(TraceIo, LegacyCsvRoundTripsThroughReader) {
+  const Mesh2D4 topo(6, 6);
+  const auto plan = paper_plan(topo, 14);
+  SimOptions options;
+  options.record_collisions = true;
+  const auto out = simulate_broadcast(topo, plan, options);
+
+  std::ostringstream stream;
+  write_trace_csv(stream, topo, out);
+  const std::string csv = stream.str();
+  std::istringstream in(csv);
+  const std::vector<LegacyTraceRecord> records = read_trace_csv(in);
+
+  // Every data row comes back: reader rows + header == writer lines.
+  ASSERT_EQ(records.size(), lines_of(csv).size() - 1);
+  std::size_t tx = 0;
+  for (const LegacyTraceRecord& rec : records) {
+    if (rec.event == "tx") ++tx;
+    const auto pos = topo.position(rec.node);
+    EXPECT_DOUBLE_EQ(rec.x, pos[0]);
+    EXPECT_DOUBLE_EQ(rec.y, pos[1]);
+    EXPECT_DOUBLE_EQ(rec.z, pos[2]);
+  }
+  EXPECT_EQ(tx, out.stats.tx);
+  // Writer emits slot-ordered streams; the reader must preserve that.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].slot, records[i - 1].slot);
+  }
+}
+
+TEST(TraceIo, ReaderSkipsMalformedRows) {
+  std::istringstream in(
+      "event,slot,node,x,y,z,detail1,detail2\n"
+      "tx,1,5,0.5,1.0,0.0,3,3\n"
+      "truncated,2,9\n"
+      "rx,not-a-slot,9,0,0,0,5,1\n"
+      "\n"
+      "coll,4,7,1.0,2.0,0.0,2,0\n");
+  const std::vector<LegacyTraceRecord> records = read_trace_csv(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "tx");
+  EXPECT_EQ(records[0].slot, 1u);
+  EXPECT_EQ(records[0].node, 5u);
+  EXPECT_EQ(records[1].event, "coll");
+  EXPECT_EQ(records[1].detail1, 2u);
+}
+
 TEST(TraceIo, RetransmitterOffsetsPipeSeparated) {
   const Mesh2D4 topo(16, 16);
   const auto plan = paper_plan(topo, topo.grid().to_id({6, 8}));
