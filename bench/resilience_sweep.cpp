@@ -22,6 +22,7 @@
 #include "common/table.h"
 #include "obs/profile.h"
 #include "protocol/registry.h"
+#include "store/plan_store.h"
 #include "topology/factory.h"
 
 namespace {
@@ -62,6 +63,10 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "master seed", "24083");
   cli.add_option("csv", "CSV output path ('-' = stdout, '' = none)", "");
   cli.add_option("workers", "worker threads (0 = all cores)", "0");
+  cli.add_option("plan-cache",
+                 "plan-store directory; the baseline plan compile goes "
+                 "through the cache",
+                 "");
   cli.add_flag("profile", "print the profiling-span report");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.get_flag("profile")) {
@@ -70,7 +75,25 @@ int main(int argc, char** argv) {
 
   const auto topo = wsn::make_paper_topology(cli.get("family"));
   const auto src = static_cast<wsn::NodeId>(cli.get_u64("src"));
-  const wsn::RelayPlan plan = wsn::paper_plan(*topo, src);
+  wsn::RelayPlan plan;
+  if (const std::string cache_dir = cli.get("plan-cache");
+      !cache_dir.empty()) {
+    // The Monte-Carlo trials themselves inject faults and are never
+    // cacheable; only the fault-free baseline plan compile is.
+    wsn::PlanStore::Config store_config;
+    store_config.disk_dir = cache_dir;
+    wsn::PlanStore store(store_config);
+    if (store.disk() == nullptr || !store.disk()->ok()) {
+      std::fprintf(stderr, "cannot open --plan-cache %s\n",
+                   cache_dir.c_str());
+      return 1;
+    }
+    wsn::PlanStore::Origin origin = wsn::PlanStore::Origin::kCompiled;
+    plan = wsn::paper_plan_cached(*topo, src, {}, store, nullptr, &origin);
+    std::printf("plan: %s\n", std::string(wsn::to_string(origin)).c_str());
+  } else {
+    plan = wsn::paper_plan(*topo, src);
+  }
 
   wsn::ResilienceConfig config;
   config.loss_rates = parse_rates(cli.get("loss-rates"));

@@ -14,6 +14,13 @@
 //   --trace-out t.json     Chrome/Perfetto trace (t.jsonl -> JSONL events)
 //   --metrics-out m.json   metrics-registry scrape after the run
 //   --profile              print the profiling-span report on exit
+//
+// Plan store (run | sweep | viz | pipeline):
+//   --plan-cache DIR       compile through a disk-backed plan store
+//                          (store/plan_store.h); repeated invocations hit
+//   --plan-out FILE        write the compiled plan as a binary artifact
+//   --plan-in FILE         load the plan from an artifact instead of
+//                          compiling (node count validated)
 
 #include <cstdio>
 #include <fstream>
@@ -34,6 +41,7 @@
 #include "protocol/gossip.h"
 #include "protocol/registry.h"
 #include "sim/pipeline.h"
+#include "store/plan_store.h"
 #include "topology/factory.h"
 #include "topology/graph_algos.h"
 #include "topology/mesh2d3.h"
@@ -42,18 +50,75 @@
 
 namespace {
 
-wsn::RelayPlan make_plan(const std::string& protocol,
-                         const wsn::Topology& topo, wsn::NodeId src) {
-  if (protocol == "paper") return wsn::paper_plan(topo, src);
-  if (protocol == "cds") {
-    return wsn::resolve_full_reachability(topo,
-                                          wsn::CdsBroadcast().plan(topo, src));
+/// A plan plus where it came from: freshly compiled, a plan-store tier,
+/// or a --plan-in artifact.  `has_report` is true for the resolver-backed
+/// protocols (paper, cds) and for artifacts, which store their report.
+struct PlanOutcome {
+  wsn::RelayPlan plan;
+  wsn::ResolveReport report;
+  bool has_report = false;
+  std::string origin = "compiled";
+};
+
+PlanOutcome make_plan(const std::string& protocol, const wsn::Topology& topo,
+                      wsn::NodeId src, wsn::PlanStore* store) {
+  PlanOutcome out;
+  wsn::PlanStore::Origin origin = wsn::PlanStore::Origin::kCompiled;
+  if (protocol == "paper") {
+    if (store != nullptr) {
+      out.plan = wsn::paper_plan_cached(topo, src, {}, *store, &out.report,
+                                        &origin);
+      out.origin = wsn::to_string(origin);
+    } else {
+      out.plan = wsn::paper_plan(topo, src, {}, &out.report);
+    }
+    out.has_report = true;
+    return out;
   }
-  if (protocol == "flood") return wsn::Flooding(7).plan(topo, src);
-  if (protocol == "gossip") return wsn::Gossip(0.65, 7).plan(topo, src);
+  if (protocol == "cds") {
+    if (store != nullptr) {
+      const auto stored = store->fetch_or_compile(
+          topo, src, "cds", {},
+          [&](wsn::ResolveReport& report) {
+            return wsn::resolve_full_reachability(
+                topo, wsn::CdsBroadcast().plan(topo, src), {}, &report);
+          },
+          &origin);
+      out.plan = stored->plan.to_relay_plan();
+      out.report = stored->report;
+      out.origin = wsn::to_string(origin);
+    } else {
+      out.plan = wsn::resolve_full_reachability(
+          topo, wsn::CdsBroadcast().plan(topo, src), {}, &out.report);
+    }
+    out.has_report = true;
+    return out;
+  }
+  if (protocol == "flood") {
+    out.plan = wsn::Flooding(7).plan(topo, src);
+    return out;
+  }
+  if (protocol == "gossip") {
+    out.plan = wsn::Gossip(0.65, 7).plan(topo, src);
+    return out;
+  }
   std::fprintf(stderr, "unknown --protocol %s (paper|cds|flood|gossip)\n",
                protocol.c_str());
   std::exit(1);
+}
+
+/// Renders the resolver's account of the plan for the summary output, so
+/// a cached plan can be compared against a fresh compile at a glance.
+std::string plan_line(const PlanOutcome& outcome) {
+  std::string line = "plan: " + outcome.origin;
+  if (outcome.has_report) {
+    line += ", repairs=" + std::to_string(outcome.report.repairs) +
+            ", rounds=" + std::to_string(outcome.report.rounds) +
+            ", unrepaired=" + std::to_string(outcome.report.unrepaired);
+  } else {
+    line += " (no resolver report)";
+  }
+  return line;
 }
 
 const wsn::Grid2D* grid2d_of(const wsn::Topology& topo) {
@@ -88,6 +153,12 @@ int main(int argc, char** argv) {
                  "");
   cli.add_option("metrics-out", "metrics JSON path", "");
   cli.add_flag("profile", "print the profiling-span report");
+  cli.add_option("plan-cache",
+                 "plan-store directory; compiles go through the cache", "");
+  cli.add_option("plan-out", "write the compiled plan artifact here", "");
+  cli.add_option("plan-in",
+                 "load the plan from this artifact instead of compiling",
+                 "");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::fputs(cli.usage().c_str(), stderr);
@@ -130,6 +201,64 @@ int main(int argc, char** argv) {
   wsn::SimOptions sim_options;
   sim_options.observer = observe ? &observer : nullptr;
 
+  std::unique_ptr<wsn::PlanStore> store;
+  if (!cli.get("plan-cache").empty()) {
+    wsn::PlanStore::Config store_config;
+    store_config.disk_dir = cli.get("plan-cache");
+    store = std::make_unique<wsn::PlanStore>(store_config);
+    if (store->disk() == nullptr || !store->disk()->ok()) {
+      std::fprintf(stderr, "cannot open --plan-cache %s\n",
+                   cli.get("plan-cache").c_str());
+      return 1;
+    }
+    store->bind_metrics(registry);
+  }
+
+  // Builds (or loads, with --plan-in) the plan for the active command and
+  // writes the --plan-out artifact.  Exits with a diagnostic on a bad
+  // artifact -- a plan for the wrong topology must never reach the
+  // simulator's contract checks.
+  const auto obtain_plan = [&](const std::string& protocol) {
+    PlanOutcome outcome;
+    const std::string plan_in = cli.get("plan-in");
+    if (!plan_in.empty()) {
+      wsn::StoredPlan stored;
+      const wsn::PlanSerdeStatus status =
+          wsn::read_plan_file(plan_in, stored);
+      if (status != wsn::PlanSerdeStatus::kOk) {
+        std::fprintf(stderr, "--plan-in %s: %s\n", plan_in.c_str(),
+                     std::string(wsn::to_string(status)).c_str());
+        std::exit(1);
+      }
+      if (stored.plan.num_nodes() != topo->num_nodes()) {
+        std::fprintf(stderr,
+                     "--plan-in %s: plan is for %zu nodes but %s has %zu\n",
+                     plan_in.c_str(), stored.plan.num_nodes(),
+                     topo->name().c_str(), topo->num_nodes());
+        std::exit(1);
+      }
+      outcome.plan = stored.plan.to_relay_plan();
+      outcome.report = stored.report;
+      outcome.has_report = true;
+      outcome.origin = "artifact " + plan_in;
+    } else {
+      outcome = make_plan(protocol, *topo, src, store.get());
+    }
+    const std::string plan_out = cli.get("plan-out");
+    if (!plan_out.empty()) {
+      if (!wsn::write_plan_file(
+              plan_out,
+              wsn::StoredPlan{wsn::FlatRelayPlan::from(outcome.plan),
+                              outcome.report})) {
+        std::fprintf(stderr, "cannot write --plan-out %s\n",
+                     plan_out.c_str());
+        std::exit(1);
+      }
+      std::printf("plan artifact: %s\n", plan_out.c_str());
+    }
+    return outcome;
+  };
+
   // Writes the requested observability artifacts, then forwards `code`.
   const auto finish = [&](int code) {
     if (!trace_path.empty()) {
@@ -163,21 +292,31 @@ int main(int argc, char** argv) {
   };
 
   if (command == "run") {
-    const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
-    const auto out = wsn::simulate_broadcast(*topo, plan, sim_options);
-    std::printf("%s, source %u, %s protocol\n  %s\n", topo->name().c_str(),
-                src, cli.get("protocol").c_str(),
-                out.stats.summary().c_str());
+    const PlanOutcome outcome = obtain_plan(cli.get("protocol"));
+    const auto out = wsn::simulate_broadcast(*topo, outcome.plan, sim_options);
+    std::printf("%s, source %u, %s protocol\n  %s\n  %s\n",
+                topo->name().c_str(), src, cli.get("protocol").c_str(),
+                out.stats.summary().c_str(), plan_line(outcome).c_str());
     return finish(0);
   }
   if (command == "sweep") {
+    if (!cli.get("plan-in").empty() || !cli.get("plan-out").empty()) {
+      std::fprintf(stderr,
+                   "--plan-in/--plan-out are single-plan flags; sweep "
+                   "compiles one plan per source (use --plan-cache)\n");
+      return 1;
+    }
     const std::string protocol = cli.get("protocol");
-    const wsn::SweepResult sweep = wsn::sweep_all_sources_with(
-        *topo,
-        [&](const wsn::Topology& t, wsn::NodeId s) {
-          return make_plan(protocol, t, s);
-        },
-        sim_options);
+    const wsn::SweepResult sweep =
+        protocol == "paper"
+            ? wsn::sweep_all_sources(*topo, sim_options, /*workers=*/0,
+                                     store.get())
+            : wsn::sweep_all_sources_with(
+                  *topo,
+                  [&](const wsn::Topology& t, wsn::NodeId s) {
+                    return make_plan(protocol, t, s, store.get()).plan;
+                  },
+                  sim_options);
     std::printf("%s, %zu sources, %s protocol\n", topo->name().c_str(),
                 sweep.per_source.size(), protocol.c_str());
     std::printf("  best  src=%u  %s\n", sweep.best().source,
@@ -187,6 +326,16 @@ int main(int argc, char** argv) {
     std::printf("  mean power %s J, max delay %u, all reached: %s\n",
                 wsn::sci(sweep.mean_energy()).c_str(), sweep.max_delay(),
                 sweep.all_fully_reached() ? "yes" : "NO");
+    if (store) {
+      const auto mem = store->memory().stats();
+      const auto facade = store->stats();
+      std::printf("  plan store: %llu mem hits, %llu disk hits, "
+                  "%llu compiles, %llu rejects\n",
+                  static_cast<unsigned long long>(mem.hits),
+                  static_cast<unsigned long long>(facade.disk_hits),
+                  static_cast<unsigned long long>(facade.compiles),
+                  static_cast<unsigned long long>(facade.disk_rejects));
+    }
     return finish(0);
   }
   if (command == "viz") {
@@ -195,14 +344,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "viz renders the 2D families only\n");
       return 1;
     }
-    const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
-    const auto out = wsn::simulate_broadcast(*topo, plan, sim_options);
-    std::printf("%s\n", out.stats.summary().c_str());
-    std::fputs(wsn::render_roles(*grid, plan, &out).c_str(), stdout);
+    const PlanOutcome outcome = obtain_plan(cli.get("protocol"));
+    const auto out = wsn::simulate_broadcast(*topo, outcome.plan, sim_options);
+    std::printf("%s\n%s\n", out.stats.summary().c_str(),
+                plan_line(outcome).c_str());
+    std::fputs(wsn::render_roles(*grid, outcome.plan, &out).c_str(), stdout);
     return finish(0);
   }
   if (command == "pipeline") {
-    const wsn::RelayPlan plan = make_plan(cli.get("protocol"), *topo, src);
+    const PlanOutcome outcome = obtain_plan(cli.get("protocol"));
+    const wsn::RelayPlan& plan = outcome.plan;
     const auto packets = static_cast<std::size_t>(cli.get_u64("packets"));
     const wsn::Slot period =
         wsn::min_pipeline_interval(*topo, plan, packets, 256);

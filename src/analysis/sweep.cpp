@@ -57,23 +57,44 @@ bool SweepResult::all_fully_reached() const {
 }
 
 SweepResult sweep_all_sources(const Topology& topo, const SimOptions& options,
-                              std::size_t workers) {
+                              std::size_t workers, PlanStore* store) {
   // The per-source runs execute concurrently: an event sink (single-run
   // by contract) cannot absorb them, while shared metrics handles can.
   WSN_EXPECTS(options.observer == nullptr ||
               options.observer->events == nullptr);
   WSN_SPAN("sweep.all_sources");
+  const std::size_t n = topo.num_nodes();
   SweepResult result;
-  result.per_source = parallel_map<SourceResult>(
-      topo.num_nodes(),
-      [&](std::size_t src) {
+  result.per_source.resize(n);
+  // One Simulator per worker: every source a worker owns reuses the same
+  // scratch, so the sweep allocates per-worker, not per-source.
+  std::vector<Simulator> simulators(resolve_worker_count(n, workers));
+  parallel_for_workers(
+      0, n,
+      [&](std::size_t worker, std::size_t src) {
         WSN_SPAN("sweep.source");
         const auto source = static_cast<NodeId>(src);
+        if (store != nullptr) {
+          // Simulate straight off the cached CSR plan -- a shared_ptr
+          // borrow, not a deep copy of the offset vectors.
+          const std::shared_ptr<const StoredPlan> stored =
+              store->fetch_or_compile(
+                  topo, source, "paper", options,
+                  [&](ResolveReport& fresh) {
+                    return paper_plan(topo, source, options, &fresh);
+                  });
+          const BroadcastOutcome outcome =
+              simulators[worker].run(topo, stored->plan, options);
+          result.per_source[src] = SourceResult{source, outcome.stats,
+                                                stored->report.repairs};
+          return;
+        }
         ResolveReport report;
         const RelayPlan plan = paper_plan(topo, source, options, &report);
         const BroadcastOutcome outcome =
-            simulate_broadcast(topo, plan, options);
-        return SourceResult{source, outcome.stats, report.repairs};
+            simulators[worker].run(topo, plan, options);
+        result.per_source[src] = SourceResult{source, outcome.stats,
+                                              report.repairs};
       },
       workers);
   return result;
@@ -86,16 +107,19 @@ SweepResult sweep_all_sources_with(const Topology& topo,
   WSN_EXPECTS(options.observer == nullptr ||
               options.observer->events == nullptr);
   WSN_SPAN("sweep.all_sources");
+  const std::size_t n = topo.num_nodes();
   SweepResult result;
-  result.per_source = parallel_map<SourceResult>(
-      topo.num_nodes(),
-      [&](std::size_t src) {
+  result.per_source.resize(n);
+  std::vector<Simulator> simulators(resolve_worker_count(n, workers));
+  parallel_for_workers(
+      0, n,
+      [&](std::size_t worker, std::size_t src) {
         WSN_SPAN("sweep.source");
         const auto source = static_cast<NodeId>(src);
         const RelayPlan plan = factory(topo, source);
         const BroadcastOutcome outcome =
-            simulate_broadcast(topo, plan, options);
-        return SourceResult{source, outcome.stats, 0};
+            simulators[worker].run(topo, plan, options);
+        result.per_source[src] = SourceResult{source, outcome.stats, 0};
       },
       workers);
   return result;

@@ -6,6 +6,7 @@
 
 #include "protocol/resolver.h"
 #include "sim/simulator.h"
+#include "store/plan_store.h"
 #include "topology/topology.h"
 
 /// Source-position sweeps: the engine behind the paper's Tables 3-5.
@@ -42,10 +43,16 @@ struct SweepResult {
 
 /// Plans broadcasts from every source with the family's paper protocol
 /// (resolver included), simulates each, and collects the stats.
-/// `workers = 0` uses all cores.
+/// `workers = 0` uses all cores.  Each worker keeps one scratch-reusing
+/// Simulator for its whole chunk of sources.  `store`, when non-null, is
+/// the shared plan cache all workers compile through
+/// (store/plan_store.h): a warm store turns the per-source compilation --
+/// the sweep's dominant cost -- into a lookup, and the result is
+/// byte-identical either way.
 [[nodiscard]] SweepResult sweep_all_sources(const Topology& topo,
                                             const SimOptions& options = {},
-                                            std::size_t workers = 0);
+                                            std::size_t workers = 0,
+                                            PlanStore* store = nullptr);
 
 /// Same sweep for an arbitrary plan factory (used for baselines and
 /// ablations).  The factory must be safe to call concurrently.

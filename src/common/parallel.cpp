@@ -26,18 +26,24 @@ std::size_t default_worker_count() noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t workers) {
+std::size_t resolve_worker_count(std::size_t count,
+                                 std::size_t workers) noexcept {
+  if (workers == 0) workers = default_worker_count();
+  return std::max<std::size_t>(std::min(workers, count), 1);
+}
+
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t worker, std::size_t index)>& body,
+    std::size_t workers) {
   WSN_EXPECTS(begin <= end);
   const std::size_t count = end - begin;
   if (count == 0) return;
 
-  if (workers == 0) workers = default_worker_count();
-  workers = std::min(workers, count);
+  workers = resolve_worker_count(count, workers);
 
   if (workers == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    for (std::size_t i = begin; i < end; ++i) body(0, i);
     return;
   }
 
@@ -55,12 +61,19 @@ void parallel_for(std::size_t begin, std::size_t end,
     const std::size_t lo = next;
     const std::size_t hi = lo + size;
     next = hi;
-    pool.emplace_back([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    pool.emplace_back([w, lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(w, i);
     });
   }
   WSN_ASSERT(next == end);
   for (auto& t : pool) t.join();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  parallel_for_workers(
+      begin, end, [&body](std::size_t, std::size_t i) { body(i); }, workers);
 }
 
 }  // namespace wsn

@@ -21,6 +21,13 @@ namespace wsn {
 /// reproducible sweeps), otherwise hardware concurrency, at least 1.
 std::size_t default_worker_count() noexcept;
 
+/// Workers a `parallel_for(..., workers)` call over `count` indices will
+/// actually spawn: the default (or requested) count, never more than
+/// `count`, at least 1.  Callers sizing per-worker state (one Simulator
+/// per worker in the sweeps) use this to match the pool exactly.
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t count,
+                                               std::size_t workers) noexcept;
+
 /// Invokes `body(i)` for every `i` in `[begin, end)` across `workers`
 /// threads (0 = default).  Blocks until every invocation finished.  The body
 /// must be safe to call concurrently for distinct indices; invocations of
@@ -32,6 +39,15 @@ std::size_t default_worker_count() noexcept;
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t workers = 0);
+
+/// `parallel_for` that also hands the body its worker's index, `worker` in
+/// `[0, resolve_worker_count(end - begin, workers))`.  All indices owned
+/// by one worker run sequentially on one thread, so per-worker state
+/// (scratch buffers, simulators) indexed by `worker` needs no locking.
+void parallel_for_workers(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t worker, std::size_t index)>& body,
+    std::size_t workers = 0);
 
 /// Convenience: map `body` over `[0, count)` collecting results into a
 /// vector, one slot per index (no ordering hazards).

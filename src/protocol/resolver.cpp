@@ -34,15 +34,14 @@ namespace {
 /// guaranteed quiet-slot phase finishes whatever is left.
 RelayPlan optimistic_repairs(const Topology& topo, RelayPlan plan,
                              const SimOptions& options,
-                             ResolveReport& report) {
+                             ResolveReport& report, Simulator& sim) {
   constexpr std::size_t kPatience = 3;
   constexpr std::size_t kMaxIters = 48;
   constexpr Slot kMaxProbe = 8;  // how far past the helper's last tx we look
 
   const std::size_t n = topo.num_nodes();
   RelayPlan best = plan;
-  std::size_t best_unreached =
-      simulate_broadcast(topo, best, options).unreached().size();
+  std::size_t best_unreached = sim.run(topo, best, options).unreached().size();
   std::size_t stall = 0;
 
   // Sorted per-node slots at which some neighbor transmitted; lets a repair
@@ -54,7 +53,7 @@ RelayPlan optimistic_repairs(const Topology& topo, RelayPlan plan,
   };
 
   for (std::size_t iter = 0; iter < kMaxIters && best_unreached > 0; ++iter) {
-    const BroadcastOutcome outcome = simulate_broadcast(topo, plan, options);
+    const BroadcastOutcome outcome = sim.run(topo, plan, options);
     const std::vector<NodeId> unreached = outcome.unreached();
     if (unreached.empty()) {
       report.rounds += 1;
@@ -148,7 +147,7 @@ RelayPlan optimistic_repairs(const Topology& topo, RelayPlan plan,
     report.rounds += 1;
 
     const std::size_t now_unreached =
-        simulate_broadcast(topo, plan, options).unreached().size();
+        sim.run(topo, plan, options).unreached().size();
     if (now_unreached < best_unreached) {
       best = plan;
       best_unreached = now_unreached;
@@ -175,8 +174,12 @@ RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
   const std::size_t n = topo.num_nodes();
   WSN_EXPECTS(plan.num_nodes() == n);
 
+  // One scratch-reusing simulator serves every probe of this resolve call;
+  // plan compilation runs dozens of probes, all on the same topology.
+  Simulator sim(n);
+
   const std::size_t planned_before = plan.planned_tx();
-  plan = optimistic_repairs(topo, std::move(plan), options, local);
+  plan = optimistic_repairs(topo, std::move(plan), options, local, sim);
   // Net extra transmissions; the optimistic phase also *prunes* stranded
   // relays, so the difference can be negative -- clamp rather than let the
   // unsigned arithmetic wrap.
@@ -188,7 +191,7 @@ RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
   // Each round strictly grows the reached set by the whole boundary of the
   // unreached region, so n rounds is a safe upper bound.
   for (std::size_t round = 0; round < n; ++round) {
-    const BroadcastOutcome outcome = simulate_broadcast(topo, plan, options);
+    const BroadcastOutcome outcome = sim.run(topo, plan, options);
     const std::vector<NodeId> unreached = outcome.unreached();
     if (unreached.empty()) {
       if (report != nullptr) *report = local;
@@ -267,8 +270,7 @@ RelayPlan resolve_full_reachability(const Topology& topo, RelayPlan plan,
   // the reached set, so this cannot happen on any topology the simulator
   // accepts -- but degrade gracefully instead of aborting: report what is
   // left unrepaired and return the best plan built so far.
-  local.unrepaired =
-      simulate_broadcast(topo, plan, options).unreached().size();
+  local.unrepaired = sim.run(topo, plan, options).unreached().size();
   if (report != nullptr) *report = local;
   return plan;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/assert.h"
@@ -92,5 +94,119 @@ struct RelayPlan {
     }
   }
 };
+
+/// The same plan in CSR form: one starts array, one offsets array, three
+/// allocations total regardless of relay count.
+///
+/// RelayPlan's vector-of-vectors is the right shape for *construction* --
+/// protocols push offsets node by node, the resolver appends repairs --
+/// but a terrible shape for a cache: rebuilding it from a disk artifact
+/// costs one heap allocation per relay, which dominates a warm plan-store
+/// load.  FlatRelayPlan is the at-rest/simulation form: the plan store
+/// deserializes straight into it, the simulator runs straight off it
+/// (`Simulator::run` takes either form), and the two convert losslessly.
+class FlatRelayPlan {
+ public:
+  FlatRelayPlan() = default;
+
+  /// Flattens a (valid) RelayPlan.
+  static FlatRelayPlan from(const RelayPlan& plan) {
+    FlatRelayPlan flat;
+    flat.source_ = plan.source;
+    flat.starts_.reserve(plan.num_nodes() + 1);
+    flat.starts_.push_back(0);
+    std::size_t total = 0;
+    for (const auto& offsets : plan.tx_offsets) total += offsets.size();
+    flat.offsets_.reserve(total);
+    for (const auto& offsets : plan.tx_offsets) {
+      flat.offsets_.insert(flat.offsets_.end(), offsets.begin(),
+                           offsets.end());
+      flat.starts_.push_back(static_cast<std::uint32_t>(
+          flat.offsets_.size()));
+    }
+    return flat;
+  }
+
+  /// Wraps already-flattened parts.  `starts` has num_nodes + 1 entries
+  /// with starts[0] == 0; the parts must satisfy the RelayPlan contract
+  /// (validate() aborts otherwise -- pre-validate untrusted input).
+  static FlatRelayPlan adopt(NodeId source,
+                             std::vector<std::uint32_t> starts,
+                             std::vector<Slot> offsets) {
+    FlatRelayPlan flat;
+    flat.source_ = source;
+    flat.starts_ = std::move(starts);
+    flat.offsets_ = std::move(offsets);
+    return flat;
+  }
+
+  /// Expands back into the construction-friendly form.
+  [[nodiscard]] RelayPlan to_relay_plan() const {
+    RelayPlan plan;
+    plan.source = source_;
+    plan.tx_offsets.resize(num_nodes());
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      const std::span<const Slot> span = offsets(v);
+      plan.tx_offsets[v].assign(span.begin(), span.end());
+    }
+    return plan;
+  }
+
+  [[nodiscard]] NodeId source() const noexcept { return source_; }
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+
+  [[nodiscard]] std::span<const Slot> offsets(NodeId v) const noexcept {
+    return {offsets_.data() + starts_[v], starts_[v + 1] - starts_[v]};
+  }
+
+  [[nodiscard]] bool is_relay(NodeId v) const noexcept {
+    return starts_[v + 1] > starts_[v];
+  }
+
+  [[nodiscard]] std::size_t total_offsets() const noexcept {
+    return offsets_.size();
+  }
+
+  /// Same contract as RelayPlan::validate(), plus CSR well-formedness.
+  void validate() const {
+    WSN_EXPECTS(!starts_.empty() && starts_.front() == 0);
+    WSN_EXPECTS(starts_.back() == offsets_.size());
+    WSN_EXPECTS(source_ < num_nodes());
+    WSN_EXPECTS(is_relay(source_));
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      WSN_EXPECTS(starts_[v] <= starts_[v + 1]);
+      const std::span<const Slot> span = offsets(v);
+      for (std::size_t i = 0; i < span.size(); ++i) {
+        WSN_EXPECTS(span[i] >= 1);
+        WSN_EXPECTS(i == 0 || span[i] > span[i - 1]);
+      }
+    }
+  }
+
+ private:
+  NodeId source_ = kInvalidNode;
+  std::vector<std::uint32_t> starts_;
+  std::vector<Slot> offsets_;
+};
+
+/// Uniform plan access for code generic over both representations
+/// (sim/simulator.cpp's slot loop is instantiated for each).
+[[nodiscard]] inline NodeId plan_source(const RelayPlan& plan) noexcept {
+  return plan.source;
+}
+[[nodiscard]] inline NodeId plan_source(const FlatRelayPlan& plan) noexcept {
+  return plan.source();
+}
+[[nodiscard]] inline std::span<const Slot> plan_offsets(
+    const RelayPlan& plan, NodeId v) noexcept {
+  return plan.tx_offsets[v];
+}
+[[nodiscard]] inline std::span<const Slot> plan_offsets(
+    const FlatRelayPlan& plan, NodeId v) noexcept {
+  return plan.offsets(v);
+}
 
 }  // namespace wsn

@@ -57,15 +57,22 @@ Slot BroadcastOutcome::first_tx(NodeId node) const noexcept {
   return kNeverSlot;
 }
 
-namespace {
+Simulator::Simulator(std::size_t num_nodes) {
+  hear_count_.reserve(num_nodes);
+  heard_from_.reserve(num_nodes);
+  is_transmitting_.reserve(num_nodes);
+  touched_.reserve(num_nodes);
+  record_of_.reserve(num_nodes);
+}
 
 /// The slot loop, compiled twice.  kObserved=false contains no observer
 /// code at all -- identical work to the pre-instrumentation simulator, so
 /// installing no observer costs nothing -- while kObserved=true carries
-/// the event/metric emission inline.  simulate_broadcast dispatches once.
-template <bool kObserved>
-BroadcastOutcome simulate_impl(const Topology& topo, const RelayPlan& plan,
-                               const SimOptions& options) {
+/// the event/metric emission inline.  Simulator::run dispatches once.
+template <bool kObserved, typename PlanT>
+BroadcastOutcome Simulator::run_impl(const Topology& topo,
+                                     const PlanT& plan,
+                                     const SimOptions& options) {
   const std::size_t n = topo.num_nodes();
   WSN_EXPECTS(plan.num_nodes() == n);
   WSN_EXPECTS(options.battery == nullptr || options.battery->size() == n);
@@ -75,38 +82,45 @@ BroadcastOutcome simulate_impl(const Topology& topo, const RelayPlan& plan,
   if (faults != nullptr) faults->begin_run();
   [[maybe_unused]] Observer* const obs = options.observer;
 
+  const NodeId source = plan_source(plan);
   BroadcastOutcome out;
   out.stats.num_nodes = n;
   out.first_rx.assign(n, kNeverSlot);
-  out.first_rx[plan.source] = 0;
+  out.first_rx[source] = 0;
   if (options.record_node_energy) out.node_energy.assign(n, 0.0);
 
-  // slot -> transmitters scheduled for it.  An ordered map keeps the main
-  // loop a strict slot sweep even when plans schedule far ahead.
-  std::map<Slot, std::vector<NodeId>> schedule;
+  // Re-prime the scratch; `assign` on an already-sized vector is a plain
+  // fill, so a reused Simulator starts every run in the exact state a
+  // fresh one would without allocating.
+  std::map<Slot, std::vector<NodeId>>& schedule = schedule_;
+  schedule.clear();
   const auto schedule_node = [&](NodeId v, Slot received_at) {
+    const std::span<const Slot> offsets = plan_offsets(plan, v);
     if constexpr (kObserved) {
-      if (!plan.tx_offsets[v].empty()) {
+      if (!offsets.empty()) {
         Observer::count(obs->relay_activations);
         obs->emit(
             Event{received_at, EventKind::kRelayActivation, v, kInvalidNode,
-                  0,
-                  static_cast<std::uint32_t>(plan.tx_offsets[v].size())});
+                  0, static_cast<std::uint32_t>(offsets.size())});
       }
     }
-    for (Slot offset : plan.tx_offsets[v]) {
+    for (Slot offset : offsets) {
       schedule[received_at + offset].push_back(v);
     }
   };
-  schedule_node(plan.source, 0);
+  schedule_node(source, 0);
 
-  // Per-slot scratch, epoch-free via the `touched` list: hear_count[u] is
-  // nonzero only for u in touched and reset before the slot ends.
-  std::vector<std::uint32_t> hear_count(n, 0);
-  std::vector<NodeId> heard_from(n, kInvalidNode);
-  std::vector<char> is_transmitting(n, 0);
-  std::vector<NodeId> touched;
-  std::vector<std::size_t> record_of(n, 0);  // transmitter -> index into out.transmissions (valid per slot)
+  hear_count_.assign(n, 0);
+  heard_from_.assign(n, kInvalidNode);
+  is_transmitting_.assign(n, 0);
+  touched_.clear();
+  record_of_.assign(n, 0);
+  std::vector<std::uint32_t>& hear_count = hear_count_;
+  std::vector<NodeId>& heard_from = heard_from_;
+  std::vector<char>& is_transmitting = is_transmitting_;
+  std::vector<NodeId>& touched = touched_;
+  std::vector<std::size_t>& record_of =
+      record_of_;  // transmitter -> index into out.transmissions (valid per slot)
 
   while (!schedule.empty()) {
     auto it = schedule.begin();
@@ -250,16 +264,30 @@ BroadcastOutcome simulate_impl(const Topology& topo, const RelayPlan& plan,
   return out;
 }
 
-}  // namespace
+BroadcastOutcome Simulator::run(const Topology& topo, const RelayPlan& plan,
+                                const SimOptions& options) {
+  WSN_SPAN("sim.simulate");
+  if (options.observer != nullptr) {
+    return run_impl<true>(topo, plan, options);
+  }
+  return run_impl<false>(topo, plan, options);
+}
+
+BroadcastOutcome Simulator::run(const Topology& topo,
+                                const FlatRelayPlan& plan,
+                                const SimOptions& options) {
+  WSN_SPAN("sim.simulate");
+  if (options.observer != nullptr) {
+    return run_impl<true>(topo, plan, options);
+  }
+  return run_impl<false>(topo, plan, options);
+}
 
 BroadcastOutcome simulate_broadcast(const Topology& topo,
                                     const RelayPlan& plan,
                                     const SimOptions& options) {
-  WSN_SPAN("sim.simulate");
-  if (options.observer != nullptr) {
-    return simulate_impl<true>(topo, plan, options);
-  }
-  return simulate_impl<false>(topo, plan, options);
+  Simulator simulator(topo.num_nodes());
+  return simulator.run(topo, plan, options);
 }
 
 }  // namespace wsn

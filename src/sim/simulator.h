@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/types.h"
@@ -106,8 +107,59 @@ struct BroadcastOutcome {
   [[nodiscard]] Slot first_tx(NodeId node) const noexcept;
 };
 
+/// The simulation engine with its per-run scratch buffers.
+///
+/// One broadcast needs five O(n) scratch vectors plus the slot schedule;
+/// allocating them per run is pure churn in the workloads that run
+/// thousands of broadcasts back to back (the resolver's probe
+/// simulations, the all-sources sweeps).  A Simulator owns the scratch
+/// and re-primes it with size-preserving `assign` at the start of every
+/// `run`, so repeated runs over same-sized topologies allocate nothing.
+/// `run` is bitwise-deterministic and identical to `simulate_broadcast`
+/// for any sequence of calls -- scratch reuse is invisible in the
+/// outcome.
+///
+/// Not thread-safe: one Simulator belongs to one thread at a time (the
+/// sweeps keep one per worker).
+class Simulator {
+ public:
+  Simulator() = default;
+  /// Pre-sizes the scratch for `num_nodes`-node topologies.
+  explicit Simulator(std::size_t num_nodes);
+
+  /// Runs one broadcast to completion; semantics of simulate_broadcast.
+  [[nodiscard]] BroadcastOutcome run(const Topology& topo,
+                                     const RelayPlan& plan,
+                                     const SimOptions& options = {});
+
+  /// Same run straight off a CSR plan (sim/plan.h) -- what the plan-store
+  /// sweeps use, skipping any conversion back to RelayPlan.  Identical
+  /// outcome to running the equivalent RelayPlan.
+  [[nodiscard]] BroadcastOutcome run(const Topology& topo,
+                                     const FlatRelayPlan& plan,
+                                     const SimOptions& options = {});
+
+ private:
+  template <bool kObserved, typename PlanT>
+  BroadcastOutcome run_impl(const Topology& topo, const PlanT& plan,
+                            const SimOptions& options);
+
+  // slot -> transmitters scheduled for it.  An ordered map keeps the main
+  // loop a strict slot sweep even when plans schedule far ahead.
+  std::map<Slot, std::vector<NodeId>> schedule_;
+  // Per-slot scratch, epoch-free via the `touched_` list: hear_count_[u]
+  // is nonzero only for u in touched_ and reset before the slot ends.
+  std::vector<std::uint32_t> hear_count_;
+  std::vector<NodeId> heard_from_;
+  std::vector<char> is_transmitting_;
+  std::vector<NodeId> touched_;
+  std::vector<std::size_t> record_of_;  // transmitter -> transmissions index
+};
+
 /// Runs one broadcast to completion.  `plan.num_nodes()` must match the
 /// topology.  Deterministic: identical inputs give identical outcomes.
+/// Stateless convenience over a fresh Simulator; hot loops that run many
+/// broadcasts keep a Simulator and call `run` to reuse its scratch.
 [[nodiscard]] BroadcastOutcome simulate_broadcast(const Topology& topo,
                                                   const RelayPlan& plan,
                                                   const SimOptions& options = {});

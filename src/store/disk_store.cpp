@@ -1,0 +1,98 @@
+#include "store/disk_store.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+namespace wsn {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST.tsv";
+constexpr const char* kArtifactSuffix = ".plan";
+
+/// Reads the keys already recorded in the manifest so reopening a store
+/// does not duplicate its lines.
+std::unordered_set<std::string> read_manifest_keys(const fs::path& path) {
+  std::unordered_set<std::string> keys;
+  std::ifstream file(path);
+  std::string line;
+  while (std::getline(file, line)) {
+    const std::size_t tab = line.find('\t');
+    if (tab != std::string::npos) keys.insert(line.substr(0, tab));
+  }
+  return keys;
+}
+
+}  // namespace
+
+PlanDiskStore::PlanDiskStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ok_ = !ec && fs::is_directory(dir_, ec);
+  if (!ok_) {
+    std::fprintf(stderr, "plan store: cannot open directory %s\n",
+                 dir_.c_str());
+    return;
+  }
+  manifested_ = read_manifest_keys(fs::path(dir_) / kManifestName);
+}
+
+std::string PlanDiskStore::artifact_path(const PlanFingerprint& fp) const {
+  return (fs::path(dir_) / (fp.hex() + kArtifactSuffix)).string();
+}
+
+PlanSerdeStatus PlanDiskStore::load(const PlanFingerprint& fp,
+                                    StoredPlan& out) const {
+  if (!ok_) return PlanSerdeStatus::kNotFound;
+  return read_plan_file(artifact_path(fp), out);
+}
+
+bool PlanDiskStore::save(const PlanFingerprint& fp, const StoredPlan& value) {
+  if (!ok_) return false;
+  // Unique temp name per writer, then an atomic rename: a reader never
+  // observes a half-written artifact, and concurrent writers of the same
+  // key each install identical bytes.
+  static std::atomic<std::uint64_t> temp_serial{0};
+  const std::string final_path = artifact_path(fp);
+  const std::string temp_path =
+      final_path + ".tmp" +
+      std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  if (!write_plan_file(temp_path, value)) {
+    std::error_code ec;
+    fs::remove(temp_path, ec);
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    return false;
+  }
+
+  const std::lock_guard<std::mutex> lock(manifest_mutex_);
+  if (manifested_.insert(fp.hex()).second) {
+    std::ofstream manifest(fs::path(dir_) / kManifestName, std::ios::app);
+    if (manifest) {
+      manifest << fp.hex() << '\t' << fp.canonical << '\n';
+    }
+  }
+  return true;
+}
+
+std::size_t PlanDiskStore::artifact_count() const {
+  if (!ok_) return 0;
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == kArtifactSuffix) ++count;
+  }
+  return count;
+}
+
+}  // namespace wsn

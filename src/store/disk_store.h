@@ -1,0 +1,62 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "store/fingerprint.h"
+#include "store/serialize.h"
+
+/// Disk-backed plan store: a directory of content-addressed artifacts
+/// plus a human-readable manifest.
+///
+/// Layout:
+///
+///   <dir>/<32-hex-key>.plan   -- one version-1 artifact per fingerprint
+///   <dir>/MANIFEST.tsv        -- "<hex key>\t<canonical request>" lines
+///
+/// The manifest is documentation, not an index: loads go straight to the
+/// content-addressed path, so a torn or missing manifest can never serve
+/// a wrong plan.  Saves are atomic (unique temp file + rename) and
+/// last-writer-wins, which is exactly right for a content-addressed
+/// store -- every writer of a key writes the same bytes.
+///
+/// Failure policy: every load problem -- absent file, truncation, bad
+/// magic, stale format version, checksum damage, structural nonsense --
+/// is reported as a status for the caller to treat as a cache miss.
+/// Nothing here aborts, and nothing that fails verification is ever
+/// returned as a plan.
+namespace wsn {
+
+class PlanDiskStore {
+ public:
+  /// Opens (creating if needed) the store rooted at `dir`.  False return
+  /// from `ok()` means the directory could not be created; loads then
+  /// miss and saves fail, but nothing throws.
+  explicit PlanDiskStore(std::string dir);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Path the artifact for `fp` lives at (whether or not it exists yet).
+  [[nodiscard]] std::string artifact_path(const PlanFingerprint& fp) const;
+
+  /// Loads and fully verifies the artifact; kNotFound when absent.
+  [[nodiscard]] PlanSerdeStatus load(const PlanFingerprint& fp,
+                                     StoredPlan& out) const;
+
+  /// Writes the artifact atomically and appends the manifest line (once
+  /// per key per store lifetime).  False on I/O failure.
+  [[nodiscard]] bool save(const PlanFingerprint& fp, const StoredPlan& value);
+
+  /// Number of `.plan` artifacts currently in the directory.
+  [[nodiscard]] std::size_t artifact_count() const;
+
+ private:
+  std::string dir_;
+  bool ok_ = false;
+  std::mutex manifest_mutex_;
+  std::unordered_set<std::string> manifested_;
+};
+
+}  // namespace wsn

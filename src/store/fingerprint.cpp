@@ -1,0 +1,86 @@
+#include "store/fingerprint.h"
+
+#include <cstdio>
+
+#include "store/serialize.h"
+
+namespace wsn {
+
+namespace {
+
+/// FNV-1a over the CSR adjacency: per node, the degree then each neighbor
+/// id, all as little-endian u32.  Symmetric topologies hash identically on
+/// every host because neighbor spans are sorted by construction.
+std::uint64_t adjacency_digest(const Topology& topo) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix_u32 = [&hash](std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (value >> shift) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  const auto n = static_cast<NodeId>(topo.num_nodes());
+  for (NodeId v = 0; v < n; ++v) {
+    mix_u32(static_cast<std::uint32_t>(topo.degree(v)));
+    for (NodeId u : topo.neighbors(v)) mix_u32(u);
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+std::string PlanFingerprint::hex() const {
+  return hex64(key.hi) + hex64(key.lo);
+}
+
+bool plan_cache_eligible(const SimOptions& options) noexcept {
+  return options.faults == nullptr && options.battery == nullptr;
+}
+
+TopologyDigest digest_topology(const Topology& topo) {
+  TopologyDigest digest;
+  digest.prefix.reserve(128);
+  digest.prefix += "v1;family=";
+  digest.prefix += topo.family();
+  digest.prefix += ";topo=";
+  digest.prefix += topo.name();
+  digest.prefix += ";nodes=" + std::to_string(topo.num_nodes());
+  digest.prefix += ";links=" + std::to_string(topo.num_directed_links());
+  digest.prefix += ";adj=" + hex64(adjacency_digest(topo));
+  return digest;
+}
+
+PlanFingerprint fingerprint_plan_request(const Topology& topo, NodeId source,
+                                         std::string_view protocol_id,
+                                         const SimOptions& options) {
+  return fingerprint_plan_request(digest_topology(topo), source, protocol_id,
+                                  options);
+}
+
+PlanFingerprint fingerprint_plan_request(const TopologyDigest& digest,
+                                         NodeId source,
+                                         std::string_view protocol_id,
+                                         const SimOptions& options) {
+  PlanFingerprint fp;
+  fp.canonical.reserve(digest.prefix.size() + 64);
+  fp.canonical += digest.prefix;
+  fp.canonical += ";src=" + std::to_string(source);
+  fp.canonical += ";proto=";
+  fp.canonical += protocol_id;
+  fp.canonical += ";max_slots=" + std::to_string(options.max_slots);
+  // Two independent 64-bit FNV streams (distinct bases) make the stored
+  // key 128 bits wide; the canonical string remains the ground truth.
+  fp.key.hi = fnv1a64(fp.canonical);
+  fp.key.lo = fnv1a64(fp.canonical, 0xcbf29ce484222325ull ^
+                                        0x517cc1b727220a95ull);
+  return fp;
+}
+
+}  // namespace wsn

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/simulator.h"
+#include "topology/topology.h"
+
+/// Content-addressed keys for compiled plans.
+///
+/// Two plan requests must share a key exactly when plan *construction*
+/// cannot distinguish them.  Compilation (protocol rules + resolver
+/// probes) sees only the adjacency structure, the source, the protocol's
+/// own rules, and the probe-simulation horizon -- so the canonical
+/// fingerprint covers:
+///
+///   * the topology: family, `name()` (which carries dims/wrap), node and
+///     link counts, and a digest of the full CSR adjacency.  The digest is
+///     what makes the guarantee structural rather than nominal: two
+///     topologies that wire nodes differently can never collide, even if
+///     a future family forgets to put its dims in `name()` (random
+///     geometric seeds, torus wraps and 1xN degenerates all differ right
+///     here);
+///   * the source node;
+///   * a caller-chosen protocol id ("paper", "cds", "flood:7", ...) --
+///     same topology, different rules, different key;
+///   * the only SimOptions field the probes can observe: `max_slots`.
+///
+/// Energy parameters (packet_bits, radio, spacing) deliberately stay out:
+/// they scale the reported joules but never change which plan is built,
+/// and folding them in would shatter the cache across sweeps that vary
+/// only the radio.  Options that make probes *stateful* -- fault models,
+/// batteries -- make a request ineligible for caching instead
+/// (`plan_cache_eligible`), because no finite key can name a mutable
+/// model's future behavior.
+namespace wsn {
+
+/// 128-bit content hash; the address of an artifact in every store tier.
+struct PlanKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const PlanKey&, const PlanKey&) = default;
+};
+
+struct PlanKeyHash {
+  [[nodiscard]] std::size_t operator()(const PlanKey& key) const noexcept {
+    return static_cast<std::size_t>(key.lo ^ (key.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// A key plus the human-readable canonical request string it was hashed
+/// from (kept for manifests and debugging collisions that cannot happen).
+struct PlanFingerprint {
+  PlanKey key;
+  std::string canonical;
+
+  /// 32 lowercase hex chars, hi then lo; the artifact's file stem.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// True when plan construction under `options` is a pure function of the
+/// fingerprint: no fault model, no battery.  Ineligible requests bypass
+/// every cache tier and compile fresh.
+[[nodiscard]] bool plan_cache_eligible(const SimOptions& options) noexcept;
+
+/// The topology-dependent prefix of the canonical request string.  Walking
+/// the CSR adjacency is O(links) -- by far the dominant fingerprint cost --
+/// while a sweep asks about the *same* topology once per source, so
+/// PlanStore digests each topology once and stamps per-request suffixes
+/// onto the cached prefix.
+struct TopologyDigest {
+  /// "v1;family=..;topo=..;nodes=..;links=..;adj=<hex64>"
+  std::string prefix;
+};
+
+/// Digests `topo` for fingerprinting (O(links)).
+[[nodiscard]] TopologyDigest digest_topology(const Topology& topo);
+
+/// Builds the canonical fingerprint of a plan request.
+[[nodiscard]] PlanFingerprint fingerprint_plan_request(
+    const Topology& topo, NodeId source, std::string_view protocol_id,
+    const SimOptions& options = {});
+
+/// Same fingerprint from a precomputed topology digest (O(1) in the
+/// topology size).  `digest` must describe the topology of the request.
+[[nodiscard]] PlanFingerprint fingerprint_plan_request(
+    const TopologyDigest& digest, NodeId source, std::string_view protocol_id,
+    const SimOptions& options = {});
+
+}  // namespace wsn

@@ -1,0 +1,97 @@
+#include "store/memory_cache.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+ShardedPlanCache::ShardedPlanCache() : ShardedPlanCache(Config{}) {}
+
+ShardedPlanCache::ShardedPlanCache(Config config)
+    : per_shard_capacity_((std::max<std::size_t>(config.capacity, 1) +
+                           std::max<std::size_t>(config.shards, 1) - 1) /
+                          std::max<std::size_t>(config.shards, 1)),
+      shards_(std::max<std::size_t>(config.shards, 1)) {}
+
+void ShardedPlanCache::bind_metrics(MetricsRegistry& registry,
+                                    std::string_view prefix) {
+  const std::string base(prefix);
+  hits_metric_ = &registry.counter(base + ".hits");
+  misses_metric_ = &registry.counter(base + ".misses");
+  insertions_metric_ = &registry.counter(base + ".insertions");
+  evictions_metric_ = &registry.counter(base + ".evictions");
+}
+
+std::shared_ptr<const StoredPlan> ShardedPlanCache::get(const PlanKey& key) {
+  Shard& shard = shard_for(key);
+  std::shared_ptr<const StoredPlan> value;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      value = it->second->value;
+    }
+  }
+  if (value == nullptr) {
+    count(misses_, misses_metric_);
+  } else {
+    count(hits_, hits_metric_);
+  }
+  return value;
+}
+
+void ShardedPlanCache::put(const PlanKey& key,
+                           std::shared_ptr<const StoredPlan> value) {
+  WSN_EXPECTS(value != nullptr);
+  Shard& shard = shard_for(key);
+  bool inserted = false;
+  bool evicted = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value)});
+      shard.index.emplace(key, shard.lru.begin());
+      inserted = true;
+      if (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evicted = true;
+      }
+    }
+  }
+  if (inserted) count(insertions_, insertions_metric_);
+  if (evicted) count(evictions_, evictions_metric_);
+}
+
+std::size_t ShardedPlanCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+ShardedPlanCache::Stats ShardedPlanCache::stats() const noexcept {
+  return Stats{hits_.load(std::memory_order_relaxed),
+               misses_.load(std::memory_order_relaxed),
+               insertions_.load(std::memory_order_relaxed),
+               evictions_.load(std::memory_order_relaxed)};
+}
+
+void ShardedPlanCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace wsn
