@@ -18,6 +18,7 @@
 
 #include "analysis/resilience.h"
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "obs/profile.h"
@@ -62,7 +63,9 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("seed", "master seed", "24083");
   cli.add_option("csv", "CSV output path ('-' = stdout, '' = none)", "");
-  cli.add_option("workers", "worker threads (0 = all cores)", "0");
+  cli.add_option("workers",
+                 "worker threads (flag > MESHBCAST_THREADS > hardware)",
+                 "0");
   cli.add_option("plan-cache",
                  "plan-store directory; the baseline plan compile goes "
                  "through the cache",
@@ -105,7 +108,10 @@ int main(int argc, char** argv) {
   config.crash_horizon = static_cast<wsn::Slot>(cli.get_u64("crash-horizon"));
   config.crash_outage = static_cast<wsn::Slot>(cli.get_u64("crash-outage"));
   config.seed = cli.get_u64("seed");
-  config.workers = cli.get_u64("workers");
+  if (!wsn::parse_worker_flag(cli.get("workers"), config.workers)) {
+    std::fprintf(stderr, "--workers must be a non-negative integer\n");
+    return 1;
+  }
 
   const wsn::ResilienceSweep sweep =
       wsn::run_resilience_sweep(*topo, plan, config);

@@ -1,0 +1,172 @@
+// Scenario-engine throughput: jobs/sec of the bounded-queue worker pool.
+//
+// Runs a fixed in-memory job matrix (a full 12x8 source sweep plus a
+// seeded/faulty mix -- the shapes scenarios/*.json are made of) at several
+// worker counts, cold and warm plan cache, and reports jobs/sec, the mean
+// queue wait, and the plan-cache hit rate.  The interesting trends: jobs/sec
+// should scale with workers until the in-order collector serializes, queue
+// wait should stay near zero (backpressure, not buffering), and the warm
+// hit rate should approach 1 for cacheable protocols.
+//
+//   $ scenario_throughput [--workers-list 1,2,0] [--json-out BENCH_scenario.json]
+//
+// --json-out writes a meshbcast.bench.scenario JSON document (schema in
+// EXPERIMENTS.md) for the CI artifact trail.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "scenario/engine.h"
+#include "store/plan_store.h"
+
+namespace {
+
+constexpr const char* kBenchSpec =
+    "{\"name\": \"bench\", \"scenarios\": ["
+    "{\"name\": \"sweep\", \"family\": \"2D-4\", \"dims\": [12, 8],"
+    " \"sources\": \"all\", \"protocols\": [\"paper\"]},"
+    "{\"name\": \"mixed\", \"family\": \"2D-8\", \"dims\": [8, 6],"
+    " \"sources\": [0, 27], \"protocols\": [\"paper\", \"cds\","
+    " \"flooding\", \"gossip\"], \"seeds\": [1, 2], \"repeats\": 2},"
+    "{\"name\": \"faulty\", \"family\": \"2D-4\", \"dims\": [8, 6],"
+    " \"sources\": [0], \"protocols\": [\"paper\"],"
+    " \"faults\": [{\"kind\": \"iid\", \"loss\": 0.1}],"
+    " \"recovery\": [\"none\", \"repeat-k\"], \"seeds\": [1, 2, 3],"
+    " \"repeats\": 4}]}";
+
+struct ConfigResult {
+  std::size_t workers = 0;
+  double cold_jobs_per_sec = 0.0;
+  double warm_jobs_per_sec = 0.0;
+  double queue_wait_ms_mean = 0.0;  // of the warm run
+  double cache_hit_rate = 0.0;      // memory tier, after the warm run
+};
+
+double timed_run(const wsn::JobMatrix& matrix, std::size_t workers,
+                 wsn::PlanStore* store, const std::filesystem::path& out,
+                 double* queue_wait_ms) {
+  wsn::EngineConfig config;
+  config.workers = workers;
+  config.store = store;
+  wsn::ScenarioEngine engine(matrix, config);
+  const auto start = std::chrono::steady_clock::now();
+  const wsn::RunSummary summary = engine.run(out.string());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (!summary.ok) {
+    std::fprintf(stderr, "run failed: %s\n", summary.error.c_str());
+    return 0.0;
+  }
+  if (queue_wait_ms != nullptr) *queue_wait_ms = summary.queue_wait_ms_mean;
+  return elapsed.count() > 0.0
+             ? static_cast<double>(summary.jobs_run) / elapsed.count()
+             : 0.0;
+}
+
+bool write_scenario_bench_json(const std::string& path, std::size_t jobs,
+                               const std::vector<ConfigResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "{\"schema\":\"meshbcast.bench.scenario\",\"version\":1,"
+      << "\"bench\":\"scenario_throughput\",\"jobs\":" << jobs
+      << ",\n \"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    if (i != 0) out << ",";
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "\n  {\"workers\":%zu,\"cold_jobs_per_sec\":%.3f,"
+                  "\"warm_jobs_per_sec\":%.3f,\"queue_wait_ms_mean\":%.6f,"
+                  "\"cache_hit_rate\":%.6f}",
+                  r.workers, r.cold_jobs_per_sec, r.warm_jobs_per_sec,
+                  r.queue_wait_ms_mean, r.cache_hit_rate);
+    out << line;
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wsn::CliParser cli("scenario_throughput",
+                     "scenario engine jobs/sec at several worker counts");
+  cli.add_option("workers-list",
+                 "comma-separated worker counts (0 = all cores)", "1,2,0");
+  cli.add_option("json-out", "meshbcast.bench.scenario JSON path ('' = skip)",
+                 "");
+  if (!cli.parse(argc, argv)) return 1;
+
+  wsn::JsonValue doc;
+  std::string error;
+  wsn::ScenarioSpec spec;
+  wsn::JobMatrix matrix;
+  if (!wsn::parse_json(kBenchSpec, doc, &error) ||
+      !wsn::parse_scenario_spec(doc, spec, error) ||
+      !wsn::expand_jobs(std::move(spec), matrix, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<std::size_t> worker_counts;
+  for (const std::string& token :
+       wsn::split(cli.get("workers-list"), ',')) {
+    std::size_t value = 0;
+    if (!wsn::parse_worker_flag(token, value)) {
+      std::fprintf(stderr, "bad --workers-list entry '%s'\n", token.c_str());
+      return 1;
+    }
+    worker_counts.push_back(value == 0 ? wsn::default_worker_count() : value);
+  }
+
+  const std::filesystem::path tmp =
+      std::filesystem::temp_directory_path() / "wsn_scenario_throughput";
+  std::filesystem::remove_all(tmp);
+  std::filesystem::create_directories(tmp);
+
+  wsn::AsciiTable table({"Workers", "cold jobs/s", "warm jobs/s",
+                         "queue wait (ms)", "cache hit rate"});
+  table.set_title("Scenario engine throughput (" +
+                  std::to_string(matrix.jobs.size()) + " jobs)");
+
+  std::vector<ConfigResult> results;
+  for (const std::size_t workers : worker_counts) {
+    wsn::PlanStore store;
+    ConfigResult r;
+    r.workers = workers;
+    r.cold_jobs_per_sec = timed_run(matrix, workers, &store,
+                                    tmp / "cold.jsonl", nullptr);
+    r.warm_jobs_per_sec = timed_run(matrix, workers, &store,
+                                    tmp / "warm.jsonl", &r.queue_wait_ms_mean);
+    const auto stats = store.memory().stats();
+    const std::size_t lookups = stats.hits + stats.misses;
+    r.cache_hit_rate = lookups == 0 ? 0.0
+                                    : static_cast<double>(stats.hits) /
+                                          static_cast<double>(lookups);
+    results.push_back(r);
+    table.add_row({std::to_string(workers), wsn::fixed(r.cold_jobs_per_sec, 1),
+                   wsn::fixed(r.warm_jobs_per_sec, 1),
+                   wsn::fixed(r.queue_wait_ms_mean, 3),
+                   wsn::fixed(r.cache_hit_rate, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::filesystem::remove_all(tmp);
+
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty() &&
+      !write_scenario_bench_json(json_path, matrix.jobs.size(), results)) {
+    return 1;
+  }
+  return 0;
+}

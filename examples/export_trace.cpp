@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
                  "warning: --format csv is deprecated; the JSONL schema "
                  "(obs/export.h) is the supported format\n");
     if (!write_file(trace_path, [&](std::ostream& file) {
-          wsn::write_trace_csv(file, *topo, out);
+          wsn::write_legacy_trace_csv(file, *topo, sink);
         })) {
       return 1;
     }

@@ -30,6 +30,7 @@
 #include "analysis/ascii_viz.h"
 #include "analysis/sweep.h"
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "obs/event_sink.h"
 #include "obs/export.h"
@@ -147,6 +148,10 @@ int main(int argc, char** argv) {
                  "center");
   cli.add_option("protocol", "paper, cds, flood or gossip", "paper");
   cli.add_option("packets", "pipeline depth (pipeline command)", "4");
+  cli.add_option("workers",
+                 "sweep worker threads (flag > MESHBCAST_THREADS > "
+                 "hardware)",
+                 "0");
   cli.add_option("trace-out",
                  "event trace path: .jsonl = JSONL, else Chrome/Perfetto "
                  "trace-event JSON",
@@ -307,16 +312,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::string protocol = cli.get("protocol");
+    std::size_t workers = 0;
+    if (!wsn::parse_worker_flag(cli.get("workers"), workers)) {
+      std::fprintf(stderr, "--workers must be a non-negative integer\n");
+      return 1;
+    }
     const wsn::SweepResult sweep =
         protocol == "paper"
-            ? wsn::sweep_all_sources(*topo, sim_options, /*workers=*/0,
+            ? wsn::sweep_all_sources(*topo, sim_options, workers,
                                      store.get())
             : wsn::sweep_all_sources_with(
                   *topo,
                   [&](const wsn::Topology& t, wsn::NodeId s) {
                     return make_plan(protocol, t, s, store.get()).plan;
                   },
-                  sim_options);
+                  sim_options, workers);
     std::printf("%s, %zu sources, %s protocol\n", topo->name().c_str(),
                 sweep.per_source.size(), protocol.c_str());
     std::printf("  best  src=%u  %s\n", sweep.best().source,

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+
+/// Bounded multi-producer / multi-consumer queue -- the scheduling spine
+/// of the scenario engine (scenario/engine.h).
+///
+/// `common/parallel` covers fork-join sweeps where the index range is
+/// known up front; a batch engine instead wants a *long-lived* pool fed
+/// through a queue with
+///
+///   * backpressure -- `push` blocks while the queue is at capacity, so a
+///     producer expanding a million-job matrix never materializes more
+///     than `capacity` jobs ahead of the workers;
+///   * a drain protocol -- `close()` says "no more items"; consumers keep
+///     popping until the queue is empty, then `pop` returns nullopt;
+///   * cooperative cancellation -- `cancel()` additionally discards the
+///     queued backlog and unblocks *producers* too (`push` returns
+///     false), so a Ctrl-C stops the run after the in-flight items, not
+///     after the whole backlog.
+///
+/// Blocking is condition-variable based; there are no timeouts and no
+/// spurious item loss: every pushed item is popped exactly once unless
+/// `cancel()` discarded it.  All operations are linearizable under one
+/// mutex -- at scenario granularity (one item = one full simulation) the
+/// queue is nowhere near being a bottleneck, and the simple invariants
+/// are what the TSan suite locks in.
+namespace wsn {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    WSN_EXPECTS(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed/cancelled).
+  /// Returns false -- item dropped -- iff the queue was closed first.
+  [[nodiscard]] bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty
+  /// (then nullopt -- the consumer's signal to exit).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// No more pushes; queued items still drain.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Close *and* discard the backlog: consumers finish their in-flight
+  /// item and then see nullopt.  Returns the number discarded.
+  std::size_t cancel() {
+    std::size_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      dropped = items_.size();
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    return dropped;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wsn

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Dependency-free JSON reader for the declarative scenario specs
+/// (scenario/spec.h) plus the escaping helper every JSONL emitter shares.
+///
+/// Scope is deliberately RFC-8259-minimal: objects, arrays, strings
+/// (escape sequences incl. \uXXXX with surrogate pairs), numbers parsed as
+/// double, true/false/null.  No comments, no trailing commas, no NaN/Inf
+/// literals -- a spec file either parses bit-for-bit the same everywhere
+/// or fails with a line-numbered diagnostic.  Numbers keep their double
+/// value only; the scenario schema stays inside the 2^53 integer range.
+///
+/// Objects preserve insertion order (a vector of pairs, not a map): spec
+/// fingerprints and error messages refer to the file as written.
+namespace wsn {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull = 0,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return kind_ == Kind::kArray;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; each aborts (contract check) unless the value holds
+  /// that kind.  Callers branch on `kind()` / `is_*` first.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member by key, or nullptr (also nullptr on non-objects, so
+  /// lookups chain without kind checks).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Schema conveniences: the member's value when present and of the right
+  /// kind, else `fallback`.  A *present but wrongly typed* member is a
+  /// spec error the caller must detect -- use `find` for strict paths.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+  [[nodiscard]] bool bool_or(std::string_view key,
+                             bool fallback) const noexcept;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+
+  /// True iff the number holds a non-negative integer representable
+  /// without loss (|v| <= 2^53, no fractional part); writes it to `out`.
+  [[nodiscard]] bool to_u64(std::uint64_t& out) const noexcept;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(Array v);
+  static JsonValue make_object(Object v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirect so JsonValue stays complete inside its own containers.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  On failure returns false and, when `error`
+/// is non-null, stores a "line L: message" diagnostic.  Nesting depth is
+/// capped (64) so hostile inputs cannot blow the stack.
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
+/// Escapes `text` for placement inside a JSON string literal (quotes not
+/// included): ", \ and control characters become escape sequences.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace wsn

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/assert.h"
+#include "common/string_util.h"
 
 namespace wsn {
 
@@ -24,6 +25,13 @@ std::size_t default_worker_count() noexcept {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+bool parse_worker_flag(std::string_view text, std::size_t& out) noexcept {
+  std::uint64_t parsed = 0;
+  if (text.empty() || !parse_u64(text, parsed)) return false;
+  out = static_cast<std::size_t>(parsed);
+  return true;
 }
 
 std::size_t resolve_worker_count(std::size_t count,

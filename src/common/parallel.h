@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,16 @@ namespace wsn {
 /// environment variable when set to a positive integer (pinning for CI and
 /// reproducible sweeps), otherwise hardware concurrency, at least 1.
 std::size_t default_worker_count() noexcept;
+
+/// Parses a `--workers` flag value, the one helper every CLI shares
+/// (meshbcast_cli, resilience_sweep, scenario_runner).  Plain digits only;
+/// returns false on malformed input.  The resolution chain is
+/// flag > MESHBCAST_THREADS > hardware: a positive flag value is returned
+/// as-is, while "0" (the conventional "auto" spelling) yields 0, which
+/// every downstream `workers` parameter resolves through
+/// `default_worker_count()` -- the env var, then the hardware count.
+[[nodiscard]] bool parse_worker_flag(std::string_view text,
+                                     std::size_t& out) noexcept;
 
 /// Workers a `parallel_for(..., workers)` call over `count` indices will
 /// actually spawn: the default (or requested) count, never more than

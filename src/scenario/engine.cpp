@@ -1,0 +1,660 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/bounded_queue.h"
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "fault/models.h"
+#include "fault/recovery.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocol/cds_broadcast.h"
+#include "protocol/etr.h"
+#include "protocol/flooding.h"
+#include "protocol/gossip.h"
+#include "protocol/ideal_model.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+
+namespace wsn {
+
+namespace {
+
+constexpr std::string_view kResultsSchema = "meshbcast.scenario.results";
+constexpr std::string_view kManifestSchema = "meshbcast.scenario.checkpoint";
+constexpr int kSchemaVersion = 1;
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+/// All doubles in records use shortest-round-trip %.17g: exact (the value
+/// survives a parse bit-for-bit) and -- critically -- byte-stable, which
+/// the cross-worker-count identity guarantee rides on.
+std::string format_record_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Stateless splitmix64 mix of (seed, salt): each job's trial seed and
+/// each fault model's sub-seed are pure functions of the spec, never of
+/// scheduling.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) noexcept {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (salt + 1));
+  return splitmix64(state);
+}
+
+/// The per-job fold the envelopes accumulate -- small enough to rebuild
+/// from a parsed record line on resume, which is what keeps a resumed
+/// run's summary identical to an uninterrupted one's.
+struct RecordFold {
+  std::string scenario;
+  bool ok = false;
+  NodeId source = kInvalidNode;
+  Joules energy = 0.0;
+  std::size_t tx = 0;
+  std::size_t rx = 0;
+  Slot delay = 0;
+  bool reached_all = false;
+  bool has_etr = false;
+  double etr_share = 0.0;
+};
+
+void fold_into(ScenarioEnvelope& env, const RecordFold& fold) {
+  env.jobs += 1;
+  if (!fold.ok) {
+    env.errors += 1;
+    return;
+  }
+  env.energy_sum += fold.energy;
+  // Strict comparisons keep the first (lowest job index) holder on energy
+  // ties; folding happens in emission order, so the winner is stable.
+  if (env.best_source == kInvalidNode || fold.energy < env.best_energy) {
+    env.best_energy = fold.energy;
+    env.best_source = fold.source;
+    env.best_tx = fold.tx;
+    env.best_rx = fold.rx;
+  }
+  if (env.worst_source == kInvalidNode || fold.energy > env.worst_energy) {
+    env.worst_energy = fold.energy;
+    env.worst_source = fold.source;
+    env.worst_tx = fold.tx;
+    env.worst_rx = fold.rx;
+  }
+  env.max_delay = std::max(env.max_delay, fold.delay);
+  env.all_reached = env.all_reached && fold.reached_all;
+  if (fold.has_etr) {
+    env.etr_share_sum += fold.etr_share;
+    env.etr_jobs += 1;
+  }
+}
+
+/// Rebuilds a RecordFold from an already-emitted record line (resume
+/// path).  Returns false on anything that does not look like one of our
+/// records for job `expect_index` -- the caller treats that as the end of
+/// the valid prefix.
+bool parse_record_line(const std::string& line, std::size_t expect_index,
+                       RecordFold& fold) {
+  JsonValue doc;
+  if (!parse_json(line, doc) || !doc.is_object()) return false;
+  const JsonValue* job = doc.find("job");
+  std::uint64_t index = 0;
+  if (job == nullptr || !job->to_u64(index) || index != expect_index) {
+    return false;
+  }
+  const JsonValue* scenario = doc.find("scenario");
+  const JsonValue* status = doc.find("status");
+  if (scenario == nullptr || !scenario->is_string() || status == nullptr ||
+      !status->is_string()) {
+    return false;
+  }
+  fold = RecordFold{};
+  fold.scenario = scenario->as_string();
+  if (status->as_string() == "error") return true;
+  if (status->as_string() != "ok") return false;
+  fold.ok = true;
+  fold.source = static_cast<NodeId>(doc.number_or("source", 0));
+  fold.energy = doc.number_or("energy", 0.0);
+  fold.tx = static_cast<std::size_t>(doc.number_or("tx", 0));
+  fold.rx = static_cast<std::size_t>(doc.number_or("rx", 0));
+  fold.delay = static_cast<Slot>(doc.number_or("delay", 0));
+  fold.reached_all =
+      doc.number_or("reached", 0) == doc.number_or("nodes", -1);
+  if (const JsonValue* share = doc.find("etr_share")) {
+    fold.has_etr = true;
+    fold.etr_share = share->as_number();
+  }
+  return true;
+}
+
+struct ExecResult {
+  std::string line;  // the record, no trailing newline
+  RecordFold fold;
+};
+
+/// Runs one job to its record.  Pure in the job (given the shared,
+/// deterministic plan store): no clocks, no worker identity, no queue
+/// state ever reaches the record text.
+ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
+                       Simulator& sim, PlanStore* store) {
+  const ScenarioEntry& entry = *job.entry;
+  ExecResult result;
+  result.fold.scenario = entry.name;
+
+  std::ostringstream line;
+  line << "{\"job\":" << job.index << ",\"scenario\":\""
+       << json_escape(entry.name) << "\"";
+
+  if (!job.error.empty()) {
+    line << ",\"status\":\"error\",\"error\":\"" << json_escape(job.error)
+         << "\"}";
+    result.line = line.str();
+    return result;
+  }
+
+  const Topology& topo = matrix.topology_of(job);
+  const std::uint64_t trial_seed = mix_seed(job.seed, job.rep);
+
+  // Plan-construction options: fault-free and observer-free on purpose --
+  // plans are compiled for the ideal medium (the resilience harness's
+  // convention) and the fault model only bites at simulation time.  This
+  // also keeps the request plan-store-eligible.
+  SimOptions plan_options;
+  plan_options.packet_bits = entry.packet_bits;
+
+  std::size_t repairs = 0;
+  std::size_t unrepaired = 0;
+
+  BroadcastOutcome outcome;
+  EtrSummary etr;
+  bool have_etr = false;
+
+  if (job.protocol == "ideal") {
+    // Analytic comparator (Table 2): no simulation, no faults, no delay.
+    const IdealCase ideal =
+        ideal_case(entry.family, entry.m, entry.n, entry.l, entry.spacing,
+                   entry.packet_bits);
+    outcome.stats.num_nodes = topo.num_nodes();
+    outcome.stats.reached = topo.num_nodes();
+    outcome.stats.tx = ideal.tx;
+    outcome.stats.rx = ideal.rx;
+    outcome.stats.tx_energy = ideal.power;
+    outcome.stats.rx_energy = 0.0;
+    if (entry.outputs.etr) {
+      // By construction every ideal transmission is at the optimum.
+      etr.transmissions = ideal.tx;
+      etr.mean = optimal_etr(entry.family).value();
+      etr.max = etr.mean;
+      etr.at_optimum = ideal.tx;
+      have_etr = true;
+    }
+  } else {
+    // --- plan ---------------------------------------------------------
+    RelayPlan plan;
+    const FlatRelayPlan* flat = nullptr;  // store fast path, kNone only
+    std::shared_ptr<const StoredPlan> stored;
+    const bool cacheable =
+        job.protocol == "paper" || job.protocol == "cds";
+    if (cacheable && store != nullptr) {
+      stored = store->fetch_or_compile(
+          topo, job.source, job.protocol, plan_options,
+          [&](ResolveReport& report) {
+            return job.protocol == "paper"
+                       ? paper_plan(topo, job.source, plan_options, &report)
+                       : CdsBroadcast{}.plan(topo, job.source);
+          });
+      repairs = stored->report.repairs;
+      unrepaired = stored->report.unrepaired;
+      if (job.recovery == RecoveryPolicy::kNone) {
+        flat = &stored->plan;
+      } else {
+        plan = stored->plan.to_relay_plan();
+      }
+    } else if (job.protocol == "paper") {
+      ResolveReport report;
+      plan = paper_plan(topo, job.source, plan_options, &report);
+      repairs = report.repairs;
+      unrepaired = report.unrepaired;
+    } else if (job.protocol == "cds") {
+      plan = CdsBroadcast{}.plan(topo, job.source);
+    } else if (job.protocol == "flooding") {
+      plan = Flooding(entry.jitter, trial_seed).plan(topo, job.source);
+    } else {
+      WSN_ASSERT(job.protocol == "gossip");
+      plan = Gossip(entry.gossip_p, entry.jitter, trial_seed)
+                 .plan(topo, job.source);
+    }
+    if (job.recovery != RecoveryPolicy::kNone) {
+      plan = apply_recovery(topo, std::move(plan), job.recovery,
+                            entry.repeat_k);
+    }
+
+    // --- faults -------------------------------------------------------
+    // One model instance per job (they are stateful); sub-seeds are
+    // derived with distinct salts so loss and crash draws never alias.
+    std::vector<std::unique_ptr<FaultModel>> owned;
+    if (job.fault.kind == ScenarioFault::Kind::kIid) {
+      owned.push_back(std::make_unique<IidLossModel>(
+          job.fault.loss, mix_seed(trial_seed, 0x10551ull)));
+    } else if (job.fault.kind == ScenarioFault::Kind::kGilbert) {
+      owned.push_back(
+          std::make_unique<GilbertElliottModel>(GilbertElliottModel::from_mean_loss(
+              job.fault.loss, job.fault.burst,
+              mix_seed(trial_seed, 0x91b3ull))));
+    }
+    if (job.fault.crash_prob > 0.0) {
+      owned.push_back(std::make_unique<CrashScheduleModel>(
+          CrashScheduleModel::sample(topo.num_nodes(), job.fault.crash_prob,
+                                     job.fault.crash_horizon,
+                                     job.fault.crash_outage,
+                                     mix_seed(trial_seed, 0xc4a5ull))));
+    }
+    std::vector<FaultModel*> parts;
+    parts.reserve(owned.size());
+    for (auto& model : owned) parts.push_back(model.get());
+    std::unique_ptr<CompositeFaultModel> composite;
+    FaultModel* faults = nullptr;
+    if (parts.size() == 1) {
+      faults = parts.front();
+    } else if (parts.size() > 1) {
+      composite = std::make_unique<CompositeFaultModel>(parts);
+      faults = composite.get();
+    }
+
+    // --- simulate -----------------------------------------------------
+    SimOptions run_options = plan_options;
+    run_options.faults = faults;
+    if (entry.deadline_slots > 0) run_options.max_slots = entry.deadline_slots;
+    EventSink sink;
+    Observer observer(&sink);
+    const bool tracing = !entry.outputs.trace_dir.empty();
+    if (tracing) run_options.observer = &observer;
+
+    outcome = flat != nullptr ? sim.run(topo, *flat, run_options)
+                              : sim.run(topo, plan, run_options);
+
+    if (tracing) {
+      std::error_code ec;  // best-effort: a failed trace never fails a job
+      std::filesystem::create_directories(entry.outputs.trace_dir, ec);
+      const std::filesystem::path path =
+          std::filesystem::path(entry.outputs.trace_dir) /
+          ("job_" + std::to_string(job.index) + ".jsonl");
+      std::ofstream trace(path, std::ios::trunc);
+      if (trace) write_events_jsonl(trace, sink);
+    }
+    if (entry.outputs.etr) {
+      etr = summarize_etr(topo, outcome,
+                          static_cast<std::size_t>(
+                              optimal_etr(entry.family).fresh),
+                          job.source);
+      have_etr = true;
+    }
+  }
+
+  // --- record ---------------------------------------------------------
+  const BroadcastStats& stats = outcome.stats;
+  line << ",\"family\":\"" << json_escape(entry.family) << "\",\"dims\":["
+       << entry.m << "," << entry.n << "," << entry.l << "]"
+       << ",\"source\":" << job.source << ",\"protocol\":\"" << job.protocol
+       << "\",\"recovery\":\"" << to_string(job.recovery) << "\",\"fault\":\""
+       << json_escape(job.fault.label()) << "\",\"seed\":" << job.seed
+       << ",\"rep\":" << job.rep << ",\"status\":\"ok\""
+       << ",\"nodes\":" << stats.num_nodes << ",\"reached\":" << stats.reached
+       << ",\"tx\":" << stats.tx << ",\"rx\":" << stats.rx
+       << ",\"dup\":" << stats.duplicates << ",\"coll\":" << stats.collisions
+       << ",\"fade\":" << stats.lost_to_fading
+       << ",\"crash\":" << stats.lost_to_crash << ",\"delay\":" << stats.delay
+       << ",\"energy\":" << format_record_double(stats.total_energy())
+       << ",\"repairs\":" << repairs;
+  if (unrepaired > 0) line << ",\"unrepaired\":" << unrepaired;
+  if (have_etr) {
+    line << ",\"etr_mean\":" << format_record_double(etr.mean)
+         << ",\"etr_share\":" << format_record_double(etr.optimal_share());
+  }
+  line << "}";
+
+  result.line = line.str();
+  result.fold.ok = true;
+  result.fold.source = job.source;
+  result.fold.energy = stats.total_energy();
+  result.fold.tx = stats.tx;
+  result.fold.rx = stats.rx;
+  result.fold.delay = stats.delay;
+  result.fold.reached_all = stats.fully_reached();
+  result.fold.has_etr = have_etr;
+  result.fold.etr_share = have_etr ? etr.optimal_share() : 0.0;
+  return result;
+}
+
+}  // namespace
+
+/// Run-scoped shared state: queue, collector, envelope folds.
+struct ScenarioEngine::Impl {
+  BoundedQueue<std::pair<std::size_t,
+                         std::chrono::steady_clock::time_point>>
+      queue;
+  std::mutex collector_mutex;
+  std::map<std::size_t, ExecResult> pending;  // out-of-order completions
+  std::size_t next_to_emit = 0;
+  std::ofstream out;
+  std::string manifest_path;
+  std::string manifest_prefix;  // everything before the emitted count
+  std::size_t jobs_total = 0;
+  std::size_t emitted = 0;
+  std::size_t errors = 0;
+  std::vector<ScenarioEnvelope>* envelopes = nullptr;
+  double queue_wait_ms_sum = 0.0;
+  std::size_t queue_wait_samples = 0;
+  Counter* completed_metric = nullptr;
+  Counter* failed_metric = nullptr;
+  Histogram* wait_metric = nullptr;
+
+  explicit Impl(std::size_t capacity) : queue(capacity) {}
+};
+
+ScenarioEngine::ScenarioEngine(const JobMatrix& matrix, EngineConfig config)
+    : matrix_(matrix), config_(std::move(config)) {}
+
+std::string ScenarioEngine::header_line() const {
+  std::ostringstream line;
+  line << "{\"schema\":\"" << kResultsSchema
+       << "\",\"version\":" << kSchemaVersion << ",\"name\":\""
+       << json_escape(matrix_.spec.name) << "\",\"fingerprint\":\""
+       << fingerprint_hex(matrix_.fingerprint)
+       << "\",\"jobs\":" << matrix_.jobs.size() << "}";
+  return line.str();
+}
+
+void ScenarioEngine::request_cancel() {
+  stop_.store(true, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(run_mutex_);
+  if (active_ != nullptr) active_->queue.cancel();
+}
+
+RunSummary ScenarioEngine::run(const std::string& results_path) {
+  RunSummary summary;
+  summary.jobs_total = matrix_.jobs.size();
+  stop_.store(false, std::memory_order_release);
+
+  // Envelope per spec entry, in entry order; scenario-name keyed fold.
+  std::vector<ScenarioEnvelope> envelopes;
+  envelopes.reserve(matrix_.spec.entries.size());
+  for (const ScenarioEntry& entry : matrix_.spec.entries) {
+    const bool seen =
+        std::any_of(envelopes.begin(), envelopes.end(),
+                    [&](const ScenarioEnvelope& e) {
+                      return e.scenario == entry.name;
+                    });
+    if (!seen) {
+      ScenarioEnvelope env;
+      env.scenario = entry.name;
+      envelopes.push_back(std::move(env));
+    }
+  }
+  const auto envelope_for = [&](const std::string& name) -> ScenarioEnvelope* {
+    for (ScenarioEnvelope& env : envelopes) {
+      if (env.scenario == name) return &env;
+    }
+    return nullptr;
+  };
+
+  const std::string header = header_line();
+
+  // ---- resume scan ----------------------------------------------------
+  // The results file is its own checkpoint: the longest valid prefix of
+  // records counts as done, everything from the first malformed byte on
+  // is redone.  The manifest is never consulted -- it can lie (torn
+  // write), the results file cannot (we truncate it to the valid prefix).
+  std::size_t completed = 0;
+  bool append = false;
+  if (config_.resume && std::filesystem::exists(results_path)) {
+    std::ifstream in(results_path, std::ios::binary);
+    std::string text;
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+    const std::size_t header_end = text.find('\n');
+    bool header_ok = false;
+    if (header_end != std::string::npos) {
+      JsonValue doc;
+      if (parse_json(text.substr(0, header_end), doc) && doc.is_object() &&
+          doc.string_or("schema", "") == kResultsSchema) {
+        const std::string found = doc.string_or("fingerprint", "");
+        if (found != fingerprint_hex(matrix_.fingerprint)) {
+          summary.error =
+              results_path +
+              ": existing results were produced by a different scenario "
+              "spec (fingerprint " +
+              found + ", expected " + fingerprint_hex(matrix_.fingerprint) +
+              "); refusing to mix runs";
+          return summary;
+        }
+        header_ok = true;
+      }
+    }
+    if (header_ok) {
+      // Walk complete lines; stop at the first one that is truncated,
+      // unparseable, or out of sequence.
+      std::size_t offset = header_end + 1;
+      while (completed < summary.jobs_total) {
+        const std::size_t eol = text.find('\n', offset);
+        if (eol == std::string::npos) break;  // torn final line: redo it
+        RecordFold fold;
+        if (!parse_record_line(text.substr(offset, eol - offset), completed,
+                               fold)) {
+          break;
+        }
+        if (ScenarioEnvelope* env = envelope_for(fold.scenario)) {
+          fold_into(*env, fold);
+        }
+        if (!fold.ok) summary.errors += 1;
+        offset = eol + 1;
+        completed += 1;
+      }
+      std::error_code ec;
+      std::filesystem::resize_file(results_path, offset, ec);
+      if (ec) {
+        summary.error = results_path + ": cannot truncate for resume: " +
+                        ec.message();
+        return summary;
+      }
+      append = true;
+      summary.resumed = completed > 0;
+      summary.jobs_skipped = completed;
+    }
+    // A missing/corrupt header falls through to a fresh start: the file
+    // had nothing trustworthy in it.
+  }
+
+  // ---- open the stream ------------------------------------------------
+  const std::size_t workers_cfg = config_.workers != 0
+                                      ? config_.workers
+                                      : default_worker_count();
+  const std::size_t remaining = summary.jobs_total - completed;
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(workers_cfg, std::max<std::size_t>(
+                                                         remaining, 1)));
+  const std::size_t capacity =
+      config_.queue_capacity != 0
+          ? config_.queue_capacity
+          : std::max<std::size_t>(2 * workers, 16);
+
+  Impl impl(capacity);
+  impl.jobs_total = summary.jobs_total;
+  impl.emitted = completed;
+  impl.next_to_emit = completed;
+  impl.errors = summary.errors;
+  impl.envelopes = &envelopes;
+  impl.manifest_path = results_path + ".manifest";
+  {
+    std::ostringstream prefix;
+    prefix << "{\"schema\":\"" << kManifestSchema
+           << "\",\"version\":" << kSchemaVersion << ",\"name\":\""
+           << json_escape(matrix_.spec.name) << "\",\"fingerprint\":\""
+           << fingerprint_hex(matrix_.fingerprint)
+           << "\",\"jobs\":" << summary.jobs_total << ",\"emitted\":";
+    impl.manifest_prefix = prefix.str();
+  }
+  if (config_.metrics != nullptr) {
+    impl.completed_metric = &config_.metrics->counter("scenario.jobs_completed");
+    impl.failed_metric = &config_.metrics->counter("scenario.jobs_failed");
+    config_.metrics->counter("scenario.jobs_skipped").add(completed);
+    impl.wait_metric = &config_.metrics->histogram(
+        "scenario.queue_wait_ms",
+        {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+  }
+
+  if (!results_path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(results_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+  }
+  impl.out.open(results_path,
+                append ? (std::ios::out | std::ios::app)
+                       : (std::ios::out | std::ios::trunc));
+  if (!impl.out) {
+    summary.error = "cannot open " + results_path + " for writing";
+    return summary;
+  }
+  if (!append) {
+    impl.out << header << '\n';
+    impl.out.flush();
+  }
+
+  const auto write_manifest = [&](std::size_t emitted, bool complete) {
+    std::ofstream manifest(impl.manifest_path, std::ios::trunc);
+    if (!manifest) return;
+    manifest << impl.manifest_prefix << emitted
+             << ",\"complete\":" << (complete ? "true" : "false") << "}\n";
+  };
+  write_manifest(completed, completed == summary.jobs_total);
+
+  {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    active_ = &impl;
+  }
+
+  // ---- collector ------------------------------------------------------
+  // Records are emitted strictly in job-index order: out-of-order
+  // completions park in `pending` until their turn.  This (plus the
+  // record text being a pure function of the job) is the whole
+  // byte-identity story.
+  const auto submit = [&](std::size_t index, ExecResult result) {
+    std::function<void(std::size_t)> notify;
+    std::size_t notify_emitted = 0;
+    {
+      const std::lock_guard<std::mutex> lock(impl.collector_mutex);
+      impl.pending.emplace(index, std::move(result));
+      while (true) {
+        const auto it = impl.pending.find(impl.next_to_emit);
+        if (it == impl.pending.end()) break;
+        impl.out << it->second.line << '\n';
+        impl.out.flush();
+        if (ScenarioEnvelope* env =
+                envelope_for(it->second.fold.scenario)) {
+          fold_into(*env, it->second.fold);
+        }
+        if (!it->second.fold.ok) {
+          impl.errors += 1;
+          if (impl.failed_metric != nullptr) impl.failed_metric->increment();
+        } else if (impl.completed_metric != nullptr) {
+          impl.completed_metric->increment();
+        }
+        impl.pending.erase(it);
+        impl.next_to_emit += 1;
+        impl.emitted += 1;
+        write_manifest(impl.emitted, impl.emitted == impl.jobs_total);
+      }
+      notify_emitted = impl.emitted;
+    }
+    // The hook runs outside the collector lock so it may call
+    // request_cancel() (the kill/resume tests do exactly that).
+    if (config_.on_emit) config_.on_emit(notify_emitted);
+  };
+
+  // ---- workers --------------------------------------------------------
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      Simulator sim;
+      double wait_ms_sum = 0.0;
+      std::size_t wait_samples = 0;
+      while (true) {
+        if (config_.cancel != nullptr &&
+            config_.cancel->load(std::memory_order_acquire) &&
+            !stop_.load(std::memory_order_acquire)) {
+          request_cancel();
+        }
+        auto ticket = impl.queue.pop();
+        if (!ticket.has_value()) break;
+        const auto popped = std::chrono::steady_clock::now();
+        const double wait_ms =
+            std::chrono::duration<double, std::milli>(popped -
+                                                      ticket->second)
+                .count();
+        wait_ms_sum += wait_ms;
+        wait_samples += 1;
+        if (impl.wait_metric != nullptr) impl.wait_metric->observe(wait_ms);
+        submit(ticket->first,
+               execute_job(matrix_, matrix_.jobs[ticket->first], sim,
+                           config_.store));
+      }
+      const std::lock_guard<std::mutex> lock(impl.collector_mutex);
+      impl.queue_wait_ms_sum += wait_ms_sum;
+      impl.queue_wait_samples += wait_samples;
+    });
+  }
+
+  // ---- producer (this thread) -----------------------------------------
+  // Backpressure is the queue's: push blocks once `capacity` tickets are
+  // in flight and returns false only after a cancel.
+  for (std::size_t index = completed; index < summary.jobs_total; ++index) {
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (!impl.queue.push({index, std::chrono::steady_clock::now()})) break;
+  }
+  impl.queue.close();
+  for (std::thread& t : pool) t.join();
+
+  {
+    const std::lock_guard<std::mutex> lock(run_mutex_);
+    active_ = nullptr;
+  }
+
+  summary.ok = true;
+  summary.cancelled = stop_.load(std::memory_order_acquire);
+  summary.jobs_run = impl.emitted - completed;
+  summary.errors = impl.errors;
+  summary.emitted = impl.emitted;
+  summary.queue_wait_ms_mean =
+      impl.queue_wait_samples == 0
+          ? 0.0
+          : impl.queue_wait_ms_sum /
+                static_cast<double>(impl.queue_wait_samples);
+  summary.envelopes = std::move(envelopes);
+  write_manifest(summary.emitted, summary.emitted == summary.jobs_total);
+  return summary;
+}
+
+}  // namespace wsn

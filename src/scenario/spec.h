@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "fault/recovery.h"
+#include "topology/topology.h"
+
+/// Declarative batch workloads: the scenario spec and its expansion.
+///
+/// A scenario file is a small JSON document describing a *matrix* of
+/// broadcast jobs -- the cross-product of {topology, source policy,
+/// protocol, fault model, recovery policy, seed, repeat} that every study
+/// in this repo (the paper's Tables 1-5, the baseline comparisons, the
+/// resilience grids) used to hand-roll as its own bench binary:
+///
+///   {
+///     "name": "paper",
+///     "scenarios": [
+///       {"name": "table34-2D-4", "family": "2D-4", "dims": [32, 16],
+///        "sources": "all", "protocols": ["paper"]},
+///       {"name": "loss-grid", "family": "2D-4", "dims": [12, 8],
+///        "sources": [0, 51], "protocols": ["paper"],
+///        "faults": [{"kind": "iid", "loss": 0.1}],
+///        "recovery": ["none", "repeat-k"], "seeds": [1, 2, 3]}
+///     ]
+///   }
+///
+/// Per scenario entry:
+///   family     "2D-3" | "2D-4" | "2D-8" | "3D-6"          (required)
+///   dims       [m, n] or [m, n, l]; default paper size (32x16 / 8x8x8)
+///   spacing    grid spacing in meters (default 0.5)
+///   sources    "all" | "center" | "corner" | [id, ...]    (default "center")
+///   protocols  ["paper" | "cds" | "flooding" | "gossip" | "ideal", ...]
+///   faults     [{"kind": "none"|"iid"|"gilbert", "loss": r,
+///                "burst": len, "crash_prob": p, "crash_horizon": h,
+///                "crash_outage": o}, ...]                 (default none)
+///   recovery   ["none" | "repeat-k" | "echo-repair", ...] (default none)
+///   repeat_k   repeat-k factor (default 2)
+///   seeds      [u64, ...] (default [1])
+///   repeats    trials per seed (default 1)
+///   deadline_slots  per-job simulation slot budget (0 = library default)
+///   packet_bits     packet length (default 512)
+///   gossip_p / jitter   baseline protocol knobs (default 0.65 / 7)
+///   outputs    {"etr": bool, "trace_dir": "path"}  -- extra per-job
+///              outputs beyond the stats row
+///
+/// Expansion is *total and deterministic*: jobs are ordered entry-major,
+/// then source, protocol, fault, recovery, seed, repeat -- the job index
+/// is the job's identity across runs, which is what makes the result
+/// stream resumable and byte-identical regardless of worker count.  An
+/// entry whose cross-product is empty expands to one synthetic error job
+/// so the condition surfaces as a per-job error record, never a silent
+/// no-op and never a crash (the plan-store self-healing philosophy).
+namespace wsn {
+
+struct ScenarioFault {
+  enum class Kind : std::uint8_t { kNone = 0, kIid, kGilbert };
+  Kind kind = Kind::kNone;
+  double loss = 0.0;        // mean per-link loss rate (iid / gilbert)
+  double burst = 4.0;       // gilbert mean bad-burst length
+  double crash_prob = 0.0;  // sampled node crashes, composable with loss
+  Slot crash_horizon = 32;
+  Slot crash_outage = 0;  // 0 = permanent
+
+  /// True when any fault injection is configured.
+  [[nodiscard]] bool any() const noexcept {
+    return kind != Kind::kNone || crash_prob > 0.0;
+  }
+  /// Stable label used in job records and fingerprints, e.g. "none",
+  /// "iid:0.1", "gilbert:0.1:4+crash:0.02:32:0".
+  [[nodiscard]] std::string label() const;
+};
+
+struct ScenarioOutputs {
+  /// Append ETR aggregates (mean, optimal share) to each job record; the
+  /// measured half of the paper's Table 1.
+  bool etr = false;
+  /// When non-empty, write each job's event trace (obs JSONL schema) to
+  /// `<trace_dir>/job_<index>.jsonl`.
+  std::string trace_dir;
+};
+
+struct ScenarioEntry {
+  enum class SourcePolicy : std::uint8_t { kAll = 0, kCenter, kCorner, kList };
+
+  std::string name;
+  std::string family;
+  int m = 0, n = 0, l = 1;  // 0 = paper default for the family
+  Meters spacing = 0.5;
+  SourcePolicy source_policy = SourcePolicy::kCenter;
+  std::vector<NodeId> source_list;  // kList only
+  std::vector<std::string> protocols = {"paper"};
+  std::vector<ScenarioFault> faults = {ScenarioFault{}};
+  std::vector<RecoveryPolicy> recovery = {RecoveryPolicy::kNone};
+  unsigned repeat_k = 2;
+  std::vector<std::uint64_t> seeds = {1};
+  std::uint32_t repeats = 1;
+  Slot deadline_slots = 0;
+  std::size_t packet_bits = 512;
+  double gossip_p = 0.65;
+  Slot jitter = 7;
+  ScenarioOutputs outputs;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::vector<ScenarioEntry> entries;
+};
+
+/// Parses a spec out of a JSON document / file.  Returns false with a
+/// diagnostic in `error` on any schema violation (unknown family or
+/// protocol, malformed numbers, missing required fields); a spec either
+/// loads completely or not at all.
+[[nodiscard]] bool parse_scenario_spec(const JsonValue& doc,
+                                       ScenarioSpec& out, std::string& error);
+[[nodiscard]] bool load_scenario_file(const std::string& path,
+                                      ScenarioSpec& out, std::string& error);
+
+/// One fully-expanded job.  `error` non-empty marks a synthetic error job
+/// (e.g. the entry's cross-product was empty): the engine emits an error
+/// record for it instead of simulating.
+struct ScenarioJob {
+  std::size_t index = 0;
+  const ScenarioEntry* entry = nullptr;
+  std::size_t topology = 0;  // index into JobMatrix::topologies
+  NodeId source = 0;
+  std::string protocol = "paper";
+  ScenarioFault fault;
+  RecoveryPolicy recovery = RecoveryPolicy::kNone;
+  std::uint64_t seed = 0;
+  std::uint32_t rep = 0;
+  std::string error;
+};
+
+/// The expanded matrix.  Topologies are built once per distinct
+/// (family, dims, spacing) and shared by every job over them -- Topology
+/// reads are thread-safe, and sharing one instance lets the plan store
+/// memoize its adjacency digest across the whole run.
+struct JobMatrix {
+  ScenarioSpec spec;  // jobs point into spec.entries; keep together
+  std::vector<std::unique_ptr<Topology>> topologies;
+  std::vector<ScenarioJob> jobs;
+  /// Order-sensitive digest of every job's identity, stamped into the
+  /// result header and the checkpoint manifest: a resumed run refuses to
+  /// append to results produced by a different spec.
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] const Topology& topology_of(const ScenarioJob& job) const {
+    return *topologies[job.topology];
+  }
+};
+
+/// Expands `spec` into the deterministic job list described above.
+/// Returns false with `error` set when a topology cannot be built or an
+/// explicit source id is out of range (spec-level errors); an *empty*
+/// cross-product is not an error here -- it becomes an error job.
+[[nodiscard]] bool expand_jobs(ScenarioSpec spec, JobMatrix& out,
+                               std::string& error);
+
+/// The canonical one-line identity of a job (fingerprint + debugging).
+[[nodiscard]] std::string job_identity(const ScenarioJob& job);
+
+[[nodiscard]] std::string_view to_string(
+    ScenarioEntry::SourcePolicy policy) noexcept;
+
+}  // namespace wsn

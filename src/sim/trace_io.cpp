@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_map>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -10,75 +11,92 @@ namespace wsn {
 
 namespace {
 
-struct RxEvent {
-  Slot slot;
-  NodeId node;
-  NodeId from;
+/// One legacy CSV data row before rendering; `rank` fixes the historical
+/// within-slot order (tx, then rx, then coll).
+struct LegacyRow {
+  Slot slot = 0;
+  int rank = 0;
+  NodeId node = kInvalidNode;
+  std::uint64_t detail1 = 0;
+  std::uint64_t detail2 = 0;
 };
+
+constexpr std::uint64_t slot_peer_key(Slot slot, NodeId peer) noexcept {
+  return (static_cast<std::uint64_t>(slot) << 32) | peer;
+}
 
 }  // namespace
 
-void write_trace_csv(std::ostream& out, const Topology& topo,
-                     const BroadcastOutcome& outcome) {
-  CsvWriter csv(out);
-  csv.row({"event", "slot", "node", "x", "y", "z", "detail1", "detail2"});
+void write_legacy_trace_csv(std::ostream& out, const Topology& topo,
+                            const EventSink& sink) {
+  const std::vector<Event> events = sink.events();
 
-  // First receptions, attributed to the transmitter whose slot matches.
-  std::vector<RxEvent> receptions;
-  for (NodeId v = 0; v < outcome.first_rx.size(); ++v) {
-    const Slot slot = outcome.first_rx[v];
-    if (slot == 0 || slot == kNeverSlot) continue;  // source / unreached
-    NodeId from = kInvalidNode;
-    for (const TxRecord& rec : outcome.transmissions) {
-      if (rec.slot == slot && topo.adjacent(rec.node, v)) {
-        from = rec.node;
+  // A kTx event does not carry its delivery outcome; reconstruct it from
+  // the receptions it caused -- delivered = rx + dup events attributed to
+  // this (slot, transmitter), fresh = the rx half.  The pair is keyed by
+  // (slot, peer) because the slot-synchronous medium lets a node transmit
+  // at most once per slot.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      deliveries;
+  for (const Event& event : events) {
+    if (event.kind != EventKind::kRx && event.kind != EventKind::kDuplicate) {
+      continue;
+    }
+    if (event.peer == kInvalidNode) continue;
+    auto& tally = deliveries[slot_peer_key(event.slot, event.peer)];
+    tally.first += 1;
+    if (event.kind == EventKind::kRx) tally.second += 1;
+  }
+
+  std::vector<LegacyRow> rows;
+  rows.reserve(events.size());
+  for (const Event& event : events) {
+    LegacyRow row;
+    row.slot = event.slot;
+    row.node = event.node;
+    switch (event.kind) {
+      case EventKind::kTx: {
+        row.rank = 0;
+        const auto it = deliveries.find(slot_peer_key(event.slot, event.node));
+        if (it != deliveries.end()) {
+          row.detail1 = it->second.first;
+          row.detail2 = it->second.second;
+        }
         break;
       }
+      case EventKind::kRx:
+        // First receptions only, the format's historical scope; duplicates
+        // stay aggregated in the transmitter's `delivered` column.
+        row.rank = 1;
+        row.detail1 = event.peer;
+        row.detail2 = 1;
+        break;
+      case EventKind::kCollision:
+        row.rank = 2;
+        row.detail1 = event.detail;
+        row.detail2 = 0;
+        break;
+      default:
+        continue;  // dup/fade/crash/relay/defer have no legacy row kind
     }
-    receptions.push_back(RxEvent{slot, v, from});
+    rows.push_back(row);
   }
-  std::sort(receptions.begin(), receptions.end(),
-            [](const RxEvent& a, const RxEvent& b) {
-              return a.slot != b.slot ? a.slot < b.slot : a.node < b.node;
+  std::sort(rows.begin(), rows.end(),
+            [](const LegacyRow& a, const LegacyRow& b) {
+              if (a.slot != b.slot) return a.slot < b.slot;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.node < b.node;
             });
 
-  // Merge the three streams by slot; within a slot: tx, rx, coll.
-  const auto emit_position = [&](NodeId v) {
-    const auto p = topo.position(v);
-    return std::array<std::string, 3>{std::to_string(p[0]),
-                                      std::to_string(p[1]),
-                                      std::to_string(p[2])};
-  };
-  std::size_t ti = 0;
-  std::size_t ri = 0;
-  std::size_t ci = 0;
-  Slot slot = 1;
-  while (ti < outcome.transmissions.size() || ri < receptions.size() ||
-         ci < outcome.collision_events.size()) {
-    for (; ti < outcome.transmissions.size() &&
-           outcome.transmissions[ti].slot == slot;
-         ++ti) {
-      const TxRecord& rec = outcome.transmissions[ti];
-      const auto pos = emit_position(rec.node);
-      csv.row({"tx", std::to_string(rec.slot), std::to_string(rec.node),
-               pos[0], pos[1], pos[2], std::to_string(rec.delivered),
-               std::to_string(rec.fresh)});
-    }
-    for (; ri < receptions.size() && receptions[ri].slot == slot; ++ri) {
-      const RxEvent& rx = receptions[ri];
-      const auto pos = emit_position(rx.node);
-      csv.row({"rx", std::to_string(rx.slot), std::to_string(rx.node),
-               pos[0], pos[1], pos[2], std::to_string(rx.from), "1"});
-    }
-    for (; ci < outcome.collision_events.size() &&
-           outcome.collision_events[ci].slot == slot;
-         ++ci) {
-      const CollisionRecord& ev = outcome.collision_events[ci];
-      const auto pos = emit_position(ev.node);
-      csv.row({"coll", std::to_string(ev.slot), std::to_string(ev.node),
-               pos[0], pos[1], pos[2], std::to_string(ev.contenders), "0"});
-    }
-    ++slot;
+  CsvWriter csv(out);
+  csv.row({"event", "slot", "node", "x", "y", "z", "detail1", "detail2"});
+  static constexpr const char* kRankName[] = {"tx", "rx", "coll"};
+  for (const LegacyRow& row : rows) {
+    const auto pos = topo.position(row.node);
+    csv.row({kRankName[row.rank], std::to_string(row.slot),
+             std::to_string(row.node), std::to_string(pos[0]),
+             std::to_string(pos[1]), std::to_string(pos[2]),
+             std::to_string(row.detail1), std::to_string(row.detail2)});
   }
 }
 

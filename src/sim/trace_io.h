@@ -4,6 +4,7 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/event_sink.h"
 #include "sim/plan.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
@@ -22,17 +23,23 @@
 ///   rx,3,18,3,1,0,17,1       -- reception: from=17, fresh=1
 ///   coll,3,20,5,1,0,2,0      -- collision: contenders=2
 ///
-/// Receptions are reconstructed from first_rx plus the transmission trace;
-/// duplicate receptions are not individually timestamped by the simulator,
-/// so the rx stream carries first receptions only (fresh=1 always) -- the
-/// tx stream's `delivered` column accounts for the duplicates in aggregate.
+/// The writer is a *projection of the structured event stream*: the
+/// legacy outcome-walking serializer is gone, and the CSV is derived from
+/// the same Observer events the JSONL exporter uses, so both formats
+/// always describe the identical run.  The rx stream carries first
+/// receptions only (fresh=1 always, the format's historical behavior);
+/// the tx stream's `delivered` column accounts for duplicates in
+/// aggregate.
 namespace wsn {
 
-/// Writes the header plus every event of `outcome`, in slot order.
-/// Collision events require the simulation to have run with
-/// SimOptions::record_collisions.  Deprecated -- see the header comment.
-void write_trace_csv(std::ostream& out, const Topology& topo,
-                     const BroadcastOutcome& outcome);
+/// Writes the legacy CSV projection of `sink`'s events (header plus tx /
+/// rx / coll rows, slot-ordered; within a slot tx then rx then coll, each
+/// by node id).  A transmission's delivered/fresh columns are
+/// reconstructed from the rx/dup events attributed to it.  Record the run
+/// with an Observer whose EventSink has capacity for the whole trace.
+/// Deprecated output format -- see the header comment.
+void write_legacy_trace_csv(std::ostream& out, const Topology& topo,
+                            const EventSink& sink);
 
 /// One parsed row of the legacy CSV trace.
 struct LegacyTraceRecord {

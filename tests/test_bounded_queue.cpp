@@ -1,0 +1,153 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace wsn {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_TRUE(queue.push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), 3);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full
+  EXPECT_EQ(queue.try_pop(), 1);
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, TryPopOnEmptyIsNullopt) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsExit) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(7));
+  EXPECT_TRUE(queue.push(8));
+  queue.close();
+  EXPECT_FALSE(queue.push(9));  // closed to producers immediately
+  EXPECT_EQ(queue.pop(), 7);    // but the backlog still drains
+  EXPECT_EQ(queue.pop(), 8);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CancelDiscardsBacklog) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.cancel(), 2u);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_FALSE(queue.push(3));
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks: capacity 1 and one item queued
+    pushed.store(true);
+  });
+  // The producer cannot finish until we pop.  (No sleep: we only assert
+  // the happens-before edge, not timing.)
+  EXPECT_EQ(queue.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, CancelUnblocksAWaitingProducer) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(2));  // blocked, then rejected by cancel
+  });
+  queue.cancel();
+  producer.join();
+}
+
+TEST(BoundedQueue, ConcurrentProducersConsumersLoseNothing) {
+  // MPMC soak: every pushed value is popped exactly once.  This is the
+  // test the TSan job leans on for the scenario engine's spine.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(8);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  long long expect = 0;
+  for (int v = 0; v < total; ++v) expect += v;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(BoundedQueue, ConcurrentCancelIsRaceFree) {
+  // Producers, consumers and a cancelling thread all collide; the queue
+  // must stay internally consistent (checked by TSan) and every side must
+  // terminate.
+  BoundedQueue<int> queue(2);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (!queue.push(i)) return;
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+    });
+  }
+  threads.emplace_back([&] { queue.cancel(); });
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+using BoundedQueueDeathTest = ::testing::Test;
+
+TEST(BoundedQueueDeathTest, ZeroCapacityRejected) {
+  EXPECT_DEATH(BoundedQueue<int>(0), "precondition");
+}
+
+}  // namespace
+}  // namespace wsn

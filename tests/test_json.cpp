@@ -1,0 +1,113 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wsn {
+namespace {
+
+JsonValue parsed(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, doc, &error)) << error;
+  return doc;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parsed("null").is_null());
+  EXPECT_TRUE(parsed("true").as_bool());
+  EXPECT_FALSE(parsed("false").as_bool());
+  EXPECT_DOUBLE_EQ(parsed("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parsed("-0.5e2").as_number(), -50.0);
+  EXPECT_EQ(parsed("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const JsonValue doc =
+      parsed("{\"a\": [1, 2, {\"b\": true}], \"c\": \"x\"}");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc.string_or("c", ""), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const JsonValue doc = parsed("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+  const JsonValue doc =
+      parsed("\"line\\n tab\\t quote\\\" back\\\\ unicode\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), "line\n tab\t quote\" back\\ unicode\xc3\xa9");
+}
+
+TEST(Json, SurrogatePairDecodesToUtf8) {
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  const JsonValue doc = parsed("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(doc.as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\": }", doc, &error));
+  EXPECT_FALSE(parse_json("[1, 2,]", doc, &error));
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing", doc, &error));
+  EXPECT_FALSE(parse_json("\"unterminated", doc, &error));
+  EXPECT_FALSE(parse_json("nul", doc, &error));
+  EXPECT_FALSE(parse_json("", doc, &error));
+  // Errors carry a line number for spec diagnostics.
+  EXPECT_FALSE(parse_json("{\n\"a\": oops\n}", doc, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(Json, DepthCapStopsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  JsonValue doc;
+  EXPECT_FALSE(parse_json(deep, doc));
+}
+
+TEST(Json, ToU64AcceptsExactIntegersOnly) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(parsed("7").to_u64(out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(parsed("-1").to_u64(out));
+  EXPECT_FALSE(parsed("1.5").to_u64(out));
+  EXPECT_FALSE(parsed("\"7\"").to_u64(out));
+}
+
+TEST(Json, FallbackAccessors) {
+  const JsonValue doc = parsed("{\"n\": 3, \"s\": \"v\", \"b\": true}");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("s", -1.0), -1.0);  // wrong kind
+  EXPECT_EQ(doc.string_or("s", "d"), "v");
+  EXPECT_EQ(doc.string_or("n", "d"), "d");
+  EXPECT_TRUE(doc.bool_or("b", false));
+  EXPECT_FALSE(doc.bool_or("n", false));
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01 f";
+  std::string quoted = "\"";
+  quoted += json_escape(nasty);
+  quoted += "\"";
+  const JsonValue doc = parsed(quoted);
+  EXPECT_EQ(doc.as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace wsn

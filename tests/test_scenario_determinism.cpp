@@ -1,0 +1,307 @@
+// The scenario engine's byte-identity guarantees (ISSUE 4 acceptance):
+// the results file is the same bytes at any worker count, cold or warm
+// plan cache, and after a mid-run kill plus --resume -- and
+// scenarios/paper.json reproduces the paper's Tables 1-5 against the
+// library's own direct computations.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "protocol/etr.h"
+#include "protocol/ideal_model.h"
+#include "protocol/registry.h"
+#include "scenario/engine.h"
+#include "sim/simulator.h"
+#include "store/plan_store.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("wsn_test_scenario_det_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+void expand(const std::string& text, JobMatrix& matrix) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(text, doc, &error)) << error;
+  ScenarioSpec spec;
+  ASSERT_TRUE(parse_scenario_spec(doc, spec, error)) << error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::string run_to_string(const JobMatrix& matrix, EngineConfig config,
+                          const std::filesystem::path& out) {
+  ScenarioEngine engine(matrix, std::move(config));
+  const RunSummary summary = engine.run(out.string());
+  EXPECT_TRUE(summary.ok) << summary.error;
+  EXPECT_FALSE(summary.cancelled);
+  return read_file(out);
+}
+
+// A matrix exercising every determinism hazard at once: a full source
+// sweep (out-of-order completion pressure), seed-dependent protocols,
+// stateful fault models, recovery rewrites, repeats, and ETR output.
+constexpr const char* kHazardSpec =
+    "{\"name\": \"det\", \"scenarios\": ["
+    "{\"name\": \"sweep\", \"family\": \"2D-4\", \"dims\": [8, 6],"
+    " \"sources\": \"all\", \"protocols\": [\"paper\"]},"
+    "{\"name\": \"mixed\", \"family\": \"2D-3\", \"dims\": [7, 5],"
+    " \"sources\": [0, 17],"
+    " \"protocols\": [\"paper\", \"cds\", \"flooding\", \"gossip\"],"
+    " \"seeds\": [3, 4], \"repeats\": 2},"
+    "{\"name\": \"faulty\", \"family\": \"2D-4\", \"dims\": [6, 5],"
+    " \"sources\": [0], \"protocols\": [\"paper\"],"
+    " \"faults\": [{\"kind\": \"iid\", \"loss\": 0.15},"
+    "              {\"kind\": \"gilbert\", \"loss\": 0.1, \"burst\": 3,"
+    "               \"crash_prob\": 0.1}],"
+    " \"recovery\": [\"none\", \"repeat-k\", \"echo-repair\"],"
+    " \"seeds\": [11, 12], \"outputs\": {\"etr\": true}}]}";
+
+TEST(ScenarioDeterminism, ByteIdenticalAcrossWorkerCounts) {
+  const TempDir tmp("workers");
+  JobMatrix matrix;
+  expand(kHazardSpec, matrix);
+
+  EngineConfig one;
+  one.workers = 1;
+  const std::string serial = run_to_string(matrix, one, tmp.path / "w1.jsonl");
+
+  EngineConfig eight;
+  eight.workers = 8;
+  const std::string wide = run_to_string(matrix, eight, tmp.path / "w8.jsonl");
+
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(ScenarioDeterminism, ByteIdenticalColdAndWarmPlanCache) {
+  const TempDir tmp("cache");
+  JobMatrix matrix;
+  expand(kHazardSpec, matrix);
+
+  EngineConfig storeless;
+  storeless.workers = 4;
+  const std::string direct =
+      run_to_string(matrix, storeless, tmp.path / "direct.jsonl");
+
+  PlanStore store;
+  EngineConfig cached = storeless;
+  cached.store = &store;
+  const std::string cold =
+      run_to_string(matrix, cached, tmp.path / "cold.jsonl");
+  const std::string warm =
+      run_to_string(matrix, cached, tmp.path / "warm.jsonl");
+
+  // The warm run really was served from cache...
+  EXPECT_GT(store.memory().stats().hits, 0u);
+  // ...and cache temperature (or having a cache at all) never reaches
+  // the bytes.
+  EXPECT_EQ(direct, cold);
+  EXPECT_EQ(cold, warm);
+}
+
+TEST(ScenarioDeterminism, KilledRunResumesToIdenticalBytes) {
+  const TempDir tmp("kill");
+  JobMatrix matrix;
+  expand(kHazardSpec, matrix);
+
+  EngineConfig plain;
+  plain.workers = 4;
+  const std::string golden =
+      run_to_string(matrix, plain, tmp.path / "golden.jsonl");
+
+  // Kill mid-run at a different worker count than the resume uses.
+  const std::filesystem::path out = tmp.path / "killed.jsonl";
+  {
+    EngineConfig config;
+    config.workers = 8;
+    ScenarioEngine* handle = nullptr;
+    config.on_emit = [&handle](std::size_t emitted) {
+      if (emitted >= 10) handle->request_cancel();
+    };
+    ScenarioEngine engine(matrix, config);
+    handle = &engine;
+    const RunSummary summary = engine.run(out.string());
+    ASSERT_TRUE(summary.ok) << summary.error;
+    ASSERT_TRUE(summary.cancelled);
+    ASSERT_GE(summary.emitted, 10u);
+  }
+
+  EngineConfig resume;
+  resume.workers = 3;
+  resume.resume = true;
+  ScenarioEngine engine(matrix, resume);
+  const RunSummary summary = engine.run(out.string());
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.emitted, matrix.jobs.size());
+  EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioDeterminism, EnvelopeMatchesDirectSweep) {
+  // The engine's per-scenario fold is the same envelope the analysis
+  // layer computes: an all-sources scenario equals sweep_all_sources.
+  const TempDir tmp("sweep");
+  JobMatrix matrix;
+  expand(
+      "{\"scenarios\": [{\"name\": \"sweep\", \"family\": \"2D-4\","
+      " \"dims\": [8, 6], \"sources\": \"all\"}]}",
+      matrix);
+
+  ScenarioEngine engine(matrix, {});
+  const RunSummary summary = engine.run((tmp.path / "out.jsonl").string());
+  ASSERT_TRUE(summary.ok) << summary.error;
+  ASSERT_EQ(summary.envelopes.size(), 1u);
+  const ScenarioEnvelope& env = summary.envelopes[0];
+
+  const SweepResult sweep = sweep_all_sources(matrix.topology_of(matrix.jobs[0]));
+  EXPECT_EQ(env.best_source, sweep.best().source);
+  EXPECT_EQ(env.worst_source, sweep.worst().source);
+  EXPECT_DOUBLE_EQ(env.best_energy, sweep.best().stats.total_energy());
+  EXPECT_DOUBLE_EQ(env.worst_energy, sweep.worst().stats.total_energy());
+  EXPECT_DOUBLE_EQ(env.mean_energy(), sweep.mean_energy());
+  EXPECT_EQ(env.best_tx, sweep.best().stats.tx);
+  EXPECT_EQ(env.worst_tx, sweep.worst().stats.tx);
+  EXPECT_EQ(env.max_delay, sweep.max_delay());
+  EXPECT_EQ(env.all_reached, sweep.all_fully_reached());
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: scenarios/paper.json reproduces Tables 1-5.
+//
+// One test on purpose: the paper run is ~5 s of simulation (four full
+// 512-source sweeps) and ctest runs each gtest case in its own process,
+// so splitting per family/table would re-pay that cost per case.
+// ---------------------------------------------------------------------
+
+TEST(ScenarioAcceptance, PaperJsonReproducesTables1Through5) {
+  const std::filesystem::path spec_path =
+      std::filesystem::path(WSN_REPO_DIR) / "scenarios" / "paper.json";
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(load_scenario_file(spec_path.string(), spec, error)) << error;
+  JobMatrix matrix;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+
+  const TempDir tmp("paper");
+  PlanStore store;
+  EngineConfig config;
+  config.store = &store;
+  ScenarioEngine engine(matrix, config);
+  const std::filesystem::path out = tmp.path / "paper.jsonl";
+  const RunSummary summary = engine.run(out.string());
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.errors, 0u);
+
+  // Parsed ok-records per scenario name, in job order.
+  std::map<std::string, std::vector<JsonValue>> records;
+  {
+    std::ifstream in(out);
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+      JsonValue record;
+      ASSERT_TRUE(parse_json(line, record)) << line;
+      records[record.string_or("scenario", "")].push_back(std::move(record));
+    }
+  }
+  const auto envelope = [&](const std::string& name) -> const ScenarioEnvelope* {
+    for (const ScenarioEnvelope& env : summary.envelopes) {
+      if (env.scenario == name) return &env;
+    }
+    return nullptr;
+  };
+
+  for (const std::string family : {"2D-3", "2D-4", "2D-8", "3D-6"}) {
+    SCOPED_TRACE(family);
+
+    // --- Table 1: center-source ETR record vs direct computation ------
+    const auto t1 = records.find("table1-" + family);
+    ASSERT_NE(t1, records.end());
+    ASSERT_EQ(t1->second.size(), 1u);
+    const JsonValue& etr_record = t1->second[0];
+    const auto topo = make_paper_topology(family);
+    const NodeId center = graph_center(*topo);
+    Simulator sim;
+    const BroadcastOutcome outcome =
+        sim.run(*topo, paper_plan(*topo, center, {}), {});
+    const EtrSummary etr = summarize_etr(
+        *topo, outcome,
+        static_cast<std::size_t>(optimal_etr(family).fresh), center);
+    EXPECT_DOUBLE_EQ(etr_record.number_or("etr_mean", -1.0), etr.mean);
+    EXPECT_DOUBLE_EQ(etr_record.number_or("etr_share", -1.0),
+                     etr.optimal_share());
+    // The paper's qualitative Table 1 claim -- most relay transmissions
+    // hit the family's optimal ETR -- holds on the 2D meshes; 3D-6
+    // relays rarely see the full 5-fresh optimum (the repo's ETR suite
+    // makes the same distinction).
+    EXPECT_GT(etr_record.number_or("etr_share", 0.0),
+              family == "3D-6" ? 0.0 : 0.5);
+
+    // --- Table 2: ideal records vs the analytic model (exact) ---------
+    const auto t2 = records.find("table2-" + family);
+    ASSERT_NE(t2, records.end());
+    ASSERT_EQ(t2->second.size(), 1u);
+    const JsonValue& ideal_record = t2->second[0];
+    const IdealCase ideal = family == "3D-6" ? ideal_case(family, 8, 8, 8)
+                                             : ideal_case(family, 32, 16);
+    EXPECT_DOUBLE_EQ(ideal_record.number_or("tx", -1.0),
+                     static_cast<double>(ideal.tx));
+    EXPECT_DOUBLE_EQ(ideal_record.number_or("rx", -1.0),
+                     static_cast<double>(ideal.rx));
+    EXPECT_DOUBLE_EQ(ideal_record.number_or("energy", -1.0), ideal.power);
+    const PaperRow ideal_row = paper_ideal_row(family);
+    EXPECT_EQ(ideal.tx, ideal_row.tx);
+    EXPECT_EQ(ideal.rx, ideal_row.rx);
+    EXPECT_NEAR(ideal.power, ideal_row.power, 0.005e-2);
+
+    // --- Tables 3-5: all-source envelope vs the direct sweep ----------
+    const ScenarioEnvelope* env = envelope("table345-" + family);
+    ASSERT_NE(env, nullptr);
+    const SweepResult sweep = run_paper_sweep(family);
+    EXPECT_EQ(env->jobs, sweep.per_source.size());
+    EXPECT_EQ(env->errors, 0u);
+    EXPECT_TRUE(env->all_reached);
+    EXPECT_EQ(env->best_source, sweep.best().source);    // Table 3 row
+    EXPECT_EQ(env->worst_source, sweep.worst().source);  // Table 4 row
+    EXPECT_DOUBLE_EQ(env->best_energy, sweep.best().stats.total_energy());
+    EXPECT_DOUBLE_EQ(env->worst_energy, sweep.worst().stats.total_energy());
+    EXPECT_EQ(env->best_tx, sweep.best().stats.tx);
+    EXPECT_EQ(env->worst_tx, sweep.worst().stats.tx);
+    EXPECT_EQ(env->max_delay, sweep.max_delay());        // Table 5 row
+
+    // The sweep itself sits inside the published bands (the integration
+    // suite pins those); anchor the scenario numbers to the same
+    // best/worst rows the paper tables are built from.
+    const PaperRow best = paper_best_row(family);
+    EXPECT_NEAR(env->best_energy, best.power, 0.10 * best.power);
+    const PaperRow worst = paper_worst_row(family);
+    EXPECT_GE(env->worst_energy, 0.85 * worst.power);
+    EXPECT_LE(env->worst_energy, 1.20 * worst.power);
+  }
+}
+
+}  // namespace
+}  // namespace wsn

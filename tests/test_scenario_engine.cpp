@@ -1,0 +1,386 @@
+// ScenarioEngine: streaming JSONL emission, the checkpoint/resume
+// contract (valid prefix kept, corrupt tail redone, fingerprint mismatch
+// refused), cooperative cancellation, error-record surfacing, and the
+// observability mirrors (manifest, metrics).
+
+#include "scenario/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wsn {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("wsn_test_scenario_engine_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+void expand(const std::string& text, JobMatrix& matrix) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(text, doc, &error)) << error;
+  ScenarioSpec spec;
+  ASSERT_TRUE(parse_scenario_spec(doc, spec, error)) << error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// A small, fast matrix: 3x2 mesh, all six sources, two protocols.
+constexpr const char* kSmallSpec =
+    "{\"name\": \"engine-test\", \"scenarios\": [{"
+    "\"name\": \"small\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+    "\"sources\": \"all\", \"protocols\": [\"paper\", \"ideal\"]}]}";
+
+TEST(ScenarioEngine, EmitsHeaderAndOrderedRecords) {
+  const TempDir tmp("ordered");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+
+  ScenarioEngine engine(matrix, {});
+  const RunSummary summary = engine.run((tmp.path / "out.jsonl").string());
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_FALSE(summary.cancelled);
+  EXPECT_EQ(summary.jobs_total, 12u);
+  EXPECT_EQ(summary.jobs_run, 12u);
+  EXPECT_EQ(summary.errors, 0u);
+  EXPECT_EQ(summary.emitted, 12u);
+
+  const auto lines = lines_of(read_file(tmp.path / "out.jsonl"));
+  ASSERT_EQ(lines.size(), 13u);  // header + one record per job
+  EXPECT_EQ(lines[0], engine.header_line());
+  JsonValue header;
+  ASSERT_TRUE(parse_json(lines[0], header));
+  EXPECT_EQ(header.string_or("schema", ""), "meshbcast.scenario.results");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    JsonValue record;
+    ASSERT_TRUE(parse_json(lines[i], record)) << lines[i];
+    EXPECT_DOUBLE_EQ(record.number_or("job", -1.0),
+                     static_cast<double>(i - 1));
+    EXPECT_EQ(record.string_or("status", ""), "ok");
+    EXPECT_EQ(record.string_or("scenario", ""), "small");
+  }
+
+  // The per-scenario envelope folded during the run matches the records.
+  ASSERT_EQ(summary.envelopes.size(), 1u);
+  const ScenarioEnvelope& env = summary.envelopes[0];
+  EXPECT_EQ(env.scenario, "small");
+  EXPECT_EQ(env.jobs, 12u);
+  EXPECT_TRUE(env.all_reached);
+  EXPECT_LE(env.best_energy, env.worst_energy);
+  EXPECT_NE(env.best_source, kInvalidNode);
+}
+
+TEST(ScenarioEngine, FingerprintMismatchOnResumeIsAHardError) {
+  const TempDir tmp("mismatch");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  {
+    ScenarioEngine engine(matrix, {});
+    ASSERT_TRUE(engine.run(out).ok);
+  }
+
+  // A different spec (one more seed) produces a different fingerprint; a
+  // resume against the old file must refuse rather than mix result sets.
+  JobMatrix other;
+  expand(
+      "{\"name\": \"engine-test\", \"scenarios\": [{"
+      "\"name\": \"small\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+      "\"sources\": \"all\", \"protocols\": [\"paper\", \"ideal\"],"
+      "\"seeds\": [1, 2]}]}",
+      other);
+  EngineConfig config;
+  config.resume = true;
+  ScenarioEngine engine(other, config);
+  const RunSummary summary = engine.run(out);
+  EXPECT_FALSE(summary.ok);
+  EXPECT_NE(summary.error.find("fingerprint"), std::string::npos)
+      << summary.error;
+}
+
+TEST(ScenarioEngine, ResumeKeepsValidPrefixAndRedoesCorruptTail) {
+  const TempDir tmp("corrupt");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine golden_engine(matrix, {});
+  ASSERT_TRUE(golden_engine.run(out).ok);
+  const std::string golden = read_file(out);
+  const auto lines = lines_of(golden);
+  ASSERT_EQ(lines.size(), 13u);
+
+  // Keep header + 5 records, then a torn write: half a record followed by
+  // a record that would otherwise be valid.  Everything from the tear on
+  // is stale and must be redone.
+  {
+    std::ofstream damaged(out, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i < 6; ++i) damaged << lines[i] << "\n";
+    damaged << lines[6].substr(0, lines[6].size() / 2);
+    damaged << "\n" << lines[7] << "\n";
+  }
+
+  EngineConfig config;
+  config.resume = true;
+  ScenarioEngine engine(matrix, config);
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_TRUE(summary.resumed);
+  EXPECT_EQ(summary.jobs_skipped, 5u);
+  EXPECT_EQ(summary.jobs_run, 7u);
+  EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioEngine, ResumeWithCorruptHeaderStartsFresh) {
+  const TempDir tmp("badheader");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine golden_engine(matrix, {});
+  ASSERT_TRUE(golden_engine.run(out).ok);
+  const std::string golden = read_file(out);
+
+  {
+    std::ofstream damaged(out, std::ios::binary | std::ios::trunc);
+    damaged << "not json at all\n";
+  }
+  EngineConfig config;
+  config.resume = true;
+  ScenarioEngine engine(matrix, config);
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_FALSE(summary.resumed);
+  EXPECT_EQ(summary.jobs_run, 12u);
+  EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioEngine, ResumeOfCompleteRunIsANoOp) {
+  const TempDir tmp("complete");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine first(matrix, {});
+  ASSERT_TRUE(first.run(out).ok);
+  const std::string golden = read_file(out);
+
+  EngineConfig config;
+  config.resume = true;
+  ScenarioEngine engine(matrix, config);
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_TRUE(summary.resumed);
+  EXPECT_EQ(summary.jobs_skipped, 12u);
+  EXPECT_EQ(summary.jobs_run, 0u);
+  EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioEngine, EmptyMatrixEntrySurfacesAsErrorRecord) {
+  const TempDir tmp("errorjob");
+  JobMatrix matrix;
+  expand(
+      "{\"scenarios\": [{\"name\": \"void\", \"family\": \"2D-4\","
+      " \"dims\": [3, 2], \"sources\": []}]}",
+      matrix);
+
+  ScenarioEngine engine(matrix, {});
+  const RunSummary summary = engine.run((tmp.path / "out.jsonl").string());
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.jobs_total, 1u);
+  EXPECT_EQ(summary.errors, 1u);
+
+  const auto lines = lines_of(read_file(tmp.path / "out.jsonl"));
+  ASSERT_EQ(lines.size(), 2u);
+  JsonValue record;
+  ASSERT_TRUE(parse_json(lines[1], record));
+  EXPECT_EQ(record.string_or("status", ""), "error");
+  EXPECT_NE(record.string_or("error", "").find("empty job matrix"),
+            std::string::npos);
+
+  ASSERT_EQ(summary.envelopes.size(), 1u);
+  EXPECT_EQ(summary.envelopes[0].errors, 1u);
+  EXPECT_EQ(summary.envelopes[0].jobs, 1u);
+  // No ok record ever folded: the envelope extrema stay at their inits.
+  EXPECT_EQ(summary.envelopes[0].best_source, kInvalidNode);
+}
+
+TEST(ScenarioEngine, CancellationLeavesAValidResumablePrefix) {
+  const TempDir tmp("cancel");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string golden_path = (tmp.path / "golden.jsonl").string();
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine golden_engine(matrix, {});
+  ASSERT_TRUE(golden_engine.run(golden_path).ok);
+  const std::string golden = read_file(golden_path);
+
+  // Cancel as soon as the third record lands.  One worker makes the cut
+  // deterministic: the cancel takes effect before the next pop, so the
+  // file holds exactly the records emitted so far -- a clean prefix.
+  EngineConfig config;
+  config.workers = 1;
+  ScenarioEngine* handle = nullptr;
+  config.on_emit = [&handle](std::size_t emitted) {
+    if (emitted >= 3) handle->request_cancel();
+  };
+  ScenarioEngine engine(matrix, config);
+  handle = &engine;
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_TRUE(summary.cancelled);
+  EXPECT_GE(summary.emitted, 3u);
+  EXPECT_LT(summary.emitted, 12u);
+  const std::string partial = read_file(out);
+  EXPECT_EQ(partial, golden.substr(0, partial.size()));
+
+  EngineConfig resume_config;
+  resume_config.resume = true;
+  ScenarioEngine resumed(matrix, resume_config);
+  const RunSummary rest = resumed.run(out);
+  ASSERT_TRUE(rest.ok) << rest.error;
+  EXPECT_TRUE(rest.resumed);
+  EXPECT_EQ(rest.emitted, 12u);
+  EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioEngine, ManifestMirrorsProgress) {
+  const TempDir tmp("manifest");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine engine(matrix, {});
+  ASSERT_TRUE(engine.run(out).ok);
+
+  JsonValue manifest;
+  std::string error;
+  ASSERT_TRUE(parse_json(read_file(out + ".manifest"), manifest, &error))
+      << error;
+  EXPECT_EQ(manifest.string_or("schema", ""),
+            "meshbcast.scenario.checkpoint");
+  EXPECT_DOUBLE_EQ(manifest.number_or("emitted", -1.0), 12.0);
+  EXPECT_DOUBLE_EQ(manifest.number_or("jobs", -1.0), 12.0);
+  EXPECT_TRUE(manifest.bool_or("complete", false));
+}
+
+TEST(ScenarioEngine, MetricsMirrorCountsJobs) {
+  const TempDir tmp("metrics");
+  JobMatrix matrix;
+  // One good entry plus one empty entry: 12 completed, 1 failed.
+  expand(
+      "{\"name\": \"engine-test\", \"scenarios\": ["
+      "{\"name\": \"small\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"sources\": \"all\", \"protocols\": [\"paper\", \"ideal\"]},"
+      "{\"name\": \"void\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"sources\": []}]}",
+      matrix);
+
+  MetricsRegistry metrics;
+  EngineConfig config;
+  config.metrics = &metrics;
+  {
+    ScenarioEngine engine(matrix, config);
+    ASSERT_TRUE(engine.run((tmp.path / "a.jsonl").string()).ok);
+  }
+  EXPECT_EQ(metrics.counter("scenario.jobs_completed").value(), 12u);
+  EXPECT_EQ(metrics.counter("scenario.jobs_failed").value(), 1u);
+  EXPECT_EQ(metrics.counter("scenario.jobs_skipped").value(), 0u);
+
+  // A resume of the finished run only touches the skipped counter.
+  config.resume = true;
+  ScenarioEngine engine(matrix, config);
+  ASSERT_TRUE(engine.run((tmp.path / "a.jsonl").string()).ok);
+  EXPECT_EQ(metrics.counter("scenario.jobs_completed").value(), 12u);
+  EXPECT_EQ(metrics.counter("scenario.jobs_skipped").value(), 13u);
+}
+
+TEST(ScenarioEngine, TraceDirCapturesPerJobEventStreams) {
+  const TempDir tmp("traces");
+  JobMatrix matrix;
+  const std::string trace_dir = (tmp.path / "traces").string();
+  expand(
+      "{\"scenarios\": [{\"name\": \"traced\", \"family\": \"2D-4\","
+      " \"dims\": [3, 2], \"protocols\": [\"paper\"],"
+      " \"outputs\": {\"trace_dir\": \"" + json_escape(trace_dir) +
+          "\"}}]}",
+      matrix);
+
+  ScenarioEngine engine(matrix, {});
+  ASSERT_TRUE(engine.run((tmp.path / "out.jsonl").string()).ok);
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(trace_dir) / "job_0.jsonl"));
+}
+
+TEST(ScenarioEngine, ErrorRecordsStillCountTowardResume) {
+  // A matrix mixing an error job and real jobs resumes cleanly: the error
+  // record is part of the prefix like any other record.
+  const TempDir tmp("errresume");
+  JobMatrix matrix;
+  expand(
+      "{\"name\": \"engine-test\", \"scenarios\": ["
+      "{\"name\": \"void\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"sources\": []},"
+      "{\"name\": \"small\", \"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"sources\": \"all\", \"protocols\": [\"paper\"]}]}",
+      matrix);
+  const std::string out = (tmp.path / "out.jsonl").string();
+
+  ScenarioEngine first(matrix, {});
+  const RunSummary full = first.run(out);
+  ASSERT_TRUE(full.ok) << full.error;
+  EXPECT_EQ(full.jobs_total, 7u);
+  EXPECT_EQ(full.errors, 1u);
+  const std::string golden = read_file(out);
+
+  // Drop the last two lines and resume.
+  const auto lines = lines_of(golden);
+  {
+    std::ofstream damaged(out, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i + 2 < lines.size(); ++i) {
+      damaged << lines[i] << "\n";
+    }
+  }
+  EngineConfig config;
+  config.resume = true;
+  ScenarioEngine engine(matrix, config);
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.jobs_skipped, 5u);
+  EXPECT_EQ(summary.errors, 1u);  // error record in the kept prefix
+  EXPECT_EQ(read_file(out), golden);
+}
+
+}  // namespace
+}  // namespace wsn

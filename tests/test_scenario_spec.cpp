@@ -1,0 +1,206 @@
+#include "scenario/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wsn {
+namespace {
+
+ScenarioSpec spec_of(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, doc, &error)) << error;
+  ScenarioSpec spec;
+  EXPECT_TRUE(parse_scenario_spec(doc, spec, error)) << error;
+  return spec;
+}
+
+std::string error_of(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, doc, &error)) << error;
+  ScenarioSpec spec;
+  EXPECT_FALSE(parse_scenario_spec(doc, spec, error));
+  return error;
+}
+
+TEST(ScenarioSpec, MinimalEntryGetsPaperDefaults) {
+  const ScenarioSpec spec =
+      spec_of("{\"scenarios\": [{\"family\": \"2D-4\"}]}");
+  ASSERT_EQ(spec.entries.size(), 1u);
+  const ScenarioEntry& e = spec.entries[0];
+  EXPECT_EQ(e.name, "2D-4");  // defaults to the family
+  EXPECT_EQ(e.source_policy, ScenarioEntry::SourcePolicy::kCenter);
+  EXPECT_EQ(e.protocols, std::vector<std::string>{"paper"});
+  EXPECT_EQ(e.seeds, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(e.repeats, 1u);
+  EXPECT_EQ(e.packet_bits, 512u);
+  EXPECT_EQ(e.m, 0);  // dims resolve to paper size at expansion
+}
+
+TEST(ScenarioSpec, FullEntryParses) {
+  const ScenarioSpec spec = spec_of(
+      "{\"name\": \"study\", \"scenarios\": [{"
+      "\"name\": \"grid\", \"family\": \"2D-8\", \"dims\": [10, 6],"
+      "\"spacing\": 0.25, \"sources\": [0, 5],"
+      "\"protocols\": [\"paper\", \"flood\", \"gossip\"],"
+      "\"faults\": [{\"kind\": \"gilbert\", \"loss\": 0.1, \"burst\": 6,"
+      "             \"crash_prob\": 0.05, \"crash_horizon\": 16}],"
+      "\"recovery\": [\"repeat-k\", \"echo-repair\"], \"repeat_k\": 3,"
+      "\"seeds\": [4, 9], \"repeats\": 2, \"deadline_slots\": 256,"
+      "\"packet_bits\": 1024, \"gossip_p\": 0.8, \"jitter\": 3,"
+      "\"outputs\": {\"etr\": true, \"trace_dir\": \"traces\","
+      "             \"stats\": true}}]}");
+  EXPECT_EQ(spec.name, "study");
+  const ScenarioEntry& e = spec.entries[0];
+  EXPECT_EQ(e.m, 10);
+  EXPECT_EQ(e.n, 6);
+  EXPECT_DOUBLE_EQ(e.spacing, 0.25);
+  // "flood" is accepted as the meshbcast_cli spelling of "flooding".
+  EXPECT_EQ(e.protocols,
+            (std::vector<std::string>{"paper", "flooding", "gossip"}));
+  ASSERT_EQ(e.faults.size(), 1u);
+  EXPECT_EQ(e.faults[0].kind, ScenarioFault::Kind::kGilbert);
+  EXPECT_DOUBLE_EQ(e.faults[0].crash_prob, 0.05);
+  EXPECT_EQ(e.recovery,
+            (std::vector<RecoveryPolicy>{RecoveryPolicy::kRepeatK,
+                                         RecoveryPolicy::kEchoRepair}));
+  EXPECT_EQ(e.repeat_k, 3u);
+  EXPECT_EQ(e.deadline_slots, 256u);
+  EXPECT_TRUE(e.outputs.etr);
+  EXPECT_EQ(e.outputs.trace_dir, "traces");
+}
+
+TEST(ScenarioSpec, RejectsUnknownKeysAndValues) {
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"2D-4\","
+                     " \"typo_key\": 1}]}")
+                .find("unknown key"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"5D-2\"}]}")
+                .find("unknown family"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"2D-4\","
+                     " \"protocols\": [\"warp\"]}]}")
+                .find("unknown protocol"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"2D-4\","
+                     " \"faults\": [{\"kind\": \"iid\"}]}]}")
+                .find("loss = 0"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"2D-4\","
+                     " \"dims\": [0, 4]}]}")
+                .find("dims"),
+            std::string::npos);
+  EXPECT_NE(error_of("{\"scenarios\": []}").find("at least one"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, ExpansionOrderIsEntrySourceProtocolMajor) {
+  ScenarioSpec spec = spec_of(
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"sources\": [1, 0], \"protocols\": [\"paper\", \"ideal\"],"
+      " \"seeds\": [5, 6]}]}");
+  JobMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+  // 2 sources x 2 protocols x 2 seeds, in that loop order.
+  ASSERT_EQ(matrix.jobs.size(), 8u);
+  EXPECT_EQ(matrix.jobs[0].source, 1u);
+  EXPECT_EQ(matrix.jobs[0].protocol, "paper");
+  EXPECT_EQ(matrix.jobs[0].seed, 5u);
+  EXPECT_EQ(matrix.jobs[1].seed, 6u);
+  EXPECT_EQ(matrix.jobs[2].protocol, "ideal");
+  EXPECT_EQ(matrix.jobs[4].source, 0u);
+  for (std::size_t i = 0; i < matrix.jobs.size(); ++i) {
+    EXPECT_EQ(matrix.jobs[i].index, i);
+    EXPECT_TRUE(matrix.jobs[i].error.empty());
+  }
+}
+
+TEST(ScenarioSpec, DefaultDimsResolveToPaperSizes) {
+  ScenarioSpec spec = spec_of(
+      "{\"scenarios\": [{\"family\": \"2D-4\"}, {\"family\": \"3D-6\"}]}");
+  JobMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+  EXPECT_EQ(matrix.spec.entries[0].m, 32);
+  EXPECT_EQ(matrix.spec.entries[0].n, 16);
+  EXPECT_EQ(matrix.spec.entries[1].m, 8);
+  EXPECT_EQ(matrix.spec.entries[1].l, 8);
+  EXPECT_EQ(matrix.topologies.size(), 2u);
+}
+
+TEST(ScenarioSpec, TopologiesAreDeduplicated) {
+  ScenarioSpec spec = spec_of(
+      "{\"scenarios\": ["
+      "{\"name\": \"a\", \"family\": \"2D-4\", \"dims\": [6, 4]},"
+      "{\"name\": \"b\", \"family\": \"2D-4\", \"dims\": [6, 4]},"
+      "{\"name\": \"c\", \"family\": \"2D-4\", \"dims\": [6, 5]}]}");
+  JobMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+  EXPECT_EQ(matrix.topologies.size(), 2u);  // [6,4] shared, [6,5] its own
+  EXPECT_EQ(matrix.jobs[0].topology, matrix.jobs[1].topology);
+  EXPECT_NE(matrix.jobs[0].topology, matrix.jobs[2].topology);
+}
+
+TEST(ScenarioSpec, EmptyCrossProductBecomesErrorJob) {
+  ScenarioSpec spec = spec_of(
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [4, 4],"
+      " \"sources\": [], \"repeats\": 0}]}");
+  JobMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+  ASSERT_EQ(matrix.jobs.size(), 1u);
+  EXPECT_FALSE(matrix.jobs[0].error.empty());
+}
+
+TEST(ScenarioSpec, OutOfRangeSourceIsASpecError) {
+  ScenarioSpec spec = spec_of(
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [4, 4],"
+      " \"sources\": [99]}]}");
+  JobMatrix matrix;
+  std::string error;
+  EXPECT_FALSE(expand_jobs(std::move(spec), matrix, error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(ScenarioSpec, FingerprintTracksSpecContent) {
+  const char* base =
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [6, 4],"
+      " \"seeds\": [1, 2]}]}";
+  const char* reseeded =
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [6, 4],"
+      " \"seeds\": [1, 3]}]}";
+  JobMatrix a, b, c;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(spec_of(base), a, error));
+  ASSERT_TRUE(expand_jobs(spec_of(base), b, error));
+  ASSERT_TRUE(expand_jobs(spec_of(reseeded), c, error));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+TEST(ScenarioSpec, FaultLabelsAreStable) {
+  ScenarioFault none;
+  EXPECT_EQ(none.label(), "none");
+  EXPECT_FALSE(none.any());
+
+  ScenarioFault iid;
+  iid.kind = ScenarioFault::Kind::kIid;
+  iid.loss = 0.1;
+  EXPECT_EQ(iid.label(), "iid:0.1");
+  EXPECT_TRUE(iid.any());
+
+  ScenarioFault combo;
+  combo.kind = ScenarioFault::Kind::kGilbert;
+  combo.loss = 0.2;
+  combo.burst = 4.0;
+  combo.crash_prob = 0.05;
+  combo.crash_horizon = 32;
+  EXPECT_EQ(combo.label(), "gilbert:0.2:4+crash:0.05:32:0");
+}
+
+}  // namespace
+}  // namespace wsn

@@ -65,5 +65,30 @@ TEST(Sweep, CustomFactoryIsUsed) {
   EXPECT_FALSE(sweep.all_fully_reached());
 }
 
+TEST(Sweep, SingleNodeEnvelope) {
+  // Degenerate but legal: a 1x1 mesh sweeps one source and the envelope
+  // collapses to it.  The broadcast is already complete at slot 0.
+  const Mesh2D4 topo(1, 1);
+  const SweepResult sweep = sweep_all_sources(topo);
+  ASSERT_EQ(sweep.per_source.size(), 1u);
+  EXPECT_EQ(sweep.best().source, 0u);
+  EXPECT_EQ(sweep.worst().source, 0u);
+  EXPECT_DOUBLE_EQ(sweep.best().stats.total_energy(),
+                   sweep.worst().stats.total_energy());
+  EXPECT_TRUE(sweep.all_fully_reached());
+  EXPECT_EQ(sweep.max_delay(), 0u);
+}
+
+using SweepDeathTest = ::testing::Test;
+
+TEST(SweepDeathTest, EmptyEnvelopeQueriesAbort) {
+  // best()/worst() on an empty sweep are contract violations, not silent
+  // garbage: the scenario engine surfaces an empty matrix as a per-job
+  // error record instead of ever reaching this state.
+  const SweepResult empty;
+  EXPECT_DEATH((void)empty.best(), "precondition");
+  EXPECT_DEATH((void)empty.worst(), "precondition");
+}
+
 }  // namespace
 }  // namespace wsn

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/event_sink.h"
+#include "obs/observer.h"
 #include "protocol/registry.h"
 #include "topology/mesh2d4.h"
 
@@ -19,14 +21,25 @@ std::vector<std::string> lines_of(const std::string& text) {
   return lines;
 }
 
+/// Runs `plan` with an event-recording observer -- the only way to feed
+/// the legacy CSV writer now that it projects the structured stream.
+BroadcastOutcome observed_run(const Topology& topo, const RelayPlan& plan,
+                              EventSink& sink) {
+  Observer observer(&sink);
+  SimOptions options;
+  options.observer = &observer;
+  return simulate_broadcast(topo, plan, options);
+}
+
 TEST(TraceIo, HeaderAndTxEventsPresent) {
   const Mesh2D4 topo(5, 1);
   RelayPlan plan = RelayPlan::empty(5, 0);
   for (NodeId v = 1; v < 5; ++v) plan.tx_offsets[v] = {1};
-  const auto out = simulate_broadcast(topo, plan);
+  EventSink sink;
+  const auto out = observed_run(topo, plan, sink);
 
   std::ostringstream stream;
-  write_trace_csv(stream, topo, out);
+  write_legacy_trace_csv(stream, topo, sink);
   const auto lines = lines_of(stream.str());
   EXPECT_EQ(lines[0], "event,slot,node,x,y,z,detail1,detail2");
   std::size_t tx_lines = 0;
@@ -42,12 +55,11 @@ TEST(TraceIo, HeaderAndTxEventsPresent) {
 TEST(TraceIo, EventsAreSlotOrdered) {
   const Mesh2D4 topo(6, 6);
   const auto plan = paper_plan(topo, 14);
-  SimOptions options;
-  options.record_collisions = true;
-  const auto out = simulate_broadcast(topo, plan, options);
+  EventSink sink;
+  (void)observed_run(topo, plan, sink);
 
   std::ostringstream stream;
-  write_trace_csv(stream, topo, out);
+  write_legacy_trace_csv(stream, topo, sink);
   Slot last = 0;
   for (const auto& line : lines_of(stream.str())) {
     if (line.empty() || starts_with(line, "event")) continue;
@@ -62,10 +74,11 @@ TEST(TraceIo, EventsAreSlotOrdered) {
 TEST(TraceIo, RxEventsAttributeATransmitter) {
   const Mesh2D4 topo(4, 4);
   const auto plan = paper_plan(topo, 5);
-  const auto out = simulate_broadcast(topo, plan);
+  EventSink sink;
+  (void)observed_run(topo, plan, sink);
 
   std::ostringstream stream;
-  write_trace_csv(stream, topo, out);
+  write_legacy_trace_csv(stream, topo, sink);
   for (const auto& line : lines_of(stream.str())) {
     if (!starts_with(line, "rx,")) continue;
     const auto fields = split(line, ',');
@@ -103,12 +116,11 @@ TEST(TraceIo, PlanCsvListsEveryNodeWithRole) {
 TEST(TraceIo, LegacyCsvRoundTripsThroughReader) {
   const Mesh2D4 topo(6, 6);
   const auto plan = paper_plan(topo, 14);
-  SimOptions options;
-  options.record_collisions = true;
-  const auto out = simulate_broadcast(topo, plan, options);
+  EventSink sink;
+  const auto out = observed_run(topo, plan, sink);
 
   std::ostringstream stream;
-  write_trace_csv(stream, topo, out);
+  write_legacy_trace_csv(stream, topo, sink);
   const std::string csv = stream.str();
   std::istringstream in(csv);
   const std::vector<LegacyTraceRecord> records = read_trace_csv(in);
@@ -128,6 +140,38 @@ TEST(TraceIo, LegacyCsvRoundTripsThroughReader) {
   for (std::size_t i = 1; i < records.size(); ++i) {
     EXPECT_GE(records[i].slot, records[i - 1].slot);
   }
+}
+
+TEST(TraceIo, TxColumnsReconstructDeliveriesFromEvents) {
+  // The writer no longer sees TxRecords: delivered/fresh are rebuilt from
+  // the rx/dup events attributed to each transmission.  The totals must
+  // still match the outcome's accounting exactly.
+  const Mesh2D4 topo(6, 6);
+  const auto plan = paper_plan(topo, 14);
+  EventSink sink;
+  const auto out = observed_run(topo, plan, sink);
+
+  std::ostringstream stream;
+  write_legacy_trace_csv(stream, topo, sink);
+  std::istringstream in(stream.str());
+  std::uint64_t delivered = 0;
+  std::uint64_t fresh = 0;
+  std::size_t rx_rows = 0;
+  std::size_t coll_rows = 0;
+  for (const LegacyTraceRecord& rec : read_trace_csv(in)) {
+    if (rec.event == "tx") {
+      delivered += rec.detail1;
+      fresh += rec.detail2;
+    } else if (rec.event == "rx") {
+      ++rx_rows;
+    } else if (rec.event == "coll") {
+      ++coll_rows;
+    }
+  }
+  EXPECT_EQ(delivered, out.stats.rx);
+  EXPECT_EQ(fresh, out.stats.rx - out.stats.duplicates);
+  EXPECT_EQ(rx_rows, out.stats.rx - out.stats.duplicates);
+  EXPECT_EQ(coll_rows, out.stats.collisions);
 }
 
 TEST(TraceIo, ReaderSkipsMalformedRows) {
