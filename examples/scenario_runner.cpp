@@ -52,6 +52,12 @@ int main(int argc, char** argv) {
   cli.add_option("plan-cache", "plan store artifact directory (empty = "
                                "memory-only)", "");
   cli.add_option("metrics-out", "write a metrics snapshot (JSON) here", "");
+  cli.add_option("trace-out", "write each job's event trace (obs JSONL) "
+                              "under this directory", "");
+  cli.add_flag("audit", "run the invariant auditor (obs/audit) on every "
+                        "simulated job");
+  cli.add_option("heartbeat", "print a heartbeat record to stderr every N "
+                              "emitted jobs (0 = off)", "0");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string spec_path = cli.get("scenario");
@@ -72,6 +78,12 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
+  if (const std::string trace_dir = cli.get("trace-out");
+      !trace_dir.empty()) {
+    for (ScenarioEntry& entry : spec.entries) {
+      entry.outputs.trace_dir = trace_dir;
+    }
+  }
   JobMatrix matrix;
   if (!expand_jobs(std::move(spec), matrix, error)) {
     std::cerr << "error: " << error << "\n";
@@ -91,6 +103,13 @@ int main(int argc, char** argv) {
   config.store = &store;
   config.metrics = &metrics;
   config.cancel = &g_interrupted;
+  config.audit = cli.get_flag("audit");
+  config.heartbeat_every = static_cast<std::size_t>(cli.get_u64("heartbeat"));
+  if (config.heartbeat_every > 0) {
+    config.on_heartbeat = [](const HeartbeatRecord& beat) {
+      std::fprintf(stderr, "%s\n", heartbeat_json(beat).c_str());
+    };
+  }
 
   std::signal(SIGINT, on_sigint);
   std::signal(SIGTERM, on_sigint);

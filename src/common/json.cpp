@@ -398,4 +398,12 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string json_number(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 }  // namespace wsn

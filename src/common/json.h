@@ -108,4 +108,136 @@ class JsonValue {
 /// included): ", \ and control characters become escape sequences.
 [[nodiscard]] std::string json_escape(std::string_view text);
 
+/// Formats a double the way every emitter in the repo expects: %.17g so a
+/// reparse with parse_json recovers the exact bit pattern, non-finite
+/// values clamped to +/-1e308 (JSON has no Inf/NaN literals; NaN becomes
+/// 0 so a scrape never produces an unparseable document).
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer producing compact RFC-8259 output (no whitespace,
+/// members in call order -- the mirror of the reader above, which keeps
+/// insertion order).  Comma placement is handled by a context stack, so
+/// emitters never hand-roll separator bookkeeping:
+///
+///   JsonWriter w;
+///   w.begin_object().key("slot").value(std::uint64_t{1})
+///    .key("kind").value("tx").end_object();
+///   w.str();  // {"slot":1,"kind":"tx"}
+///
+/// Doubles go through json_number (round-trippable, Inf clamped).  The
+/// writer does not validate grammar beyond comma placement; callers pair
+/// begin/end and alternate key/value as usual.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() {
+    separate();
+    out_.push_back('{');
+    stack_.push_back(Frame{true});
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_.push_back('}');
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_.push_back('[');
+    stack_.push_back(Frame{true});
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_.push_back(']');
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    out_.push_back('"');
+    out_ += json_escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    out_.push_back('"');
+    out_ += json_escape(v);
+    out_.push_back('"');
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(double v) {
+    separate();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    out_ += "null";
+    return *this;
+  }
+
+  /// key+value in one call, for the common object-member case.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Splices pre-rendered JSON (e.g. a nested document built elsewhere)
+  /// as the next value, with normal comma handling.
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const& noexcept { return out_; }
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+
+ private:
+  struct Frame {
+    bool first;
+  };
+
+  // Emits the separating comma when this value follows a sibling; a value
+  // directly after key() never takes one.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().first) {
+      stack_.back().first = false;
+    } else {
+      out_.push_back(',');
+    }
+  }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_value_ = false;
+};
+
 }  // namespace wsn

@@ -1,0 +1,323 @@
+#include "obs/audit/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "analysis/report.h"
+#include "common/json.h"
+#include "protocol/ideal_model.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+
+namespace {
+
+void violate(AuditReport& report, AuditCheck check, std::string message) {
+  report.violations.push_back(AuditViolation{check, std::move(message)});
+}
+
+bool close_rel(double a, double b, double rel_tol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= rel_tol * std::max(scale, 1e-300);
+}
+
+void check_stat(AuditReport& report, std::string_view name,
+                std::uint64_t from_trace, std::uint64_t from_stats) {
+  if (from_trace != from_stats) {
+    violate(report, AuditCheck::kStatsMatch,
+            std::string(name) + ": trace says " +
+                std::to_string(from_trace) + ", stats say " +
+                std::to_string(from_stats));
+  }
+}
+
+std::string join_nodes(const std::vector<NodeId>& nodes,
+                       std::size_t limit = 16) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size() && i < limit; ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(nodes[i]);
+  }
+  if (nodes.size() > limit) {
+    out += ",... (" + std::to_string(nodes.size()) + " total)";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(AuditCheck check) noexcept {
+  switch (check) {
+    case AuditCheck::kTraceComplete: return "trace_complete";
+    case AuditCheck::kTraceConsistent: return "trace_consistent";
+    case AuditCheck::kStatsMatch: return "stats_match";
+    case AuditCheck::kEnergyModel: return "energy_model";
+    case AuditCheck::kCoverage: return "coverage";
+    case AuditCheck::kCausality: return "causality";
+    case AuditCheck::kEtrBound: return "etr_bound";
+    case AuditCheck::kDelayBound: return "delay_bound";
+  }
+  return "?";
+}
+
+AuditReport audit_trace(const Topology& topo, std::span<const Event> events,
+                        const AuditConfig& config) {
+  LedgerOptions ledger_options;
+  ledger_options.packet_bits = config.packet_bits;
+  ledger_options.radio = config.radio;
+  ledger_options.charge_collisions = config.charge_collisions;
+  ledger_options.source = config.source;
+
+  AuditReport report;
+  report.ledger = build_ledger(topo, events, ledger_options);
+  const TraceLedger& ledger = report.ledger;
+  const std::size_t n = topo.num_nodes();
+  report.unreached = ledger.unreached();
+  report.total_energy = ledger.tx_energy + ledger.rx_energy;
+  report.dropped_events = config.dropped_events;
+
+  // 1. Completeness: a truncated ring buffer means every later check is
+  // running on a suffix of the run; that can never silently pass.
+  report.checks_run += 1;
+  if (config.dropped_events > 0) {
+    violate(report, AuditCheck::kTraceComplete,
+            std::to_string(config.dropped_events) +
+                " events dropped by the ring buffer; trace is truncated");
+  }
+  if (config.declared_events != 0 &&
+      config.declared_events != ledger.num_events) {
+    violate(report, AuditCheck::kTraceComplete,
+            "header declares " + std::to_string(config.declared_events) +
+                " events, stream holds " +
+                std::to_string(ledger.num_events));
+  }
+
+  // 2. Stream physics, gathered by the ledger pass, plus the per-tx
+  // delivery bound (a transmission cannot freshly cover more than its
+  // neighborhood).
+  report.checks_run += 1;
+  for (const std::string& anomaly : ledger.anomalies) {
+    violate(report, AuditCheck::kTraceConsistent, anomaly);
+  }
+  for (const TxLedgerEntry& t : ledger.transmissions) {
+    const std::size_t degree = topo.degree(t.node);
+    if (t.fresh + t.duplicates > degree) {
+      violate(report, AuditCheck::kTraceConsistent,
+              "transmission by node " + std::to_string(t.node) +
+                  " in slot " + std::to_string(t.slot) + " delivered " +
+                  std::to_string(t.fresh + t.duplicates) + " > degree " +
+                  std::to_string(degree));
+    }
+  }
+
+  // 3. Trace totals vs the run's own accounting.
+  if (config.stats != nullptr) {
+    const BroadcastStats& stats = *config.stats;
+    report.checks_run += 1;
+    check_stat(report, "num_nodes", n, stats.num_nodes);
+    check_stat(report, "tx", ledger.tx, stats.tx);
+    check_stat(report, "rx", ledger.rx, stats.rx);
+    check_stat(report, "duplicates", ledger.duplicates, stats.duplicates);
+    check_stat(report, "collisions", ledger.collisions, stats.collisions);
+    check_stat(report, "lost_to_fading", ledger.lost_to_fading,
+               stats.lost_to_fading);
+    check_stat(report, "lost_to_crash", ledger.lost_to_crash,
+               stats.lost_to_crash);
+    check_stat(report, "reached", ledger.reached, stats.reached);
+    check_stat(report, "delay", ledger.delay, stats.delay);
+
+    // 4. Energy, re-priced event by event from the First Order Radio
+    // Model in the simulator's own accumulation order.
+    report.checks_run += 1;
+    if (!close_rel(ledger.tx_energy, stats.tx_energy,
+                   config.energy_rel_tol) ||
+        !close_rel(ledger.rx_energy, stats.rx_energy,
+                   config.energy_rel_tol)) {
+      std::ostringstream what;
+      what.precision(17);
+      what << "trace re-pricing gives Tx " << ledger.tx_energy << " J / Rx "
+           << ledger.rx_energy << " J, stats say " << stats.tx_energy
+           << " / " << stats.rx_energy;
+      violate(report, AuditCheck::kEnergyModel, what.str());
+    }
+  }
+
+  // 5. Coverage: the paper's guarantee.  The unreached set rides in the
+  // report either way; the check only fires when full coverage was
+  // promised (perfect-medium runs).
+  if (config.expect_full_coverage) {
+    report.checks_run += 1;
+    if (!report.unreached.empty()) {
+      violate(report, AuditCheck::kCoverage,
+              std::to_string(report.unreached.size()) + " of " +
+                  std::to_string(n) + " nodes unreached: " +
+                  join_nodes(report.unreached));
+    }
+  }
+
+  // 6. Causality: the wavefront cannot outrun BFS from the source (one
+  // hop per slot, first transmission no earlier than slot 1).
+  if (ledger.source != kInvalidNode && ledger.source < n) {
+    report.checks_run += 1;
+    const std::vector<std::uint32_t> dist =
+        bfs_distances(topo, ledger.source);
+    std::vector<NodeId> early;
+    for (NodeId v = 0; v < n; ++v) {
+      const Slot slot = ledger.first_rx[v];
+      if (slot == kNeverSlot || v == ledger.source) continue;
+      if (dist[v] == kUnreachable || slot < dist[v]) early.push_back(v);
+    }
+    if (!early.empty()) {
+      violate(report, AuditCheck::kCausality,
+              std::to_string(early.size()) +
+                  " nodes received before the BFS wavefront could arrive: " +
+                  join_nodes(early));
+    }
+  }
+
+  report.mean_etr = ledger.mean_etr(topo);
+  if (!config.family.empty()) {
+    const OptimalEtr opt = optimal_etr(config.family);
+    report.optimal_share = ledger.optimal_share(topo, opt.fresh);
+
+    // 7. Tables 1-2: relay transmissions average at or below the family
+    // optimum (border relays can individually exceed the full-degree
+    // ratio, the mean of a healthy run cannot by much).
+    report.checks_run += 1;
+    double relay_sum = 0.0;
+    std::size_t relay_count = 0;
+    for (const TxLedgerEntry& t : ledger.transmissions) {
+      if (t.node == ledger.source) continue;
+      const std::size_t degree = topo.degree(t.node);
+      if (degree == 0) continue;
+      relay_sum +=
+          static_cast<double>(t.fresh) / static_cast<double>(degree);
+      relay_count += 1;
+    }
+    const double relay_mean =
+        relay_count == 0 ? 0.0
+                         : relay_sum / static_cast<double>(relay_count);
+    if (relay_count > 0 &&
+        relay_mean > opt.value() + config.etr_tol) {
+      std::ostringstream what;
+      what.precision(17);
+      what << "mean relay ETR " << relay_mean << " exceeds the "
+           << config.family << " optimum " << opt.value() << " + tol "
+           << config.etr_tol;
+      violate(report, AuditCheck::kEtrBound, what.str());
+    }
+
+    // 8. Table 5: on a fully covered run the delay is at least the
+    // source eccentricity and at most the paper's published maximum plus
+    // the collision-free-schedule slack.
+    if (config.expect_full_coverage && report.unreached.empty() &&
+        ledger.source != kInvalidNode && ledger.source < n) {
+      report.checks_run += 1;
+      const std::uint32_t ecc = eccentricity(topo, ledger.source);
+      const Slot paper = paper_max_delay(config.family);
+      if (ledger.delay < ecc) {
+        violate(report, AuditCheck::kDelayBound,
+                "delay " + std::to_string(ledger.delay) +
+                    " below the source eccentricity " +
+                    std::to_string(ecc));
+      }
+      if (ledger.delay > paper + config.delay_slack) {
+        violate(report, AuditCheck::kDelayBound,
+                "delay " + std::to_string(ledger.delay) +
+                    " exceeds the paper's Table 5 maximum " +
+                    std::to_string(paper) + " + slack " +
+                    std::to_string(config.delay_slack));
+      }
+    }
+  }
+
+  return report;
+}
+
+AuditReport audit_sink(const Topology& topo, const EventSink& sink,
+                       const AuditConfig& config) {
+  AuditConfig effective = config;
+  effective.dropped_events = sink.dropped();
+  effective.declared_events = 0;  // the ring IS the stream; no header
+  const std::vector<Event> events = sink.events();
+  return audit_trace(topo, events, effective);
+}
+
+void write_audit_json(std::ostream& out, const AuditReport& report) {
+  const TraceLedger& ledger = report.ledger;
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.audit")
+      .member("version", std::uint64_t{1})
+      .member("passed", report.passed())
+      .member("checks_run", std::uint64_t{report.checks_run});
+  w.key("summary").begin_object()
+      .member("events", ledger.num_events)
+      .member("dropped", report.dropped_events)
+      .member("source",
+              ledger.source == kInvalidNode
+                  ? std::int64_t{-1}
+                  : static_cast<std::int64_t>(ledger.source))
+      .member("num_nodes", std::uint64_t{ledger.first_rx.size()})
+      .member("reached", std::uint64_t{ledger.reached})
+      .member("tx", ledger.tx)
+      .member("rx", ledger.rx)
+      .member("duplicates", ledger.duplicates)
+      .member("collisions", ledger.collisions)
+      .member("lost_to_fading", ledger.lost_to_fading)
+      .member("lost_to_crash", ledger.lost_to_crash)
+      .member("relay_activations", ledger.relay_activations)
+      .member("delay", std::uint64_t{ledger.delay})
+      .member("mean_etr", report.mean_etr)
+      .member("optimal_share", report.optimal_share)
+      .member("tx_energy_j", ledger.tx_energy)
+      .member("rx_energy_j", ledger.rx_energy)
+      .member("total_energy_j", report.total_energy)
+      .end_object();
+  w.key("frontier").begin_array();
+  for (const std::size_t count : ledger.frontier) {
+    w.value(std::uint64_t{count});
+  }
+  w.end_array();
+  w.key("unreached").begin_array();
+  for (const NodeId v : report.unreached) w.value(std::uint64_t{v});
+  w.end_array();
+  w.key("violations").begin_array();
+  for (const AuditViolation& v : report.violations) {
+    w.begin_object()
+        .member("check", to_string(v.check))
+        .member("message", v.message)
+        .end_object();
+  }
+  w.end_array().end_object();
+  out << std::move(w).str() << "\n";
+}
+
+std::string audit_summary_text(const AuditReport& report) {
+  const TraceLedger& ledger = report.ledger;
+  std::ostringstream out;
+  out << "audit: " << (report.passed() ? "PASS" : "FAIL") << " ("
+      << report.violations.size() << " violations / " << report.checks_run
+      << " checks)\n";
+  out << "  events " << ledger.num_events << " (dropped "
+      << report.dropped_events << "), tx " << ledger.tx << ", rx "
+      << ledger.rx << ", dup " << ledger.duplicates << ", coll "
+      << ledger.collisions << "\n";
+  out << "  reached " << ledger.reached << "/" << ledger.first_rx.size()
+      << ", delay " << ledger.delay << " slots\n";
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "  mean ETR %.4f, optimal share %.1f%%, energy %.6e J\n",
+                report.mean_etr, 100.0 * report.optimal_share,
+                report.total_energy);
+  out << line;
+  for (const AuditViolation& v : report.violations) {
+    out << "  [" << to_string(v.check) << "] " << v.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wsn

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/audit/ledger.h"
+#include "obs/event_sink.h"
+#include "sim/stats.h"
+#include "topology/topology.h"
+
+/// Invariant auditing over the derived ledgers (obs/audit/ledger.h): the
+/// paper's checkable claims, cross-validated three ways -- trace vs
+/// BroadcastStats (the run's own accounting), trace vs the analytic model
+/// (First Order Radio energy, per-family ETR optimum, Table 5 delay), and
+/// trace vs the topology's physics (a wavefront cannot outrun BFS).
+///
+/// An audit never aborts: every failed check becomes a structured
+/// violation in the returned AuditReport, so a CI step or a scenario
+/// sweep can collect all of them and decide what is fatal.  A truncated
+/// trace (ring-buffer drops) is itself a violation -- an incomplete
+/// stream must not silently pass.
+namespace wsn {
+
+enum class AuditCheck : std::uint8_t {
+  kTraceComplete = 0,  // no ring-buffer drops; header count matches
+  kTraceConsistent,    // stream obeys the medium's physics
+  kStatsMatch,         // ledger totals == BroadcastStats field-for-field
+  kEnergyModel,        // ledger energy == stats energy (First Order model)
+  kCoverage,           // every node reached
+  kCausality,          // first_rx[v] >= BFS distance from the source
+  kEtrBound,           // mean relay ETR within the family optimum
+  kDelayBound,         // delay within [source ecc, paper Table 5 + slack]
+};
+
+inline constexpr std::size_t kAuditCheckCount = 8;
+
+/// Stable short name ("trace_complete", "stats_match", ...).
+[[nodiscard]] std::string_view to_string(AuditCheck check) noexcept;
+
+struct AuditViolation {
+  AuditCheck check = AuditCheck::kTraceComplete;
+  std::string message;
+};
+
+struct AuditConfig {
+  /// Run parameters; must match the run that produced the trace.
+  std::size_t packet_bits = 512;
+  FirstOrderRadioModel radio{};
+  bool charge_collisions = false;
+  /// Source node; kInvalidNode infers it from the trace.
+  NodeId source = kInvalidNode;
+  /// Ring-buffer overflow (EventSink::dropped() or the trace header).
+  std::uint64_t dropped_events = 0;
+  /// Header-declared event count; 0 skips the count cross-check.
+  std::uint64_t declared_events = 0;
+  /// Expect 100% coverage (the paper's guarantee under a perfect
+  /// medium).  Disable for fault-injected runs where coverage loss is
+  /// the finding, not the bug -- the report still lists the unreached
+  /// set either way.
+  bool expect_full_coverage = true;
+  /// Cross-validate against the run's own stats when non-null.
+  const BroadcastStats* stats = nullptr;
+  /// Topology family ("2D-3", "2D-4", "2D-8", "3D-6") enables the
+  /// analytic checks (ETR optimum, Table 5 delay); empty skips them.
+  std::string family;
+  /// Energy reconciliation tolerance, relative.  The ledger replays the
+  /// simulator's accumulation order, so the default is tight.
+  double energy_rel_tol = 1e-12;
+  /// Mean-relay-ETR headroom over the family optimum: border relays can
+  /// individually beat the full-degree optimum ratio, but the mean of a
+  /// healthy run stays at or below it.
+  double etr_tol = 1e-9;
+  /// Delay slack over the paper's Table 5 value, matching the
+  /// integration-test tolerance for our collision-free schedules.
+  Slot delay_slack = 12;
+};
+
+struct AuditReport {
+  TraceLedger ledger;
+  std::vector<AuditViolation> violations;
+  std::vector<NodeId> unreached;
+  std::size_t checks_run = 0;
+  /// Headline derived values (also available via the ledger).
+  double mean_etr = 0.0;
+  double optimal_share = 0.0;
+  Joules total_energy = 0.0;
+  std::uint64_t dropped_events = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+  [[nodiscard]] bool violated(AuditCheck check) const noexcept {
+    for (const AuditViolation& v : violations) {
+      if (v.check == check) return true;
+    }
+    return false;
+  }
+};
+
+/// Audits an event stream against `topo` under `config`.  Builds the
+/// ledgers (one forward pass) and runs every applicable check.
+[[nodiscard]] AuditReport audit_trace(const Topology& topo,
+                                      std::span<const Event> events,
+                                      const AuditConfig& config = {});
+
+/// Audits a live sink; its `dropped()` feeds the completeness check (the
+/// config's `dropped_events`/`declared_events` are overridden).
+[[nodiscard]] AuditReport audit_sink(const Topology& topo,
+                                     const EventSink& sink,
+                                     const AuditConfig& config = {});
+
+/// Serializes a report as one `meshbcast.audit` JSON document.
+void write_audit_json(std::ostream& out, const AuditReport& report);
+
+/// Human-readable multi-line summary for CLI output.
+[[nodiscard]] std::string audit_summary_text(const AuditReport& report);
+
+}  // namespace wsn

@@ -1,0 +1,253 @@
+#include "obs/audit/ledger.h"
+
+#include <algorithm>
+
+namespace wsn {
+
+namespace {
+
+constexpr std::size_t kNoEntry = ~std::size_t{0};
+
+std::string node_str(NodeId v) { return std::to_string(v); }
+std::string slot_str(Slot s) { return std::to_string(s); }
+
+}  // namespace
+
+double TraceLedger::mean_etr(const Topology& topo) const {
+  if (transmissions.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TxLedgerEntry& t : transmissions) {
+    const std::size_t degree = topo.degree(t.node);
+    if (degree == 0) continue;
+    sum += static_cast<double>(t.fresh) / static_cast<double>(degree);
+  }
+  return sum / static_cast<double>(transmissions.size());
+}
+
+double TraceLedger::optimal_share(const Topology& topo,
+                                  int fresh_opt) const {
+  (void)topo;
+  if (transmissions.empty()) return 0.0;
+  std::size_t at_optimum = 0;
+  for (const TxLedgerEntry& t : transmissions) {
+    if (t.node == source) continue;  // the source's 100% ETR is not a relay's
+    if (t.fresh >= static_cast<std::uint32_t>(fresh_opt)) at_optimum += 1;
+  }
+  return static_cast<double>(at_optimum) /
+         static_cast<double>(transmissions.size());
+}
+
+std::vector<NodeId> TraceLedger::unreached() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < first_rx.size(); ++v) {
+    if (first_rx[v] == kNeverSlot) out.push_back(v);
+  }
+  return out;
+}
+
+TraceLedger build_ledger(const Topology& topo,
+                         std::span<const Event> events,
+                         const LedgerOptions& options) {
+  const std::size_t n = topo.num_nodes();
+  TraceLedger ledger;
+  ledger.num_events = events.size();
+  ledger.first_rx.assign(n, kNeverSlot);
+  ledger.node_energy.assign(n, 0.0);
+
+  const auto anomaly = [&ledger](std::string what) {
+    // Cap the list: one rotten stream should not balloon the report.
+    if (ledger.anomalies.size() < 64) {
+      ledger.anomalies.push_back(std::move(what));
+    }
+  };
+
+  // Per-slot running state, flushed on slot change.  tx_entry[v] is v's
+  // index into `transmissions` for the CURRENT slot only.
+  std::vector<std::size_t> tx_entry(n, kNoEntry);
+  std::vector<NodeId> slot_transmitters;
+  Slot current_slot = 0;
+  const auto flush_slot = [&] {
+    for (NodeId v : slot_transmitters) tx_entry[v] = kNoEntry;
+    slot_transmitters.clear();
+  };
+
+  // Collision chains still awaiting their repairing retransmission,
+  // indexed per receiver.
+  std::vector<std::vector<std::size_t>> open_chains(n);
+  // kDuplicate seen before any kRx at that node: legal only for the
+  // source (it holds the packet from slot 0), decided after inference.
+  std::vector<NodeId> early_duplicates;
+  // First transmission slot per node, for source inference diagnostics.
+  std::vector<Slot> first_tx(n, kNeverSlot);
+
+  const Joules rx_cost = options.radio.rx_energy(options.packet_bits);
+
+  for (const Event& e : events) {
+    if (e.node >= n) {
+      anomaly("event node " + node_str(e.node) + " out of range");
+      continue;
+    }
+    if (e.slot < current_slot) {
+      anomaly("slot " + slot_str(e.slot) + " after slot " +
+              slot_str(current_slot) + ": time ran backwards");
+      flush_slot();
+      current_slot = e.slot;
+    } else if (e.slot > current_slot) {
+      flush_slot();
+      current_slot = e.slot;
+    }
+
+    switch (e.kind) {
+      case EventKind::kTx: {
+        if (tx_entry[e.node] != kNoEntry) {
+          anomaly("node " + node_str(e.node) + " transmitted twice in slot " +
+                  slot_str(e.slot));
+          break;
+        }
+        tx_entry[e.node] = ledger.transmissions.size();
+        slot_transmitters.push_back(e.node);
+        ledger.transmissions.push_back(TxLedgerEntry{e.slot, e.node, 0, 0});
+        ledger.tx += 1;
+        if (first_tx[e.node] == kNeverSlot) first_tx[e.node] = e.slot;
+        const Joules cost =
+            options.radio.tx_energy(options.packet_bits,
+                                    topo.tx_range(e.node));
+        ledger.tx_energy += cost;
+        ledger.node_energy[e.node] += cost;
+        break;
+      }
+      case EventKind::kRx:
+      case EventKind::kDuplicate: {
+        ledger.rx += 1;
+        ledger.rx_energy += rx_cost;
+        ledger.node_energy[e.node] += rx_cost;
+        // Attribute the decode to the sending transmission of this slot.
+        if (e.peer >= n || tx_entry[e.peer] == kNoEntry) {
+          anomaly("node " + node_str(e.node) + " decoded from " +
+                  node_str(e.peer) + " in slot " + slot_str(e.slot) +
+                  " but that peer did not transmit");
+        } else if (e.kind == EventKind::kRx) {
+          ledger.transmissions[tx_entry[e.peer]].fresh += 1;
+        } else {
+          ledger.transmissions[tx_entry[e.peer]].duplicates += 1;
+        }
+        if (e.kind == EventKind::kRx) {
+          if (ledger.first_rx[e.node] != kNeverSlot) {
+            anomaly("node " + node_str(e.node) +
+                    " first-received twice (slots " +
+                    slot_str(ledger.first_rx[e.node]) + " and " +
+                    slot_str(e.slot) + ")");
+            break;
+          }
+          ledger.first_rx[e.node] = e.slot;
+          ledger.delay = std::max(ledger.delay, e.slot);
+          // Close this receiver's pending collision chains: the paper's
+          // scheduled retransmission repaired them here.
+          for (std::size_t chain : open_chains[e.node]) {
+            ledger.collision_chains[chain].repaired_slot = e.slot;
+            ledger.collision_chains[chain].repaired_by = e.peer;
+          }
+          open_chains[e.node].clear();
+        } else {
+          ledger.duplicates += 1;
+          if (ledger.first_rx[e.node] == kNeverSlot) {
+            early_duplicates.push_back(e.node);
+          }
+        }
+        break;
+      }
+      case EventKind::kCollision: {
+        ledger.collisions += 1;
+        if (ledger.first_rx[e.node] == kNeverSlot) {
+          open_chains[e.node].push_back(ledger.collision_chains.size());
+        }
+        ledger.collision_chains.push_back(
+            CollisionChain{e.slot, e.node, e.detail, kNeverSlot,
+                           kInvalidNode});
+        if (options.charge_collisions) {
+          ledger.rx_energy += rx_cost;
+          ledger.node_energy[e.node] += rx_cost;
+        }
+        break;
+      }
+      case EventKind::kLossFading:
+        ledger.lost_to_fading += 1;
+        break;
+      case EventKind::kLossCrash:
+        // Transmitter crash carries the whole lost neighborhood in
+        // `detail`; receiver crash carries 1.  Both count directed
+        // reception opportunities, like BroadcastStats.
+        ledger.lost_to_crash += e.detail;
+        break;
+      case EventKind::kRelayActivation:
+        ledger.relay_activations += 1;
+        break;
+      case EventKind::kPipelineDefer:
+        ledger.pipeline_defers += 1;
+        break;
+    }
+  }
+  flush_slot();
+
+  // Source: declared, or inferred as the unique transmitter that never
+  // received (every relay's kTx follows its kRx; the source's never can).
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < n; ++v) {
+    if (first_tx[v] != kNeverSlot && ledger.first_rx[v] == kNeverSlot) {
+      candidates.push_back(v);
+    }
+  }
+  if (options.source != kInvalidNode) {
+    ledger.source = options.source;
+    for (NodeId v : candidates) {
+      if (v != ledger.source) {
+        anomaly("node " + node_str(v) + " transmitted (slot " +
+                slot_str(first_tx[v]) + ") without ever receiving");
+      }
+    }
+  } else if (candidates.size() == 1) {
+    ledger.source = candidates.front();
+  } else if (!candidates.empty()) {
+    // Ambiguous; earliest first transmission wins, the rest are physics
+    // violations.
+    ledger.source = *std::min_element(
+        candidates.begin(), candidates.end(),
+        [&](NodeId a, NodeId b) { return first_tx[a] < first_tx[b]; });
+    for (NodeId v : candidates) {
+      if (v != ledger.source) {
+        anomaly("node " + node_str(v) + " transmitted (slot " +
+                slot_str(first_tx[v]) + ") without ever receiving");
+      }
+    }
+  }
+  if (ledger.source != kInvalidNode && ledger.source < n) {
+    if (ledger.first_rx[ledger.source] != kNeverSlot) {
+      anomaly("source " + node_str(ledger.source) +
+              " has a first-reception event");
+    }
+    ledger.first_rx[ledger.source] = 0;
+  }
+  for (NodeId v : early_duplicates) {
+    if (v != ledger.source) {
+      anomaly("node " + node_str(v) +
+              " decoded a duplicate before any first reception");
+    }
+  }
+
+  for (const Slot s : ledger.first_rx) {
+    if (s != kNeverSlot) ledger.reached += 1;
+  }
+
+  // Cumulative coverage per slot; the last step is the delay.
+  ledger.frontier.assign(static_cast<std::size_t>(ledger.delay) + 1, 0);
+  for (const Slot s : ledger.first_rx) {
+    if (s != kNeverSlot) ledger.frontier[s] += 1;
+  }
+  for (std::size_t s = 1; s < ledger.frontier.size(); ++s) {
+    ledger.frontier[s] += ledger.frontier[s - 1];
+  }
+
+  return ledger;
+}
+
+}  // namespace wsn

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/events.h"
+#include "radio/energy_model.h"
+#include "topology/topology.h"
+
+/// Derived ledgers over a broadcast event stream (obs/events.h), built in
+/// ONE forward pass.  The pass leans on two ordering guarantees the
+/// simulator provides: slots are non-decreasing across the stream, and
+/// within a slot every kTx precedes every reception-side event of that
+/// slot.  That makes per-slot transmitter attribution a running set that
+/// is flushed on slot change -- no lookahead, no second pass, O(events)
+/// time and O(nodes) working state.
+///
+/// Four ledgers come out:
+///   * transmissions -- per-tx ETR reconstruction (fresh M out of N
+///     neighbors, Table 1's metric) attributed from kRx/kDuplicate peers;
+///   * collision chains -- each kCollision joined forward to the
+///     retransmission that eventually repaired the receiver (its later
+///     first kRx), the paper's "predictable collision" made auditable;
+///   * a per-node energy ledger re-priced from the First Order Radio
+///     Model event by event, in the simulator's own accumulation order so
+///     totals reconcile bit-for-bit against BroadcastStats;
+///   * the reachability frontier -- cumulative covered-node count per
+///     slot, whose last step is the broadcast delay.
+///
+/// Streams that violate the physics (an rx from a silent peer, a second
+/// first-reception, time running backwards) land in `anomalies`; the
+/// auditor turns those into violations instead of this pass aborting.
+namespace wsn {
+
+struct TxLedgerEntry {
+  Slot slot = 0;
+  NodeId node = kInvalidNode;
+  /// First receptions attributed to this transmission (M of ETR = M/N).
+  std::uint32_t fresh = 0;
+  /// Duplicate decodes attributed to this transmission.
+  std::uint32_t duplicates = 0;
+};
+
+struct CollisionChain {
+  Slot slot = 0;
+  NodeId node = kInvalidNode;  // the receiver that lost the slot
+  std::uint32_t contenders = 0;
+  /// First successful reception of `node` after the collision, i.e. the
+  /// scheduled retransmission that repaired it; kNeverSlot when the node
+  /// was already covered (duplicate traffic collided) or never recovered.
+  Slot repaired_slot = kNeverSlot;
+  NodeId repaired_by = kInvalidNode;
+};
+
+struct LedgerOptions {
+  /// Packet size and radio must match the run that produced the trace;
+  /// defaults are the paper's (512 bits, First Order Radio Model).
+  std::size_t packet_bits = 512;
+  FirstOrderRadioModel radio{};
+  /// Mirror of SimOptions::charge_collisions for the energy ledger.
+  bool charge_collisions = false;
+  /// Broadcast source; kInvalidNode infers it (the unique node that
+  /// transmits without ever receiving).
+  NodeId source = kInvalidNode;
+};
+
+struct TraceLedger {
+  std::uint64_t num_events = 0;
+  NodeId source = kInvalidNode;
+
+  /// Totals mirroring BroadcastStats field-for-field (rx includes
+  /// duplicates, losses count directed opportunities).
+  std::uint64_t tx = 0;
+  std::uint64_t rx = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t lost_to_fading = 0;
+  std::uint64_t lost_to_crash = 0;
+  std::uint64_t relay_activations = 0;
+  std::uint64_t pipeline_defers = 0;
+  std::size_t reached = 0;  // nodes holding the message, source included
+  Slot delay = 0;           // slot of the last first-reception
+
+  std::vector<TxLedgerEntry> transmissions;
+  std::vector<CollisionChain> collision_chains;
+  /// Per-node first-reception slot: 0 for the source, kNeverSlot for
+  /// unreached nodes -- same convention as BroadcastOutcome::first_rx.
+  std::vector<Slot> first_rx;
+  /// First Order Radio reconstruction, per node and totalled.
+  std::vector<Joules> node_energy;
+  Joules tx_energy = 0.0;
+  Joules rx_energy = 0.0;
+
+  /// frontier[s] = nodes covered by the end of slot s (cumulative,
+  /// source counted from slot 0); size delay + 1.
+  std::vector<std::size_t> frontier;
+
+  /// Physics violations found during the pass, as human-readable
+  /// diagnostics.  Empty for any stream the simulator actually emitted.
+  std::vector<std::string> anomalies;
+
+  /// Mean ETR over every transmission and the share of relay
+  /// transmissions achieving `fresh_opt` fresh deliveries -- the same
+  /// definitions as protocol/etr.h summarize_etr, so trace-derived values
+  /// are directly comparable with Tables 1-2.
+  [[nodiscard]] double mean_etr(const Topology& topo) const;
+  [[nodiscard]] double optimal_share(const Topology& topo,
+                                     int fresh_opt) const;
+  [[nodiscard]] std::vector<NodeId> unreached() const;
+};
+
+/// Builds every ledger in one forward pass over `events` (a live sink's
+/// `events()` or a re-read trace).  `topo` must be the topology of the
+/// run; node ids out of range are reported as anomalies and skipped.
+[[nodiscard]] TraceLedger build_ledger(const Topology& topo,
+                                       std::span<const Event> events,
+                                       const LedgerOptions& options = {});
+
+}  // namespace wsn

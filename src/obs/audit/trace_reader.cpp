@@ -1,0 +1,132 @@
+#include "obs/audit/trace_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace wsn {
+
+namespace {
+
+bool fail(std::string* error, std::size_t line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+/// Member as a u64 within `max`, with presence control.  The writer emits
+/// plain non-negative integers for every numeric event field.
+bool read_u64(const JsonValue& obj, std::string_view key, bool required,
+              std::uint64_t max, std::uint64_t fallback, std::uint64_t& out,
+              std::string& what) {
+  const JsonValue* member = obj.find(key);
+  if (member == nullptr) {
+    if (required) {
+      what = "missing \"" + std::string(key) + "\"";
+      return false;
+    }
+    out = fallback;
+    return true;
+  }
+  if (!member->to_u64(out) || out > max) {
+    what = "invalid \"" + std::string(key) + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_trace_jsonl(std::string_view text, TraceDocument& out,
+                      std::string* error) {
+  out = TraceDocument{};
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    JsonValue value;
+    std::string parse_error;
+    if (!parse_json(line, value, &parse_error)) {
+      return fail(error, line_no, parse_error);
+    }
+    if (!value.is_object()) return fail(error, line_no, "expected object");
+
+    std::string what;
+    if (!saw_header) {
+      if (value.string_or("schema", "") != "meshbcast.trace") {
+        return fail(error, line_no, "not a meshbcast.trace header");
+      }
+      std::uint64_t version = 0;
+      if (!read_u64(value, "version", true, 1u << 20, 0, version, what)) {
+        return fail(error, line_no, what);
+      }
+      if (version != static_cast<std::uint64_t>(kEventSchemaVersion)) {
+        return fail(error, line_no,
+                    "unsupported trace version " + std::to_string(version));
+      }
+      out.version = static_cast<int>(version);
+      const std::uint64_t u64_max = ~std::uint64_t{0};
+      if (!read_u64(value, "events", false, u64_max, 0,
+                    out.declared_events, what) ||
+          !read_u64(value, "dropped", false, u64_max, 0, out.dropped,
+                    what)) {
+        return fail(error, line_no, what);
+      }
+      saw_header = true;
+      continue;
+    }
+
+    Event e;
+    const JsonValue* kind = value.find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !event_kind_from_string(kind->as_string(), e.kind)) {
+      return fail(error, line_no, "unknown event kind");
+    }
+    std::uint64_t slot = 0;
+    std::uint64_t node = 0;
+    std::uint64_t peer = 0;
+    std::uint64_t packet = 0;
+    std::uint64_t detail = 0;
+    // kNeverSlot / kInvalidNode are representable on purpose: a defer
+    // event's slot and an absent peer round-trip unchanged.
+    if (!read_u64(value, "slot", true, kNeverSlot, 0, slot, what) ||
+        !read_u64(value, "node", true, kInvalidNode, 0, node, what) ||
+        !read_u64(value, "peer", false, kInvalidNode, kInvalidNode, peer,
+                  what) ||
+        !read_u64(value, "packet", false, 0xffffffffu, 0, packet, what) ||
+        !read_u64(value, "detail", false, 0xffffffffu, 0, detail, what)) {
+      return fail(error, line_no, what);
+    }
+    e.slot = static_cast<Slot>(slot);
+    e.node = static_cast<NodeId>(node);
+    e.peer = static_cast<NodeId>(peer);
+    e.packet = static_cast<std::uint32_t>(packet);
+    e.detail = static_cast<std::uint32_t>(detail);
+    out.events.push_back(e);
+  }
+  if (!saw_header) return fail(error, line_no, "empty trace (no header)");
+  return true;
+}
+
+bool read_trace_file(const std::string& path, TraceDocument& out,
+                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_trace_jsonl(buffer.str(), out, error);
+}
+
+}  // namespace wsn

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event_sink.h"
+#include "obs/events.h"
+
+/// Re-reader for the JSONL trace format of obs/export.h: a
+/// `meshbcast.trace` header line followed by one compact event object per
+/// line.  This is the offline half of the audit engine -- a trace written
+/// by any run (CLI, scenario job, CI artifact) parses back into the same
+/// `Event` records the ring buffer held, so `audit_trace` works identically
+/// on a live sink and on a file re-read days later.
+///
+/// Parsing is strict where the schema is load-bearing (header must name
+/// the schema and a version we understand; `kind` must be a known short
+/// name; slot/node must be present integers) and lenient where the writer
+/// is (absent peer means kInvalidNode, absent packet/detail mean 0 --
+/// exactly the fields export.cpp omits).
+namespace wsn {
+
+struct TraceDocument {
+  int version = 0;
+  /// Event count the header declared; mismatch vs events.size() is
+  /// flagged by the auditor, not here.
+  std::uint64_t declared_events = 0;
+  /// Ring-buffer overflow at export time.  Nonzero means the trace is a
+  /// suffix of the run, and audits of it are advisory at best.
+  std::uint64_t dropped = 0;
+  std::vector<Event> events;
+};
+
+/// Parses a full JSONL trace text.  Returns false (with a line-numbered
+/// message in `error` when non-null) on malformed input; a parsed
+/// document may still fail its audit.
+[[nodiscard]] bool read_trace_jsonl(std::string_view text,
+                                    TraceDocument& out,
+                                    std::string* error = nullptr);
+
+/// Reads and parses `path`.  False on I/O or parse failure.
+[[nodiscard]] bool read_trace_file(const std::string& path,
+                                   TraceDocument& out,
+                                   std::string* error = nullptr);
+
+}  // namespace wsn

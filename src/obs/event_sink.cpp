@@ -18,6 +18,17 @@ std::string_view to_string(EventKind kind) noexcept {
   return "?";
 }
 
+bool event_kind_from_string(std::string_view name, EventKind& out) noexcept {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (to_string(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 EventSink::EventSink(std::size_t capacity) : ring_(capacity) {
   WSN_EXPECTS(capacity >= 1);
 }

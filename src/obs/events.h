@@ -39,6 +39,11 @@ inline constexpr std::size_t kEventKindCount = 8;
 /// "fade", "crash", "relay_on", "defer").
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 
+/// Inverse of to_string, for trace re-readers (obs/audit).  Returns false
+/// when `name` is not one of the stable short names.
+[[nodiscard]] bool event_kind_from_string(std::string_view name,
+                                          EventKind& out) noexcept;
+
 struct Event {
   Slot slot = 0;
   EventKind kind = EventKind::kTx;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/json.h"
 
 namespace wsn {
 
@@ -20,19 +23,35 @@ const char* chrome_name(EventKind kind) {
   }
 }
 
+/// Optional Event fields follow one rule everywhere: peer only when valid,
+/// packet/detail only when non-zero.  The trace reader (obs/audit) relies
+/// on exactly this shape.
+void event_members(JsonWriter& w, const Event& e) {
+  if (e.peer != kInvalidNode) w.member("peer", std::uint64_t{e.peer});
+  if (e.packet != 0) w.member("packet", std::uint64_t{e.packet});
+  if (e.detail != 0) w.member("detail", std::uint64_t{e.detail});
+}
+
 }  // namespace
 
 void write_events_jsonl(std::ostream& out, const EventSink& sink) {
-  out << "{\"schema\":\"meshbcast.trace\",\"version\":" << kEventSchemaVersion
-      << ",\"events\":" << sink.size() << ",\"dropped\":" << sink.dropped()
-      << "}\n";
+  JsonWriter header;
+  header.begin_object()
+      .member("schema", "meshbcast.trace")
+      .member("version", std::uint64_t{kEventSchemaVersion})
+      .member("events", std::uint64_t{sink.size()})
+      .member("dropped", std::uint64_t{sink.dropped()})
+      .end_object();
+  out << std::move(header).str() << "\n";
   for (const Event& e : sink.events()) {
-    out << "{\"slot\":" << e.slot << ",\"kind\":\"" << to_string(e.kind)
-        << "\",\"node\":" << e.node;
-    if (e.peer != kInvalidNode) out << ",\"peer\":" << e.peer;
-    if (e.packet != 0) out << ",\"packet\":" << e.packet;
-    if (e.detail != 0) out << ",\"detail\":" << e.detail;
-    out << "}\n";
+    JsonWriter w;
+    w.begin_object()
+        .member("slot", std::uint64_t{e.slot})
+        .member("kind", to_string(e.kind))
+        .member("node", std::uint64_t{e.node});
+    event_members(w, e);
+    w.end_object();
+    out << std::move(w).str() << "\n";
   }
 }
 
@@ -42,10 +61,10 @@ void write_chrome_trace(std::ostream& out, const EventSink& sink,
 
   out << "[";
   bool first = true;
-  const auto sep = [&] {
+  const auto emit = [&](JsonWriter&& w) {
     if (!first) out << ",";
     first = false;
-    out << "\n";
+    out << "\n" << std::move(w).str();
   };
 
   // Track metadata: one named row per node that appears, sorted so the
@@ -54,34 +73,59 @@ void write_chrome_trace(std::ostream& out, const EventSink& sink,
   for (const Event& e : events) nodes.push_back(e.node);
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
-  sep();
-  out << R"({"name":"process_name","ph":"M","pid":0,)"
-      << R"("args":{"name":"meshbcast"}})";
+  {
+    JsonWriter w;
+    w.begin_object()
+        .member("name", "process_name")
+        .member("ph", "M")
+        .member("pid", std::uint64_t{0})
+        .key("args").begin_object()
+        .member("name", "meshbcast")
+        .end_object().end_object();
+    emit(std::move(w));
+  }
   for (NodeId v : nodes) {
-    sep();
-    out << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << v
-        << R"(,"args":{"name":"node )" << v << "\"}}";
-    sep();
-    out << R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)" << v
-        << R"(,"args":{"sort_index":)" << v << "}}";
+    JsonWriter name;
+    name.begin_object()
+        .member("name", "thread_name")
+        .member("ph", "M")
+        .member("pid", std::uint64_t{0})
+        .member("tid", std::uint64_t{v})
+        .key("args").begin_object()
+        .member("name", "node " + std::to_string(v))
+        .end_object().end_object();
+    emit(std::move(name));
+    JsonWriter sort;
+    sort.begin_object()
+        .member("name", "thread_sort_index")
+        .member("ph", "M")
+        .member("pid", std::uint64_t{0})
+        .member("tid", std::uint64_t{v})
+        .key("args").begin_object()
+        .member("sort_index", std::uint64_t{v})
+        .end_object().end_object();
+    emit(std::move(sort));
   }
 
   for (const Event& e : events) {
-    const std::uint64_t ts =
-        static_cast<std::uint64_t>(e.slot) * slot_us;
-    sep();
-    out << "{\"name\":\"" << chrome_name(e.kind) << "\",\"cat\":\"sim\",";
+    const std::uint64_t ts = static_cast<std::uint64_t>(e.slot) * slot_us;
+    JsonWriter w;
+    w.begin_object()
+        .member("name", chrome_name(e.kind))
+        .member("cat", "sim");
     if (e.kind == EventKind::kTx) {
-      out << "\"ph\":\"X\",\"ts\":" << ts << ",\"dur\":" << slot_us << ",";
+      w.member("ph", "X").member("ts", ts)
+          .member("dur", std::uint64_t{slot_us});
     } else {
-      out << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts << ",";
+      w.member("ph", "i").member("s", "t").member("ts", ts);
     }
-    out << "\"pid\":0,\"tid\":" << e.node << ",\"args\":{\"slot\":"
-        << e.slot;
-    if (e.peer != kInvalidNode) out << ",\"peer\":" << e.peer;
-    if (e.packet != 0) out << ",\"packet\":" << e.packet;
-    if (e.detail != 0) out << ",\"detail\":" << e.detail;
-    out << "}}";
+    w.member("pid", std::uint64_t{0})
+        .member("tid", std::uint64_t{e.node})
+        .key("args").begin_object()
+        .member("slot", std::uint64_t{e.slot});
+    event_members(w, e);
+    w.end_object().end_object();
+    emit(std::move(w));
   }
   out << "\n]\n";
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/assert.h"
+#include "common/json.h"
 
 namespace wsn {
 
@@ -187,53 +189,35 @@ void MetricsRegistry::reset() {
 
 void write_metrics_json(std::ostream& out,
                         const MetricsSnapshot& snapshot) {
-  const auto number = [&out](double v) {
-    // Infinities are not valid JSON; clamp to null-free sentinels.
-    if (v == std::numeric_limits<double>::infinity()) {
-      out << "1e308";
-    } else if (v == -std::numeric_limits<double>::infinity()) {
-      out << "-1e308";
-    } else {
-      out << v;
-    }
-  };
-
-  out << "{\"schema\":\"meshbcast.metrics\",\"version\":1,\n";
-  out << " \"counters\":{";
-  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
-    if (i != 0) out << ",";
-    out << "\"" << snapshot.counters[i].first
-        << "\":" << snapshot.counters[i].second;
+  // Compact JsonWriter output: %.17g doubles round-trip through
+  // parse_json exactly, infinities clamp to +/-1e308 (json_number).
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.metrics")
+      .member("version", std::uint64_t{1});
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters) w.member(name, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.member(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    w.key(h.name).begin_object();
+    w.key("upper_bounds").begin_array();
+    for (const double bound : h.upper_bounds) w.value(bound);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.member("count", h.count)
+        .member("sum", h.sum)
+        .member("min", h.min)
+        .member("max", h.max)
+        .end_object();
   }
-  out << "},\n \"gauges\":{";
-  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    if (i != 0) out << ",";
-    out << "\"" << snapshot.gauges[i].first << "\":";
-    number(snapshot.gauges[i].second);
-  }
-  out << "},\n \"histograms\":{";
-  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
-    const HistogramSnapshot& h = snapshot.histograms[i];
-    if (i != 0) out << ",";
-    out << "\n  \"" << h.name << "\":{\"upper_bounds\":[";
-    for (std::size_t j = 0; j < h.upper_bounds.size(); ++j) {
-      if (j != 0) out << ",";
-      number(h.upper_bounds[j]);
-    }
-    out << "],\"buckets\":[";
-    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
-      if (j != 0) out << ",";
-      out << h.buckets[j];
-    }
-    out << "],\"count\":" << h.count << ",\"sum\":";
-    number(h.sum);
-    out << ",\"min\":";
-    number(h.min);
-    out << ",\"max\":";
-    number(h.max);
-    out << "}";
-  }
-  out << "}}\n";
+  w.end_object().end_object();
+  out << std::move(w).str() << "\n";
 }
 
 }  // namespace wsn

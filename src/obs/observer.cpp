@@ -18,6 +18,7 @@ void Observer::bind_metrics(MetricsRegistry& registry) {
   pipeline_defers = &registry.counter("sim.pipeline_defers");
   runs = &registry.counter("sim.runs");
   reached = &registry.gauge("sim.reached");
+  events_dropped = &registry.gauge("sim.events_dropped");
 
   // Slot-delay edges cover the paper topologies (Table 5 tops out at 46
   // slots on 2D-3); overflow catches anything bigger, max() stays exact.

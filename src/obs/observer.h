@@ -38,6 +38,10 @@ struct Observer {
   Counter* pipeline_defers = nullptr;
   Counter* runs = nullptr;
   Gauge* reached = nullptr;
+  /// Ring-buffer overflow of the attached sink after the last run; a
+  /// nonzero value means the exported trace is truncated and any audit of
+  /// it must flag incompleteness (obs/audit).
+  Gauge* events_dropped = nullptr;
   Histogram* slot_delay = nullptr;
   Histogram* node_energy = nullptr;
   Histogram* etr = nullptr;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+
+#include "common/json.h"
 
 namespace wsn {
 
@@ -60,15 +63,22 @@ std::string Profiler::report_text() const {
 
 void Profiler::write_report_json(std::ostream& out) const {
   const std::vector<SpanStats> spans = snapshot();
-  out << "{\"schema\":\"meshbcast.profile\",\"version\":1,\"spans\":[";
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    const SpanStats& s = spans[i];
-    if (i != 0) out << ",";
-    out << "\n {\"name\":\"" << s.name << "\",\"count\":" << s.count
-        << ",\"total_ns\":" << s.total_ns << ",\"min_ns\":" << s.min_ns
-        << ",\"max_ns\":" << s.max_ns << "}";
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.profile")
+      .member("version", std::uint64_t{1})
+      .key("spans").begin_array();
+  for (const SpanStats& s : spans) {
+    w.begin_object()
+        .member("name", s.name)
+        .member("count", s.count)
+        .member("total_ns", s.total_ns)
+        .member("min_ns", s.min_ns)
+        .member("max_ns", s.max_ns)
+        .end_object();
   }
-  out << "\n]}\n";
+  w.end_array().end_object();
+  out << std::move(w).str() << "\n";
 }
 
 }  // namespace wsn

@@ -18,8 +18,10 @@
 #include "common/random.h"
 #include "fault/models.h"
 #include "fault/recovery.h"
+#include "obs/audit/auditor.h"
 #include "obs/export.h"
 #include "obs/observer.h"
+#include "obs/profile.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/etr.h"
 #include "protocol/flooding.h"
@@ -150,9 +152,12 @@ struct ExecResult {
 
 /// Runs one job to its record.  Pure in the job (given the shared,
 /// deterministic plan store): no clocks, no worker identity, no queue
-/// state ever reaches the record text.
+/// state ever reaches the record text.  With `audit` set, the simulated
+/// run is observed into a per-job event sink and audited in-stream; the
+/// verdict is deterministic too, so the byte-identity guarantee holds at
+/// any worker count as long as both runs use the same flag.
 ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
-                       Simulator& sim, PlanStore* store) {
+                       Simulator& sim, PlanStore* store, bool audit) {
   const ScenarioEntry& entry = *job.entry;
   ExecResult result;
   result.fold.scenario = entry.name;
@@ -184,6 +189,10 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
   BroadcastOutcome outcome;
   EtrSummary etr;
   bool have_etr = false;
+  bool have_audit = false;
+  std::size_t audit_checks = 0;
+  std::size_t audit_violations = 0;
+  std::string audit_failed;
 
   if (job.protocol == "ideal") {
     // Analytic comparator (Table 2): no simulation, no faults, no delay.
@@ -284,11 +293,32 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
     EventSink sink;
     Observer observer(&sink);
     const bool tracing = !entry.outputs.trace_dir.empty();
-    if (tracing) run_options.observer = &observer;
+    if (tracing || audit) run_options.observer = &observer;
 
     outcome = flat != nullptr ? sim.run(topo, *flat, run_options)
                               : sim.run(topo, plan, run_options);
 
+    if (audit) {
+      AuditConfig audit_config;
+      audit_config.packet_bits = entry.packet_bits;
+      audit_config.source = job.source;
+      audit_config.stats = &outcome.stats;
+      // Coverage loss under injected faults is the measurement, not a
+      // defect; under the perfect medium it is a violation.
+      audit_config.expect_full_coverage = faults == nullptr;
+      const AuditReport report = audit_sink(topo, sink, audit_config);
+      have_audit = true;
+      audit_checks = report.checks_run;
+      audit_violations = report.violations.size();
+      // Failed check names, deduped in enum order -- a stable, compact
+      // rendition for the record.
+      for (std::size_t c = 0; c < kAuditCheckCount; ++c) {
+        const auto check = static_cast<AuditCheck>(c);
+        if (!report.violated(check)) continue;
+        if (!audit_failed.empty()) audit_failed += ",";
+        audit_failed += to_string(check);
+      }
+    }
     if (tracing) {
       std::error_code ec;  // best-effort: a failed trace never fails a job
       std::filesystem::create_directories(entry.outputs.trace_dir, ec);
@@ -327,6 +357,13 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
     line << ",\"etr_mean\":" << format_record_double(etr.mean)
          << ",\"etr_share\":" << format_record_double(etr.optimal_share());
   }
+  if (have_audit) {
+    line << ",\"audit_checks\":" << audit_checks
+         << ",\"audit_violations\":" << audit_violations;
+    if (!audit_failed.empty()) {
+      line << ",\"audit_failed\":\"" << json_escape(audit_failed) << "\"";
+    }
+  }
   line << "}";
 
   result.line = line.str();
@@ -364,9 +401,26 @@ struct ScenarioEngine::Impl {
   Counter* completed_metric = nullptr;
   Counter* failed_metric = nullptr;
   Histogram* wait_metric = nullptr;
+  Gauge* queue_depth_metric = nullptr;
+  Gauge* busy_metric = nullptr;
+  std::atomic<std::size_t> busy{0};
 
   explicit Impl(std::size_t capacity) : queue(capacity) {}
 };
+
+std::string heartbeat_json(const HeartbeatRecord& beat) {
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.heartbeat")
+      .member("version", std::uint64_t{1})
+      .member("emitted", std::uint64_t{beat.emitted})
+      .member("jobs", std::uint64_t{beat.jobs_total})
+      .member("errors", std::uint64_t{beat.errors})
+      .member("queue_depth", std::uint64_t{beat.queue_depth})
+      .member("workers_busy", std::uint64_t{beat.workers_busy})
+      .end_object();
+  return std::move(w).str();
+}
 
 ScenarioEngine::ScenarioEngine(const JobMatrix& matrix, EngineConfig config)
     : matrix_(matrix), config_(std::move(config)) {}
@@ -520,6 +574,8 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
     impl.wait_metric = &config_.metrics->histogram(
         "scenario.queue_wait_ms",
         {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+    impl.queue_depth_metric = &config_.metrics->gauge("scenario.queue_depth");
+    impl.busy_metric = &config_.metrics->gauge("scenario.workers_busy");
   }
 
   if (!results_path.empty()) {
@@ -563,6 +619,7 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   const auto submit = [&](std::size_t index, ExecResult result) {
     std::function<void(std::size_t)> notify;
     std::size_t notify_emitted = 0;
+    std::size_t notify_errors = 0;
     {
       const std::lock_guard<std::mutex> lock(impl.collector_mutex);
       impl.pending.emplace(index, std::move(result));
@@ -587,10 +644,25 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
         write_manifest(impl.emitted, impl.emitted == impl.jobs_total);
       }
       notify_emitted = impl.emitted;
+      notify_errors = impl.errors;
     }
     // The hook runs outside the collector lock so it may call
     // request_cancel() (the kill/resume tests do exactly that).
     if (config_.on_emit) config_.on_emit(notify_emitted);
+    // Heartbeat on the emission count crossing a multiple of the cadence.
+    // Live pool telemetry is snapshotted here, outside the lock -- it is
+    // advisory and never reaches the results stream.
+    if (config_.heartbeat_every > 0 && config_.on_heartbeat &&
+        notify_emitted > 0 &&
+        notify_emitted % config_.heartbeat_every == 0) {
+      HeartbeatRecord beat;
+      beat.emitted = notify_emitted;
+      beat.jobs_total = impl.jobs_total;
+      beat.errors = notify_errors;
+      beat.queue_depth = impl.queue.size();
+      beat.workers_busy = impl.busy.load(std::memory_order_relaxed);
+      config_.on_heartbeat(beat);
+    }
   };
 
   // ---- workers --------------------------------------------------------
@@ -617,9 +689,27 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
         wait_ms_sum += wait_ms;
         wait_samples += 1;
         if (impl.wait_metric != nullptr) impl.wait_metric->observe(wait_ms);
-        submit(ticket->first,
-               execute_job(matrix_, matrix_.jobs[ticket->first], sim,
-                           config_.store));
+        if (impl.queue_depth_metric != nullptr) {
+          impl.queue_depth_metric->set(
+              static_cast<double>(impl.queue.size()));
+        }
+        const std::size_t busy_now =
+            impl.busy.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (impl.busy_metric != nullptr) {
+          impl.busy_metric->set(static_cast<double>(busy_now));
+        }
+        ExecResult result;
+        {
+          WSN_SPAN("scenario.job");
+          result = execute_job(matrix_, matrix_.jobs[ticket->first], sim,
+                               config_.store, config_.audit);
+        }
+        const std::size_t busy_after =
+            impl.busy.fetch_sub(1, std::memory_order_relaxed) - 1;
+        if (impl.busy_metric != nullptr) {
+          impl.busy_metric->set(static_cast<double>(busy_after));
+        }
+        submit(ticket->first, std::move(result));
       }
       const std::lock_guard<std::mutex> lock(impl.collector_mutex);
       impl.queue_wait_ms_sum += wait_ms_sum;

@@ -45,6 +45,24 @@
 /// truth and a missing or corrupt manifest is ignored.
 namespace wsn {
 
+/// Progress heartbeat, delivered through `EngineConfig::on_heartbeat`
+/// every `heartbeat_every` emitted records.  Cadence is COUNT-based (a
+/// pure function of emission progress) but the payload carries live pool
+/// telemetry -- queue depth, busy workers -- which is exactly why
+/// heartbeats go through a callback and never into the results stream:
+/// records stay byte-identical across worker counts, heartbeats do not
+/// have to.
+struct HeartbeatRecord {
+  std::size_t emitted = 0;
+  std::size_t jobs_total = 0;
+  std::size_t errors = 0;
+  std::size_t queue_depth = 0;
+  std::size_t workers_busy = 0;
+};
+
+/// One-line `meshbcast.heartbeat` JSON rendering (no trailing newline).
+[[nodiscard]] std::string heartbeat_json(const HeartbeatRecord& beat);
+
 struct EngineConfig {
   /// Worker threads; 0 resolves through flag > MESHBCAST_THREADS >
   /// hardware (common/parallel.h).
@@ -65,6 +83,15 @@ struct EngineConfig {
   /// far (resumed records included).  Runs on a worker thread; used for
   /// progress display and by the kill/resume tests.
   std::function<void(std::size_t emitted)> on_emit;
+  /// Audit every simulated job's event stream in-line (obs/audit) and
+  /// append the deterministic verdict -- checks run, violation count,
+  /// failed check names -- to its record.  Observability stays opt-in:
+  /// without this flag jobs run unobserved exactly as before.
+  bool audit = false;
+  /// Fire `on_heartbeat` every N emitted records (0 = off).
+  std::size_t heartbeat_every = 0;
+  /// Heartbeat hook; runs on a worker thread, outside the collector lock.
+  std::function<void(const HeartbeatRecord&)> on_heartbeat;
 };
 
 /// Per-scenario aggregate over the ok records -- the best/worst/max-delay

@@ -20,6 +20,9 @@ void observe_outcome(const Topology& topo, const BroadcastOutcome& out,
   if (obs.reached != nullptr) {
     obs.reached->set(static_cast<double>(out.stats.reached));
   }
+  if (obs.events_dropped != nullptr && obs.events != nullptr) {
+    obs.events_dropped->set(static_cast<double>(obs.events->dropped()));
+  }
   if (obs.slot_delay != nullptr) {
     for (NodeId v = 0; v < out.first_rx.size(); ++v) {
       const Slot slot = out.first_rx[v];

@@ -1,0 +1,242 @@
+// Ledger reconstruction (obs/audit/ledger.h) and the JSONL trace re-reader
+// (obs/audit/trace_reader.h): a single forward pass over the event stream
+// must rebuild exactly what the simulator recorded -- totals, first
+// receptions, per-node energy, the wavefront frontier -- and an exported
+// trace must round-trip back into the same Event records.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/audit/ledger.h"
+#include "obs/audit/trace_reader.h"
+#include "obs/event_sink.h"
+#include "obs/export.h"
+#include "obs/observer.h"
+#include "protocol/etr.h"
+#include "protocol/ideal_model.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+namespace {
+
+struct SimRun {
+  std::unique_ptr<Topology> topo;
+  NodeId source = kInvalidNode;
+  EventSink sink;
+  BroadcastOutcome outcome;
+};
+
+SimRun run_paper(const std::string& family, int m, int n, int l = 1) {
+  SimRun run;
+  run.topo = make_mesh(family, m, n, l);
+  run.source = graph_center(*run.topo);
+  Observer observer(&run.sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.record_node_energy = true;
+  options.observer = &observer;
+  run.outcome =
+      simulate_broadcast(*run.topo, paper_plan(*run.topo, run.source), options);
+  return run;
+}
+
+TEST(AuditLedger, RebuildsOutcomeFromTrace) {
+  const SimRun run = run_paper("2D-4", 12, 9);
+  const std::vector<Event> events = run.sink.events();
+  const TraceLedger ledger = build_ledger(*run.topo, events);
+
+  EXPECT_TRUE(ledger.anomalies.empty());
+  EXPECT_EQ(ledger.source, run.source);
+  EXPECT_EQ(ledger.num_events, events.size());
+  EXPECT_EQ(ledger.tx, run.outcome.stats.tx);
+  EXPECT_EQ(ledger.rx, run.outcome.stats.rx);
+  EXPECT_EQ(ledger.duplicates, run.outcome.stats.duplicates);
+  EXPECT_EQ(ledger.collisions, run.outcome.stats.collisions);
+  EXPECT_EQ(ledger.lost_to_fading, 0u);
+  EXPECT_EQ(ledger.lost_to_crash, 0u);
+  EXPECT_EQ(ledger.reached, run.outcome.stats.reached);
+  EXPECT_EQ(ledger.delay, run.outcome.stats.delay);
+  EXPECT_EQ(ledger.first_rx, run.outcome.first_rx);
+
+  // Energy replays the simulator's accumulation order: exact equality.
+  EXPECT_EQ(ledger.tx_energy, run.outcome.stats.tx_energy);
+  EXPECT_EQ(ledger.rx_energy, run.outcome.stats.rx_energy);
+  ASSERT_EQ(ledger.node_energy.size(), run.outcome.node_energy.size());
+  for (std::size_t v = 0; v < ledger.node_energy.size(); ++v) {
+    EXPECT_DOUBLE_EQ(ledger.node_energy[v], run.outcome.node_energy[v])
+        << "node " << v;
+  }
+}
+
+TEST(AuditLedger, TransmissionsCarryTheEtrDecomposition) {
+  const SimRun run = run_paper("2D-8", 14, 14);
+  const TraceLedger ledger = build_ledger(*run.topo, run.sink.events());
+
+  ASSERT_EQ(ledger.transmissions.size(), run.outcome.stats.tx);
+  std::uint64_t fresh = 0, dup = 0;
+  for (const TxLedgerEntry& entry : ledger.transmissions) {
+    ASSERT_LT(entry.node, run.topo->num_nodes());
+    EXPECT_LE(entry.fresh + entry.duplicates, run.topo->degree(entry.node));
+    fresh += entry.fresh;
+    dup += entry.duplicates;
+  }
+  // Every successful decode is attributed to exactly one transmission.
+  EXPECT_EQ(fresh + dup, run.outcome.stats.rx);
+  EXPECT_EQ(dup, run.outcome.stats.duplicates);
+
+  // The ledger's ETR aggregates are the same numbers protocol/etr.h
+  // computes from the outcome (Table 1's definitions).
+  const int fresh_opt = optimal_etr("2D-8").fresh;
+  const EtrSummary etr = summarize_etr(
+      *run.topo, run.outcome, static_cast<std::size_t>(fresh_opt), run.source);
+  EXPECT_DOUBLE_EQ(ledger.mean_etr(*run.topo), etr.mean);
+  EXPECT_DOUBLE_EQ(ledger.optimal_share(*run.topo, fresh_opt),
+                   etr.optimal_share());
+}
+
+TEST(AuditLedger, CollisionChainsPointAtTheRepairingRetransmission) {
+  // 2D-3 at paper size collides plenty (98 collisions at 32x16).
+  const SimRun run = run_paper("2D-3", 32, 16);
+  const TraceLedger ledger = build_ledger(*run.topo, run.sink.events());
+
+  ASSERT_EQ(ledger.collision_chains.size(),
+            static_cast<std::size_t>(run.outcome.stats.collisions));
+  std::size_t repaired = 0;
+  for (const CollisionChain& chain : ledger.collision_chains) {
+    EXPECT_GE(chain.contenders, 2u);
+    if (chain.repaired_slot == kNeverSlot) continue;
+    ++repaired;
+    // The repair is that node's actual first reception, strictly after
+    // the collision, delivered by a real neighbor.
+    EXPECT_GT(chain.repaired_slot, chain.slot);
+    EXPECT_EQ(chain.repaired_slot, ledger.first_rx[chain.node]);
+    ASSERT_NE(chain.repaired_by, kInvalidNode);
+    const auto peers = run.topo->neighbors(chain.node);
+    EXPECT_NE(std::find(peers.begin(), peers.end(), chain.repaired_by),
+              peers.end());
+  }
+  // Full coverage means every collision on a then-unreached node was
+  // eventually repaired.
+  EXPECT_EQ(run.outcome.stats.reached, run.topo->num_nodes());
+  EXPECT_GT(repaired, 0u);
+}
+
+TEST(AuditLedger, FrontierEndsAtFullCoverage) {
+  const SimRun run = run_paper("2D-4", 10, 10);
+  const TraceLedger ledger = build_ledger(*run.topo, run.sink.events());
+
+  ASSERT_EQ(ledger.frontier.size(),
+            static_cast<std::size_t>(ledger.delay) + 1);
+  EXPECT_GE(ledger.frontier.front(), 1u);  // the source, plus slot-0 decodes
+  EXPECT_EQ(ledger.frontier.back(), run.topo->num_nodes());
+  for (std::size_t s = 1; s < ledger.frontier.size(); ++s) {
+    EXPECT_LE(ledger.frontier[s - 1], ledger.frontier[s]);
+  }
+  EXPECT_TRUE(ledger.unreached().empty());
+}
+
+TEST(AuditLedger, JsonlTraceRoundTrips) {
+  const SimRun run = run_paper("2D-8", 8, 8);
+  std::ostringstream out;
+  write_events_jsonl(out, run.sink);
+
+  TraceDocument doc;
+  std::string error;
+  ASSERT_TRUE(read_trace_jsonl(out.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.version, kEventSchemaVersion);
+  EXPECT_EQ(doc.dropped, 0u);
+  EXPECT_EQ(doc.declared_events, run.sink.size());
+
+  const std::vector<Event> original = run.sink.events();
+  ASSERT_EQ(doc.events.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(doc.events[i].slot, original[i].slot) << "event " << i;
+    EXPECT_EQ(doc.events[i].kind, original[i].kind) << "event " << i;
+    EXPECT_EQ(doc.events[i].node, original[i].node) << "event " << i;
+    EXPECT_EQ(doc.events[i].peer, original[i].peer) << "event " << i;
+    EXPECT_EQ(doc.events[i].packet, original[i].packet) << "event " << i;
+    EXPECT_EQ(doc.events[i].detail, original[i].detail) << "event " << i;
+  }
+
+  // The re-read stream builds the same ledger as the live sink.
+  const TraceLedger live = build_ledger(*run.topo, original);
+  const TraceLedger replay = build_ledger(*run.topo, doc.events);
+  EXPECT_EQ(replay.tx, live.tx);
+  EXPECT_EQ(replay.rx, live.rx);
+  EXPECT_EQ(replay.first_rx, live.first_rx);
+  EXPECT_EQ(replay.tx_energy, live.tx_energy);
+  EXPECT_EQ(replay.rx_energy, live.rx_energy);
+}
+
+TEST(AuditTraceReader, RejectsMalformedInput) {
+  TraceDocument doc;
+  std::string error;
+
+  // Wrong schema name.
+  EXPECT_FALSE(read_trace_jsonl(
+      "{\"schema\":\"meshbcast.metrics\",\"version\":1}\n", doc, &error));
+  EXPECT_NE(error.find("meshbcast.trace"), std::string::npos) << error;
+
+  // Unsupported version.
+  EXPECT_FALSE(read_trace_jsonl(
+      "{\"schema\":\"meshbcast.trace\",\"version\":999}\n", doc, &error));
+
+  // Unknown event kind.
+  EXPECT_FALSE(read_trace_jsonl(
+      "{\"schema\":\"meshbcast.trace\",\"version\":1}\n"
+      "{\"slot\":0,\"kind\":\"warp\",\"node\":1}\n",
+      doc, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+
+  // Missing required field.
+  EXPECT_FALSE(read_trace_jsonl(
+      "{\"schema\":\"meshbcast.trace\",\"version\":1}\n"
+      "{\"kind\":\"tx\",\"node\":1}\n",
+      doc, &error));
+
+  // Not JSON at all.
+  EXPECT_FALSE(read_trace_jsonl(
+      "{\"schema\":\"meshbcast.trace\",\"version\":1}\nnot json\n", doc,
+      &error));
+}
+
+TEST(AuditLedger, PhysicsViolationsLandInAnomalies) {
+  const auto topo = make_mesh("2D-4", 4, 4);
+
+  // An rx attributed to a peer that never transmitted this slot.
+  std::vector<Event> ghost = {
+      {0, EventKind::kTx, 5, kInvalidNode, 0, 0},
+      {0, EventKind::kRx, 6, 10, 0, 0},  // node 10 is silent
+  };
+  const TraceLedger bad_peer = build_ledger(*topo, ghost);
+  EXPECT_FALSE(bad_peer.anomalies.empty());
+
+  // Time running backwards.
+  std::vector<Event> backwards = {
+      {3, EventKind::kTx, 5, kInvalidNode, 0, 0},
+      {1, EventKind::kTx, 6, kInvalidNode, 0, 0},
+  };
+  const TraceLedger rewound = build_ledger(*topo, backwards);
+  EXPECT_FALSE(rewound.anomalies.empty());
+
+  // A second first-reception for the same node.
+  std::vector<Event> twice = {
+      {0, EventKind::kTx, 5, kInvalidNode, 0, 0},
+      {0, EventKind::kRx, 6, 5, 0, 0},
+      {1, EventKind::kTx, 6, kInvalidNode, 0, 0},
+      {1, EventKind::kRx, 5, 6, 0, 0},
+      {2, EventKind::kTx, 5, kInvalidNode, 0, 0},
+      {2, EventKind::kRx, 6, 5, 0, 0},  // 6 already decoded at slot 0
+  };
+  const TraceLedger redecoded = build_ledger(*topo, twice);
+  EXPECT_FALSE(redecoded.anomalies.empty());
+}
+
+}  // namespace
+}  // namespace wsn

@@ -1,0 +1,260 @@
+// The invariant auditor (obs/audit/auditor.h): golden audits on every
+// paper topology, the fault-injection posture (coverage loss is a flagged
+// finding with the exact unreached set, never a crash), truncated-trace
+// detection, and the meshbcast.audit JSON document.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "fault/models.h"
+#include "obs/audit/auditor.h"
+#include "obs/event_sink.h"
+#include "obs/observer.h"
+#include "protocol/ideal_model.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/factory.h"
+#include "topology/graph_algos.h"
+
+namespace wsn {
+namespace {
+
+// The tentpole acceptance: a paper-config run audits cleanly on all four
+// 512-node topologies -- every check runs, zero violations, and the
+// headline figures line up with the analytic model's Tables 1-2 view.
+TEST(AuditReport, GoldenPassOnEveryPaperTopology) {
+  for (const std::string& family : regular_families()) {
+    SCOPED_TRACE(family);
+    const auto topo = make_paper_topology(family);
+    const NodeId src = graph_center(*topo);
+
+    EventSink sink;
+    Observer observer(&sink);
+    SimOptions options;
+    options.record_collisions = true;
+    options.observer = &observer;
+    const BroadcastOutcome out =
+        simulate_broadcast(*topo, paper_plan(*topo, src), options);
+
+    AuditConfig config;
+    config.source = src;
+    config.stats = &out.stats;
+    config.family = family;
+    const AuditReport report = audit_sink(*topo, sink, config);
+
+    EXPECT_TRUE(report.passed()) << audit_summary_text(report);
+    EXPECT_EQ(report.checks_run, kAuditCheckCount);
+    EXPECT_TRUE(report.unreached.empty());
+    EXPECT_EQ(report.dropped_events, 0u);
+    EXPECT_EQ(report.ledger.reached, topo->num_nodes());
+    // Mean relay ETR sits at or below the family optimum (Table 1) and
+    // the energy ledger reproduced the run's total exactly.
+    EXPECT_LE(report.mean_etr, optimal_etr(family).value() + 1e-9);
+    EXPECT_GT(report.mean_etr, 0.0);
+    EXPECT_DOUBLE_EQ(report.total_energy, out.stats.total_energy());
+  }
+}
+
+// Source inference: auditing the same trace without naming the source
+// must find it and reach the same verdict.
+TEST(AuditReport, InfersTheSourceWhenUnspecified) {
+  const auto topo = make_mesh("2D-8", 12, 10);
+  const NodeId src = graph_center(*topo);
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.observer = &observer;
+  (void)simulate_broadcast(*topo, paper_plan(*topo, src), options);
+
+  AuditConfig config;
+  config.family = "2D-8";
+  const AuditReport report = audit_sink(*topo, sink, config);
+  EXPECT_EQ(report.ledger.source, src);
+  EXPECT_TRUE(report.passed()) << audit_summary_text(report);
+}
+
+// Crash faults with no recovery: the audit must flag the coverage
+// violation and name the exact unreached set -- while every bookkeeping
+// check (stats, energy, physics) still passes, because the trace itself
+// is a faithful record of the degraded run.
+TEST(AuditReport, FlagsCoverageLossUnderCrashFaultsExactly) {
+  const auto topo = make_mesh("2D-4", 10, 8);
+  const NodeId src = 0;
+  // Sever a far corner: crash its neighbors from slot 0, forever.
+  const NodeId corner = static_cast<NodeId>(topo->num_nodes() - 1);
+  std::vector<CrashEvent> outages;
+  for (const NodeId v : topo->neighbors(corner)) {
+    outages.push_back(CrashEvent{v, 0, kNeverSlot});
+  }
+  CrashScheduleModel crashes(topo->num_nodes(), std::move(outages));
+
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.faults = &crashes;
+  options.observer = &observer;
+  const BroadcastOutcome out =
+      simulate_broadcast(*topo, paper_plan(*topo, src), options);
+  const std::vector<NodeId> expected = out.unreached();
+  ASSERT_FALSE(expected.empty());
+  ASSERT_NE(std::find(expected.begin(), expected.end(), corner),
+            expected.end());
+
+  AuditConfig config;
+  config.source = src;
+  config.stats = &out.stats;
+  config.family = "2D-4";
+  const AuditReport report = audit_sink(*topo, sink, config);
+
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.violated(AuditCheck::kCoverage));
+  EXPECT_EQ(report.unreached, expected);
+  // The finding is the coverage loss alone: the trace still reconciles
+  // against SimStats, the energy model, and the medium's physics.
+  EXPECT_FALSE(report.violated(AuditCheck::kStatsMatch));
+  EXPECT_FALSE(report.violated(AuditCheck::kEnergyModel));
+  EXPECT_FALSE(report.violated(AuditCheck::kTraceConsistent));
+  EXPECT_FALSE(report.violated(AuditCheck::kCausality));
+
+  // A fault-study audit opts out of the coverage expectation and passes,
+  // still listing the unreached set for the report.
+  config.expect_full_coverage = false;
+  const AuditReport tolerant = audit_sink(*topo, sink, config);
+  EXPECT_TRUE(tolerant.passed()) << audit_summary_text(tolerant);
+  EXPECT_EQ(tolerant.unreached, expected);
+}
+
+// Lossy-medium run: trace-vs-SimStats equality holds under fading too
+// (the satellite's "audit equals stats under fault injection").
+TEST(AuditReport, StatsReconcileUnderFadingLoss) {
+  const auto topo = make_mesh("2D-4", 9, 9);
+  const NodeId src = graph_center(*topo);
+  IidLossModel loss(0.2, 42);
+
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.faults = &loss;
+  options.observer = &observer;
+  const BroadcastOutcome out =
+      simulate_broadcast(*topo, paper_plan(*topo, src), options);
+  ASSERT_GT(out.stats.lost_to_fading, 0u);
+
+  AuditConfig config;
+  config.source = src;
+  config.stats = &out.stats;
+  config.expect_full_coverage = false;
+  const AuditReport report = audit_sink(*topo, sink, config);
+  EXPECT_FALSE(report.violated(AuditCheck::kStatsMatch))
+      << audit_summary_text(report);
+  EXPECT_FALSE(report.violated(AuditCheck::kEnergyModel));
+  EXPECT_FALSE(report.violated(AuditCheck::kTraceConsistent));
+  EXPECT_EQ(report.ledger.lost_to_fading, out.stats.lost_to_fading);
+}
+
+// A ring buffer that overflowed produced a suffix of the run: that trace
+// must never audit clean, whatever else checks out.
+TEST(AuditReport, TruncatedTraceNeverPassesSilently) {
+  const auto topo = make_mesh("2D-4", 12, 12);
+  EventSink tiny(64);
+  Observer observer(&tiny);
+  SimOptions options;
+  options.record_collisions = true;
+  options.observer = &observer;
+  const BroadcastOutcome out =
+      simulate_broadcast(*topo, paper_plan(*topo, 0), options);
+  ASSERT_GT(tiny.dropped(), 0u);
+
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &out.stats;
+  const AuditReport report = audit_sink(*topo, tiny, config);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.violated(AuditCheck::kTraceComplete));
+  EXPECT_EQ(report.dropped_events, tiny.dropped());
+}
+
+// Header/stream disagreement is the offline flavor of the same check.
+TEST(AuditReport, DeclaredCountMismatchIsAViolation) {
+  const auto topo = make_mesh("2D-4", 6, 6);
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.observer = &observer;
+  (void)simulate_broadcast(*topo, paper_plan(*topo, 0), options);
+  const std::vector<Event> events = sink.events();
+
+  AuditConfig config;
+  config.source = 0;
+  config.declared_events = events.size() + 5;
+  const AuditReport report = audit_trace(*topo, events, config);
+  EXPECT_TRUE(report.violated(AuditCheck::kTraceComplete));
+
+  config.declared_events = events.size();
+  const AuditReport exact = audit_trace(*topo, events, config);
+  EXPECT_FALSE(exact.violated(AuditCheck::kTraceComplete));
+}
+
+TEST(AuditReport, JsonDocumentRoundTrips) {
+  const auto topo = make_paper_topology("2D-4");
+  const NodeId src = graph_center(*topo);
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.observer = &observer;
+  const BroadcastOutcome out =
+      simulate_broadcast(*topo, paper_plan(*topo, src), options);
+
+  AuditConfig config;
+  config.source = src;
+  config.stats = &out.stats;
+  config.family = "2D-4";
+  const AuditReport report = audit_sink(*topo, sink, config);
+
+  std::ostringstream text;
+  write_audit_json(text, report);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(text.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.string_or("schema", ""), "meshbcast.audit");
+  EXPECT_EQ(doc.number_or("version", 0), 1.0);
+  EXPECT_TRUE(doc.bool_or("passed", false));
+  const JsonValue* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->number_or("reached", 0),
+            static_cast<double>(topo->num_nodes()));
+  EXPECT_EQ(summary->number_or("delay", 0),
+            static_cast<double>(out.stats.delay));
+  const JsonValue* frontier = doc.find("frontier");
+  ASSERT_NE(frontier, nullptr);
+  ASSERT_TRUE(frontier->is_array());
+  EXPECT_EQ(frontier->as_array().size(),
+            static_cast<std::size_t>(out.stats.delay) + 1);
+  const JsonValue* violations = doc.find("violations");
+  ASSERT_NE(violations, nullptr);
+  EXPECT_TRUE(violations->is_array());
+  EXPECT_TRUE(violations->as_array().empty());
+}
+
+TEST(AuditReport, CheckNamesAreStable) {
+  EXPECT_EQ(to_string(AuditCheck::kTraceComplete), "trace_complete");
+  EXPECT_EQ(to_string(AuditCheck::kTraceConsistent), "trace_consistent");
+  EXPECT_EQ(to_string(AuditCheck::kStatsMatch), "stats_match");
+  EXPECT_EQ(to_string(AuditCheck::kEnergyModel), "energy_model");
+  EXPECT_EQ(to_string(AuditCheck::kCoverage), "coverage");
+  EXPECT_EQ(to_string(AuditCheck::kCausality), "causality");
+  EXPECT_EQ(to_string(AuditCheck::kEtrBound), "etr_bound");
+  EXPECT_EQ(to_string(AuditCheck::kDelayBound), "delay_bound");
+}
+
+}  // namespace
+}  // namespace wsn

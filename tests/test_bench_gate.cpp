@@ -1,0 +1,229 @@
+// The bench regression gate (analysis/bench_gate.h): tolerance math on
+// the gated throughput metrics, advisory-only latency metrics, the
+// missing-baseline seeding posture, strict mode, and the
+// meshbcast.bench.gate JSON document.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/bench_gate.h"
+#include "common/json.h"
+
+namespace wsn {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(parse_json(text, doc, &error)) << error;
+  return doc;
+}
+
+constexpr const char* kBaseline =
+    "{\"schema\": \"meshbcast.bench\", \"version\": 1, \"bench\": \"perf\","
+    " \"results\": ["
+    "  {\"name\": \"broadcast/2D-4\", \"iterations\": 100,"
+    "   \"runs_per_sec\": 1000.0, \"mean_ms\": 1.0, \"p95_ms\": 1.5},"
+    "  {\"name\": \"broadcast/2D-8\", \"iterations\": 100,"
+    "   \"runs_per_sec\": 2000.0, \"mean_ms\": 0.5, \"p95_ms\": 0.8}]}";
+
+std::string current_with(double rps_2d4, double mean_ms_2d4) {
+  std::ostringstream out;
+  out << "{\"schema\": \"meshbcast.bench\", \"version\": 1,"
+         " \"bench\": \"perf\", \"results\": ["
+         "  {\"name\": \"broadcast/2D-4\", \"iterations\": 100,"
+         "   \"runs_per_sec\": "
+      << rps_2d4 << ", \"mean_ms\": " << mean_ms_2d4
+      << ", \"p95_ms\": 1.5},"
+         "  {\"name\": \"broadcast/2D-8\", \"iterations\": 100,"
+         "   \"runs_per_sec\": 1900.0, \"mean_ms\": 0.5, \"p95_ms\": 0.8}]}";
+  return out.str();
+}
+
+TEST(BenchGate, PassesWithinTolerance) {
+  // 40% slower with a 50% tolerance: degraded but allowed.
+  const GateReport report = compare_bench_docs(
+      parse(kBaseline), parse(current_with(600.0, 1.7)), GateOptions{});
+  EXPECT_TRUE(report.passed()) << gate_text(report);
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_EQ(report.bench, "perf");
+
+  bool saw_ratio = false;
+  for (const GateMetric& m : report.metrics) {
+    if (m.entry == "broadcast/2D-4" && m.metric == "runs_per_sec") {
+      EXPECT_DOUBLE_EQ(m.ratio, 0.6);
+      EXPECT_TRUE(m.gated);
+      saw_ratio = true;
+    }
+  }
+  EXPECT_TRUE(saw_ratio);
+}
+
+TEST(BenchGate, FlagsThroughputRegressionBeyondTolerance) {
+  const GateReport report = compare_bench_docs(
+      parse(kBaseline), parse(current_with(400.0, 2.5)), GateOptions{});
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.regressions(), 1u);
+  for (const GateMetric& m : report.metrics) {
+    if (m.regression) {
+      EXPECT_EQ(m.entry, "broadcast/2D-4");
+      EXPECT_EQ(m.metric, "runs_per_sec");
+    }
+  }
+
+  // A tighter tolerance catches the healthy entry too.
+  GateOptions tight;
+  tight.tolerance = 0.01;
+  const GateReport strict_tol = compare_bench_docs(
+      parse(kBaseline), parse(current_with(400.0, 2.5)), tight);
+  EXPECT_EQ(strict_tol.regressions(), 2u);
+}
+
+TEST(BenchGate, LatencyMetricsAreAdvisoryOnly) {
+  // mean_ms 10x worse never gates: wall-clock latency on shared CI boxes
+  // is noise; only throughput collapse fails the build.
+  const GateReport report = compare_bench_docs(
+      parse(kBaseline), parse(current_with(1000.0, 10.0)), GateOptions{});
+  EXPECT_TRUE(report.passed()) << gate_text(report);
+  bool saw_advisory = false;
+  for (const GateMetric& m : report.metrics) {
+    if (m.metric == "mean_ms") {
+      EXPECT_FALSE(m.gated);
+      EXPECT_FALSE(m.regression);
+      saw_advisory = true;
+    }
+  }
+  EXPECT_TRUE(saw_advisory);
+}
+
+TEST(BenchGate, ScenarioSchemaKeysRowsByWorkerCount) {
+  const char* base =
+      "{\"schema\": \"meshbcast.bench.scenario\", \"version\": 1,"
+      " \"bench\": \"scenario\", \"jobs\": 64, \"results\": ["
+      "  {\"workers\": 4, \"cold_jobs_per_sec\": 100.0,"
+      "   \"warm_jobs_per_sec\": 400.0, \"queue_wait_ms_mean\": 0.2,"
+      "   \"cache_hit_rate\": 0.75}]}";
+  const char* cur =
+      "{\"schema\": \"meshbcast.bench.scenario\", \"version\": 1,"
+      " \"bench\": \"scenario\", \"jobs\": 64, \"results\": ["
+      "  {\"workers\": 4, \"cold_jobs_per_sec\": 90.0,"
+      "   \"warm_jobs_per_sec\": 150.0, \"queue_wait_ms_mean\": 0.3,"
+      "   \"cache_hit_rate\": 0.75}]}";
+  const GateReport report =
+      compare_bench_docs(parse(base), parse(cur), GateOptions{});
+  EXPECT_FALSE(report.passed());
+  ASSERT_EQ(report.regressions(), 1u);
+  for (const GateMetric& m : report.metrics) {
+    EXPECT_EQ(m.entry, "workers=4");
+    if (m.regression) {
+      EXPECT_EQ(m.metric, "warm_jobs_per_sec");
+    }
+  }
+}
+
+TEST(BenchGate, MissingEntriesNoteByDefaultRegressInStrict) {
+  const char* shrunk =
+      "{\"schema\": \"meshbcast.bench\", \"version\": 1, \"bench\": \"perf\","
+      " \"results\": [{\"name\": \"broadcast/2D-8\","
+      "  \"runs_per_sec\": 2000.0}]}";
+  const GateReport lenient =
+      compare_bench_docs(parse(kBaseline), parse(shrunk), GateOptions{});
+  EXPECT_TRUE(lenient.passed());
+  ASSERT_FALSE(lenient.notes.empty());
+  EXPECT_NE(lenient.notes[0].find("broadcast/2D-4"), std::string::npos);
+
+  GateOptions strict;
+  strict.strict = true;
+  const GateReport hard =
+      compare_bench_docs(parse(kBaseline), parse(shrunk), strict);
+  EXPECT_FALSE(hard.passed());
+}
+
+TEST(BenchGate, SchemaMismatchIsANoteNotACrash) {
+  const GateReport report = compare_bench_docs(
+      parse("{\"schema\": \"meshbcast.metrics\", \"version\": 1}"),
+      parse(kBaseline), GateOptions{});
+  EXPECT_TRUE(report.passed());
+  EXPECT_TRUE(report.metrics.empty());
+  ASSERT_FALSE(report.notes.empty());
+}
+
+TEST(BenchGate, MissingBaselineFileSeedsTheTrajectory) {
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "wsn_test_bench_gate";
+  std::filesystem::remove_all(tmp);
+  std::filesystem::create_directories(tmp);
+  const auto current = tmp / "BENCH_perf.json";
+  {
+    std::ofstream out(current);
+    out << kBaseline;
+  }
+
+  const GateReport seeded = gate_bench_files(
+      (tmp / "no_such_baseline.json").string(), current.string(),
+      GateOptions{});
+  EXPECT_TRUE(seeded.passed());
+  EXPECT_TRUE(seeded.metrics.empty());
+  ASSERT_FALSE(seeded.notes.empty());
+
+  // With a real baseline on disk the comparison happens.
+  const auto baseline = tmp / "baseline.json";
+  {
+    std::ofstream out(baseline);
+    out << kBaseline;
+  }
+  const GateReport same = gate_bench_files(baseline.string(),
+                                           current.string(), GateOptions{});
+  EXPECT_TRUE(same.passed());
+  EXPECT_FALSE(same.metrics.empty());
+  for (const GateMetric& m : same.metrics) {
+    EXPECT_DOUBLE_EQ(m.ratio, 1.0) << m.entry << " " << m.metric;
+  }
+  std::filesystem::remove_all(tmp);
+}
+
+TEST(BenchGate, GateJsonRoundTrips) {
+  GateOptions options;
+  const GateReport report = compare_bench_docs(
+      parse(kBaseline), parse(current_with(400.0, 2.5)), options);
+  std::ostringstream text;
+  write_gate_json(text, report, options);
+
+  const JsonValue doc = parse(text.str());
+  EXPECT_EQ(doc.string_or("schema", ""), "meshbcast.bench.gate");
+  EXPECT_EQ(doc.number_or("version", 0), 1.0);
+  EXPECT_FALSE(doc.bool_or("passed", true));
+  EXPECT_EQ(doc.number_or("regressions", 0), 1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("tolerance", 0), options.tolerance);
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  EXPECT_EQ(metrics->as_array().size(), report.metrics.size());
+  bool saw_regression = false;
+  for (const JsonValue& m : metrics->as_array()) {
+    if (m.bool_or("regression", false)) {
+      EXPECT_EQ(m.string_or("metric", ""), "runs_per_sec");
+      saw_regression = true;
+    }
+  }
+  EXPECT_TRUE(saw_regression);
+}
+
+TEST(BenchGate, MergeConcatenatesEverything) {
+  const GateReport a = compare_bench_docs(
+      parse(kBaseline), parse(current_with(400.0, 2.5)), GateOptions{});
+  const GateReport b = compare_bench_docs(
+      parse(kBaseline), parse(current_with(1000.0, 1.0)), GateOptions{});
+  const std::size_t total = a.metrics.size() + b.metrics.size();
+  const GateReport merged = merge_reports({a, b});
+  EXPECT_EQ(merged.metrics.size(), total);
+  EXPECT_EQ(merged.regressions(), a.regressions() + b.regressions());
+  EXPECT_FALSE(merged.passed());
+}
+
+}  // namespace
+}  // namespace wsn

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/parallel.h"
 
 namespace wsn {
@@ -160,6 +161,55 @@ TEST(MetricsJson, EmitsSchemaAndValues) {
   EXPECT_NE(text.find("\"sim.tx\":12"), std::string::npos);
   EXPECT_NE(text.find("\"sim.reached\":128"), std::string::npos);
   EXPECT_NE(text.find("\"sim.delay\""), std::string::npos);
+}
+
+// The scrape is now emitted through common/json's JsonWriter: the
+// document must parse back with the repo's own parser, value-exact.
+TEST(MetricsJson, ScrapeRoundTripsThroughParseJson) {
+  MetricsRegistry registry;
+  registry.counter("sim.tx").add(12);
+  registry.counter("sim.rx").add(340);
+  registry.gauge("scenario.queue_depth").set(7.0);
+  registry.gauge("pi").set(3.141592653589793);
+  Histogram& h = registry.histogram("sim.delay", {2.0, 4.0});
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(9.0);
+  std::ostringstream out;
+  write_metrics_json(out, registry.scrape());
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(out.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.string_or("schema", ""), "meshbcast.metrics");
+  EXPECT_EQ(doc.number_or("version", 0), 1.0);
+
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("sim.tx", -1), 12.0);
+  EXPECT_EQ(counters->number_or("sim.rx", -1), 340.0);
+
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->number_or("scenario.queue_depth", -1), 7.0);
+  // %.17g preserves doubles exactly through the round trip.
+  EXPECT_EQ(gauges->number_or("pi", 0), 3.141592653589793);
+
+  const JsonValue* hist = doc.find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* delay = hist->find("sim.delay");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->number_or("count", 0), 3.0);
+  EXPECT_EQ(delay->number_or("sum", 0), 13.0);
+  EXPECT_EQ(delay->number_or("min", -1), 1.0);
+  EXPECT_EQ(delay->number_or("max", -1), 9.0);
+  const JsonValue* buckets = delay->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->as_array().size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(buckets->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(buckets->as_array()[1].as_number(), 1.0);
+  EXPECT_EQ(buckets->as_array()[2].as_number(), 1.0);
 }
 
 }  // namespace

@@ -203,5 +203,40 @@ TEST(ObserverSim, SweepMergesMetricsAcrossConcurrentRuns) {
   EXPECT_EQ(snap.counter_or("sim.collisions"), collisions);
 }
 
+// Ring-buffer overflow is a first-class metric (ISSUE 5 satellite): a
+// sink too small for the run surfaces its dropped count in the scrape,
+// so downstream consumers can refuse to trust the truncated trace.
+TEST(ObserverSim, EventsDroppedGaugeSurfacesRingOverflow) {
+  const Mesh2D4 topo(12, 12);
+  const auto gauge_of = [](const MetricsSnapshot& snap,
+                           std::string_view name) {
+    for (const auto& [key, value] : snap.gauges) {
+      if (key == name) return value;
+    }
+    return -1.0;
+  };
+
+  {
+    EventSink roomy;
+    MetricsRegistry registry;
+    Observer observer(&roomy, &registry);
+    SimOptions options;
+    options.observer = &observer;
+    (void)simulate_broadcast(topo, paper_plan(topo, 0), options);
+    EXPECT_EQ(gauge_of(registry.scrape(), "sim.events_dropped"), 0.0);
+  }
+  {
+    EventSink tiny(32);
+    MetricsRegistry registry;
+    Observer observer(&tiny, &registry);
+    SimOptions options;
+    options.observer = &observer;
+    (void)simulate_broadcast(topo, paper_plan(topo, 0), options);
+    ASSERT_GT(tiny.dropped(), 0u);
+    EXPECT_EQ(gauge_of(registry.scrape(), "sim.events_dropped"),
+              static_cast<double>(tiny.dropped()));
+  }
+}
+
 }  // namespace
 }  // namespace wsn

@@ -1,0 +1,76 @@
+// Bench regression gate CLI (analysis/bench_gate.h).
+//
+//   $ bench_gate --baseline-dir bench/baselines --current-dir build
+//       [--tolerance 0.5] [--strict] [--report gate_report.json] [files...]
+//
+// Compares every known BENCH_*.json (or the explicitly listed files)
+// against its committed baseline of the same name.  Exit status: 0 when
+// every gated metric is within tolerance (missing baselines only seed the
+// trajectory), 1 on any regression, 2 on usage errors.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bench_gate.h"
+#include "common/cli.h"
+
+int main(int argc, char** argv) {
+  wsn::CliParser cli("bench_gate",
+                     "compare BENCH_*.json against committed baselines");
+  cli.add_option("baseline-dir", "directory of committed baselines",
+                 "bench/baselines");
+  cli.add_option("current-dir", "directory of freshly produced BENCH files",
+                 ".");
+  cli.add_option("tolerance",
+                 "allowed fractional throughput drop before failing", "0.5");
+  cli.add_option("report", "write the meshbcast.bench.gate JSON here ('' = skip)",
+                 "");
+  cli.add_flag("strict", "missing entries and files count as regressions");
+  if (!cli.parse(argc, argv)) return 2;
+
+  wsn::GateOptions options;
+  options.tolerance = cli.get_f64("tolerance");
+  options.strict = cli.get_flag("strict");
+  if (options.tolerance < 0.0 || options.tolerance >= 1.0) {
+    std::fprintf(stderr, "tolerance must be in [0, 1)\n");
+    return 2;
+  }
+
+  std::vector<std::string> files = cli.positional();
+  if (files.empty()) {
+    files = {"BENCH_perf.json", "BENCH_pipeline.json",
+             "BENCH_plan_cache.json", "BENCH_scenario.json"};
+  }
+
+  const std::filesystem::path baseline_dir = cli.get("baseline-dir");
+  const std::filesystem::path current_dir = cli.get("current-dir");
+  std::vector<wsn::GateReport> reports;
+  for (const std::string& file : files) {
+    const std::string name = std::filesystem::path(file).filename().string();
+    wsn::GateReport report = wsn::gate_bench_files(
+        (baseline_dir / name).string(), (current_dir / file).string(),
+        options);
+    std::printf("== %s ==\n%s", name.c_str(),
+                wsn::gate_text(report).c_str());
+    reports.push_back(std::move(report));
+  }
+
+  const wsn::GateReport merged = wsn::merge_reports(std::move(reports));
+  const std::string report_path = cli.get("report");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    wsn::write_gate_json(out, merged, options);
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+
+  std::printf("overall: %s (%zu regressions over %zu metrics)\n",
+              merged.passed() ? "PASS" : "FAIL", merged.regressions(),
+              merged.metrics.size());
+  return merged.passed() ? 0 : 1;
+}
