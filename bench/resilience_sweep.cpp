@@ -3,7 +3,11 @@
 //
 //   $ resilience_sweep [--family 2D-4] [--loss-rates 0,0.02,0.05,0.1,0.2,0.3]
 //                      [--trials 64] [--bursty] [--crash-prob 0.02]
-//                      [--csv resilience.csv]
+//                      [--csv resilience.csv] [--json-out BENCH_resilience.json]
+//
+// --json-out times fixed small sweep/comparison workloads (independent of
+// the display flags, so names stay comparable across commits) and writes a
+// meshbcast.bench JSON document for tools/bench_gate.
 //
 // For every (loss rate x recovery policy) cell the harness runs seeded
 // Monte-Carlo broadcasts (analysis/resilience.h) and prints degradation
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "analysis/resilience.h"
+#include "bench_json.h"
 #include "common/cli.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -63,6 +68,7 @@ int main(int argc, char** argv) {
                  "0");
   cli.add_option("seed", "master seed", "24083");
   cli.add_option("csv", "CSV output path ('-' = stdout, '' = none)", "");
+  cli.add_option("json-out", "meshbcast.bench JSON path ('' = skip)", "");
   cli.add_option("workers",
                  "worker threads (flag > MESHBCAST_THREADS > hardware)",
                  "0");
@@ -151,6 +157,40 @@ int main(int argc, char** argv) {
     sweep.write_csv(out);
     std::printf("\nwrote %zu cells to %s\n", sweep.cells.size(),
                 csv_path.c_str());
+  }
+  // Timed bench entries use a fixed workload (not the display flags) so the
+  // tracked metric means the same thing on every commit.
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty()) {
+    wsn::ResilienceConfig bench_config;
+    bench_config.loss_rates = {0.1, 0.3};
+    bench_config.trials = 16;
+    bench_config.seed = 24083;
+    bench_config.workers = config.workers;
+
+    std::vector<wsn::bench::BenchResult> results;
+    results.push_back(wsn::bench::measure("resilience_sweep/iid", [&] {
+      (void)wsn::run_resilience_sweep(*topo, plan, bench_config);
+    }));
+    bench_config.bursty = true;
+    results.push_back(wsn::bench::measure("resilience_sweep/gilbert", [&] {
+      (void)wsn::run_resilience_sweep(*topo, plan, bench_config);
+    }));
+
+    wsn::PlannerComparisonConfig cmp_config;
+    cmp_config.loss_rates = {0.2};
+    cmp_config.trials = 8;
+    cmp_config.seed = 24083;
+    cmp_config.workers = config.workers;
+    results.push_back(wsn::bench::measure("planner_comparison/gilbert", [&] {
+      (void)wsn::run_planner_comparison(*topo, plan, cmp_config);
+    }));
+
+    if (!wsn::bench::write_bench_json(json_path, "resilience_sweep",
+                                      results)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
   }
   if (cli.get_flag("profile")) {
     std::printf("\n%s", wsn::Profiler::instance().report_text().c_str());

@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
                         "simulated job");
   cli.add_option("heartbeat", "print a heartbeat record to stderr every N "
                               "emitted jobs (0 = off)", "0");
+  cli.add_option("job-timeout-ms", "per-job watchdog deadline in ms: a job "
+                                   "over it becomes an error record instead "
+                                   "of stalling emission (0 = off)", "0");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string spec_path = cli.get("scenario");
@@ -105,6 +108,8 @@ int main(int argc, char** argv) {
   config.cancel = &g_interrupted;
   config.audit = cli.get_flag("audit");
   config.heartbeat_every = static_cast<std::size_t>(cli.get_u64("heartbeat"));
+  config.job_timeout_ms =
+      static_cast<std::size_t>(cli.get_u64("job-timeout-ms"));
   if (config.heartbeat_every > 0) {
     config.on_heartbeat = [](const HeartbeatRecord& beat) {
       std::fprintf(stderr, "%s\n", heartbeat_json(beat).c_str());

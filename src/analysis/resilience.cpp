@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "fault/models.h"
 #include "obs/profile.h"
+#include "protocol/etx_planner.h"
 
 namespace wsn {
 
@@ -162,6 +163,130 @@ ResilienceSweep run_resilience_sweep(const Topology& topo,
     }
   }
   return sweep;
+}
+
+void PlannerComparison::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.typed_row("topology", "loss_rate", "trials", "geo_planned_tx",
+                "geo_coverage", "geo_full_share", "geo_tx",
+                "etx_planned_tx", "etx_coverage", "etx_full_share",
+                "etx_tx", "etx_retries", "etx_exhausted_share");
+  for (const PlannerComparisonCell& cell : cells) {
+    csv.typed_row(topology, cell.loss_rate, cell.trials,
+                  cell.geo_planned_tx, cell.geo_coverage,
+                  cell.geo_full_share, cell.geo_tx, cell.etx_planned_tx,
+                  cell.etx_coverage, cell.etx_full_share, cell.etx_tx,
+                  cell.etx_retries, cell.etx_exhausted_share);
+  }
+}
+
+PlannerComparison run_planner_comparison(
+    const Topology& topo, const RelayPlan& geometric_plan,
+    const PlannerComparisonConfig& config) {
+  WSN_EXPECTS(config.trials >= 1);
+  WSN_EXPECTS(!config.loss_rates.empty());
+  WSN_EXPECTS(geometric_plan.num_nodes() == topo.num_nodes());
+  WSN_SPAN("resilience.planner_comparison");
+
+  PlannerComparison comparison;
+  comparison.topology = topo.name();
+
+  const RelayPlan geo_recovered =
+      repeat_k(geometric_plan, config.repeat_k);
+  const NodeId source = geometric_plan.source;
+
+  for (std::size_t li = 0; li < config.loss_rates.size(); ++li) {
+    const double loss_rate = config.loss_rates[li];
+
+    // The ETX arm learns the channel once per condition -- a dedicated
+    // probe stream, decorrelated from every trial's channel, the way a
+    // deployment's estimator samples a different time window than the
+    // broadcast it later plans.
+    const std::uint64_t probe_seed =
+        trial_seed(config.seed ^ 0x9e0bEull, li, 0);
+    GilbertElliottModel probe_channel = GilbertElliottModel::from_mean_loss(
+        loss_rate, config.burst_len, probe_seed);
+    const std::vector<double> quality =
+        estimate_link_quality(topo, probe_channel, config.estimator);
+    const RelayPlan etx = etx_plan(topo, source, quality, SimOptions{},
+                                   nullptr, config.planner);
+
+    struct PairedResult {
+      double geo_coverage = 0.0;
+      bool geo_full = false;
+      double geo_tx = 0.0;
+      double etx_coverage = 0.0;
+      bool etx_full = false;
+      double etx_tx = 0.0;
+      double retries = 0.0;
+      bool exhausted = false;
+    };
+    const std::vector<PairedResult> results = parallel_map<PairedResult>(
+        config.trials,
+        [&](std::size_t trial) {
+          WSN_SPAN("resilience.comparison_trial");
+          const std::uint64_t seed = trial_seed(config.seed, li, trial);
+          PairedResult r;
+          {
+            // Both arms face the *same* channel realization: paired
+            // trials, so the comparison is between plans, not draws.
+            GilbertElliottModel channel =
+                GilbertElliottModel::from_mean_loss(loss_rate,
+                                                    config.burst_len, seed);
+            SimOptions options;
+            options.faults = &channel;
+            const BroadcastOutcome outcome =
+                simulate_broadcast(topo, geo_recovered, options);
+            r.geo_coverage = outcome.stats.reachability();
+            r.geo_full = outcome.stats.fully_reached();
+            r.geo_tx = static_cast<double>(outcome.stats.tx);
+          }
+          {
+            GilbertElliottModel channel =
+                GilbertElliottModel::from_mean_loss(loss_rate,
+                                                    config.burst_len, seed);
+            SimOptions options;
+            options.faults = &channel;
+            AdaptiveArqReport report;
+            const BroadcastOutcome outcome = run_adaptive_arq(
+                topo, etx, options, config.arq, &report, quality);
+            r.etx_coverage = outcome.stats.reachability();
+            r.etx_full = outcome.stats.fully_reached();
+            r.etx_tx = static_cast<double>(outcome.stats.tx);
+            r.retries = static_cast<double>(report.retries);
+            r.exhausted = report.budget_exhausted;
+          }
+          return r;
+        },
+        config.workers);
+
+    PlannerComparisonCell cell;
+    cell.loss_rate = loss_rate;
+    cell.trials = config.trials;
+    cell.geo_planned_tx = geo_recovered.planned_tx();
+    cell.etx_planned_tx = etx.planned_tx();
+    for (const PairedResult& r : results) {
+      cell.geo_coverage += r.geo_coverage;
+      cell.geo_full_share += r.geo_full ? 1.0 : 0.0;
+      cell.geo_tx += r.geo_tx;
+      cell.etx_coverage += r.etx_coverage;
+      cell.etx_full_share += r.etx_full ? 1.0 : 0.0;
+      cell.etx_tx += r.etx_tx;
+      cell.etx_retries += r.retries;
+      cell.etx_exhausted_share += r.exhausted ? 1.0 : 0.0;
+    }
+    const double inv = 1.0 / static_cast<double>(config.trials);
+    cell.geo_coverage *= inv;
+    cell.geo_full_share *= inv;
+    cell.geo_tx *= inv;
+    cell.etx_coverage *= inv;
+    cell.etx_full_share *= inv;
+    cell.etx_tx *= inv;
+    cell.etx_retries *= inv;
+    cell.etx_exhausted_share *= inv;
+    comparison.cells.push_back(cell);
+  }
+  return comparison;
 }
 
 }  // namespace wsn

@@ -5,7 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/adaptive.h"
+#include "fault/link_estimator.h"
 #include "fault/recovery.h"
+#include "protocol/etx_planner.h"
 #include "sim/plan.h"
 #include "sim/simulator.h"
 #include "topology/topology.h"
@@ -87,5 +90,70 @@ struct ResilienceSweep {
 [[nodiscard]] ResilienceSweep run_resilience_sweep(
     const Topology& topo, const RelayPlan& plan,
     const ResilienceConfig& config);
+
+// --- planner comparison ----------------------------------------------------
+//
+// The head-to-head the ETX work is judged by: geometric plan + blind
+// repeat-k versus ETX plan + adaptive ARQ, under the same Gilbert-Elliott
+// fault matrices.  The geometric arm prices redundancy up front (k times
+// the plan, loss or no loss); the ETX arm learns the links once per
+// channel condition, plans by them, and spends retries only on observed
+// damage.  One cell per swept loss rate holds both arms' delivered
+// coverage and total transmissions, aggregated over seeded trials.
+
+struct PlannerComparisonConfig {
+  /// Mean loss rates of the Gilbert-Elliott channel (the x axis).
+  std::vector<double> loss_rates = {0.05, 0.1, 0.2, 0.3};
+  /// Mean bad-burst length of the channel.
+  double burst_len = 4.0;
+  /// Monte-Carlo trials per cell (same trial seeds for both arms: paired
+  /// comparison on identical channels).
+  std::size_t trials = 32;
+  /// Repeat factor of the geometric arm's recovery.
+  unsigned repeat_k = 2;
+  /// The ETX arm's recovery.
+  AdaptiveArqConfig arq{};
+  /// Probe configuration of the per-loss-rate link learning pass.
+  LinkEstimatorConfig estimator{};
+  /// ETX planner tuning.
+  EtxRelayPlanner::Config planner{};
+  /// Master seed; probe and trial streams derive from it.
+  std::uint64_t seed = 0x5eed;
+  /// parallel_for worker count (0 = all cores).
+  std::size_t workers = 0;
+};
+
+/// One loss rate, both arms, aggregated over the paired trials.
+struct PlannerComparisonCell {
+  double loss_rate = 0.0;
+  std::size_t trials = 0;
+  // geometric + repeat-k
+  std::size_t geo_planned_tx = 0;
+  double geo_coverage = 0.0;      // mean reachability
+  double geo_full_share = 0.0;    // fraction of trials reaching everyone
+  double geo_tx = 0.0;            // mean transmissions actually fired
+  // etx + adaptive ARQ
+  std::size_t etx_planned_tx = 0;
+  double etx_coverage = 0.0;
+  double etx_full_share = 0.0;
+  double etx_tx = 0.0;            // includes the retries
+  double etx_retries = 0.0;       // mean retries spent
+  double etx_exhausted_share = 0.0;  // trials that ran out of budget
+};
+
+struct PlannerComparison {
+  std::string topology;
+  std::vector<PlannerComparisonCell> cells;  // one per loss rate, in order
+
+  /// CSV: one header plus one row per cell.
+  void write_csv(std::ostream& out) const;
+};
+
+/// Runs the comparison for one topology.  `geometric_plan` is the
+/// already-resolved geometric arm (e.g. `paper_plan`); its source also
+/// sources the ETX arm.  Deterministic in the config.
+[[nodiscard]] PlannerComparison run_planner_comparison(
+    const Topology& topo, const RelayPlan& geometric_plan,
+    const PlannerComparisonConfig& config);
 
 }  // namespace wsn

@@ -1,0 +1,147 @@
+#include "fault/adaptive.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "protocol/resolver.h"
+
+namespace wsn {
+
+BroadcastOutcome run_adaptive_arq(const Topology& topo,
+                                  const RelayPlan& base_plan,
+                                  const SimOptions& options,
+                                  const AdaptiveArqConfig& config,
+                                  AdaptiveArqReport* report,
+                                  std::span<const double> quality) {
+  const std::size_t n = topo.num_nodes();
+  WSN_EXPECTS(base_plan.num_nodes() == n);
+  WSN_EXPECTS(config.base_backoff >= 1);
+  WSN_EXPECTS(config.max_backoff >= config.base_backoff);
+  WSN_EXPECTS(options.battery == nullptr);
+  WSN_EXPECTS(quality.empty() ||
+              quality.size() == topo.num_directed_links());
+
+  const auto delivery = [&](NodeId a, NodeId b) {
+    if (quality.empty()) return topo.link_delivery(a, b);
+    const std::size_t index = topo.link_index(a, b);
+    return index == Topology::kNoLink ? 1.0 : quality[index];
+  };
+
+  // Probe runs are recovery internals, like the resolver's: they must not
+  // leak events into the caller's observer.
+  SimOptions probe_options = options;
+  probe_options.observer = nullptr;
+
+  AdaptiveArqReport local;
+  local.budget = config.retry_budget;
+  std::size_t budget = config.retry_budget;
+
+  RelayPlan plan = base_plan;
+  Simulator sim(n);
+
+  for (std::size_t round = 0; round < config.max_rounds; ++round) {
+    const BroadcastOutcome outcome = sim.run(topo, plan, probe_options);
+    const std::vector<NodeId> unreached = outcome.unreached();
+    if (unreached.empty()) break;
+    if (budget == 0) {
+      local.budget_exhausted = true;
+      break;
+    }
+
+    Slot t_end = 1;
+    for (const TxRecord& rec : outcome.transmissions) {
+      t_end = std::max(t_end, rec.slot);
+    }
+    // Capped exponential backoff between the dead timeline and this wave;
+    // bursty channels get time to leave the bad state before we respend.
+    const std::uint64_t raw = static_cast<std::uint64_t>(config.base_backoff)
+                              << std::min<std::size_t>(round, 32);
+    const Slot gap = static_cast<Slot>(
+        std::min<std::uint64_t>(raw, config.max_backoff));
+
+    std::vector<char> is_unreached(n, 0);
+    for (NodeId u : unreached) is_unreached[u] = 1;
+
+    // One helper transmission covers all of its stranded neighbors at
+    // once.  Prefer the holder with the best delivery probability toward
+    // the stranded node (ride the good links); tie-break by earliest
+    // reception, then lowest id -- the resolver's deterministic order.
+    std::vector<NodeId> helpers;
+    std::vector<char> covered(n, 0);
+    for (NodeId u : unreached) {
+      if (covered[u]) continue;
+      NodeId helper = kInvalidNode;
+      double helper_p = -1.0;
+      Slot helper_rx = kNeverSlot;
+      for (NodeId h : topo.neighbors(u)) {
+        if (outcome.first_rx[h] == kNeverSlot) continue;  // no message
+        const double p = delivery(h, u);
+        const bool better =
+            p > helper_p ||
+            (p == helper_p && (outcome.first_rx[h] < helper_rx ||
+                               (outcome.first_rx[h] == helper_rx &&
+                                h < helper)));
+        if (better) {
+          helper = h;
+          helper_p = p;
+          helper_rx = outcome.first_rx[h];
+        }
+      }
+      if (helper == kInvalidNode) continue;  // deeper in the void
+      helpers.push_back(helper);
+      for (NodeId w : topo.neighbors(helper)) {
+        if (is_unreached[w]) covered[w] = 1;
+      }
+    }
+    if (helpers.empty()) break;  // remainder disconnected or crashed
+
+    // Pack the wave into fresh slots after the backoff gap, serializing
+    // helpers within 2 hops of each other so retries never collide.
+    std::vector<std::vector<NodeId>> slots;
+    bool spent_any = false;
+    for (NodeId h : helpers) {
+      if (budget == 0) {
+        local.budget_exhausted = true;
+        break;
+      }
+      std::size_t s = 0;
+      for (;; ++s) {
+        if (s == slots.size()) {
+          slots.emplace_back();
+          break;
+        }
+        const bool clash = std::any_of(
+            slots[s].begin(), slots[s].end(),
+            [&](NodeId other) { return within_two_hops(topo, h, other); });
+        if (!clash) break;
+      }
+      slots[s].push_back(h);
+
+      const Slot tx_slot = t_end + gap + static_cast<Slot>(s);
+      const Slot rx_slot = outcome.first_rx[h];
+      WSN_ASSERT(tx_slot > rx_slot);
+      auto& offsets = plan.tx_offsets[h];
+      const Slot offset = tx_slot - rx_slot;
+      WSN_ASSERT(offsets.empty() || offset > offsets.back());
+      offsets.push_back(offset);
+      budget -= 1;
+      local.retries += 1;
+      spent_any = true;
+    }
+    if (!spent_any) break;
+    local.rounds += 1;
+  }
+
+  // The final plan replays the identical prefix (counter-mode faults, all
+  // retries appended past the old timeline), now under the caller's
+  // observer.
+  const BroadcastOutcome final_outcome = sim.run(topo, plan, options);
+  local.unrepaired = final_outcome.unreached().size();
+  if (local.unrepaired > 0 && budget == 0) local.budget_exhausted = true;
+  if (report != nullptr) *report = local;
+  return final_outcome;
+}
+
+}  // namespace wsn

@@ -16,6 +16,8 @@ std::string_view to_string(RecoveryPolicy policy) noexcept {
       return "repeat-k";
     case RecoveryPolicy::kEchoRepair:
       return "echo-repair";
+    case RecoveryPolicy::kAdaptive:
+      return "adaptive";
   }
   return "?";
 }
@@ -24,6 +26,7 @@ RecoveryPolicy parse_recovery_policy(std::string_view name) {
   if (name == "none") return RecoveryPolicy::kNone;
   if (name == "repeat-k") return RecoveryPolicy::kRepeatK;
   if (name == "echo-repair") return RecoveryPolicy::kEchoRepair;
+  if (name == "adaptive") return RecoveryPolicy::kAdaptive;
   WSN_EXPECTS(false && "unknown recovery policy");
   return RecoveryPolicy::kNone;
 }
@@ -192,6 +195,10 @@ RelayPlan apply_recovery(const Topology& topo, RelayPlan plan,
       return repeat_k(std::move(plan), k);
     case RecoveryPolicy::kEchoRepair:
       return echo_repair(topo, std::move(plan));
+    case RecoveryPolicy::kAdaptive:
+      // Adaptation happens at run time (fault/adaptive.h's ARQ loop), not
+      // as a plan rewrite; callers route kAdaptive to run_adaptive_arq.
+      return plan;
   }
   return plan;
 }

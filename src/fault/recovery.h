@@ -34,10 +34,11 @@ enum class RecoveryPolicy {
   kNone,        // the unmodified plan
   kRepeatK,     // repeat the whole schedule k times
   kEchoRepair,  // redundant helpers for single-reception nodes
+  kAdaptive,    // run-time NACK/backoff ARQ (fault/adaptive.h)
 };
 
 /// Short stable tag used in CSV output and CLIs: "none", "repeat-k",
-/// "echo-repair".
+/// "echo-repair", "adaptive".
 [[nodiscard]] std::string_view to_string(RecoveryPolicy policy) noexcept;
 
 /// Parses the tags accepted by `to_string`; aborts on anything else.

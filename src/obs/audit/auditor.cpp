@@ -59,6 +59,9 @@ std::string_view to_string(AuditCheck check) noexcept {
     case AuditCheck::kCausality: return "causality";
     case AuditCheck::kEtrBound: return "etr_bound";
     case AuditCheck::kDelayBound: return "delay_bound";
+    case AuditCheck::kExpectedDelivery: return "expected_delivery";
+    case AuditCheck::kRetryAccounting: return "retry_accounting";
+    case AuditCheck::kCoverageFrontier: return "coverage_frontier";
   }
   return "?";
 }
@@ -230,6 +233,80 @@ AuditReport audit_trace(const Topology& topo, std::span<const Event> events,
                     " exceeds the paper's Table 5 maximum " +
                     std::to_string(paper) + " + slack " +
                     std::to_string(config.delay_slack));
+      }
+    }
+  }
+
+  // 9. Expected vs observed delivery under the link model: of every
+  // reception attempt that was decided by the channel (decoded or faded;
+  // collisions are a separate mechanism), at least the model's stationary
+  // share must have landed.  A quality-aware plan may beat the mean --
+  // never undershoot it beyond tolerance.
+  if (config.mean_link_delivery >= 0.0) {
+    report.checks_run += 1;
+    const std::uint64_t attempts = ledger.rx + ledger.lost_to_fading;
+    if (attempts >= config.delivery_min_samples) {
+      const double observed = static_cast<double>(ledger.rx) /
+                              static_cast<double>(attempts);
+      const double p = config.mean_link_delivery;
+      const double sigma =
+          std::sqrt(std::max(p * (1.0 - p), 0.0) *
+                    std::max(config.delivery_burst, 1.0) /
+                    static_cast<double>(attempts));
+      const double slack = std::max(config.delivery_tol, 5.0 * sigma);
+      if (observed < p - slack) {
+        std::ostringstream what;
+        what.precision(17);
+        what << "observed delivery ratio " << observed << " ("
+             << ledger.rx << "/" << attempts
+             << " attempts) undershoots the link model's mean "
+             << config.mean_link_delivery << " - slack " << slack;
+        violate(report, AuditCheck::kExpectedDelivery, what.str());
+      }
+    }
+  }
+
+  // 10. Retry accounting: the run may not transmit more than the base
+  // plan scheduled plus the recovery layer's declared retries, and the
+  // retries may not exceed their budget.
+  if (config.planned_tx > 0) {
+    report.checks_run += 1;
+    if (ledger.tx > config.planned_tx + config.retries) {
+      violate(report, AuditCheck::kRetryAccounting,
+              "observed tx " + std::to_string(ledger.tx) +
+                  " exceeds planned " + std::to_string(config.planned_tx) +
+                  " + retries " + std::to_string(config.retries));
+    }
+    if (config.retry_budget > 0 && config.retries > config.retry_budget) {
+      violate(report, AuditCheck::kRetryAccounting,
+              "retries " + std::to_string(config.retries) +
+                  " exceed the declared budget " +
+                  std::to_string(config.retry_budget));
+    }
+  }
+
+  // 11. Coverage-vs-budget frontier: with adaptive ARQ running, a node
+  // connected to the source may only stay uncovered for a stated reason
+  // (budget exhausted, round limit hit, crash faults).  Anything else is
+  // a silent recovery shortfall.
+  if (config.arq && ledger.source != kInvalidNode && ledger.source < n) {
+    report.checks_run += 1;
+    const bool round_capped = config.arq_max_rounds > 0 &&
+                              config.arq_rounds >= config.arq_max_rounds;
+    if (!report.unreached.empty() && !config.budget_exhausted &&
+        !round_capped && ledger.lost_to_crash == 0) {
+      const std::vector<std::uint32_t> dist =
+          bfs_distances(topo, ledger.source);
+      std::vector<NodeId> stranded;
+      for (NodeId v : report.unreached) {
+        if (dist[v] != kUnreachable) stranded.push_back(v);
+      }
+      if (!stranded.empty()) {
+        violate(report, AuditCheck::kCoverageFrontier,
+                std::to_string(stranded.size()) +
+                    " connected nodes unreached with retry budget and "
+                    "rounds to spare: " +
+                    join_nodes(stranded));
       }
     }
   }

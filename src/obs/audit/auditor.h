@@ -34,9 +34,12 @@ enum class AuditCheck : std::uint8_t {
   kCausality,          // first_rx[v] >= BFS distance from the source
   kEtrBound,           // mean relay ETR within the family optimum
   kDelayBound,         // delay within [source ecc, paper Table 5 + slack]
+  kExpectedDelivery,   // observed delivery ratio vs the link model's mean
+  kRetryAccounting,    // tx <= planned + retries; retries <= budget
+  kCoverageFrontier,   // coverage shortfall only with an exhausted budget
 };
 
-inline constexpr std::size_t kAuditCheckCount = 8;
+inline constexpr std::size_t kAuditCheckCount = 11;
 
 /// Stable short name ("trace_complete", "stats_match", ...).
 [[nodiscard]] std::string_view to_string(AuditCheck check) noexcept;
@@ -77,6 +80,48 @@ struct AuditConfig {
   /// Delay slack over the paper's Table 5 value, matching the
   /// integration-test tolerance for our collision-free schedules.
   Slot delay_slack = 12;
+
+  // --- lossy-mode checks (9-11), for fault-injected runs; each stays
+  // --- skipped until its enabling field is set ----------------------------
+
+  /// Mean per-link delivery probability of the run's link model (e.g.
+  /// 1 - mean_loss for the i.i.d. and Gilbert-Elliott models).  >= 0
+  /// enables check 9: the observed per-attempt delivery ratio
+  /// rx / (rx + lost_to_fading) must not fall below this mean by more
+  /// than `delivery_tol` -- the run must not underperform the channel's
+  /// stationary rate.  (Exceeding it is fine: a quality-aware plan rides
+  /// the good links.)
+  double mean_link_delivery = -1.0;
+  /// Absolute tolerance on the observed delivery ratio.  The effective
+  /// slack is max(delivery_tol, 5 sigma) where sigma is the binomial
+  /// standard error of the attempt count inflated by `delivery_burst` --
+  /// small or bursty samples get proportionally more room, so the check
+  /// flags systematic undershoot, not sampling noise.
+  double delivery_tol = 0.15;
+  /// Mean burst length of the link model (1 = i.i.d.).  Correlated losses
+  /// shrink the effective sample size by roughly this factor.
+  double delivery_burst = 1.0;
+  /// Minimum deliver-or-fade attempts before check 9 is statistically
+  /// meaningful; below this the check passes vacuously.
+  std::size_t delivery_min_samples = 32;
+
+  /// Base plan's planned transmission count; > 0 enables check 10:
+  /// observed tx <= planned_tx + retries, and retries <= retry_budget
+  /// (when a budget is declared).
+  std::size_t planned_tx = 0;
+  /// Retries actually spent by the recovery layer (AdaptiveArqReport).
+  std::size_t retries = 0;
+  /// Declared retry budget; 0 skips the budget half of check 10.
+  std::size_t retry_budget = 0;
+
+  /// True when adaptive ARQ ran; enables check 11: nodes connected to
+  /// the source may only be left uncovered if the retry budget ran out,
+  /// the round limit was hit, or crash faults removed nodes -- silent
+  /// shortfall is a recovery bug.
+  bool arq = false;
+  bool budget_exhausted = false;
+  std::size_t arq_rounds = 0;
+  std::size_t arq_max_rounds = 0;
 };
 
 struct AuditReport {

@@ -16,6 +16,8 @@
 #include "common/json.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "fault/adaptive.h"
+#include "fault/link_estimator.h"
 #include "fault/models.h"
 #include "fault/recovery.h"
 #include "obs/audit/auditor.h"
@@ -24,6 +26,7 @@
 #include "obs/profile.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/etr.h"
+#include "protocol/etx_planner.h"
 #include "protocol/flooding.h"
 #include "protocol/gossip.h"
 #include "protocol/ideal_model.h"
@@ -157,10 +160,15 @@ struct ExecResult {
 /// verdict is deterministic too, so the byte-identity guarantee holds at
 /// any worker count as long as both runs use the same flag.
 ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
-                       Simulator& sim, PlanStore* store, bool audit) {
+                       Simulator& sim, PlanStore* store, bool audit,
+                       std::atomic<const char*>* stage = nullptr) {
   const ScenarioEntry& entry = *job.entry;
   ExecResult result;
   result.fold.scenario = entry.name;
+  // Stage breadcrumbs for the watchdog: which phase a timed-out job was in.
+  const auto enter = [stage](const char* phase) {
+    if (stage != nullptr) stage->store(phase, std::memory_order_release);
+  };
 
   std::ostringstream line;
   line << "{\"job\":" << job.index << ",\"scenario\":\""
@@ -185,6 +193,9 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
 
   std::size_t repairs = 0;
   std::size_t unrepaired = 0;
+  std::size_t planned_tx = 0;  // base plan's scheduled Tx, post-recovery
+  bool arq_ran = false;
+  AdaptiveArqReport arq_report;
 
   BroadcastOutcome outcome;
   EtrSummary etr;
@@ -215,7 +226,9 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
     }
   } else {
     // --- plan ---------------------------------------------------------
+    enter("plan");
     RelayPlan plan;
+    std::vector<double> etx_quality;  // etx protocol: learned CSR span
     const FlatRelayPlan* flat = nullptr;  // store fast path, kNone only
     std::shared_ptr<const StoredPlan> stored;
     const bool cacheable =
@@ -242,6 +255,25 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
       unrepaired = report.unrepaired;
     } else if (job.protocol == "cds") {
       plan = CdsBroadcast{}.plan(topo, job.source);
+    } else if (job.protocol == "etx") {
+      // Learn the channel from a dedicated probe stream.  The probe model
+      // gets its own salt -- NOT the run channel's -- so the estimator
+      // samples the channel's statistics, never the exact counter-mode
+      // draws the simulation below will replay (no clairvoyant plans).
+      // Never cached: the plan depends on the learned quality, which is
+      // not part of the plan store's fingerprint.
+      if (job.fault.kind == ScenarioFault::Kind::kIid) {
+        IidLossModel probe(job.fault.loss, mix_seed(trial_seed, 0xe57ull));
+        etx_quality = estimate_link_quality(topo, probe);
+      } else if (job.fault.kind == ScenarioFault::Kind::kGilbert) {
+        GilbertElliottModel probe = GilbertElliottModel::from_mean_loss(
+            job.fault.loss, job.fault.burst, mix_seed(trial_seed, 0xe57ull));
+        etx_quality = estimate_link_quality(topo, probe);
+      }
+      ResolveReport report;
+      plan = etx_plan(topo, job.source, etx_quality, plan_options, &report);
+      repairs = report.repairs;
+      unrepaired = report.unrepaired;
     } else if (job.protocol == "flooding") {
       plan = Flooding(entry.jitter, trial_seed).plan(topo, job.source);
     } else {
@@ -249,10 +281,15 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
       plan = Gossip(entry.gossip_p, entry.jitter, trial_seed)
                  .plan(topo, job.source);
     }
-    if (job.recovery != RecoveryPolicy::kNone) {
+    // Adaptive recovery does not rewrite the plan -- it reacts at run
+    // time (fault/adaptive.h), so only the static policies rewrite here.
+    if (job.recovery != RecoveryPolicy::kNone &&
+        job.recovery != RecoveryPolicy::kAdaptive) {
       plan = apply_recovery(topo, std::move(plan), job.recovery,
                             entry.repeat_k);
     }
+    planned_tx =
+        flat != nullptr ? flat->total_offsets() : plan.planned_tx();
 
     // --- faults -------------------------------------------------------
     // One model instance per job (they are stateful); sub-seeds are
@@ -287,6 +324,7 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
     }
 
     // --- simulate -----------------------------------------------------
+    enter("simulate");
     SimOptions run_options = plan_options;
     run_options.faults = faults;
     if (entry.deadline_slots > 0) run_options.max_slots = entry.deadline_slots;
@@ -295,10 +333,24 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
     const bool tracing = !entry.outputs.trace_dir.empty();
     if (tracing || audit) run_options.observer = &observer;
 
-    outcome = flat != nullptr ? sim.run(topo, *flat, run_options)
-                              : sim.run(topo, plan, run_options);
+    if (job.recovery == RecoveryPolicy::kAdaptive) {
+      // NACK/backoff ARQ: probe rounds grow the plan, the final replay
+      // runs under the caller's observer so traces and audits see the
+      // augmented timeline.  Quality (when the etx protocol learned it)
+      // steers helper choice.
+      AdaptiveArqConfig arq_config;
+      arq_config.retry_budget = entry.arq_budget;
+      arq_config.max_rounds = entry.arq_rounds;
+      outcome = run_adaptive_arq(topo, plan, run_options, arq_config,
+                                 &arq_report, etx_quality);
+      arq_ran = true;
+    } else {
+      outcome = flat != nullptr ? sim.run(topo, *flat, run_options)
+                                : sim.run(topo, plan, run_options);
+    }
 
     if (audit) {
+      enter("audit");
       AuditConfig audit_config;
       audit_config.packet_bits = entry.packet_bits;
       audit_config.source = job.source;
@@ -306,6 +358,25 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
       // Coverage loss under injected faults is the measurement, not a
       // defect; under the perfect medium it is a violation.
       audit_config.expect_full_coverage = faults == nullptr;
+      // Lossy-mode checks (9-11).  The delivery-ratio check only makes
+      // sense for a pure link model: composed crashes skew the attempt
+      // accounting, so it stays off for those jobs.
+      if (job.fault.kind != ScenarioFault::Kind::kNone &&
+          job.fault.crash_prob == 0.0) {
+        audit_config.mean_link_delivery = 1.0 - job.fault.loss;
+        audit_config.delivery_burst =
+            job.fault.kind == ScenarioFault::Kind::kGilbert ? job.fault.burst
+                                                            : 1.0;
+      }
+      audit_config.planned_tx = planned_tx;
+      if (arq_ran) {
+        audit_config.arq = true;
+        audit_config.retries = arq_report.retries;
+        audit_config.retry_budget = entry.arq_budget;
+        audit_config.budget_exhausted = arq_report.budget_exhausted;
+        audit_config.arq_rounds = arq_report.rounds;
+        audit_config.arq_max_rounds = entry.arq_rounds;
+      }
       const AuditReport report = audit_sink(topo, sink, audit_config);
       have_audit = true;
       audit_checks = report.checks_run;
@@ -353,6 +424,11 @@ ExecResult execute_job(const JobMatrix& matrix, const ScenarioJob& job,
        << ",\"energy\":" << format_record_double(stats.total_energy())
        << ",\"repairs\":" << repairs;
   if (unrepaired > 0) line << ",\"unrepaired\":" << unrepaired;
+  if (arq_ran) {
+    line << ",\"retries\":" << arq_report.retries
+         << ",\"arq_rounds\":" << arq_report.rounds;
+    if (arq_report.budget_exhausted) line << ",\"arq_exhausted\":true";
+  }
   if (have_etr) {
     line << ",\"etr_mean\":" << format_record_double(etr.mean)
          << ",\"etr_share\":" << format_record_double(etr.optimal_share());
@@ -400,13 +476,37 @@ struct ScenarioEngine::Impl {
   std::size_t queue_wait_samples = 0;
   Counter* completed_metric = nullptr;
   Counter* failed_metric = nullptr;
+  Counter* timeout_metric = nullptr;
   Histogram* wait_metric = nullptr;
   Gauge* queue_depth_metric = nullptr;
   Gauge* busy_metric = nullptr;
   std::atomic<std::size_t> busy{0};
+  /// Jobs already resolved into a record (normally or by the watchdog).
+  /// First resolution wins: a stalled worker's late result -- or a second
+  /// watchdog expiry of the same slot -- is discarded here.
+  std::vector<char> resolved;
 
   explicit Impl(std::size_t capacity) : queue(capacity) {}
 };
+
+/// One per worker: which job the worker is executing, since when, and in
+/// which stage -- everything the watchdog needs, all lock-free.  `index`
+/// is stored last (release) so a watchdog that sees it also sees the
+/// matching start time and stage.
+struct WorkerSlot {
+  static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  std::atomic<std::size_t> index{kIdle};
+  std::atomic<std::int64_t> start_ms{0};
+  std::atomic<const char*> stage{nullptr};
+};
+
+namespace {
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 std::string heartbeat_json(const HeartbeatRecord& beat) {
   JsonWriter w;
@@ -552,6 +652,11 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
           : std::max<std::size_t>(2 * workers, 16);
 
   Impl impl(capacity);
+  impl.resolved.assign(summary.jobs_total, 0);
+  std::fill(impl.resolved.begin(),
+            impl.resolved.begin() +
+                static_cast<std::ptrdiff_t>(completed),
+            static_cast<char>(1));
   impl.jobs_total = summary.jobs_total;
   impl.emitted = completed;
   impl.next_to_emit = completed;
@@ -570,6 +675,7 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   if (config_.metrics != nullptr) {
     impl.completed_metric = &config_.metrics->counter("scenario.jobs_completed");
     impl.failed_metric = &config_.metrics->counter("scenario.jobs_failed");
+    impl.timeout_metric = &config_.metrics->counter("scenario.jobs_timed_out");
     config_.metrics->counter("scenario.jobs_skipped").add(completed);
     impl.wait_metric = &config_.metrics->histogram(
         "scenario.queue_wait_ms",
@@ -616,12 +722,17 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   // completions park in `pending` until their turn.  This (plus the
   // record text being a pure function of the job) is the whole
   // byte-identity story.
-  const auto submit = [&](std::size_t index, ExecResult result) {
+  const auto submit = [&](std::size_t index, ExecResult result) -> bool {
     std::function<void(std::size_t)> notify;
     std::size_t notify_emitted = 0;
     std::size_t notify_errors = 0;
     {
       const std::lock_guard<std::mutex> lock(impl.collector_mutex);
+      // First resolution wins: the watchdog may have already resolved
+      // this job into a timeout record (or vice versa -- the worker beat
+      // a near-deadline expiry).  The loser's result is dropped whole.
+      if (impl.resolved[index] != 0) return false;
+      impl.resolved[index] = 1;
       impl.pending.emplace(index, std::move(result));
       while (true) {
         const auto it = impl.pending.find(impl.next_to_emit);
@@ -663,13 +774,15 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
       beat.workers_busy = impl.busy.load(std::memory_order_relaxed);
       config_.on_heartbeat(beat);
     }
+    return true;
   };
 
   // ---- workers --------------------------------------------------------
+  std::vector<WorkerSlot> inflight(workers);
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
       Simulator sim;
       double wait_ms_sum = 0.0;
       std::size_t wait_samples = 0;
@@ -698,12 +811,20 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
         if (impl.busy_metric != nullptr) {
           impl.busy_metric->set(static_cast<double>(busy_now));
         }
+        // Arm the watchdog slot before the test hook runs: an injected
+        // stall counts against the deadline exactly like a real one.
+        WorkerSlot& slot = inflight[w];
+        slot.stage.store("plan", std::memory_order_relaxed);
+        slot.start_ms.store(steady_now_ms(), std::memory_order_relaxed);
+        slot.index.store(ticket->first, std::memory_order_release);
+        if (config_.before_job) config_.before_job(matrix_.jobs[ticket->first]);
         ExecResult result;
         {
           WSN_SPAN("scenario.job");
           result = execute_job(matrix_, matrix_.jobs[ticket->first], sim,
-                               config_.store, config_.audit);
+                               config_.store, config_.audit, &slot.stage);
         }
+        slot.index.store(WorkerSlot::kIdle, std::memory_order_release);
         const std::size_t busy_after =
             impl.busy.fetch_sub(1, std::memory_order_relaxed) - 1;
         if (impl.busy_metric != nullptr) {
@@ -717,6 +838,52 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
     });
   }
 
+  // ---- watchdog -------------------------------------------------------
+  // Polls the worker slots and resolves any job past its deadline into an
+  // error record so in-order emission keeps moving.  The stalled worker
+  // is left alone; its eventual result loses the first-resolution race in
+  // submit().  Poll cadence is a quarter of the deadline, clamped to
+  // [1, 50] ms -- expiry detection lags the deadline by at most one poll.
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (config_.job_timeout_ms > 0) {
+    watchdog = std::thread([&] {
+      const auto poll = std::chrono::milliseconds(std::max<std::size_t>(
+          1, std::min<std::size_t>(config_.job_timeout_ms / 4, 50)));
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const std::int64_t now_ms = steady_now_ms();
+        for (WorkerSlot& slot : inflight) {
+          const std::size_t index =
+              slot.index.load(std::memory_order_acquire);
+          if (index == WorkerSlot::kIdle) continue;
+          const std::int64_t elapsed =
+              now_ms - slot.start_ms.load(std::memory_order_relaxed);
+          if (elapsed < static_cast<std::int64_t>(config_.job_timeout_ms)) {
+            continue;
+          }
+          const char* stage = slot.stage.load(std::memory_order_relaxed);
+          if (stage == nullptr) stage = "plan";
+          const ScenarioJob& job = matrix_.jobs[index];
+          ExecResult timed_out;
+          timed_out.fold.scenario = job.entry->name;
+          std::ostringstream line;
+          line << "{\"job\":" << index << ",\"scenario\":\""
+               << json_escape(job.entry->name)
+               << "\",\"status\":\"error\",\"error\":\""
+               << "watchdog: job exceeded " << config_.job_timeout_ms
+               << " ms deadline\",\"elapsed_ms\":" << elapsed
+               << ",\"stage\":\"" << stage << "\"}";
+          timed_out.line = line.str();
+          if (submit(index, std::move(timed_out)) &&
+              impl.timeout_metric != nullptr) {
+            impl.timeout_metric->increment();
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
+
   // ---- producer (this thread) -----------------------------------------
   // Backpressure is the queue's: push blocks once `capacity` tickets are
   // in flight and returns false only after a cancel.
@@ -726,6 +893,10 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   }
   impl.queue.close();
   for (std::thread& t : pool) t.join();
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
 
   {
     const std::lock_guard<std::mutex> lock(run_mutex_);

@@ -92,6 +92,19 @@ struct EngineConfig {
   std::size_t heartbeat_every = 0;
   /// Heartbeat hook; runs on a worker thread, outside the collector lock.
   std::function<void(const HeartbeatRecord&)> on_heartbeat;
+  /// Per-job watchdog deadline in milliseconds (0 = off).  A job running
+  /// past its deadline is resolved into an error record carrying the
+  /// elapsed time and the execution stage it was in, so in-order emission
+  /// proceeds past it instead of stalling forever.  The stalled worker is
+  /// NOT killed (threads cannot be safely cancelled): when the job
+  /// eventually finishes, its real result is discarded -- first
+  /// resolution wins.  Deadlines are wall-clock events, so the
+  /// byte-identity guarantee only covers runs in which no job timed out.
+  std::size_t job_timeout_ms = 0;
+  /// Test hook, called on the worker thread immediately before a job
+  /// executes (nullable).  Exists so tests can inject a deterministic
+  /// stall and exercise the watchdog.
+  std::function<void(const ScenarioJob&)> before_job;
 };
 
 /// Per-scenario aggregate over the ok records -- the best/worst/max-delay

@@ -15,12 +15,13 @@ namespace {
 
 const std::vector<std::string>& known_protocols() {
   static const std::vector<std::string> kProtocols = {
-      "paper", "cds", "flooding", "gossip", "ideal"};
+      "paper", "cds", "etx", "flooding", "gossip", "ideal"};
   return kProtocols;
 }
 
 bool known_recovery(std::string_view name) {
-  return name == "none" || name == "repeat-k" || name == "echo-repair";
+  return name == "none" || name == "repeat-k" || name == "echo-repair" ||
+         name == "adaptive";
 }
 
 /// FNV-1a, the classic order-sensitive stream hash; collision resistance
@@ -197,7 +198,7 @@ bool parse_entry(const JsonValue& doc, std::size_t position,
         if (std::find(known.begin(), known.end(), name) == known.end()) {
           return fail(error, where + ": unknown protocol '" +
                              p.as_string() +
-                             "' (paper|cds|flooding|gossip|ideal)");
+                             "' (paper|cds|etx|flooding|gossip|ideal)");
         }
         out.protocols.push_back(std::move(name));
       }
@@ -219,7 +220,7 @@ bool parse_entry(const JsonValue& doc, std::size_t position,
       for (const JsonValue& r : value.as_array()) {
         if (!r.is_string() || !known_recovery(r.as_string())) {
           return fail(error, where + ": unknown recovery policy "
-                             "(none|repeat-k|echo-repair)");
+                             "(none|repeat-k|echo-repair|adaptive)");
         }
         out.recovery.push_back(parse_recovery_policy(r.as_string()));
       }
@@ -229,6 +230,20 @@ bool parse_entry(const JsonValue& doc, std::size_t position,
         return fail(error, where + ": repeat_k must be in [1, 16]");
       }
       out.repeat_k = static_cast<unsigned>(v);
+    } else if (key == "arq_budget") {
+      std::uint64_t v = 0;
+      if (!value.to_u64(v) || v > (1u << 20)) {
+        return fail(error,
+                    where + ": arq_budget must be a small non-negative "
+                            "integer");
+      }
+      out.arq_budget = static_cast<std::size_t>(v);
+    } else if (key == "arq_rounds") {
+      std::uint64_t v = 0;
+      if (!value.to_u64(v) || v < 1 || v > 64) {
+        return fail(error, where + ": arq_rounds must be in [1, 64]");
+      }
+      out.arq_rounds = static_cast<std::size_t>(v);
     } else if (key == "seeds") {
       if (!value.is_array()) {
         return fail(error, where + ": seeds must be a list");
@@ -406,6 +421,8 @@ std::string job_identity(const ScenarioJob& job) {
          " fault=" + job.fault.label() +
          " recov=" + std::string(to_string(job.recovery)) +
          " k=" + std::to_string(e.repeat_k) +
+         " arq=" + std::to_string(e.arq_budget) + ":" +
+         std::to_string(e.arq_rounds) +
          " seed=" + std::to_string(job.seed) +
          " rep=" + std::to_string(job.rep) +
          " bits=" + std::to_string(e.packet_bits) +

@@ -36,12 +36,16 @@
 ///   dims       [m, n] or [m, n, l]; default paper size (32x16 / 8x8x8)
 ///   spacing    grid spacing in meters (default 0.5)
 ///   sources    "all" | "center" | "corner" | [id, ...]    (default "center")
-///   protocols  ["paper" | "cds" | "flooding" | "gossip" | "ideal", ...]
+///   protocols  ["paper" | "cds" | "etx" | "flooding" | "gossip" |
+///               "ideal", ...]
 ///   faults     [{"kind": "none"|"iid"|"gilbert", "loss": r,
 ///                "burst": len, "crash_prob": p, "crash_horizon": h,
 ///                "crash_outage": o}, ...]                 (default none)
-///   recovery   ["none" | "repeat-k" | "echo-repair", ...] (default none)
+///   recovery   ["none" | "repeat-k" | "echo-repair" | "adaptive", ...]
+///              (default none)
 ///   repeat_k   repeat-k factor (default 2)
+///   arq_budget / arq_rounds   adaptive-recovery retry budget and wave
+///              limit (default 256 / 8)
 ///   seeds      [u64, ...] (default [1])
 ///   repeats    trials per seed (default 1)
 ///   deadline_slots  per-job simulation slot budget (0 = library default)
@@ -99,6 +103,8 @@ struct ScenarioEntry {
   std::vector<ScenarioFault> faults = {ScenarioFault{}};
   std::vector<RecoveryPolicy> recovery = {RecoveryPolicy::kNone};
   unsigned repeat_k = 2;
+  std::size_t arq_budget = 256;  // adaptive recovery: retry budget
+  std::size_t arq_rounds = 8;    // adaptive recovery: max repair waves
   std::vector<std::uint64_t> seeds = {1};
   std::uint32_t repeats = 1;
   Slot deadline_slots = 0;

@@ -1,11 +1,13 @@
 #include "store/disk_store.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <system_error>
+#include <thread>
 
 namespace wsn {
 
@@ -29,7 +31,14 @@ std::unordered_set<std::string> read_manifest_keys(const fs::path& path) {
   return keys;
 }
 
+/// The test-only fault injector (see disk_store.h); nullptr in production.
+std::atomic<PlanDiskStore::LoadFaultInjector> g_load_fault_injector{nullptr};
+
 }  // namespace
+
+void PlanDiskStore::set_load_fault_injector(LoadFaultInjector hook) {
+  g_load_fault_injector.store(hook, std::memory_order_release);
+}
 
 PlanDiskStore::PlanDiskStore(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
@@ -50,7 +59,26 @@ std::string PlanDiskStore::artifact_path(const PlanFingerprint& fp) const {
 PlanSerdeStatus PlanDiskStore::load(const PlanFingerprint& fp,
                                     StoredPlan& out) const {
   if (!ok_) return PlanSerdeStatus::kNotFound;
-  return read_plan_file(artifact_path(fp), out);
+  const std::string path = artifact_path(fp);
+  // Transient I/O failures (EIO under load, a flaky network mount) get a
+  // bounded retry with exponential backoff; every other status -- hit,
+  // miss, or verification failure -- surfaces immediately.  Exhausting
+  // the attempts surfaces kIoError and the caller recompiles: slow is
+  // acceptable, wrong or crashed is not.
+  PlanSerdeStatus status = PlanSerdeStatus::kNotFound;
+  for (int attempt = 0; attempt < kLoadAttempts; ++attempt) {
+    status = read_plan_file(path, out);
+    if (const LoadFaultInjector hook =
+            g_load_fault_injector.load(std::memory_order_acquire)) {
+      status = hook(status, attempt);
+    }
+    if (status != PlanSerdeStatus::kIoError) return status;
+    if (attempt + 1 < kLoadAttempts) {
+      read_retries_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1L << attempt));
+    }
+  }
+  return status;
 }
 
 bool PlanDiskStore::save(const PlanFingerprint& fp, const StoredPlan& value) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -41,9 +43,29 @@ class PlanDiskStore {
   /// Path the artifact for `fp` lives at (whether or not it exists yet).
   [[nodiscard]] std::string artifact_path(const PlanFingerprint& fp) const;
 
-  /// Loads and fully verifies the artifact; kNotFound when absent.
+  /// Transient-read retry policy: a load whose raw read reports kIoError
+  /// (artifact present, open/read failed) is retried up to this many
+  /// attempts with a short exponential backoff before the error surfaces
+  /// and the caller falls back to recompiling.
+  static constexpr int kLoadAttempts = 3;
+
+  /// Loads and fully verifies the artifact; kNotFound when absent,
+  /// kIoError only after `kLoadAttempts` reads all failed.
   [[nodiscard]] PlanSerdeStatus load(const PlanFingerprint& fp,
                                      StoredPlan& out) const;
+
+  /// Transient-read retries performed by this store so far.
+  [[nodiscard]] std::uint64_t read_retries() const noexcept {
+    return read_retries_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook (process-global): rewrites each raw read's status before
+  /// the retry policy sees it, given the 0-based attempt number -- lets
+  /// tests inject transient I/O failures without touching the
+  /// filesystem.  Pass nullptr to clear.
+  using LoadFaultInjector = PlanSerdeStatus (*)(PlanSerdeStatus status,
+                                                int attempt);
+  static void set_load_fault_injector(LoadFaultInjector hook);
 
   /// Writes the artifact atomically and appends the manifest line (once
   /// per key per store lifetime).  False on I/O failure.
@@ -55,6 +77,7 @@ class PlanDiskStore {
  private:
   std::string dir_;
   bool ok_ = false;
+  mutable std::atomic<std::uint64_t> read_retries_{0};
   std::mutex manifest_mutex_;
   std::unordered_set<std::string> manifested_;
 };

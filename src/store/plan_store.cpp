@@ -20,6 +20,7 @@ void PlanStore::bind_metrics(MetricsRegistry& registry) {
   disk_rejects_metric_ = &registry.counter("store.disk.rejects");
   compiles_metric_ = &registry.counter("store.compiles");
   bypasses_metric_ = &registry.counter("store.bypasses");
+  read_retries_metric_ = &registry.counter("store.read_retries");
 }
 
 std::shared_ptr<const StoredPlan> PlanStore::fetch_or_compile(
@@ -50,7 +51,16 @@ std::shared_ptr<const StoredPlan> PlanStore::fetch_or_compile(
   bool rewrite_artifact = false;
   if (disk_) {
     StoredPlan from_disk;
+    const std::uint64_t retries_before = disk_->read_retries();
     const PlanSerdeStatus status = disk_->load(fp, from_disk);
+    const std::uint64_t retries_spent =
+        disk_->read_retries() - retries_before;
+    if (retries_spent > 0) {
+      read_retries_.fetch_add(retries_spent, std::memory_order_relaxed);
+      if (read_retries_metric_ != nullptr) {
+        read_retries_metric_->add(retries_spent);
+      }
+    }
     if (status == PlanSerdeStatus::kOk &&
         from_disk.plan.num_nodes() == topo.num_nodes() &&
         from_disk.plan.source() == source) {
@@ -103,7 +113,8 @@ PlanStore::Stats PlanStore::stats() const noexcept {
   return Stats{disk_hits_.load(std::memory_order_relaxed),
                disk_rejects_.load(std::memory_order_relaxed),
                compiles_.load(std::memory_order_relaxed),
-               bypasses_.load(std::memory_order_relaxed)};
+               bypasses_.load(std::memory_order_relaxed),
+               read_retries_.load(std::memory_order_relaxed)};
 }
 
 std::string_view to_string(PlanStore::Origin origin) noexcept {

@@ -56,6 +56,7 @@ class PlanStore {
     std::uint64_t disk_rejects = 0;  // artifacts that failed verification
     std::uint64_t compiles = 0;
     std::uint64_t bypasses = 0;
+    std::uint64_t read_retries = 0;  // transient disk-read retries
   };
 
   PlanStore();
@@ -63,7 +64,8 @@ class PlanStore {
 
   /// Mirrors memory-tier and facade counters into `registry`
   /// (`store.mem.*`, `store.disk.hits`, `store.disk.rejects`,
-  /// `store.compiles`, `store.bypasses`).  Call before going concurrent.
+  /// `store.compiles`, `store.bypasses`, `store.read_retries`).  Call
+  /// before going concurrent.
   void bind_metrics(MetricsRegistry& registry);
 
   /// Builds `(topo, source, protocol_id, options)`'s plan via the cache
@@ -113,10 +115,12 @@ class PlanStore {
   std::atomic<std::uint64_t> disk_rejects_{0};
   std::atomic<std::uint64_t> compiles_{0};
   std::atomic<std::uint64_t> bypasses_{0};
+  std::atomic<std::uint64_t> read_retries_{0};
   Counter* disk_hits_metric_ = nullptr;
   Counter* disk_rejects_metric_ = nullptr;
   Counter* compiles_metric_ = nullptr;
   Counter* bypasses_metric_ = nullptr;
+  Counter* read_retries_metric_ = nullptr;
 };
 
 [[nodiscard]] std::string_view to_string(PlanStore::Origin origin) noexcept;

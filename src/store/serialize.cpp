@@ -1,5 +1,6 @@
 #include "store/serialize.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +19,8 @@ std::string_view to_string(PlanSerdeStatus status) noexcept {
       return "ok";
     case PlanSerdeStatus::kNotFound:
       return "not found";
+    case PlanSerdeStatus::kIoError:
+      return "i/o error";
     case PlanSerdeStatus::kTruncated:
       return "truncated";
     case PlanSerdeStatus::kBadMagic:
@@ -270,7 +273,12 @@ PlanSerdeStatus read_plan_file(const std::string& path, StoredPlan& out) {
   // FILE allocation), plain stdio elsewhere.
 #if defined(__unix__) || defined(__APPLE__)
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return PlanSerdeStatus::kNotFound;
+  if (fd < 0) {
+    // Absence is a clean miss; anything else (EIO, EACCES, a flaky
+    // network mount) is a transient I/O error the caller may retry.
+    return errno == ENOENT || errno == ENOTDIR ? PlanSerdeStatus::kNotFound
+                                               : PlanSerdeStatus::kIoError;
+  }
   // Typical artifacts (a few KB) fit the stack buffer and decode without
   // touching the heap; larger ones spill into `bytes`.
   char stack_buffer[16384];
@@ -288,7 +296,7 @@ PlanSerdeStatus read_plan_file(const std::string& path, StoredPlan& out) {
     const ssize_t got = ::read(fd, dst, room);
     if (got < 0) {
       ::close(fd);
-      return PlanSerdeStatus::kNotFound;
+      return PlanSerdeStatus::kIoError;
     }
     if (got == 0) break;
     have += static_cast<std::size_t>(got);
@@ -301,7 +309,10 @@ PlanSerdeStatus read_plan_file(const std::string& path, StoredPlan& out) {
   return deserialize_plan(std::string_view(stack_buffer, have), out);
 #else
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return PlanSerdeStatus::kNotFound;
+  if (file == nullptr) {
+    return errno == ENOENT ? PlanSerdeStatus::kNotFound
+                           : PlanSerdeStatus::kIoError;
+  }
   std::string bytes;
   char chunk[4096];
   std::size_t got = 0;
@@ -310,7 +321,7 @@ PlanSerdeStatus read_plan_file(const std::string& path, StoredPlan& out) {
   }
   const bool failed = std::ferror(file) != 0;
   std::fclose(file);
-  if (failed) return PlanSerdeStatus::kNotFound;
+  if (failed) return PlanSerdeStatus::kIoError;
   return deserialize_plan(bytes, out);
 #endif
 }

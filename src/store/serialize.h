@@ -53,6 +53,8 @@ inline constexpr char kPlanMagic[kPlanMagicSize + 1] = "WSNPLAN1";
 enum class PlanSerdeStatus {
   kOk,
   kNotFound,          // no artifact at that path / key
+  kIoError,           // artifact exists but open/read failed (EIO, EACCES,
+                      // NFS hiccup...) -- transient, worth retrying
   kTruncated,         // shorter than its own structure claims
   kBadMagic,          // not a plan artifact at all
   kBadVersion,        // a format this build does not speak
@@ -81,8 +83,8 @@ enum class PlanSerdeStatus {
 [[nodiscard]] bool write_plan_file(const std::string& path,
                                    const StoredPlan& value);
 
-/// Reads and decodes the artifact at `path`; kNotFound when it cannot be
-/// opened.
+/// Reads and decodes the artifact at `path`; kNotFound when absent,
+/// kIoError when present but unreadable (retry-worthy).
 [[nodiscard]] PlanSerdeStatus read_plan_file(const std::string& path,
                                              StoredPlan& out);
 

@@ -12,6 +12,27 @@ bool Topology::adjacent(NodeId a, NodeId b) const noexcept {
   return std::binary_search(span.begin(), span.end(), b);
 }
 
+std::size_t Topology::link_index(NodeId a, NodeId b) const noexcept {
+  const auto span = neighbors(a);
+  const auto it = std::lower_bound(span.begin(), span.end(), b);
+  if (it == span.end() || *it != b) return kNoLink;
+  return offsets_[a] + static_cast<std::size_t>(it - span.begin());
+}
+
+void Topology::set_link_quality(std::vector<double> quality) {
+  WSN_EXPECTS(quality.size() == flat_.size());
+  for (const double p : quality) {
+    WSN_EXPECTS(p > 0.0 && p <= 1.0);
+  }
+  link_quality_ = std::move(quality);
+}
+
+double Topology::link_delivery(NodeId a, NodeId b) const noexcept {
+  if (link_quality_.empty()) return 1.0;
+  const std::size_t index = link_index(a, b);
+  return index == kNoLink ? 1.0 : link_quality_[index];
+}
+
 Meters Topology::distance(NodeId a, NodeId b) const noexcept {
   const auto& pa = positions_[a];
   const auto& pb = positions_[b];

@@ -69,6 +69,52 @@ class Topology {
     return flat_.size();
   }
 
+  /// Position of the directed link `a -> b` in the CSR arrays (the index
+  /// usable against a per-link annotation vector), or `kNoLink` when the
+  /// nodes are not adjacent.
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t link_index(NodeId a, NodeId b) const noexcept;
+
+  // --- per-link quality -------------------------------------------------
+  //
+  // The paper's medium is perfect; real deployments are not.  A topology
+  // may carry one delivery probability per *directed* CSR link (ETX-style
+  // link quality, learned from probe rounds or derived from a fault
+  // model's stationary loss).  The annotation is optional and inert: the
+  // simulator never consults it -- losses come from FaultModel -- but the
+  // ETX relay planner (protocol/etx_planner.h) plans by it.
+
+  /// True when `set_link_quality` installed per-link delivery
+  /// probabilities.
+  [[nodiscard]] bool has_link_quality() const noexcept {
+    return !link_quality_.empty();
+  }
+
+  /// Installs per-directed-link delivery probabilities, aligned with the
+  /// CSR order (`quality[link_index(a, b)]` is a -> b's probability).
+  /// Values must lie in (0, 1].  Not thread-safe: annotate before sharing
+  /// the topology across workers (JobMatrix topologies stay unannotated;
+  /// concurrent jobs pass per-job quality spans to the planner instead).
+  void set_link_quality(std::vector<double> quality);
+
+  /// Removes the annotation; the topology reads as perfect again.
+  void clear_link_quality() noexcept { link_quality_.clear(); }
+
+  /// Delivery probability of the directed link `a -> b`; 1.0 when no
+  /// quality is installed.  `a` and `b` must be adjacent.
+  [[nodiscard]] double link_delivery(NodeId a, NodeId b) const noexcept;
+
+  /// ETX of the directed link `a -> b`: expected transmissions until one
+  /// delivery, 1 / delivery probability.  1.0 on a perfect link.
+  [[nodiscard]] double link_etx(NodeId a, NodeId b) const noexcept {
+    return 1.0 / link_delivery(a, b);
+  }
+
+  /// The whole annotation in CSR order; empty when perfect.
+  [[nodiscard]] std::span<const double> link_quality() const noexcept {
+    return link_quality_;
+  }
+
   /// The degree of an interior node ("the maximum number of directly
   /// connective nodes", paper §2): 3, 4, 8 or 6 for the regular meshes.
   [[nodiscard]] virtual int full_degree() const noexcept = 0;
@@ -101,6 +147,7 @@ class Topology {
   std::vector<NodeId> flat_;
   std::vector<std::array<Meters, 3>> positions_;
   std::vector<Meters> tx_range_;
+  std::vector<double> link_quality_;  // empty = perfect medium
 };
 
 }  // namespace wsn

@@ -1,0 +1,180 @@
+// Lossy-mode audit checks (9-11): expected-vs-observed delivery, retry
+// accounting, and the coverage-vs-budget frontier.  Each check gets a
+// clean pass on an honest run and a forced violation on a doctored
+// config -- the auditor must catch underdelivery, transmission overruns,
+// and silent coverage shortfalls.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/adaptive.h"
+#include "fault/models.h"
+#include "fault/recovery.h"
+#include "obs/audit/auditor.h"
+#include "obs/event_sink.h"
+#include "obs/observer.h"
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/mesh2d4.h"
+
+namespace wsn {
+namespace {
+
+struct LossyRun {
+  EventSink sink;
+  BroadcastOutcome outcome;
+  RelayPlan plan;
+};
+
+/// One observed broadcast on 2D-4 8x8 under i.i.d. loss; the shared
+/// fixture of the lossy-audit cases.  `k > 1` hardens the plan with
+/// repeat-k so the broadcast survives deep into the mesh and the delivery
+/// sample clears the auditor's min-samples guard (a bare paper plan at
+/// 30% loss collapses after a few hops).
+LossyRun run_lossy(double loss, std::uint64_t seed, unsigned k = 1) {
+  LossyRun run;
+  const Mesh2D4 topo(8, 8);
+  run.plan = paper_plan(topo, 0);
+  if (k > 1) run.plan = repeat_k(std::move(run.plan), k);
+  IidLossModel model(loss, seed);
+  Observer observer(&run.sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.observer = &observer;
+  options.faults = &model;
+  run.outcome = simulate_broadcast(topo, run.plan, options);
+  return run;
+}
+
+TEST(AuditLossy, HonestDeliveryRatePasses) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.2, 3, 3);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.expect_full_coverage = false;
+  config.mean_link_delivery = 0.8;  // the truth
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_FALSE(report.violated(AuditCheck::kExpectedDelivery))
+      << audit_summary_text(report);
+}
+
+TEST(AuditLossy, UnderdeliveryAgainstAClaimedPerfectChannelFails) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.3, 3, 3);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.expect_full_coverage = false;
+  config.mean_link_delivery = 1.0;  // a lie: the channel dropped 30%
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_TRUE(report.violated(AuditCheck::kExpectedDelivery));
+}
+
+TEST(AuditLossy, RetryAccountingPassesWhenTxMatchesThePlan) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.2, 5);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.expect_full_coverage = false;
+  config.planned_tx = run.plan.planned_tx();
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_FALSE(report.violated(AuditCheck::kRetryAccounting))
+      << audit_summary_text(report);
+}
+
+TEST(AuditLossy, TransmissionOverrunFailsRetryAccounting) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.0, 5);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.planned_tx = 1;  // the run transmitted far more than "planned"
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_TRUE(report.violated(AuditCheck::kRetryAccounting));
+}
+
+TEST(AuditLossy, DeclaredRetriesOverBudgetFail) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.0, 5);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.planned_tx = run.plan.planned_tx();
+  config.retries = 10;
+  config.retry_budget = 4;  // recovery claims more retries than allowed
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_TRUE(report.violated(AuditCheck::kRetryAccounting));
+}
+
+TEST(AuditLossy, SilentShortfallFailsTheCoverageFrontier) {
+  // A lossy run leaves nodes uncovered; claiming ARQ ran with budget to
+  // spare and no round cap means the shortfall is a recovery bug.
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.35, 11);
+  ASSERT_FALSE(run.outcome.stats.fully_reached());
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.expect_full_coverage = false;
+  config.arq = true;
+  config.budget_exhausted = false;
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_TRUE(report.violated(AuditCheck::kCoverageFrontier));
+}
+
+TEST(AuditLossy, ExhaustedBudgetExcusesTheShortfall) {
+  const Mesh2D4 topo(8, 8);
+  LossyRun run = run_lossy(0.35, 11);
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &run.outcome.stats;
+  config.expect_full_coverage = false;
+  config.arq = true;
+  config.budget_exhausted = true;  // degradation was declared, not silent
+  const AuditReport report = audit_sink(topo, run.sink, config);
+  EXPECT_FALSE(report.violated(AuditCheck::kCoverageFrontier))
+      << audit_summary_text(report);
+}
+
+TEST(AuditLossy, RealAdaptiveRunAuditsClean) {
+  // End-to-end: an actual ARQ run, observed and audited with the full
+  // lossy config -- no check may fire.
+  const Mesh2D4 topo(8, 8);
+  const RelayPlan plan = paper_plan(topo, 0);
+  IidLossModel model(0.2, 21);
+  EventSink sink;
+  Observer observer(&sink);
+  SimOptions options;
+  options.record_collisions = true;
+  options.observer = &observer;
+  options.faults = &model;
+  AdaptiveArqConfig arq_config;
+  AdaptiveArqReport arq_report;
+  const BroadcastOutcome out =
+      run_adaptive_arq(topo, plan, options, arq_config, &arq_report);
+
+  AuditConfig config;
+  config.source = 0;
+  config.stats = &out.stats;
+  config.expect_full_coverage = false;
+  config.mean_link_delivery = 0.8;
+  config.planned_tx = plan.planned_tx();
+  config.retries = arq_report.retries;
+  config.retry_budget = arq_config.retry_budget;
+  config.arq = true;
+  config.budget_exhausted = arq_report.budget_exhausted;
+  config.arq_rounds = arq_report.rounds;
+  config.arq_max_rounds = arq_config.max_rounds;
+  const AuditReport report = audit_sink(topo, sink, config);
+  EXPECT_FALSE(report.violated(AuditCheck::kExpectedDelivery))
+      << audit_summary_text(report);
+  EXPECT_FALSE(report.violated(AuditCheck::kRetryAccounting))
+      << audit_summary_text(report);
+  EXPECT_FALSE(report.violated(AuditCheck::kCoverageFrontier))
+      << audit_summary_text(report);
+}
+
+}  // namespace
+}  // namespace wsn

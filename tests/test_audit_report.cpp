@@ -38,13 +38,19 @@ TEST(AuditReport, GoldenPassOnEveryPaperTopology) {
     SimOptions options;
     options.record_collisions = true;
     options.observer = &observer;
-    const BroadcastOutcome out =
-        simulate_broadcast(*topo, paper_plan(*topo, src), options);
+    const RelayPlan plan = paper_plan(*topo, src);
+    const BroadcastOutcome out = simulate_broadcast(*topo, plan, options);
 
     AuditConfig config;
     config.source = src;
     config.stats = &out.stats;
     config.family = family;
+    // Enable the lossy-mode checks too (9-11) so every check runs; on a
+    // perfect medium they are exact: delivery ratio 1, tx == planned,
+    // zero coverage shortfall.
+    config.mean_link_delivery = 1.0;
+    config.planned_tx = plan.planned_tx();
+    config.arq = true;
     const AuditReport report = audit_sink(*topo, sink, config);
 
     EXPECT_TRUE(report.passed()) << audit_summary_text(report);

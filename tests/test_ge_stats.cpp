@@ -1,0 +1,113 @@
+// Statistical validation of the Gilbert-Elliott model: the empirical
+// stationary loss rate and mean burst length of the simulated chain must
+// match the closed-form values the resilience sweeps and the adaptive-ARQ
+// backoff are calibrated against.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/models.h"
+
+namespace wsn {
+namespace {
+
+constexpr Slot kHorizon = 20000;
+
+/// Walks one link's chain for `kHorizon` slots with loss_good = 0 and
+/// loss_bad = 1, so "probe lost" reveals the Bad state exactly.
+struct ChainTrace {
+  double bad_share = 0.0;
+  double mean_burst = 0.0;
+  std::size_t bursts = 0;
+};
+
+ChainTrace trace_chain(GilbertElliottModel& model, NodeId tx, NodeId rx) {
+  model.begin_run();
+  std::size_t bad_slots = 0;
+  std::size_t bursts = 0;
+  std::size_t burst_slots = 0;
+  bool in_burst = false;
+  for (Slot slot = 1; slot <= kHorizon; ++slot) {
+    const bool bad = !model.link_delivers(tx, rx, slot);
+    if (bad) {
+      bad_slots += 1;
+      burst_slots += 1;
+      if (!in_burst) {
+        bursts += 1;
+        in_burst = true;
+      }
+    } else {
+      in_burst = false;
+    }
+  }
+  ChainTrace trace;
+  trace.bad_share = static_cast<double>(bad_slots) / kHorizon;
+  trace.bursts = bursts;
+  trace.mean_burst =
+      bursts == 0 ? 0.0
+                  : static_cast<double>(burst_slots) /
+                        static_cast<double>(bursts);
+  return trace;
+}
+
+TEST(GilbertElliottStats, StationaryBadShareMatchesClosedForm) {
+  const double p_gb = 0.05;
+  const double p_bg = 0.25;
+  const double expected = p_gb / (p_gb + p_bg);
+  for (const std::uint64_t seed : {1ull, 17ull, 4242ull, 987654321ull}) {
+    GilbertElliottModel model(p_gb, p_bg, 0.0, 1.0, seed);
+    EXPECT_NEAR(model.stationary_bad(), expected, 1e-12);
+    const ChainTrace trace = trace_chain(model, 0, 1);
+    // Std error of the bad-share estimate over 20k correlated slots is
+    // about sqrt(p(1-p) * burst / n) ~ 0.005; allow 5 sigma.
+    EXPECT_NEAR(trace.bad_share, expected, 0.03) << "seed " << seed;
+  }
+}
+
+TEST(GilbertElliottStats, MeanBurstLengthMatchesOneOverPbg) {
+  const double p_bg = 0.2;  // geometric bursts, mean 5 slots
+  for (const std::uint64_t seed : {3ull, 71ull, 2026ull}) {
+    GilbertElliottModel model(0.04, p_bg, 0.0, 1.0, seed);
+    const ChainTrace trace = trace_chain(model, 2, 3);
+    ASSERT_GT(trace.bursts, 50u) << "seed " << seed;
+    EXPECT_NEAR(trace.mean_burst, 1.0 / p_bg, 0.8) << "seed " << seed;
+  }
+}
+
+TEST(GilbertElliottStats, FromMeanLossHitsTheRequestedRate) {
+  // from_mean_loss parameterizes (p_gb, p_bg, loss_bad = 0.9): the
+  // empirical loss over a long horizon must land on the request across
+  // seeds and rates.
+  for (const double mean_loss : {0.05, 0.1, 0.2, 0.3}) {
+    for (const std::uint64_t seed : {5ull, 555ull}) {
+      GilbertElliottModel model =
+          GilbertElliottModel::from_mean_loss(mean_loss, 4.0, seed);
+      model.begin_run();
+      std::size_t lost = 0;
+      for (Slot slot = 1; slot <= kHorizon; ++slot) {
+        if (!model.link_delivers(1, 2, slot)) lost += 1;
+      }
+      const double observed = static_cast<double>(lost) / kHorizon;
+      EXPECT_NEAR(observed, mean_loss, 0.035)
+          << "rate " << mean_loss << " seed " << seed;
+    }
+  }
+}
+
+TEST(GilbertElliottStats, ChainsAreIndependentPerLink) {
+  // Two directed links of one model draw from distinct chain streams: a
+  // long horizon must not produce identical loss patterns.
+  GilbertElliottModel model(0.1, 0.3, 0.0, 1.0, 9);
+  model.begin_run();
+  std::size_t differing = 0;
+  for (Slot slot = 1; slot <= 2000; ++slot) {
+    if (model.link_delivers(0, 1, slot) != model.link_delivers(1, 0, slot)) {
+      differing += 1;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+}  // namespace
+}  // namespace wsn

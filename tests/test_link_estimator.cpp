@@ -1,0 +1,67 @@
+#include "fault/link_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/models.h"
+#include "topology/mesh2d4.h"
+#include "topology/topology.h"
+
+namespace wsn {
+namespace {
+
+TEST(LinkEstimator, RecoversTheIidDeliveryRate) {
+  const Mesh2D4 topo(8, 8);
+  IidLossModel model(0.25, 1234);
+  LinkEstimatorConfig config;
+  config.probe_rounds = 256;
+  const std::vector<double> quality =
+      estimate_link_quality(topo, model, config);
+  ASSERT_EQ(quality.size(), topo.num_directed_links());
+  double sum = 0.0;
+  for (const double q : quality) {
+    EXPECT_GE(q, config.min_delivery);
+    EXPECT_LE(q, 1.0);
+    // Per-link binomial noise at 256 probes: 5 sigma ~ 0.14.
+    EXPECT_NEAR(q, 0.75, 0.15);
+    sum += q;
+  }
+  // The mean over all links tightens by sqrt(#links).
+  EXPECT_NEAR(sum / static_cast<double>(quality.size()), 0.75, 0.02);
+}
+
+TEST(LinkEstimator, IsDeterministic) {
+  const Mesh2D4 topo(6, 6);
+  IidLossModel a(0.3, 77);
+  IidLossModel b(0.3, 77);
+  EXPECT_EQ(estimate_link_quality(topo, a), estimate_link_quality(topo, b));
+}
+
+TEST(LinkEstimator, ClampsDeadLinksToMinDelivery) {
+  const Mesh2D4 topo(4, 4);
+  IidLossModel model(1.0, 5);
+  const std::vector<double> quality = estimate_link_quality(topo, model);
+  for (const double q : quality) {
+    EXPECT_DOUBLE_EQ(q, LinkEstimatorConfig{}.min_delivery);
+  }
+}
+
+TEST(LinkEstimator, LearnInstallsTheAnnotation) {
+  Mesh2D4 topo(4, 4);
+  EXPECT_FALSE(topo.has_link_quality());
+  IidLossModel model(0.2, 9);
+  learn_link_quality(topo, model);
+  EXPECT_TRUE(topo.has_link_quality());
+  // broadcast_etx is 1/min out-link delivery: >= 1 everywhere, and > 1
+  // on a lossy annotation.
+  EXPECT_GT(broadcast_etx(topo, 0), 1.0);
+}
+
+TEST(LinkEstimator, PerfectChannelYieldsUnitEtx) {
+  Mesh2D4 topo(4, 4);
+  EXPECT_DOUBLE_EQ(broadcast_etx(topo, 5), 1.0);  // no annotation
+}
+
+}  // namespace
+}  // namespace wsn

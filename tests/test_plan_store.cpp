@@ -278,5 +278,44 @@ TEST(PlanStore, MetricsBindingMirrorsFacadeCounters) {
   EXPECT_EQ(registry.counter("store.mem.misses").value(), 1u);
 }
 
+TEST(PlanStore, ExhaustedDiskRetriesFallBackToRecompile) {
+  // A disk tier whose every read fails transiently: the facade retries
+  // the bounded number of times, then recompiles -- slow, never wrong,
+  // never crashed -- and the retry spend is mirrored into the metrics.
+  const TempDir tmp("io_error_fallback");
+  const auto topo = make_mesh("2D-4", 6, 4);
+  PlanStore::Config config;
+  config.disk_dir = tmp.path.string();
+  PlanStore store(config);
+  MetricsRegistry registry;
+  store.bind_metrics(registry);
+
+  (void)store.fetch_or_compile(*topo, 0, "paper", {},
+                               paper_compile(*topo, 0));
+
+  struct InjectorGuard {
+    ~InjectorGuard() { PlanDiskStore::set_load_fault_injector(nullptr); }
+  } guard;
+  PlanDiskStore::set_load_fault_injector(
+      +[](PlanSerdeStatus, int) { return PlanSerdeStatus::kIoError; });
+
+  // Fresh store over the same directory (cold memory tier) so the fetch
+  // must go through the failing disk reads.
+  PlanStore cold(config);
+  MetricsRegistry cold_registry;
+  cold.bind_metrics(cold_registry);
+  PlanStore::Origin origin = PlanStore::Origin::kMemory;
+  const auto value = cold.fetch_or_compile(*topo, 0, "paper", {},
+                                           paper_compile(*topo, 0), &origin);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(origin, PlanStore::Origin::kCompiled);
+  EXPECT_EQ(value->plan.num_nodes(), topo->num_nodes());
+  const PlanStore::Stats stats = cold.stats();
+  EXPECT_EQ(stats.read_retries,
+            static_cast<std::uint64_t>(PlanDiskStore::kLoadAttempts - 1));
+  EXPECT_EQ(cold_registry.counter("store.read_retries").value(),
+            stats.read_retries);
+}
+
 }  // namespace
 }  // namespace wsn

@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -380,6 +382,108 @@ TEST(ScenarioEngine, ErrorRecordsStillCountTowardResume) {
   EXPECT_EQ(summary.jobs_skipped, 5u);
   EXPECT_EQ(summary.errors, 1u);  // error record in the kept prefix
   EXPECT_EQ(read_file(out), golden);
+}
+
+TEST(ScenarioEngine, EtxAdaptiveJobsEmitRetryFieldsAndAuditClean) {
+  // The lossy workload end-to-end: etx planning + adaptive ARQ under a
+  // Gilbert-Elliott channel, audited in-stream.  Every job must succeed,
+  // adaptive records must carry the retry accounting, and the lossy-mode
+  // audit checks must pass on every swept job (the tentpole acceptance).
+  const TempDir tmp("etxarq");
+  JobMatrix matrix;
+  expand(
+      "{\"name\": \"lossy\", \"scenarios\": [{"
+      "\"name\": \"etx-arq\", \"family\": \"2D-4\", \"dims\": [6, 6],"
+      "\"sources\": [0], \"protocols\": [\"etx\", \"paper\"],"
+      "\"faults\": [{\"kind\": \"gilbert\", \"loss\": 0.2, \"burst\": 4}],"
+      "\"recovery\": [\"adaptive\", \"repeat-k\"],"
+      "\"arq_budget\": 64, \"arq_rounds\": 6, \"seeds\": [1, 2]}]}",
+      matrix);
+  ASSERT_EQ(matrix.jobs.size(), 8u);
+
+  EngineConfig config;
+  config.workers = 2;
+  config.audit = true;
+  ScenarioEngine engine(matrix, config);
+  const std::string out = (tmp.path / "out.jsonl").string();
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.errors, 0u);
+
+  const auto lines = lines_of(read_file(out));
+  ASSERT_EQ(lines.size(), 1u + matrix.jobs.size());
+  std::size_t adaptive_records = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& record = lines[i];
+    EXPECT_NE(record.find("\"status\":\"ok\""), std::string::npos) << record;
+    EXPECT_NE(record.find("\"audit_violations\":0"), std::string::npos)
+        << record;
+    if (record.find("\"recovery\":\"adaptive\"") != std::string::npos) {
+      adaptive_records += 1;
+      EXPECT_NE(record.find("\"retries\":"), std::string::npos) << record;
+      EXPECT_NE(record.find("\"arq_rounds\":"), std::string::npos) << record;
+    }
+  }
+  EXPECT_EQ(adaptive_records, 4u);
+}
+
+TEST(ScenarioEngine, WatchdogResolvesStalledJobsIntoErrorRecords) {
+  // Satellite (a): a stalled job must become an error record carrying the
+  // elapsed time and stage -- emission proceeds past it, the run
+  // completes, and only the stalled job is affected.
+  const TempDir tmp("watchdog");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);  // 12 tiny jobs
+  const std::size_t stalled = 3;
+
+  EngineConfig config;
+  config.workers = 2;
+  config.job_timeout_ms = 250;
+  config.before_job = [&](const ScenarioJob& job) {
+    if (job.index == stalled) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    }
+  };
+  MetricsRegistry metrics;
+  config.metrics = &metrics;
+  ScenarioEngine engine(matrix, config);
+  const std::string out = (tmp.path / "out.jsonl").string();
+  const RunSummary summary = engine.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.emitted, matrix.jobs.size());
+  EXPECT_GE(summary.errors, 1u);
+  EXPECT_GE(metrics.counter("scenario.jobs_timed_out").value(), 1u);
+
+  const auto lines = lines_of(read_file(out));
+  ASSERT_EQ(lines.size(), 1u + matrix.jobs.size());
+  const std::string& record = lines[1 + stalled];
+  EXPECT_NE(record.find("\"status\":\"error\""), std::string::npos) << record;
+  EXPECT_NE(record.find("watchdog"), std::string::npos) << record;
+  EXPECT_NE(record.find("\"elapsed_ms\":"), std::string::npos) << record;
+  EXPECT_NE(record.find("\"stage\":\"plan\""), std::string::npos) << record;
+  // The stalled worker's late real result was discarded, not emitted.
+  EXPECT_EQ(record.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ScenarioEngine, WatchdogIsInertWhenNothingStalls) {
+  // With the watchdog armed but no stall, the results file is
+  // byte-identical to a run without it -- the deadline is pure policy.
+  const TempDir tmp("watchdog_inert");
+  JobMatrix matrix;
+  expand(kSmallSpec, matrix);
+
+  ScenarioEngine plain(matrix, {});
+  const std::string golden_path = (tmp.path / "golden.jsonl").string();
+  ASSERT_TRUE(plain.run(golden_path).ok);
+
+  EngineConfig config;
+  config.job_timeout_ms = 60000;
+  ScenarioEngine guarded(matrix, config);
+  const std::string out = (tmp.path / "out.jsonl").string();
+  const RunSummary summary = guarded.run(out);
+  ASSERT_TRUE(summary.ok) << summary.error;
+  EXPECT_EQ(summary.errors, 0u);
+  EXPECT_EQ(read_file(out), read_file(golden_path));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 namespace wsn {
@@ -200,6 +201,49 @@ TEST(ScenarioSpec, FaultLabelsAreStable) {
   combo.crash_prob = 0.05;
   combo.crash_horizon = 32;
   EXPECT_EQ(combo.label(), "gilbert:0.2:4+crash:0.05:32:0");
+}
+
+TEST(ScenarioSpec, EtxProtocolAndAdaptiveRecoveryParse) {
+  const ScenarioSpec spec = spec_of(
+      "{\"scenarios\": [{\"family\": \"2D-4\","
+      " \"protocols\": [\"etx\", \"paper\"],"
+      " \"recovery\": [\"adaptive\"],"
+      " \"arq_budget\": 64, \"arq_rounds\": 5}]}");
+  const ScenarioEntry& e = spec.entries[0];
+  EXPECT_EQ(e.protocols, (std::vector<std::string>{"etx", "paper"}));
+  EXPECT_EQ(e.recovery, std::vector<RecoveryPolicy>{RecoveryPolicy::kAdaptive});
+  EXPECT_EQ(e.arq_budget, 64u);
+  EXPECT_EQ(e.arq_rounds, 5u);
+}
+
+TEST(ScenarioSpec, ArqKnobsDefaultAndReject) {
+  const ScenarioSpec spec =
+      spec_of("{\"scenarios\": [{\"family\": \"2D-4\"}]}");
+  EXPECT_EQ(spec.entries[0].arq_budget, 256u);
+  EXPECT_EQ(spec.entries[0].arq_rounds, 8u);
+  EXPECT_NE(error_of("{\"scenarios\": [{\"family\": \"2D-4\","
+                     " \"arq_rounds\": 0}]}")
+                .find("arq_rounds"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, ArqKnobsReachTheJobIdentity) {
+  // The knobs change the executed recovery, so they must change the
+  // fingerprint -- a resumed run with different knobs is a different run.
+  const char* base =
+      "{\"scenarios\": [{\"family\": \"2D-4\", \"dims\": [3, 2],"
+      " \"recovery\": [\"adaptive\"]%s}]}";
+  char with_knobs[256];
+  std::snprintf(with_knobs, sizeof with_knobs, base, ", \"arq_budget\": 9");
+  char defaults[256];
+  std::snprintf(defaults, sizeof defaults, base, "");
+  JobMatrix a, b;
+  std::string error;
+  ASSERT_TRUE(expand_jobs(spec_of(defaults), a, error)) << error;
+  ASSERT_TRUE(expand_jobs(spec_of(with_knobs), b, error)) << error;
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_NE(job_identity(a.jobs[0]).find("arq=256:8"), std::string::npos);
+  EXPECT_NE(job_identity(b.jobs[0]).find("arq=9:8"), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -168,6 +169,73 @@ TEST(StoreDisk, UncreatableDirectoryDegradesWithoutThrowing) {
   EXPECT_EQ(store.load(sample_fingerprint(), out),
             PlanSerdeStatus::kNotFound);
   EXPECT_EQ(store.artifact_count(), 0u);
+}
+
+// --- transient-read retry policy -------------------------------------------
+
+/// Clears the global load-fault injector even when an assertion bails out.
+struct InjectorGuard {
+  ~InjectorGuard() { PlanDiskStore::set_load_fault_injector(nullptr); }
+};
+
+std::atomic<int> g_injected_reads{0};
+
+TEST(StoreDisk, TransientIoErrorIsRetriedToSuccess) {
+  const TempDir tmp("retry_ok");
+  PlanDiskStore store(tmp.path.string());
+  const PlanFingerprint fp = sample_fingerprint();
+  ASSERT_TRUE(store.save(fp, sample_plan()));
+
+  const InjectorGuard guard;
+  // First read fails as if the disk hiccupped; the retry sees the truth.
+  PlanDiskStore::set_load_fault_injector(
+      +[](PlanSerdeStatus status, int attempt) {
+        return attempt == 0 ? PlanSerdeStatus::kIoError : status;
+      });
+  StoredPlan out;
+  EXPECT_EQ(store.load(fp, out), PlanSerdeStatus::kOk);
+  EXPECT_EQ(out.plan.num_nodes(), sample_plan().plan.num_nodes());
+  EXPECT_EQ(store.read_retries(), 1u);
+}
+
+TEST(StoreDisk, PersistentIoErrorSurfacesAfterBoundedAttempts) {
+  const TempDir tmp("retry_exhausted");
+  PlanDiskStore store(tmp.path.string());
+  const PlanFingerprint fp = sample_fingerprint();
+  ASSERT_TRUE(store.save(fp, sample_plan()));
+
+  const InjectorGuard guard;
+  g_injected_reads.store(0);
+  PlanDiskStore::set_load_fault_injector(+[](PlanSerdeStatus, int) {
+    g_injected_reads.fetch_add(1);
+    return PlanSerdeStatus::kIoError;
+  });
+  StoredPlan out;
+  EXPECT_EQ(store.load(fp, out), PlanSerdeStatus::kIoError);
+  // Exactly kLoadAttempts reads, kLoadAttempts - 1 of them retries.
+  EXPECT_EQ(g_injected_reads.load(), PlanDiskStore::kLoadAttempts);
+  EXPECT_EQ(store.read_retries(),
+            static_cast<std::uint64_t>(PlanDiskStore::kLoadAttempts - 1));
+}
+
+TEST(StoreDisk, VerificationFailuresAreNotRetried) {
+  const TempDir tmp("retry_checksum");
+  PlanDiskStore store(tmp.path.string());
+  const PlanFingerprint fp = sample_fingerprint();
+  ASSERT_TRUE(store.save(fp, sample_plan()));
+  damage_artifact(store.artifact_path(fp), 70);
+
+  const InjectorGuard guard;
+  g_injected_reads.store(0);
+  PlanDiskStore::set_load_fault_injector(+[](PlanSerdeStatus status, int) {
+    g_injected_reads.fetch_add(1);
+    return status;
+  });
+  StoredPlan out;
+  EXPECT_EQ(store.load(fp, out), PlanSerdeStatus::kChecksumMismatch);
+  // Damage is not transient: one read, no retries, straight to recompile.
+  EXPECT_EQ(g_injected_reads.load(), 1);
+  EXPECT_EQ(store.read_retries(), 0u);
 }
 
 }  // namespace

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> files = cli.positional();
   if (files.empty()) {
     files = {"BENCH_perf.json", "BENCH_pipeline.json",
-             "BENCH_plan_cache.json", "BENCH_scenario.json"};
+             "BENCH_plan_cache.json", "BENCH_scenario.json",
+             "BENCH_resilience.json"};
   }
 
   const std::filesystem::path baseline_dir = cli.get("baseline-dir");
