@@ -13,6 +13,7 @@
 // --json-out writes a meshbcast.bench.scenario JSON document (schema in
 // EXPERIMENTS.md) for the CI artifact trail.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -50,6 +51,61 @@ struct ConfigResult {
   double cache_hit_rate = 0.0;      // memory tier, after the warm run
 };
 
+/// One output row per distinct resolved worker count.  A workers-list
+/// like "1,2,0" resolves 0 to the core count, which on a small machine
+/// collides with an explicit entry -- schema v1 then emitted duplicate
+/// "workers":1 rows, and the bench gate's occurrence-suffixed keys
+/// ("workers=1#2") changed meaning whenever the list or the machine did.
+/// v2 dedupes by resolved count: repeats still *run* (same measurement
+/// load) but aggregate into min/mean/max spread fields; the flat
+/// cold/warm means keep their v1 names so the gate's keys stay stable.
+struct AggregatedResult {
+  std::size_t workers = 0;
+  std::size_t runs = 0;
+  double cold_min = 0.0, cold_mean = 0.0, cold_max = 0.0;
+  double warm_min = 0.0, warm_mean = 0.0, warm_max = 0.0;
+  double queue_wait_ms_mean = 0.0;  // mean over runs
+  double cache_hit_rate = 0.0;      // mean over runs
+};
+
+std::vector<AggregatedResult> aggregate(
+    const std::vector<ConfigResult>& results) {
+  std::vector<AggregatedResult> out;
+  for (const ConfigResult& r : results) {
+    AggregatedResult* agg = nullptr;
+    for (AggregatedResult& candidate : out) {
+      if (candidate.workers == r.workers) {
+        agg = &candidate;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      out.emplace_back();
+      agg = &out.back();
+      agg->workers = r.workers;
+      agg->cold_min = agg->cold_max = r.cold_jobs_per_sec;
+      agg->warm_min = agg->warm_max = r.warm_jobs_per_sec;
+    }
+    agg->runs += 1;
+    agg->cold_min = std::min(agg->cold_min, r.cold_jobs_per_sec);
+    agg->cold_max = std::max(agg->cold_max, r.cold_jobs_per_sec);
+    agg->cold_mean += r.cold_jobs_per_sec;
+    agg->warm_min = std::min(agg->warm_min, r.warm_jobs_per_sec);
+    agg->warm_max = std::max(agg->warm_max, r.warm_jobs_per_sec);
+    agg->warm_mean += r.warm_jobs_per_sec;
+    agg->queue_wait_ms_mean += r.queue_wait_ms_mean;
+    agg->cache_hit_rate += r.cache_hit_rate;
+  }
+  for (AggregatedResult& agg : out) {
+    const double runs = static_cast<double>(agg.runs);
+    agg.cold_mean /= runs;
+    agg.warm_mean /= runs;
+    agg.queue_wait_ms_mean /= runs;
+    agg.cache_hit_rate /= runs;
+  }
+  return out;
+}
+
 double timed_run(const wsn::JobMatrix& matrix, std::size_t workers,
                  wsn::PlanStore* store, const std::filesystem::path& out,
                  double* queue_wait_ms) {
@@ -72,25 +128,32 @@ double timed_run(const wsn::JobMatrix& matrix, std::size_t workers,
 }
 
 bool write_scenario_bench_json(const std::string& path, std::size_t jobs,
-                               const std::vector<ConfigResult>& results) {
+                               const std::vector<AggregatedResult>& results) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
-  out << "{\"schema\":\"meshbcast.bench.scenario\",\"version\":1,"
+  out << "{\"schema\":\"meshbcast.bench.scenario\",\"version\":2,"
       << "\"bench\":\"scenario_throughput\",\"jobs\":" << jobs
       << ",\n \"results\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const ConfigResult& r = results[i];
+    const AggregatedResult& r = results[i];
     if (i != 0) out << ",";
-    char line[256];
+    char line[512];
     std::snprintf(line, sizeof line,
-                  "\n  {\"workers\":%zu,\"cold_jobs_per_sec\":%.3f,"
-                  "\"warm_jobs_per_sec\":%.3f,\"queue_wait_ms_mean\":%.6f,"
+                  "\n  {\"workers\":%zu,\"runs\":%zu,"
+                  "\"cold_jobs_per_sec\":%.3f,"
+                  "\"cold_jobs_per_sec_min\":%.3f,"
+                  "\"cold_jobs_per_sec_max\":%.3f,"
+                  "\"warm_jobs_per_sec\":%.3f,"
+                  "\"warm_jobs_per_sec_min\":%.3f,"
+                  "\"warm_jobs_per_sec_max\":%.3f,"
+                  "\"queue_wait_ms_mean\":%.6f,"
                   "\"cache_hit_rate\":%.6f}",
-                  r.workers, r.cold_jobs_per_sec, r.warm_jobs_per_sec,
-                  r.queue_wait_ms_mean, r.cache_hit_rate);
+                  r.workers, r.runs, r.cold_mean, r.cold_min, r.cold_max,
+                  r.warm_mean, r.warm_min, r.warm_max, r.queue_wait_ms_mean,
+                  r.cache_hit_rate);
     out << line;
   }
   out << "\n]}\n";
@@ -135,7 +198,7 @@ int main(int argc, char** argv) {
   std::filesystem::remove_all(tmp);
   std::filesystem::create_directories(tmp);
 
-  wsn::AsciiTable table({"Workers", "cold jobs/s", "warm jobs/s",
+  wsn::AsciiTable table({"Workers", "runs", "cold jobs/s", "warm jobs/s",
                          "queue wait (ms)", "cache hit rate"});
   table.set_title("Scenario engine throughput (" +
                   std::to_string(matrix.jobs.size()) + " jobs)");
@@ -155,8 +218,11 @@ int main(int argc, char** argv) {
                                     : static_cast<double>(stats.hits) /
                                           static_cast<double>(lookups);
     results.push_back(r);
-    table.add_row({std::to_string(workers), wsn::fixed(r.cold_jobs_per_sec, 1),
-                   wsn::fixed(r.warm_jobs_per_sec, 1),
+  }
+  const std::vector<AggregatedResult> aggregated = aggregate(results);
+  for (const AggregatedResult& r : aggregated) {
+    table.add_row({std::to_string(r.workers), std::to_string(r.runs),
+                   wsn::fixed(r.cold_mean, 1), wsn::fixed(r.warm_mean, 1),
                    wsn::fixed(r.queue_wait_ms_mean, 3),
                    wsn::fixed(r.cache_hit_rate, 3)});
   }
@@ -165,7 +231,8 @@ int main(int argc, char** argv) {
 
   const std::string json_path = cli.get("json-out");
   if (!json_path.empty() &&
-      !write_scenario_bench_json(json_path, matrix.jobs.size(), results)) {
+      !write_scenario_bench_json(json_path, matrix.jobs.size(),
+                                 aggregated)) {
     return 1;
   }
   return 0;

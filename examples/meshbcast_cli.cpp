@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/profile.h"
+#include "obs/timeline.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/flooding.h"
 #include "protocol/gossip.h"
@@ -158,6 +159,10 @@ int main(int argc, char** argv) {
                  "");
   cli.add_option("metrics-out", "metrics JSON path", "");
   cli.add_flag("profile", "print the profiling-span report");
+  cli.add_option("timeline-out",
+                 "record per-thread span timelines; .jsonl = "
+                 "meshbcast.timeline, else Chrome/Perfetto trace-event JSON",
+                 "");
   cli.add_option("plan-cache",
                  "plan-store directory; compiles go through the cache", "");
   cli.add_option("plan-out", "write the compiled plan artifact here", "");
@@ -175,6 +180,8 @@ int main(int argc, char** argv) {
   const std::string metrics_path = cli.get("metrics-out");
   const bool profile = cli.get_flag("profile");
   if (profile) wsn::Profiler::instance().set_enabled(true);
+  const std::string timeline_path = cli.get("timeline-out");
+  if (!timeline_path.empty()) wsn::Timeline::instance().set_enabled(true);
   if (!trace_path.empty() && command == "sweep") {
     std::fprintf(stderr,
                  "--trace-out is per-run; sweep runs sources concurrently "
@@ -292,6 +299,21 @@ int main(int argc, char** argv) {
     }
     if (profile) {
       std::fputs(wsn::Profiler::instance().report_text().c_str(), stdout);
+    }
+    if (!timeline_path.empty()) {
+      std::ofstream file(timeline_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+        return 1;
+      }
+      const auto threads = wsn::Timeline::instance().snapshot();
+      if (timeline_path.size() >= 6 &&
+          timeline_path.rfind(".jsonl") == timeline_path.size() - 6) {
+        wsn::write_timeline_jsonl(file, threads);
+      } else {
+        wsn::write_timeline_perfetto(file, threads);
+      }
+      std::printf("timeline: %s\n", timeline_path.c_str());
     }
     return code;
   };

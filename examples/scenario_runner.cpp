@@ -20,6 +20,8 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeline.h"
 #include "scenario/engine.h"
 #include "scenario/spec.h"
 #include "store/plan_store.h"
@@ -61,6 +63,14 @@ int main(int argc, char** argv) {
   cli.add_option("job-timeout-ms", "per-job watchdog deadline in ms: a job "
                                    "over it becomes an error record instead "
                                    "of stalling emission (0 = off)", "0");
+  cli.add_option("timeline-out", "record per-thread span timelines and "
+                                 "write the meshbcast.timeline JSONL here "
+                                 "('' = off)", "");
+  cli.add_option("timeseries-out", "sample metrics + worker utilization "
+                                   "periodically into this meshbcast."
+                                   "timeseries JSONL ('' = off)", "");
+  cli.add_option("timeseries-period-ms", "sampling period for "
+                                         "--timeseries-out", "100");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string spec_path = cli.get("scenario");
@@ -116,6 +126,23 @@ int main(int argc, char** argv) {
     };
   }
 
+  const std::string timeline_path = cli.get("timeline-out");
+  if (!timeline_path.empty()) Timeline::instance().set_enabled(true);
+
+  TelemetrySampler::Config sampler_config;
+  sampler_config.period_ms =
+      static_cast<std::size_t>(cli.get_u64("timeseries-period-ms"));
+  sampler_config.metrics = &metrics;
+  TelemetrySampler sampler(sampler_config);
+  const std::string timeseries_path = cli.get("timeseries-out");
+  if (!timeseries_path.empty()) {
+    if (!sampler.start(timeseries_path)) {
+      std::cerr << "error: cannot write " << timeseries_path << "\n";
+      return 1;
+    }
+    config.sampler = &sampler;
+  }
+
   std::signal(SIGINT, on_sigint);
   std::signal(SIGTERM, on_sigint);
 
@@ -125,9 +152,21 @@ int main(int argc, char** argv) {
 
   ScenarioEngine engine(matrix, config);
   const RunSummary summary = engine.run(out_path);
+  sampler.stop();
   if (!summary.ok) {
     std::cerr << "error: " << summary.error << "\n";
     return 1;
+  }
+
+  if (!timeline_path.empty()) {
+    // Workers are joined: the rings are quiesced, the snapshot complete.
+    std::ofstream out(timeline_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "error: cannot write " << timeline_path << "\n";
+      return 1;
+    }
+    write_timeline_jsonl(out, Timeline::instance().snapshot());
+    std::cout << "timeline: " << timeline_path << "\n";
   }
 
   std::cout << "jobs: " << summary.emitted << "/" << summary.jobs_total

@@ -1,0 +1,367 @@
+#include "analysis/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace wsn {
+
+namespace {
+
+constexpr std::string_view kTimelineSchema = "meshbcast.timeline";
+
+constexpr std::string_view kIterationSpan = "scenario.iteration";
+constexpr std::string_view kComputeSpan = "scenario.job";
+constexpr std::string_view kQueueWaitSpan = "queue.push_wait";
+constexpr std::string_view kIdleSpan = "queue.pop_wait";
+constexpr std::string_view kLockWaitSpan = "store.lock_wait";
+constexpr std::string_view kEmitStallSpan = "scenario.emit_stall";
+
+bool is_worker_label(std::string_view label) noexcept {
+  return label.rfind("worker/", 0) == 0;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string format_share(double share) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%5.1f%%", share * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<ParsedTimelineThread> from_snapshot(
+    const std::vector<TimelineThreadDump>& threads) {
+  std::vector<ParsedTimelineThread> out;
+  out.reserve(threads.size());
+  for (const TimelineThreadDump& dump : threads) {
+    ParsedTimelineThread thread;
+    thread.tid = dump.tid;
+    thread.label = dump.label;
+    thread.dropped = dump.dropped;
+    thread.spans.reserve(dump.records.size());
+    for (const TimelineRecord& record : dump.records) {
+      ParsedSpan span;
+      span.begin_ns = record.begin_ns;
+      span.end_ns = record.end_ns;
+      span.name = record.name == nullptr ? "" : record.name;
+      thread.spans.push_back(std::move(span));
+    }
+    out.push_back(std::move(thread));
+  }
+  return out;
+}
+
+bool read_timeline_file(const std::string& path,
+                        std::vector<ParsedTimelineThread>& out,
+                        std::string* error) {
+  out.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  const auto fail = [&](std::size_t line_no, const std::string& what) {
+    if (error != nullptr) {
+      *error = path + ":" + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_header = false;
+  // tid -> slot in `out`; tids are registration-ordered but a file may
+  // omit threads that never recorded.
+  const auto slot_for = [&](std::uint64_t tid) -> ParsedTimelineThread& {
+    for (ParsedTimelineThread& t : out) {
+      if (t.tid == tid) return t;
+    }
+    out.emplace_back();
+    out.back().tid = static_cast<std::uint32_t>(tid);
+    return out.back();
+  };
+
+  while (std::getline(in, line)) {
+    line_no += 1;
+    if (line.empty()) continue;
+    JsonValue doc;
+    if (!parse_json(line, doc) || !doc.is_object()) {
+      return fail(line_no, "unparseable line");
+    }
+    if (!have_header) {
+      if (doc.string_or("schema", "") != kTimelineSchema) {
+        return fail(line_no, "not a meshbcast.timeline document");
+      }
+      have_header = true;
+      continue;
+    }
+    const JsonValue* thread = doc.find("thread");
+    std::uint64_t tid = 0;
+    if (thread == nullptr || !thread->to_u64(tid)) {
+      return fail(line_no, "line without a thread id");
+    }
+    ParsedTimelineThread& slot = slot_for(tid);
+    if (const JsonValue* name = doc.find("name")) {
+      // Span line.
+      const JsonValue* begin = doc.find("begin_ns");
+      const JsonValue* end = doc.find("end_ns");
+      std::uint64_t begin_ns = 0;
+      std::uint64_t end_ns = 0;
+      if (!name->is_string() || begin == nullptr ||
+          !begin->to_u64(begin_ns) || end == nullptr ||
+          !end->to_u64(end_ns)) {
+        return fail(line_no, "malformed span line");
+      }
+      ParsedSpan span;
+      span.begin_ns = begin_ns;
+      span.end_ns = end_ns;
+      span.name = name->as_string();
+      slot.spans.push_back(std::move(span));
+    } else {
+      // Thread-description line.
+      slot.label = doc.string_or("label", "");
+      std::uint64_t dropped = 0;
+      if (const JsonValue* d = doc.find("dropped")) {
+        if (!d->to_u64(dropped)) return fail(line_no, "malformed dropped");
+      }
+      slot.dropped = dropped;
+    }
+  }
+  if (!have_header) {
+    if (error != nullptr) *error = path + ": empty file";
+    return false;
+  }
+  return true;
+}
+
+AttributionReport attribute_timeline(
+    const std::vector<ParsedTimelineThread>& threads) {
+  AttributionReport report;
+  report.threads.reserve(threads.size());
+
+  for (const ParsedTimelineThread& thread : threads) {
+    ThreadAttribution attr;
+    attr.tid = thread.tid;
+    attr.label = thread.label;
+    attr.worker = is_worker_label(thread.label);
+    attr.spans = thread.spans.size();
+    attr.dropped = thread.dropped;
+    if (thread.spans.empty()) {
+      report.threads.push_back(std::move(attr));
+      continue;
+    }
+
+    // The compute base: the engine's wall-to-wall per-iteration spans
+    // when the timeline has them, else the bare job spans (synthetic or
+    // older timelines).  With iteration spans, nested job spans are
+    // informational sub-structure and must not double count.
+    bool has_iterations = false;
+    std::uint64_t first_begin = thread.spans.front().begin_ns;
+    std::uint64_t last_end = 0;
+    for (const ParsedSpan& span : thread.spans) {
+      first_begin = std::min(first_begin, span.begin_ns);
+      last_end = std::max(last_end, span.end_ns);
+      if (span.name == kIterationSpan) has_iterations = true;
+    }
+    attr.wall_ns = last_end > first_begin ? last_end - first_begin : 0;
+    const std::string_view compute_span =
+        has_iterations ? kIterationSpan : kComputeSpan;
+
+    // Compute intervals, for the nested-contention subtraction below.
+    // Ring order is span-end order, so they arrive begin-sorted too
+    // (compute spans on one thread never overlap).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+    for (const ParsedSpan& span : thread.spans) {
+      if (span.name == compute_span) {
+        intervals.emplace_back(span.begin_ns, span.end_ns);
+      }
+    }
+    const auto nested_in_compute = [&](const ParsedSpan& span) {
+      for (const auto& [begin, end] : intervals) {
+        if (span.begin_ns >= begin && span.end_ns <= end) return true;
+        if (begin > span.end_ns) break;
+      }
+      return false;
+    };
+    // A contention span inside a compute interval is double-covered:
+    // keep its own category and carve it out of compute.  The carving is
+    // accumulated and applied after the loop -- in ring (end-time) order
+    // a nested wait precedes its covering span, so compute has not been
+    // credited yet when the wait is seen.
+    std::uint64_t carved_ns = 0;
+    const auto carve = [&](const ParsedSpan& span, std::uint64_t duration) {
+      if (nested_in_compute(span)) carved_ns += duration;
+    };
+
+    for (const ParsedSpan& span : thread.spans) {
+      const std::uint64_t duration =
+          span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0;
+      if (span.name == compute_span) {
+        attr.compute_ns += duration;
+      } else if (span.name == kQueueWaitSpan) {
+        attr.queue_wait_ns += duration;
+        carve(span, duration);
+      } else if (span.name == kIdleSpan) {
+        attr.idle_ns += duration;
+        carve(span, duration);
+      } else if (span.name == kLockWaitSpan) {
+        attr.lock_wait_ns += duration;
+        carve(span, duration);
+      } else if (span.name == kEmitStallSpan) {
+        attr.emit_stall_ns += duration;
+        carve(span, duration);
+      }
+      // Other names (scenario.job under an iteration, plan.resolve,
+      // sim.simulate, ...) are sub-phases of a covering span and never
+      // counted separately.
+    }
+    attr.compute_ns -= std::min(attr.compute_ns, carved_ns);
+    const std::uint64_t attributed = attr.attributed_ns();
+    attr.unattributed_ns =
+        attr.wall_ns > attributed ? attr.wall_ns - attributed : 0;
+    report.threads.push_back(std::move(attr));
+  }
+
+  // Headline: the stall category with the largest total over workers.
+  std::uint64_t queue_wait = 0;
+  std::uint64_t idle = 0;
+  std::uint64_t lock_wait = 0;
+  std::uint64_t emit_stall = 0;
+  for (const ThreadAttribution& attr : report.threads) {
+    if (!attr.worker) continue;
+    report.workers += 1;
+    report.min_worker_attributed_share = std::min(
+        report.min_worker_attributed_share, attr.attributed_share());
+    queue_wait += attr.queue_wait_ns;
+    idle += attr.idle_ns;
+    lock_wait += attr.lock_wait_ns;
+    emit_stall += attr.emit_stall_ns;
+  }
+  const std::uint64_t top =
+      std::max(std::max(queue_wait, idle), std::max(lock_wait, emit_stall));
+  if (top == 0) {
+    report.dominant_stall = "none";
+  } else if (top == emit_stall) {
+    report.dominant_stall = "emission-stall";
+  } else if (top == idle) {
+    report.dominant_stall = "idle";
+  } else if (top == lock_wait) {
+    report.dominant_stall = "lock-wait";
+  } else {
+    report.dominant_stall = "queue-wait";
+  }
+  return report;
+}
+
+std::string ThreadAttribution::dominant_stall() const {
+  const std::uint64_t top = std::max(std::max(queue_wait_ns, idle_ns),
+                                     std::max(lock_wait_ns, emit_stall_ns));
+  if (top == 0) return "none";
+  if (top == emit_stall_ns) return "emission-stall";
+  if (top == idle_ns) return "idle";
+  if (top == lock_wait_ns) return "lock-wait";
+  return "queue-wait";
+}
+
+std::string attribution_text(const AttributionReport& report) {
+  std::ostringstream out;
+  out << "perf report: " << report.threads.size() << " thread(s), "
+      << report.workers << " worker(s)\n";
+  out << "  thread            wall_ms   compute  qu-wait     idle  "
+         "lk-wait  em-stall    unattr\n";
+  for (const ThreadAttribution& t : report.threads) {
+    std::string name = t.label.empty()
+                           ? "tid/" + std::to_string(t.tid)
+                           : t.label;
+    name.resize(16, ' ');
+    const auto share = [&](std::uint64_t ns) {
+      return format_share(t.wall_ns == 0
+                              ? 0.0
+                              : static_cast<double>(ns) /
+                                    static_cast<double>(t.wall_ns));
+    };
+    out << "  " << name << ' ' << format_ms(t.wall_ns) << "  "
+        << share(t.compute_ns) << "  " << share(t.queue_wait_ns) << "  "
+        << share(t.idle_ns) << "  " << share(t.lock_wait_ns) << "  "
+        << share(t.emit_stall_ns) << "  " << share(t.unattributed_ns);
+    if (t.dropped != 0) out << "  (dropped " << t.dropped << ")";
+    out << "\n";
+  }
+  out << "dominant stall: " << report.dominant_stall << "\n";
+  if (report.workers > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf,
+                  "min worker attribution: %.1f%%\n",
+                  report.min_worker_attributed_share * 100.0);
+    out << buf;
+  }
+  return out.str();
+}
+
+void write_attribution_json(std::ostream& out,
+                            const AttributionReport& report,
+                            const MetricsSnapshot* metrics) {
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.perf_report")
+      .member("version", std::uint64_t{1})
+      .member("workers", std::uint64_t{report.workers})
+      .member("dominant_stall", report.dominant_stall)
+      .member("min_worker_attributed_share",
+              report.min_worker_attributed_share);
+  w.key("threads").begin_array();
+  for (const ThreadAttribution& t : report.threads) {
+    w.begin_object()
+        .member("tid", std::uint64_t{t.tid})
+        .member("label", t.label)
+        .member("worker", t.worker)
+        .member("spans", std::uint64_t{t.spans})
+        .member("dropped", std::uint64_t{t.dropped})
+        .member("wall_ns", std::uint64_t{t.wall_ns});
+    w.key("categories").begin_object();
+    w.member("compute", std::uint64_t{t.compute_ns})
+        .member("queue-wait", std::uint64_t{t.queue_wait_ns})
+        .member("idle", std::uint64_t{t.idle_ns})
+        .member("lock-wait", std::uint64_t{t.lock_wait_ns})
+        .member("emission-stall", std::uint64_t{t.emit_stall_ns})
+        .end_object();
+    w.member("unattributed_ns", std::uint64_t{t.unattributed_ns})
+        .member("attributed_share", t.attributed_share())
+        .member("dominant_stall", t.dominant_stall())
+        .end_object();
+  }
+  w.end_array();
+  if (metrics != nullptr) {
+    static constexpr std::string_view kContention[] = {
+        "scenario.queue_pop_wait_ms", "scenario.queue_push_wait_ms",
+        "scenario.emit_stall_ms", "scenario.queue_wait_ms",
+        "store.mem.lock_wait_ms"};
+    w.key("contention_histograms").begin_object();
+    for (const std::string_view name : kContention) {
+      const HistogramSnapshot* h = metrics->histogram(name);
+      if (h == nullptr) continue;
+      w.key(name).begin_object();
+      w.member("count", h->count)
+          .member("sum", h->sum)
+          .member("p50", h->percentile(0.50))
+          .member("p95", h->percentile(0.95))
+          .member("p99", h->percentile(0.99))
+          .end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+  out << std::move(w).str() << "\n";
+}
+
+}  // namespace wsn

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+
+/// Wall-time attribution over a span timeline (obs/timeline.h): where did
+/// each thread's run actually go?
+///
+/// The scenario engine's instrumentation tags every interesting interval
+/// with a well-known span name; this module folds a timeline dump into a
+/// per-thread decomposition over five categories:
+///
+///   compute         "scenario.iteration" (the engine's wall-to-wall
+///                   worker-loop pass) minus contention spans nested
+///                   inside it -- a plan-store lock wait during an
+///                   iteration is lock-wait, not compute.  Timelines
+///                   without iteration spans (synthetic fixtures, other
+///                   producers) fall back to "scenario.job".  Sub-phase
+///                   spans (scenario.job under an iteration, plan.resolve,
+///                   sim.simulate, ...) nest inside the compute base and
+///                   are already covered by it, so they are never added
+///                   again.
+///   queue-wait      "queue.push_wait" -- the producer blocked on a full
+///                   queue (backpressure working as designed).
+///   idle            "queue.pop_wait" -- a worker blocked on an empty
+///                   queue: no work available.
+///   lock-wait       "store.lock_wait" -- blocked acquisitions of the
+///                   plan-cache shard mutexes.
+///   emission-stall  "scenario.emit_stall" -- the serialized in-order
+///                   flush + manifest rewrite under the collector lock.
+///
+/// Everything not covered (scheduler preemption between spans, startup,
+/// unknown span names) lands in `unattributed`.  The acceptance bar the
+/// tests hold this to: on an instrumented engine run, every worker
+/// thread's attributed share is >= 0.9 of its wall time.
+///
+/// Input comes either from a live `Timeline::snapshot()` (via
+/// `from_snapshot`) or from a `meshbcast.timeline` v1 JSONL file (via
+/// `read_timeline_file`) -- the parsed form owns its strings, so the
+/// report outlives any timeline internals.
+namespace wsn {
+
+/// One span with an owned name -- the file-parseable mirror of
+/// TimelineRecord.
+struct ParsedSpan {
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::string name;
+};
+
+/// One thread's spans, oldest-first -- the mirror of TimelineThreadDump.
+struct ParsedTimelineThread {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::uint64_t dropped = 0;
+  std::vector<ParsedSpan> spans;
+};
+
+/// Adapts a live snapshot (copies the names into owned strings).
+[[nodiscard]] std::vector<ParsedTimelineThread> from_snapshot(
+    const std::vector<TimelineThreadDump>& threads);
+
+/// Reads a `meshbcast.timeline` v1 JSONL file.  Returns false (with a
+/// diagnostic in `error` when non-null) on a missing file, a wrong
+/// schema, or a malformed line.
+[[nodiscard]] bool read_timeline_file(const std::string& path,
+                                      std::vector<ParsedTimelineThread>& out,
+                                      std::string* error = nullptr);
+
+/// Per-thread wall-time decomposition.  All times in nanoseconds; `wall`
+/// is the extent from the thread's first span begin to its last span end.
+struct ThreadAttribution {
+  std::uint32_t tid = 0;
+  std::string label;
+  bool worker = false;  // label matches "worker/<n>"
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t compute_ns = 0;
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t lock_wait_ns = 0;
+  std::uint64_t emit_stall_ns = 0;
+  std::uint64_t unattributed_ns = 0;
+
+  [[nodiscard]] std::uint64_t attributed_ns() const noexcept {
+    return compute_ns + queue_wait_ns + idle_ns + lock_wait_ns +
+           emit_stall_ns;
+  }
+  [[nodiscard]] double attributed_share() const noexcept {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(attributed_ns()) /
+                              static_cast<double>(wall_ns);
+  }
+  /// The largest non-compute category ("queue-wait", "idle", "lock-wait"
+  /// or "emission-stall"); "none" when the thread never stalled.
+  [[nodiscard]] std::string dominant_stall() const;
+};
+
+struct AttributionReport {
+  std::vector<ThreadAttribution> threads;  // tid order
+  std::size_t workers = 0;                 // threads labeled worker/<n>
+  /// The stall category with the largest total across worker threads
+  /// ("none" when no worker ever stalled) -- the headline diagnosis.
+  std::string dominant_stall = "none";
+  /// min over worker threads of attributed_share() (1.0 with no workers).
+  double min_worker_attributed_share = 1.0;
+};
+
+/// Folds a parsed timeline into the per-thread decomposition.
+[[nodiscard]] AttributionReport attribute_timeline(
+    const std::vector<ParsedTimelineThread>& threads);
+
+/// Human-readable per-worker table plus the headline diagnosis.
+[[nodiscard]] std::string attribution_text(const AttributionReport& report);
+
+/// `meshbcast.perf_report` v1 JSON.  When `metrics` is non-null the
+/// report embeds the contention histograms' count/sum/percentiles
+/// (scenario.queue_* / scenario.emit_stall_ms / store.mem.lock_wait_ms)
+/// so one artifact carries both views.
+void write_attribution_json(std::ostream& out,
+                            const AttributionReport& report,
+                            const MetricsSnapshot* metrics = nullptr);
+
+}  // namespace wsn

@@ -22,9 +22,19 @@ struct EntryMetrics {
 constexpr std::string_view kGatedMetrics[] = {
     "runs_per_sec", "cold_jobs_per_sec", "warm_jobs_per_sec",
     "cache_hit_rate"};
-constexpr std::string_view kAdvisoryMetrics[] = {"mean_ms", "p50_ms",
-                                                 "p95_ms",
-                                                 "queue_wait_ms_mean"};
+constexpr std::string_view kAdvisoryMetrics[] = {
+    "mean_ms",
+    "p50_ms",
+    "p95_ms",
+    "queue_wait_ms_mean",
+    // Deduped scenario-bench spread (schema v2): the repeat-aware min/max
+    // around the gated means.  Advisory only -- spread wobbles hardest on
+    // loaded runners.
+    "cold_jobs_per_sec_min",
+    "cold_jobs_per_sec_max",
+    "warm_jobs_per_sec_min",
+    "warm_jobs_per_sec_max",
+};
 
 bool is_bench_schema(const JsonValue& doc, std::string& schema) {
   schema = doc.string_or("schema", "");

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -32,7 +35,27 @@
 /// mutex -- at scenario granularity (one item = one full simulation) the
 /// queue is nowhere near being a bottleneck, and the simple invariants
 /// are what the TSan suite locks in.
+///
+/// Contention instrumentation: `set_wait_hooks` installs callbacks fired
+/// with the nanoseconds a `push` spent blocked on a full queue or a `pop`
+/// on an empty one.  The queue sits below the observability layer, so the
+/// hooks are plain std::functions the owner wires into whatever sink it
+/// likes (the scenario engine feeds histograms and the span timeline).
+/// Cost discipline: the clock is read only when a wait actually happens
+/// -- the satisfied-predicate fast path adds one branch, no clock, no
+/// callback -- and hooks run *outside* the queue mutex so they may take
+/// other locks freely.
 namespace wsn {
+
+/// Timed-wait callbacks for BoundedQueue; either may be empty.  Install
+/// before the queue goes concurrent.
+struct QueueWaitHooks {
+  /// A push blocked this long on a full queue (called even if the wait
+  /// ended in close/cancel).
+  std::function<void(std::uint64_t wait_ns)> on_push_wait;
+  /// A pop blocked this long on an empty queue.
+  std::function<void(std::uint64_t wait_ns)> on_pop_wait;
+};
 
 template <typename T>
 class BoundedQueue {
@@ -44,17 +67,30 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Installs the timed-wait callbacks.  NOT thread-safe against
+  /// concurrent push/pop; call during setup.
+  void set_wait_hooks(QueueWaitHooks hooks) { hooks_ = std::move(hooks); }
+
   /// Blocks until there is room (or the queue is closed/cancelled).
   /// Returns false -- item dropped -- iff the queue was closed first.
   [[nodiscard]] bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    std::uint64_t wait_ns = 0;
+    bool accepted = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!closed_ && items_.size() >= capacity_) {
+        wait_ns = timed_wait(not_full_, lock, [&] {
+          return closed_ || items_.size() < capacity_;
+        });
+      }
+      if (!closed_) {
+        items_.push_back(std::move(item));
+        accepted = true;
+      }
+    }
+    if (accepted) not_empty_.notify_one();
+    if (wait_ns != 0 && hooks_.on_push_wait) hooks_.on_push_wait(wait_ns);
+    return accepted;
   }
 
   /// Non-blocking push; false when full or closed.
@@ -71,13 +107,21 @@ class BoundedQueue {
   /// Blocks until an item is available or the queue is closed and empty
   /// (then nullopt -- the consumer's signal to exit).
   [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    std::optional<T> item(std::move(items_.front()));
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    std::uint64_t wait_ns = 0;
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!closed_ && items_.empty()) {
+        wait_ns = timed_wait(not_empty_, lock,
+                             [&] { return closed_ || !items_.empty(); });
+      }
+      if (!items_.empty()) {
+        item.emplace(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (item.has_value()) not_full_.notify_one();
+    if (wait_ns != 0 && hooks_.on_pop_wait) hooks_.on_pop_wait(wait_ns);
     return item;
   }
 
@@ -130,7 +174,23 @@ class BoundedQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  /// Waits for `ready` and returns the nanoseconds spent blocked (>= 1:
+  /// callers use 0 as "no wait happened").  Clock reads bracket the wait
+  /// only -- this is never called on the satisfied fast path.
+  template <typename Pred>
+  [[nodiscard]] std::uint64_t timed_wait(std::condition_variable& cv,
+                                         std::unique_lock<std::mutex>& lock,
+                                         Pred ready) {
+    const auto start = std::chrono::steady_clock::now();
+    cv.wait(lock, ready);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    return ns <= 0 ? 1 : static_cast<std::uint64_t>(ns);
+  }
+
   const std::size_t capacity_;
+  QueueWaitHooks hooks_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -108,6 +108,34 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, midpoint-free: the classic
+  // "nearest-rank with interpolation" estimator over bucket counts).
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The bucket covering the target rank.  Interpolate linearly between
+    // its lower and upper edges; the open-ended edges fall back to the
+    // exact extrema.
+    const double lower = i == 0 ? min : upper_bounds[i - 1];
+    const double upper = i < upper_bounds.size() ? upper_bounds[i] : max;
+    const double within =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    const double value = lower + (upper - lower) * within;
+    return std::min(max, std::max(min, value));
+  }
+  return max;
+}
+
 std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
                                           std::uint64_t fallback) const {
   for (const auto& [key, value] : counters) {
@@ -214,6 +242,9 @@ void write_metrics_json(std::ostream& out,
         .member("sum", h.sum)
         .member("min", h.min)
         .member("max", h.max)
+        .member("p50", h.percentile(0.50))
+        .member("p95", h.percentile(0.95))
+        .member("p99", h.percentile(0.99))
         .end_object();
   }
   w.end_object().end_object();

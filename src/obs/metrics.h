@@ -130,6 +130,12 @@ struct HistogramSnapshot {
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside
+  /// the covering bucket, clamped to the exact [min, max] extrema (so
+  /// p0/p100 are exact and a single-bucket histogram stays sane).
+  /// 0 when empty.
+  [[nodiscard]] double percentile(double q) const noexcept;
 };
 
 /// Everything the registry held at scrape time.

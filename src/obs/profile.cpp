@@ -9,14 +9,36 @@
 
 namespace wsn {
 
+namespace obs_detail {
+
+std::atomic<std::uint32_t>& profile_mode() noexcept {
+  static std::atomic<std::uint32_t> mode{0};
+  return mode;
+}
+
+}  // namespace obs_detail
+
 Profiler& Profiler::instance() {
   static Profiler profiler;
   return profiler;
 }
 
+Profiler::Shard& Profiler::local_shard() {
+  // One shard per recording thread, registered on first use and kept for
+  // the process lifetime (a retired thread's aggregates stay mergeable).
+  thread_local Shard* shard = nullptr;
+  if (shard == nullptr) {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+  }
+  return *shard;
+}
+
 void Profiler::record(const char* name, std::uint64_t ns) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (SpanStats& s : stats_) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  for (SpanStats& s : shard.stats) {
     if (s.name == name) {
       s.count += 1;
       s.total_ns += ns;
@@ -25,12 +47,34 @@ void Profiler::record(const char* name, std::uint64_t ns) {
       return;
     }
   }
-  stats_.push_back(SpanStats{name, 1, ns, ns, ns});
+  shard.stats.push_back(SpanStats{name, 1, ns, ns, ns});
 }
 
 std::vector<Profiler::SpanStats> Profiler::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<SpanStats> out = stats_;
+  std::vector<SpanStats> out;
+  {
+    const std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      for (const SpanStats& s : shard->stats) {
+        SpanStats* merged = nullptr;
+        for (SpanStats& m : out) {
+          if (m.name == s.name) {
+            merged = &m;
+            break;
+          }
+        }
+        if (merged == nullptr) {
+          out.push_back(s);
+        } else {
+          merged->count += s.count;
+          merged->total_ns += s.total_ns;
+          merged->min_ns = std::min(merged->min_ns, s.min_ns);
+          merged->max_ns = std::max(merged->max_ns, s.max_ns);
+        }
+      }
+    }
+  }
   std::sort(out.begin(), out.end(),
             [](const SpanStats& a, const SpanStats& b) {
               return a.total_ns > b.total_ns;
@@ -39,8 +83,11 @@ std::vector<Profiler::SpanStats> Profiler::snapshot() const {
 }
 
 void Profiler::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  stats_.clear();
+  const std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->stats.clear();
+  }
 }
 
 std::string Profiler::report_text() const {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -15,14 +16,38 @@
 ///     ...
 ///   }
 ///
-/// Spans aggregate into the process-wide Profiler: per-name call count,
-/// total/min/max wall time.  Profiling is *off* by default -- a disabled
-/// span costs one relaxed atomic load and no clock read, which is what
-/// lets the spans live permanently inside `simulate_broadcast` and the
-/// sweep loops without moving the benchmarks.  Enable with
-/// `Profiler::instance().set_enabled(true)` (the CLI's `--profile` flag),
-/// then render `report_text()` or `write_report_json()`.
+/// Spans feed two sinks, each behind its own bit of one shared mode word:
+///
+///   * the process-wide aggregate Profiler (per-name call count,
+///     total/min/max wall time) -- `Profiler::instance().set_enabled(true)`
+///     (the CLI's `--profile` flag);
+///   * the per-thread Timeline rings (obs/timeline.h) -- timestamped
+///     begin/end records for concurrency attribution.
+///
+/// Both off is the default, and a fully disabled span costs one relaxed
+/// atomic load and no clock read -- which is what lets the spans live
+/// permanently inside `simulate_broadcast` and the sweep loops without
+/// moving the benchmarks.
+///
+/// Aggregation is sharded per thread: `record` folds into the calling
+/// thread's shard under a mutex only `snapshot()` ever contends, so the
+/// profiler itself never serializes the workers it is measuring.
+/// `snapshot()` merges the shards by name.
 namespace wsn {
+
+namespace obs_detail {
+/// Bits of the shared span mode word.
+inline constexpr std::uint32_t kProfileAggregate = 1u << 0;
+inline constexpr std::uint32_t kProfileTimeline = 1u << 1;
+/// The one atomic every ProfileSpan reads (defined in profile.cpp).
+[[nodiscard]] std::atomic<std::uint32_t>& profile_mode() noexcept;
+/// Folds a finished span into the Timeline's per-thread ring (defined in
+/// timeline.cpp; declared here so the inline ProfileSpan destructor can
+/// call it without an include cycle).
+void timeline_record_span(const char* name,
+                          std::chrono::steady_clock::time_point begin,
+                          std::chrono::steady_clock::time_point end) noexcept;
+}  // namespace obs_detail
 
 class Profiler {
  public:
@@ -43,19 +68,28 @@ class Profiler {
   static Profiler& instance();
 
   void set_enabled(bool enabled) noexcept {
-    enabled_.store(enabled, std::memory_order_relaxed);
+    if (enabled) {
+      obs_detail::profile_mode().fetch_or(obs_detail::kProfileAggregate,
+                                          std::memory_order_relaxed);
+    } else {
+      obs_detail::profile_mode().fetch_and(~obs_detail::kProfileAggregate,
+                                           std::memory_order_relaxed);
+    }
   }
   [[nodiscard]] bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return (obs_detail::profile_mode().load(std::memory_order_relaxed) &
+            obs_detail::kProfileAggregate) != 0;
   }
 
-  /// Folds one finished span into the aggregate.  Thread-safe.
+  /// Folds one finished span into the calling thread's shard.
+  /// Thread-safe; never contends with other recording threads.
   void record(const char* name, std::uint64_t ns);
 
-  /// Aggregates so far, sorted by descending total time.
+  /// Aggregates so far, merged across thread shards and sorted by
+  /// descending total time.
   [[nodiscard]] std::vector<SpanStats> snapshot() const;
 
-  /// Drops every aggregate (the enabled flag is kept).
+  /// Drops every aggregate on every shard (the enabled flag is kept).
   void reset();
 
   /// Fixed-width text table of `snapshot()`.
@@ -65,11 +99,19 @@ class Profiler {
   void write_report_json(std::ostream& out) const;
 
  private:
-  Profiler() = default;
+  /// One recording thread's private aggregates.  The mutex is
+  /// effectively uncontended: the owning thread takes it per record,
+  /// snapshot()/reset() take it rarely from outside.
+  struct Shard {
+    std::mutex mutex;
+    std::vector<SpanStats> stats;  // few distinct names; linear scan
+  };
 
-  std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<SpanStats> stats_;  // few distinct names; linear scan
+  Profiler() = default;
+  [[nodiscard]] Shard& local_shard();
+
+  mutable std::mutex registry_mutex_;  // guards shards_ growth
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// One timed region; construct via WSN_SPAN.  Non-copyable, tolerates
@@ -77,17 +119,23 @@ class Profiler {
 class ProfileSpan {
  public:
   explicit ProfileSpan(const char* name) noexcept
-      : name_(name), active_(Profiler::instance().enabled()) {
-    if (active_) start_ = std::chrono::steady_clock::now();
+      : name_(name),
+        mode_(obs_detail::profile_mode().load(std::memory_order_relaxed)) {
+    if (mode_ != 0) start_ = std::chrono::steady_clock::now();
   }
   ~ProfileSpan() {
-    if (!active_) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    Profiler::instance().record(
-        name_, static_cast<std::uint64_t>(
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(
-                       elapsed)
-                       .count()));
+    if (mode_ == 0) return;
+    const auto end = std::chrono::steady_clock::now();
+    if ((mode_ & obs_detail::kProfileAggregate) != 0) {
+      Profiler::instance().record(
+          name_, static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         end - start_)
+                         .count()));
+    }
+    if ((mode_ & obs_detail::kProfileTimeline) != 0) {
+      obs_detail::timeline_record_span(name_, start_, end);
+    }
   }
   ProfileSpan(const ProfileSpan&) = delete;
   ProfileSpan& operator=(const ProfileSpan&) = delete;
@@ -95,7 +143,7 @@ class ProfileSpan {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
-  bool active_;
+  std::uint32_t mode_;
 };
 
 #define WSN_SPAN_CONCAT_IMPL(a, b) a##b

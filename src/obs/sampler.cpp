@@ -1,0 +1,148 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/json.h"
+
+namespace wsn {
+
+TelemetrySampler::TelemetrySampler(Config config)
+    : period_ms_(config.period_ms == 0 ? 1 : config.period_ms),
+      metrics_(config.metrics) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+bool TelemetrySampler::start(const std::string& path) {
+  if (running_.load(std::memory_order_acquire)) return false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_.open(path, std::ios::trunc);
+    if (!out_) return false;
+    JsonWriter w;
+    w.begin_object()
+        .member("schema", "meshbcast.timeseries")
+        .member("version", std::uint64_t{1})
+        .member("period_ms", std::uint64_t{period_ms_})
+        .end_object();
+    out_ << std::move(w).str() << "\n";
+    out_.flush();
+    samples_busy_ = samples_idle_ = samples_blocked_ = 0;
+    started_ = std::chrono::steady_clock::now();
+  }
+  ticks_.store(0, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      sample_once();
+      // Sliced sleep so stop() returns promptly even at long periods.
+      std::size_t slept = 0;
+      while (slept < period_ms_ && !stop_.load(std::memory_order_acquire)) {
+        const std::size_t slice = std::min<std::size_t>(period_ms_ - slept, 10);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        slept += slice;
+      }
+    }
+  });
+  return true;
+}
+
+void TelemetrySampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  // Final sample: short runs (faster than one period) still record the
+  // end state of the run they observed.
+  sample_once();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out_.close();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetrySampler::set_worker_states(
+    std::function<std::vector<WorkerState>()> provider) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  provider_ = std::move(provider);
+}
+
+void TelemetrySampler::sample_once() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto t_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - started_)
+                        .count();
+
+  JsonWriter w;
+  w.begin_object().member(
+      "t_ms", static_cast<std::uint64_t>(t_ms < 0 ? 0 : t_ms));
+
+  if (metrics_ != nullptr) {
+    const MetricsSnapshot snap = metrics_->scrape();
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : snap.counters) w.member(name, value);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, value] : snap.gauges) w.member(name, value);
+    w.end_object();
+  }
+
+  if (provider_) {
+    const std::vector<WorkerState> states = provider_();
+    std::uint64_t busy = 0;
+    std::uint64_t idle = 0;
+    std::uint64_t blocked = 0;
+    for (const WorkerState s : states) {
+      if (s == WorkerState::kBusy) busy += 1;
+      else if (s == WorkerState::kBlocked) blocked += 1;
+      else idle += 1;
+    }
+    samples_busy_ += busy;
+    samples_idle_ += idle;
+    samples_blocked_ += blocked;
+    const std::uint64_t total =
+        samples_busy_ + samples_idle_ + samples_blocked_;
+    const double busy_share =
+        total == 0 ? 0.0
+                   : static_cast<double>(samples_busy_) /
+                         static_cast<double>(total);
+    const double idle_share =
+        total == 0 ? 0.0
+                   : static_cast<double>(samples_idle_) /
+                         static_cast<double>(total);
+    const double blocked_share =
+        total == 0 ? 0.0
+                   : static_cast<double>(samples_blocked_) /
+                         static_cast<double>(total);
+    w.key("workers").begin_object();
+    w.member("busy", std::uint64_t{busy})
+        .member("idle", std::uint64_t{idle})
+        .member("blocked", std::uint64_t{blocked});
+    w.key("states").begin_array();
+    for (const WorkerState s : states) {
+      w.value(std::uint64_t{static_cast<std::uint8_t>(s)});
+    }
+    w.end_array().end_object();
+    w.key("utilization").begin_object();
+    w.member("busy", busy_share)
+        .member("idle", idle_share)
+        .member("blocked", blocked_share)
+        .end_object();
+    if (metrics_ != nullptr) {
+      metrics_->gauge("scenario.worker_util.busy").set(busy_share);
+      metrics_->gauge("scenario.worker_util.idle").set(idle_share);
+      metrics_->gauge("scenario.worker_util.blocked").set(blocked_share);
+    }
+  }
+
+  w.end_object();
+  out_ << std::move(w).str() << "\n";
+  out_.flush();
+  ticks_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace wsn

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// Periodic telemetry sampler: a background thread that, every
+/// `period_ms`, scrapes the metrics registry and the live worker states
+/// and appends one `meshbcast.timeseries` v1 JSONL line.
+///
+/// The sampler is wall-clock driven and therefore lives strictly outside
+/// the determinism boundary: it observes an engine run, it never feeds
+/// it.  Nothing the sampler writes can reach a results record, and an
+/// engine run with the sampler attached is byte-identical to one without
+/// (the acceptance tests pin this).
+///
+/// Worker states come through a swappable provider callback
+/// (`set_worker_states`): the scenario engine installs one for the
+/// duration of `run()` and removes it before returning, so the sampler
+/// can outlive any single run.  States are the WorkerState enum below;
+/// per-state instantaneous counts and cumulative utilization shares are
+/// written per tick and, when a registry is configured, mirrored into
+/// `scenario.worker_util.{busy,idle,blocked}` gauges.
+namespace wsn {
+
+/// What a worker thread is doing right now.
+enum class WorkerState : std::uint8_t {
+  kIdle = 0,     // waiting for work (queue empty)
+  kBusy = 1,     // executing a job
+  kBlocked = 2,  // stalled on shared state (collector lock / emission)
+};
+
+class TelemetrySampler {
+ public:
+  struct Config {
+    /// Sampling cadence; clamped to >= 1.
+    std::size_t period_ms = 100;
+    /// Scraped each tick (counters + gauges; nullable).
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit TelemetrySampler(Config config);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Opens `path`, writes the header line and starts the sampling
+  /// thread.  False when the file cannot be opened or sampling is
+  /// already running.
+  [[nodiscard]] bool start(const std::string& path);
+
+  /// Stops and joins the sampling thread, taking one final sample first
+  /// so short runs always leave at least one tick.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Ticks written since start().
+  [[nodiscard]] std::size_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_acquire);
+  }
+
+  /// Installs (or, with an empty function, removes) the worker-state
+  /// provider.  Callable while sampling runs; the engine installs it at
+  /// run start and removes it before run() returns.
+  void set_worker_states(std::function<std::vector<WorkerState>()> provider);
+
+ private:
+  void sample_once();
+
+  const std::size_t period_ms_;
+  MetricsRegistry* const metrics_;
+
+  std::mutex mutex_;  // guards out_, provider_, cumulative counts
+  std::ofstream out_;
+  std::function<std::vector<WorkerState>()> provider_;
+  std::uint64_t samples_busy_ = 0;
+  std::uint64_t samples_idle_ = 0;
+  std::uint64_t samples_blocked_ = 0;
+  std::chrono::steady_clock::time_point started_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> ticks_{0};
+};
+
+}  // namespace wsn

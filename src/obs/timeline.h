@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+
+/// Timeline mode for the profiler: per-thread ring buffers of timestamped
+/// span records.
+///
+/// The aggregate Profiler answers "how much total time went into
+/// plan.resolve"; the timeline answers the concurrency questions the
+/// aggregates erase -- *when* did worker 3 block on the queue, did the
+/// plan-store lock waits line up with the emission stalls, which worker
+/// went idle first.  Every WSN_SPAN therefore records into both sinks:
+/// the process-wide aggregate (when `Profiler` is enabled) and the
+/// calling thread's ring buffer here (when the Timeline is enabled).
+/// Both modes share one relaxed atomic mode word, so a fully disabled
+/// span still costs exactly one relaxed load and no clock read -- the
+/// PR-2 invariant the benchmarks gate.
+///
+/// The hot path is lock-free: each thread owns its ring (registered once,
+/// on first use, under a registry mutex) and publishes records with a
+/// release store of the head index.  Ring capacity is bounded; a full
+/// ring overwrites its oldest records and counts them as dropped, so a
+/// long run degrades to "most recent window" instead of unbounded memory.
+/// `snapshot()` is meant for quiesced readers (after workers joined):
+/// it reads each ring's published prefix, but records older than
+/// `capacity` behind a still-running writer may be overwritten mid-copy.
+///
+/// Export formats:
+///   * `write_timeline_jsonl` -- `meshbcast.timeline` v1: one header
+///     line, one thread-description line per thread, one line per span.
+///   * `write_timeline_perfetto` -- Chrome trace-event JSON ("X" complete
+///     events, one tid track per recorded thread) for ui.perfetto.dev.
+namespace wsn {
+
+/// One finished span on one thread.  `name` points at static storage
+/// (span names are string literals), so records are trivially copyable.
+struct TimelineRecord {
+  std::uint64_t begin_ns = 0;  // since the process timeline epoch
+  std::uint64_t end_ns = 0;
+  const char* name = nullptr;
+};
+
+/// Everything one thread recorded, oldest-first.
+struct TimelineThreadDump {
+  std::uint32_t tid = 0;     // registration order, stable per thread
+  std::string label;         // "worker/3", "producer", ... ("" = unnamed)
+  std::uint64_t dropped = 0; // records overwritten by ring wrap
+  std::vector<TimelineRecord> records;
+};
+
+class Timeline {
+ public:
+  static Timeline& instance();
+
+  /// Flips the timeline bit of the shared profile mode word.
+  void set_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return (obs_detail::profile_mode().load(std::memory_order_relaxed) &
+            obs_detail::kProfileTimeline) != 0;
+  }
+
+  /// Ring capacity (records) for threads registering *after* the call;
+  /// rounded up to a power of two, minimum 64.  Default 65536 (~1.5 MB
+  /// per thread).
+  void set_thread_capacity(std::size_t records);
+
+  /// Nanoseconds since the process timeline epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// Appends one record to the calling thread's ring.  Lock-free after
+  /// the thread's first record.  No-op while disabled.
+  void record(const char* name, std::uint64_t begin_ns,
+              std::uint64_t end_ns) noexcept;
+
+  /// Convenience for wait instrumentation: a span of `wait_ns` ending
+  /// now.  No-op while disabled, so callers can invoke it unconditionally
+  /// on their (already rare) contended paths.
+  void record_wait(const char* name, std::uint64_t wait_ns) noexcept;
+
+  /// Names the calling thread's track in snapshots and exports.
+  /// Registers the thread's ring if it has none yet; overwrites any
+  /// earlier label.
+  void set_thread_label(const std::string& label);
+
+  /// Point-in-time copy of every thread's ring, tid-ordered.  Intended
+  /// for quiesced rings (see file comment).
+  [[nodiscard]] std::vector<TimelineThreadDump> snapshot() const;
+
+  /// Drops every record and label; thread registrations (tids) survive.
+  /// Call only while no thread is recording.
+  void reset();
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity_pow2)
+        : mask(capacity_pow2 - 1), slots(capacity_pow2) {}
+    const std::size_t mask;
+    std::vector<TimelineRecord> slots;
+    std::atomic<std::uint64_t> head{0};  // total records ever written
+    std::string label;                   // guarded by registry_mutex_
+  };
+
+  Timeline();
+  [[nodiscard]] Ring& local_ring();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_pow2_ = 1u << 16;
+};
+
+/// `meshbcast.timeline` v1 JSONL:
+///   {"schema":"meshbcast.timeline","version":1,"threads":T,"records":N}
+///   {"thread":0,"label":"worker/0","records":n,"dropped":d}   (per thread)
+///   {"thread":0,"name":"scenario.job","begin_ns":...,"end_ns":...}  (per span)
+void write_timeline_jsonl(std::ostream& out,
+                          const std::vector<TimelineThreadDump>& threads);
+
+/// Chrome trace-event array ("X" complete events; one tid per thread,
+/// thread_name metadata from the labels) for about://tracing and
+/// https://ui.perfetto.dev.
+void write_timeline_perfetto(std::ostream& out,
+                             const std::vector<TimelineThreadDump>& threads);
+
+}  // namespace wsn

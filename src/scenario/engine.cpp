@@ -24,6 +24,8 @@
 #include "obs/export.h"
 #include "obs/observer.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/timeline.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/etr.h"
 #include "protocol/etx_planner.h"
@@ -478,6 +480,9 @@ struct ScenarioEngine::Impl {
   Counter* failed_metric = nullptr;
   Counter* timeout_metric = nullptr;
   Histogram* wait_metric = nullptr;
+  Histogram* push_wait_metric = nullptr;
+  Histogram* pop_wait_metric = nullptr;
+  Histogram* emit_stall_metric = nullptr;
   Gauge* queue_depth_metric = nullptr;
   Gauge* busy_metric = nullptr;
   std::atomic<std::size_t> busy{0};
@@ -680,8 +685,41 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
     impl.wait_metric = &config_.metrics->histogram(
         "scenario.queue_wait_ms",
         {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+    impl.push_wait_metric = &config_.metrics->histogram(
+        "scenario.queue_push_wait_ms",
+        {0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0});
+    impl.pop_wait_metric = &config_.metrics->histogram(
+        "scenario.queue_pop_wait_ms",
+        {0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0});
+    impl.emit_stall_metric = &config_.metrics->histogram(
+        "scenario.emit_stall_ms",
+        {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0});
     impl.queue_depth_metric = &config_.metrics->gauge("scenario.queue_depth");
     impl.busy_metric = &config_.metrics->gauge("scenario.workers_busy");
+  }
+
+  // Contention hooks: the queue times its own blocking waits (clock reads
+  // only when a wait actually happens) and reports the nanoseconds here,
+  // outside its mutex.  Histograms fill only when metrics are bound; the
+  // timeline records a wait span only when enabled (record_wait is one
+  // relaxed load otherwise).  push waits run on the producer thread, pop
+  // waits on workers -- the timeline attributes them to the right ring
+  // automatically because rings are thread-local.
+  {
+    QueueWaitHooks hooks;
+    hooks.on_push_wait = [&impl](std::uint64_t wait_ns) {
+      if (impl.push_wait_metric != nullptr) {
+        impl.push_wait_metric->observe(static_cast<double>(wait_ns) / 1e6);
+      }
+      Timeline::instance().record_wait("queue.push_wait", wait_ns);
+    };
+    hooks.on_pop_wait = [&impl](std::uint64_t wait_ns) {
+      if (impl.pop_wait_metric != nullptr) {
+        impl.pop_wait_metric->observe(static_cast<double>(wait_ns) / 1e6);
+      }
+      Timeline::instance().record_wait("queue.pop_wait", wait_ns);
+    };
+    impl.queue.set_wait_hooks(std::move(hooks));
   }
 
   if (!results_path.empty()) {
@@ -726,37 +764,58 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
     std::function<void(std::size_t)> notify;
     std::size_t notify_emitted = 0;
     std::size_t notify_errors = 0;
+    bool resolved_here = true;
+    // Time the whole serialized section -- collector-lock acquisition,
+    // in-order flush and manifest rewrite -- as "emission stall": the
+    // serial tail every worker pays per completed job.  The clock is read
+    // only when the histogram is bound; the WSN_SPAN costs one relaxed
+    // load when profiling is fully off.
+    std::chrono::steady_clock::time_point stall_start{};
+    if (impl.emit_stall_metric != nullptr) {
+      stall_start = std::chrono::steady_clock::now();
+    }
     {
+      WSN_SPAN("scenario.emit_stall");
       const std::lock_guard<std::mutex> lock(impl.collector_mutex);
       // First resolution wins: the watchdog may have already resolved
       // this job into a timeout record (or vice versa -- the worker beat
       // a near-deadline expiry).  The loser's result is dropped whole.
-      if (impl.resolved[index] != 0) return false;
-      impl.resolved[index] = 1;
-      impl.pending.emplace(index, std::move(result));
-      while (true) {
-        const auto it = impl.pending.find(impl.next_to_emit);
-        if (it == impl.pending.end()) break;
-        impl.out << it->second.line << '\n';
-        impl.out.flush();
-        if (ScenarioEnvelope* env =
-                envelope_for(it->second.fold.scenario)) {
-          fold_into(*env, it->second.fold);
+      if (impl.resolved[index] != 0) {
+        resolved_here = false;
+      } else {
+        impl.resolved[index] = 1;
+        impl.pending.emplace(index, std::move(result));
+        while (true) {
+          const auto it = impl.pending.find(impl.next_to_emit);
+          if (it == impl.pending.end()) break;
+          impl.out << it->second.line << '\n';
+          impl.out.flush();
+          if (ScenarioEnvelope* env =
+                  envelope_for(it->second.fold.scenario)) {
+            fold_into(*env, it->second.fold);
+          }
+          if (!it->second.fold.ok) {
+            impl.errors += 1;
+            if (impl.failed_metric != nullptr) impl.failed_metric->increment();
+          } else if (impl.completed_metric != nullptr) {
+            impl.completed_metric->increment();
+          }
+          impl.pending.erase(it);
+          impl.next_to_emit += 1;
+          impl.emitted += 1;
+          write_manifest(impl.emitted, impl.emitted == impl.jobs_total);
         }
-        if (!it->second.fold.ok) {
-          impl.errors += 1;
-          if (impl.failed_metric != nullptr) impl.failed_metric->increment();
-        } else if (impl.completed_metric != nullptr) {
-          impl.completed_metric->increment();
-        }
-        impl.pending.erase(it);
-        impl.next_to_emit += 1;
-        impl.emitted += 1;
-        write_manifest(impl.emitted, impl.emitted == impl.jobs_total);
+        notify_emitted = impl.emitted;
+        notify_errors = impl.errors;
       }
-      notify_emitted = impl.emitted;
-      notify_errors = impl.errors;
     }
+    if (impl.emit_stall_metric != nullptr) {
+      impl.emit_stall_metric->observe(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - stall_start)
+              .count());
+    }
+    if (!resolved_here) return false;
     // The hook runs outside the collector lock so it may call
     // request_cancel() (the kill/resume tests do exactly that).
     if (config_.on_emit) config_.on_emit(notify_emitted);
@@ -778,12 +837,39 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   };
 
   // ---- workers --------------------------------------------------------
+  // Per-worker state board for the telemetry sampler: WorkerState values,
+  // written with relaxed stores at the idle/busy/blocked transitions.
+  // Only maintained when a sampler is attached -- unobserved runs skip
+  // even the relaxed stores.
+  const bool track_states = config_.sampler != nullptr;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> states;
+  if (track_states) {
+    states.reset(new std::atomic<std::uint8_t>[workers]);
+    for (std::size_t i = 0; i < workers; ++i) {
+      states[i].store(static_cast<std::uint8_t>(WorkerState::kIdle),
+                      std::memory_order_relaxed);
+    }
+    config_.sampler->set_worker_states(
+        [board = states.get(), workers]() {
+          std::vector<WorkerState> snapshot(workers);
+          for (std::size_t i = 0; i < workers; ++i) {
+            snapshot[i] = static_cast<WorkerState>(
+                board[i].load(std::memory_order_relaxed));
+          }
+          return snapshot;
+        });
+  }
+
   std::vector<WorkerSlot> inflight(workers);
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      if (Timeline::instance().enabled()) {
+        Timeline::instance().set_thread_label("worker/" + std::to_string(w));
+      }
       Simulator sim;
+      Timeline& timeline = Timeline::instance();
       double wait_ms_sum = 0.0;
       std::size_t wait_samples = 0;
       while (true) {
@@ -792,8 +878,20 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
             !stop_.load(std::memory_order_acquire)) {
           request_cancel();
         }
+        // One wall-to-wall timeline span per loop pass (pop + execute +
+        // submit), recorded at the bottom.  The contention spans nest
+        // inside it, so attribution covers the worker's whole life with
+        // no gaps for the scheduler to hide preemption in.  Disabled
+        // cost: the one relaxed load behind enabled().
+        const bool timeline_on = timeline.enabled();
+        const std::uint64_t iteration_begin =
+            timeline_on ? timeline.now_ns() : 0;
         auto ticket = impl.queue.pop();
         if (!ticket.has_value()) break;
+        if (track_states) {
+          states[w].store(static_cast<std::uint8_t>(WorkerState::kBusy),
+                          std::memory_order_relaxed);
+        }
         const auto popped = std::chrono::steady_clock::now();
         const double wait_ms =
             std::chrono::duration<double, std::milli>(popped -
@@ -830,7 +928,19 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
         if (impl.busy_metric != nullptr) {
           impl.busy_metric->set(static_cast<double>(busy_after));
         }
+        if (track_states) {
+          states[w].store(static_cast<std::uint8_t>(WorkerState::kBlocked),
+                          std::memory_order_relaxed);
+        }
         submit(ticket->first, std::move(result));
+        if (track_states) {
+          states[w].store(static_cast<std::uint8_t>(WorkerState::kIdle),
+                          std::memory_order_relaxed);
+        }
+        if (timeline_on) {
+          timeline.record("scenario.iteration", iteration_begin,
+                          timeline.now_ns());
+        }
       }
       const std::lock_guard<std::mutex> lock(impl.collector_mutex);
       impl.queue_wait_ms_sum += wait_ms_sum;
@@ -887,6 +997,9 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   // ---- producer (this thread) -----------------------------------------
   // Backpressure is the queue's: push blocks once `capacity` tickets are
   // in flight and returns false only after a cancel.
+  if (Timeline::instance().enabled()) {
+    Timeline::instance().set_thread_label("producer");
+  }
   for (std::size_t index = completed; index < summary.jobs_total; ++index) {
     if (stop_.load(std::memory_order_acquire)) break;
     if (!impl.queue.push({index, std::chrono::steady_clock::now()})) break;
@@ -902,6 +1015,10 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
     const std::lock_guard<std::mutex> lock(run_mutex_);
     active_ = nullptr;
   }
+
+  // Detach the state provider before the board leaves scope: the sampler
+  // outlives this run and must not poll a dangling array.
+  if (track_states) config_.sampler->set_worker_states({});
 
   summary.ok = true;
   summary.cancelled = stop_.load(std::memory_order_acquire);

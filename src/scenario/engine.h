@@ -45,6 +45,8 @@
 /// truth and a missing or corrupt manifest is ignored.
 namespace wsn {
 
+class TelemetrySampler;
+
 /// Progress heartbeat, delivered through `EngineConfig::on_heartbeat`
 /// every `heartbeat_every` emitted records.  Cadence is COUNT-based (a
 /// pure function of emission progress) but the payload carries live pool
@@ -105,6 +107,13 @@ struct EngineConfig {
   /// executes (nullable).  Exists so tests can inject a deterministic
   /// stall and exercise the watchdog.
   std::function<void(const ScenarioJob&)> before_job;
+  /// Periodic utilization sampler (nullable, obs/sampler.h).  When set,
+  /// the engine publishes a per-worker state board (idle/busy/blocked)
+  /// that the sampler polls into the `meshbcast.timeseries` stream.  The
+  /// caller owns start/stop; the engine wires the state provider for the
+  /// duration of run() and detaches it before returning.  Without a
+  /// sampler the workers skip even the relaxed state stores.
+  TelemetrySampler* sampler = nullptr;
 };
 
 /// Per-scenario aggregate over the ok records -- the best/worst/max-delay

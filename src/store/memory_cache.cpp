@@ -1,9 +1,11 @@
 #include "store/memory_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/assert.h"
+#include "obs/timeline.h"
 
 namespace wsn {
 
@@ -22,13 +24,36 @@ void ShardedPlanCache::bind_metrics(MetricsRegistry& registry,
   misses_metric_ = &registry.counter(base + ".misses");
   insertions_metric_ = &registry.counter(base + ".insertions");
   evictions_metric_ = &registry.counter(base + ".evictions");
+  lock_wait_metric_ = &registry.histogram(
+      base + ".lock_wait_ms",
+      {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0});
+}
+
+std::unique_lock<std::mutex> ShardedPlanCache::acquire_shard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    const auto waited = std::chrono::steady_clock::now() - start;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count();
+    const std::uint64_t wait_ns =
+        ns <= 0 ? 1 : static_cast<std::uint64_t>(ns);
+    lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    lock_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    if (lock_wait_metric_ != nullptr) {
+      lock_wait_metric_->observe(static_cast<double>(wait_ns) / 1e6);
+    }
+    Timeline::instance().record_wait("store.lock_wait", wait_ns);
+  }
+  return lock;
 }
 
 std::shared_ptr<const StoredPlan> ShardedPlanCache::get(const PlanKey& key) {
   Shard& shard = shard_for(key);
   std::shared_ptr<const StoredPlan> value;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::unique_lock<std::mutex> lock = acquire_shard(shard);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -50,7 +75,7 @@ void ShardedPlanCache::put(const PlanKey& key,
   bool inserted = false;
   bool evicted = false;
   {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::unique_lock<std::mutex> lock = acquire_shard(shard);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       it->second->value = std::move(value);
@@ -83,7 +108,9 @@ ShardedPlanCache::Stats ShardedPlanCache::stats() const noexcept {
   return Stats{hits_.load(std::memory_order_relaxed),
                misses_.load(std::memory_order_relaxed),
                insertions_.load(std::memory_order_relaxed),
-               evictions_.load(std::memory_order_relaxed)};
+               evictions_.load(std::memory_order_relaxed),
+               lock_waits_.load(std::memory_order_relaxed),
+               lock_wait_ns_.load(std::memory_order_relaxed)};
 }
 
 void ShardedPlanCache::clear() {

@@ -45,6 +45,12 @@ class ShardedPlanCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Shard-lock acquisitions that found the lock held (try_lock
+    /// failed) and the total nanoseconds those blocked acquisitions
+    /// waited.  The uncontended path costs one try_lock and never reads
+    /// a clock.
+    std::uint64_t lock_waits = 0;
+    std::uint64_t lock_wait_ns = 0;
   };
 
   ShardedPlanCache();
@@ -89,6 +95,12 @@ class ShardedPlanCache {
     if (mirrored != nullptr) mirrored->increment();
   }
 
+  /// Takes the shard mutex, timing the acquisition only when a try_lock
+  /// probe finds it held.  A contended acquisition feeds the lock-wait
+  /// stats, the `<prefix>.lock_wait_ms` histogram (when bound) and the
+  /// span timeline as "store.lock_wait".
+  [[nodiscard]] std::unique_lock<std::mutex> acquire_shard(Shard& shard);
+
   std::size_t per_shard_capacity_;
   std::vector<Shard> shards_;
 
@@ -96,10 +108,13 @@ class ShardedPlanCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> lock_waits_{0};
+  std::atomic<std::uint64_t> lock_wait_ns_{0};
   Counter* hits_metric_ = nullptr;
   Counter* misses_metric_ = nullptr;
   Counter* insertions_metric_ = nullptr;
   Counter* evictions_metric_ = nullptr;
+  Histogram* lock_wait_metric_ = nullptr;
 };
 
 }  // namespace wsn

@@ -1,0 +1,272 @@
+#include "analysis/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "scenario/engine.h"
+#include "scenario/spec.h"
+#include "store/plan_store.h"
+
+namespace wsn {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("wsn_test_attribution_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+ParsedSpan span(const char* name, std::uint64_t begin, std::uint64_t end) {
+  ParsedSpan s;
+  s.name = name;
+  s.begin_ns = begin;
+  s.end_ns = end;
+  return s;
+}
+
+TEST(Attribution, IterationBaseDecomposesExactly) {
+  // A worker with two loop iterations: the first has a pop wait, a lock
+  // wait, an emission stall, and a (covered, ignored) job span nested
+  // inside; the second is pure compute.  Plus a producer blocked twice.
+  ParsedTimelineThread producer;
+  producer.tid = 0;
+  producer.label = "producer";
+  producer.spans = {span("queue.push_wait", 0, 100),
+                    span("queue.push_wait", 150, 250)};
+
+  ParsedTimelineThread worker;
+  worker.tid = 1;
+  worker.label = "worker/0";
+  worker.spans = {span("queue.pop_wait", 10, 40),
+                  span("store.lock_wait", 100, 200),
+                  span("scenario.job", 50, 780),
+                  span("scenario.emit_stall", 800, 900),
+                  span("scenario.iteration", 0, 1000),
+                  span("scenario.iteration", 1100, 1500)};
+
+  const AttributionReport report =
+      attribute_timeline({producer, worker});
+  ASSERT_EQ(report.threads.size(), 2u);
+  ASSERT_EQ(report.workers, 1u);
+
+  const ThreadAttribution& p = report.threads[0];
+  EXPECT_FALSE(p.worker);
+  EXPECT_EQ(p.wall_ns, 250u);
+  EXPECT_EQ(p.queue_wait_ns, 200u);
+  EXPECT_EQ(p.compute_ns, 0u);
+  EXPECT_EQ(p.unattributed_ns, 50u);
+
+  const ThreadAttribution& w = report.threads[1];
+  EXPECT_TRUE(w.worker);
+  EXPECT_EQ(w.wall_ns, 1500u);
+  // 1400 of iteration base minus the 30+100+100 of nested waits; the
+  // scenario.job span is covered by its iteration and never re-counted.
+  EXPECT_EQ(w.compute_ns, 1170u);
+  EXPECT_EQ(w.idle_ns, 30u);
+  EXPECT_EQ(w.lock_wait_ns, 100u);
+  EXPECT_EQ(w.emit_stall_ns, 100u);
+  EXPECT_EQ(w.queue_wait_ns, 0u);
+  EXPECT_EQ(w.attributed_ns(), 1400u);
+  EXPECT_EQ(w.unattributed_ns, 100u);
+  EXPECT_DOUBLE_EQ(w.attributed_share(), 1400.0 / 1500.0);
+  // Lock-wait and emission-stall tie at 100; emission-stall wins the tie.
+  EXPECT_EQ(w.dominant_stall(), "emission-stall");
+  EXPECT_EQ(report.dominant_stall, "emission-stall");
+  EXPECT_DOUBLE_EQ(report.min_worker_attributed_share, 1400.0 / 1500.0);
+}
+
+TEST(Attribution, FallsBackToJobSpansWithoutIterations) {
+  ParsedTimelineThread worker;
+  worker.tid = 0;
+  worker.label = "worker/0";
+  worker.spans = {span("store.lock_wait", 20, 30),
+                  span("scenario.job", 0, 100)};
+  const AttributionReport report = attribute_timeline({worker});
+  ASSERT_EQ(report.threads.size(), 1u);
+  const ThreadAttribution& w = report.threads[0];
+  EXPECT_EQ(w.compute_ns, 90u);
+  EXPECT_EQ(w.lock_wait_ns, 10u);
+  EXPECT_EQ(w.unattributed_ns, 0u);
+  EXPECT_EQ(w.dominant_stall(), "lock-wait");
+}
+
+TEST(Attribution, ReportDominantStallSumsAcrossWorkers) {
+  ParsedTimelineThread idler;
+  idler.tid = 0;
+  idler.label = "worker/0";
+  idler.spans = {span("queue.pop_wait", 0, 300)};
+  ParsedTimelineThread staller;
+  staller.tid = 1;
+  staller.label = "worker/1";
+  staller.spans = {span("scenario.emit_stall", 0, 100)};
+  const AttributionReport report = attribute_timeline({idler, staller});
+  EXPECT_EQ(report.workers, 2u);
+  EXPECT_EQ(report.dominant_stall, "idle");
+
+  // Threads without spans or without the worker/ label never count.
+  ParsedTimelineThread empty;
+  empty.tid = 2;
+  empty.label = "worker/2";
+  const AttributionReport with_empty =
+      attribute_timeline({idler, staller, empty});
+  EXPECT_EQ(with_empty.workers, 3u);
+  EXPECT_DOUBLE_EQ(with_empty.min_worker_attributed_share, 0.0);
+}
+
+TEST(Attribution, TimelineFileRoundTripsAndRejectsBadInput) {
+  const TempDir tmp("roundtrip");
+  std::vector<TimelineThreadDump> dumps(2);
+  dumps[0].tid = 0;
+  dumps[0].label = "producer";
+  dumps[0].records = {{10, 25, "queue.push_wait"}};
+  dumps[1].tid = 1;
+  dumps[1].label = "worker/0";
+  dumps[1].dropped = 2;
+  dumps[1].records = {{0, 40, "scenario.iteration"},
+                      {50, 90, "scenario.iteration"}};
+
+  const std::string path = (tmp.path / "timeline.jsonl").string();
+  {
+    std::ofstream out(path);
+    write_timeline_jsonl(out, dumps);
+  }
+  std::vector<ParsedTimelineThread> parsed;
+  std::string error;
+  ASSERT_TRUE(read_timeline_file(path, parsed, &error)) << error;
+  const std::vector<ParsedTimelineThread> direct = from_snapshot(dumps);
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].tid, direct[i].tid);
+    EXPECT_EQ(parsed[i].label, direct[i].label);
+    EXPECT_EQ(parsed[i].dropped, direct[i].dropped);
+    ASSERT_EQ(parsed[i].spans.size(), direct[i].spans.size());
+    for (std::size_t j = 0; j < parsed[i].spans.size(); ++j) {
+      EXPECT_EQ(parsed[i].spans[j].name, direct[i].spans[j].name);
+      EXPECT_EQ(parsed[i].spans[j].begin_ns, direct[i].spans[j].begin_ns);
+      EXPECT_EQ(parsed[i].spans[j].end_ns, direct[i].spans[j].end_ns);
+    }
+  }
+
+  std::vector<ParsedTimelineThread> ignored;
+  EXPECT_FALSE(read_timeline_file((tmp.path / "missing.jsonl").string(),
+                                  ignored, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  const std::string wrong = (tmp.path / "wrong.jsonl").string();
+  {
+    std::ofstream out(wrong);
+    out << "{\"schema\":\"meshbcast.metrics\",\"version\":1}\n";
+  }
+  EXPECT_FALSE(read_timeline_file(wrong, ignored, &error));
+  EXPECT_NE(error.find("not a meshbcast.timeline"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance (ISSUE 7): on an instrumented 2-worker engine run, the
+// perf-report JSON attributes >= 90% of every worker's wall time and
+// names the dominant stall.
+// ---------------------------------------------------------------------
+
+TEST(AttributionAcceptance, TwoWorkerEngineRunAttributesNinetyPercent) {
+  const TempDir tmp("engine");
+  Timeline::instance().reset();
+  Timeline::instance().set_enabled(true);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      "{\"name\": \"attr\", \"scenarios\": ["
+      "{\"name\": \"sweep\", \"family\": \"2D-4\", \"dims\": [8, 6],"
+      " \"sources\": \"all\", \"protocols\": [\"paper\"]}]}",
+      doc, &error))
+      << error;
+  ScenarioSpec spec;
+  ASSERT_TRUE(parse_scenario_spec(doc, spec, error)) << error;
+  JobMatrix matrix;
+  ASSERT_TRUE(expand_jobs(std::move(spec), matrix, error)) << error;
+
+  PlanStore store;
+  MetricsRegistry metrics;
+  store.bind_metrics(metrics);
+  EngineConfig config;
+  config.workers = 2;
+  config.store = &store;
+  config.metrics = &metrics;
+  ScenarioEngine engine(matrix, config);
+  const RunSummary summary =
+      engine.run((tmp.path / "out.jsonl").string());
+  Timeline::instance().set_enabled(false);
+  ASSERT_TRUE(summary.ok) << summary.error;
+
+  const AttributionReport report =
+      attribute_timeline(from_snapshot(Timeline::instance().snapshot()));
+  Timeline::instance().reset();
+
+  // The acceptance assertions run against the report *JSON*, the artifact
+  // tools/perf_report ships.
+  std::ostringstream json;
+  const MetricsSnapshot snap = metrics.scrape();
+  write_attribution_json(json, report, &snap);
+  JsonValue parsed;
+  ASSERT_TRUE(parse_json(json.str(), parsed, &error)) << error;
+  EXPECT_EQ(parsed.string_or("schema", ""), "meshbcast.perf_report");
+  EXPECT_EQ(parsed.number_or("version", 0), 1.0);
+  EXPECT_EQ(parsed.number_or("workers", 0), 2.0);
+
+  // >= 90% of every worker's wall time is attributed...
+  EXPECT_GE(parsed.number_or("min_worker_attributed_share", 0.0), 0.9);
+  // ...and the headline names a concrete stall category.
+  const std::string dominant = parsed.string_or("dominant_stall", "");
+  EXPECT_TRUE(dominant == "emission-stall" || dominant == "idle" ||
+              dominant == "lock-wait" || dominant == "queue-wait" ||
+              dominant == "none")
+      << dominant;
+
+  const JsonValue* threads = parsed.find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_TRUE(threads->is_array());
+  std::size_t workers_seen = 0;
+  for (const JsonValue& thread : threads->as_array()) {
+    if (thread.find("worker") == nullptr ||
+        thread.string_or("label", "").rfind("worker/", 0) != 0) {
+      continue;
+    }
+    workers_seen += 1;
+    EXPECT_GE(thread.number_or("attributed_share", 0.0), 0.9)
+        << thread.string_or("label", "");
+    const JsonValue* categories = thread.find("categories");
+    ASSERT_NE(categories, nullptr);
+    EXPECT_GT(categories->number_or("compute", -1), 0.0);
+  }
+  EXPECT_EQ(workers_seen, 2u);
+
+  // The embedded contention histograms carry count/sum/percentiles.
+  const JsonValue* hist = parsed.find("contention_histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* emit = hist->find("scenario.emit_stall_ms");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_GE(emit->number_or("count", -1), 0.0);
+  ASSERT_NE(emit->find("p95"), nullptr);
+
+  // The human-readable view names every thread and the diagnosis.
+  const std::string text = attribution_text(report);
+  EXPECT_NE(text.find("worker/0"), std::string::npos);
+  EXPECT_NE(text.find("worker/1"), std::string::npos);
+  EXPECT_NE(text.find("dominant stall: " + dominant), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -141,6 +142,68 @@ TEST(BoundedQueue, ConcurrentCancelIsRaceFree) {
   for (std::thread& t : threads) t.join();
   EXPECT_TRUE(queue.closed());
   EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, WaitHooksFireOnlyWhenBlocked) {
+  BoundedQueue<int> queue(1);
+  std::atomic<std::uint64_t> push_waits{0};
+  std::atomic<std::uint64_t> pop_waits{0};
+  QueueWaitHooks hooks;
+  hooks.on_push_wait = [&](std::uint64_t wait_ns) {
+    EXPECT_GE(wait_ns, 1u);
+    push_waits.fetch_add(1, std::memory_order_relaxed);
+  };
+  hooks.on_pop_wait = [&](std::uint64_t wait_ns) {
+    EXPECT_GE(wait_ns, 1u);
+    pop_waits.fetch_add(1, std::memory_order_relaxed);
+  };
+  queue.set_wait_hooks(std::move(hooks));
+
+  // Unblocked traffic never reaches the hooks.
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_EQ(queue.try_pop(), 2);
+  EXPECT_EQ(push_waits.load(), 0u);
+  EXPECT_EQ(pop_waits.load(), 0u);
+
+  // A producer blocked on a full queue reports its wait.  Whether the
+  // helper reaches its blocking call before we unblock it is scheduling;
+  // the handshake plus a short grace makes a miss rare and the retry
+  // loop makes the test deterministic anyway.
+  for (int attempt = 0; attempt < 100 && push_waits.load() == 0; ++attempt) {
+    ASSERT_TRUE(queue.push(3));
+    std::atomic<bool> started{false};
+    std::thread producer([&] {
+      started.store(true, std::memory_order_release);
+      EXPECT_TRUE(queue.push(4));
+    });
+    while (!started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(queue.pop(), 3);
+    producer.join();
+    EXPECT_EQ(queue.pop(), 4);
+  }
+  EXPECT_GE(push_waits.load(), 1u);
+
+  // ...and a consumer blocked on an empty one reports too.
+  for (int attempt = 0; attempt < 100 && pop_waits.load() == 0; ++attempt) {
+    std::atomic<bool> started{false};
+    std::thread consumer([&] {
+      started.store(true, std::memory_order_release);
+      EXPECT_EQ(queue.pop(), 7);
+    });
+    while (!started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(queue.push(7));
+    consumer.join();
+  }
+  EXPECT_GE(pop_waits.load(), 1u);
+  EXPECT_EQ(queue.size(), 0u);
 }
 
 using BoundedQueueDeathTest = ::testing::Test;

@@ -87,6 +87,43 @@ TEST(Histogram, ExactTotalsUnderParallelFor) {
   EXPECT_DOUBLE_EQ(h.max(), 1999.0);
 }
 
+TEST(HistogramSnapshot, PercentilesInterpolateAndClampToExtrema) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t.lat", {1.0, 2.0, 4.0, 8.0});
+  // 100 observations spread 25/25/25/25 over the four bucket ranges.
+  for (int i = 0; i < 25; ++i) {
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(3.0);
+    h.observe(6.0);
+  }
+  const MetricsSnapshot scraped = registry.scrape();
+  const HistogramSnapshot* snap = scraped.histogram("t.lat");
+  ASSERT_NE(snap, nullptr);
+  // p0/p100 are the exact extrema; interior quantiles land inside the
+  // covering bucket (p50 inside (1,2], p95 inside (4,8]).
+  EXPECT_DOUBLE_EQ(snap->percentile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(snap->percentile(1.0), 6.0);
+  const double p50 = snap->percentile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p95 = snap->percentile(0.95);
+  EXPECT_GT(p95, 4.0);
+  EXPECT_LE(p95, 6.0);  // clamped to max
+  // Monotone in q.
+  EXPECT_LE(snap->percentile(0.5), snap->percentile(0.9));
+  EXPECT_LE(snap->percentile(0.9), snap->percentile(0.99));
+}
+
+TEST(HistogramSnapshot, PercentileOfEmptyIsZero) {
+  MetricsRegistry registry;
+  registry.histogram("t.empty", {1.0});
+  const MetricsSnapshot scraped = registry.scrape();
+  const HistogramSnapshot* snap = scraped.histogram("t.empty");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->percentile(0.5), 0.0);
+}
+
 TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
   MetricsRegistry registry;
   Counter& a = registry.counter("sim.tx");
@@ -210,6 +247,16 @@ TEST(MetricsJson, ScrapeRoundTripsThroughParseJson) {
   EXPECT_EQ(buckets->as_array()[0].as_number(), 1.0);
   EXPECT_EQ(buckets->as_array()[1].as_number(), 1.0);
   EXPECT_EQ(buckets->as_array()[2].as_number(), 1.0);
+
+  // The JSON embeds the percentile estimates the snapshot computes --
+  // what perf_report and bench_diff consume downstream.
+  const MetricsSnapshot scraped = registry.scrape();
+  const HistogramSnapshot* snapshot = scraped.histogram("sim.delay");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(delay->number_or("p50", -1), snapshot->percentile(0.50));
+  ASSERT_NE(delay->find("p95"), nullptr);
+  ASSERT_NE(delay->find("p99"), nullptr);
+  EXPECT_EQ(delay->number_or("p99", -1), snapshot->percentile(0.99));
 }
 
 }  // namespace

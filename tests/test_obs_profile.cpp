@@ -4,6 +4,7 @@
 
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace wsn {
@@ -73,6 +74,33 @@ TEST_F(ProfileTest, SnapshotSortsByDescendingTotal) {
   const auto spans = Profiler::instance().snapshot();
   ASSERT_EQ(spans.size(), 2u);
   EXPECT_EQ(spans[0].name, "test.big");
+}
+
+TEST_F(ProfileTest, ConcurrentRecordsMergeExactly) {
+  // The per-thread shards must fold back into one exact aggregate:
+  // 8 threads x 2000 records of 100ns each, all under one name.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Profiler::instance().record("test.concurrent", 100);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const auto spans = Profiler::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.concurrent");
+  EXPECT_EQ(spans[0].count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(spans[0].total_ns,
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 100u);
+  EXPECT_EQ(spans[0].min_ns, 100u);
+  EXPECT_EQ(spans[0].max_ns, 100u);
 }
 
 TEST_F(ProfileTest, ReportsNameEveryRecordedSpan) {

@@ -1,0 +1,167 @@
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace wsn {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("wsn_test_sampler_" + tag)) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+std::vector<std::string> read_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TelemetrySampler, WritesHeaderAndAtLeastOneTick) {
+  const TempDir tmp("header");
+  MetricsRegistry metrics;
+  metrics.counter("sim.tx").add(42);
+  metrics.gauge("scenario.queue_depth").set(3.0);
+
+  TelemetrySampler::Config config;
+  config.period_ms = 1000;  // stop() still takes the final sample
+  config.metrics = &metrics;
+  TelemetrySampler sampler(config);
+  const std::string path = (tmp.path / "ts.jsonl").string();
+  ASSERT_TRUE(sampler.start(path));
+  sampler.stop();
+  EXPECT_GE(sampler.ticks(), 1u);
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  JsonValue header;
+  ASSERT_TRUE(parse_json(lines[0], header)) << lines[0];
+  EXPECT_EQ(header.string_or("schema", ""), "meshbcast.timeseries");
+  EXPECT_EQ(header.number_or("version", 0), 1.0);
+  EXPECT_EQ(header.number_or("period_ms", 0), 1000.0);
+
+  JsonValue tick;
+  ASSERT_TRUE(parse_json(lines[1], tick)) << lines[1];
+  ASSERT_NE(tick.find("t_ms"), nullptr);
+  const JsonValue* counters = tick.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("sim.tx", -1), 42.0);
+  const JsonValue* gauges = tick.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->number_or("scenario.queue_depth", -1), 3.0);
+}
+
+TEST(TelemetrySampler, SamplesWorkerStatesAndUtilization) {
+  const TempDir tmp("workers");
+  MetricsRegistry metrics;
+  TelemetrySampler::Config config;
+  config.period_ms = 1000;
+  config.metrics = &metrics;
+  TelemetrySampler sampler(config);
+  sampler.set_worker_states([] {
+    return std::vector<WorkerState>{WorkerState::kBusy, WorkerState::kIdle,
+                                    WorkerState::kBlocked};
+  });
+  const std::string path = (tmp.path / "ts.jsonl").string();
+  ASSERT_TRUE(sampler.start(path));
+  sampler.stop();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  JsonValue tick;
+  ASSERT_TRUE(parse_json(lines.back(), tick)) << lines.back();
+  const JsonValue* workers = tick.find("workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_EQ(workers->number_or("busy", -1), 1.0);
+  EXPECT_EQ(workers->number_or("idle", -1), 1.0);
+  EXPECT_EQ(workers->number_or("blocked", -1), 1.0);
+  const JsonValue* states = workers->find("states");
+  ASSERT_NE(states, nullptr);
+  ASSERT_TRUE(states->is_array());
+  ASSERT_EQ(states->as_array().size(), 3u);
+  EXPECT_EQ(states->as_array()[0].as_number(), 1.0);  // kBusy
+  EXPECT_EQ(states->as_array()[1].as_number(), 0.0);  // kIdle
+  EXPECT_EQ(states->as_array()[2].as_number(), 2.0);  // kBlocked
+
+  // Cumulative utilization shares: every tick saw 1/3 of each state.
+  const JsonValue* util = tick.find("utilization");
+  ASSERT_NE(util, nullptr);
+  EXPECT_NEAR(util->number_or("busy", -1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(util->number_or("idle", -1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(util->number_or("blocked", -1), 1.0 / 3.0, 1e-9);
+
+  // ...and they are mirrored into gauges for later scrapes.
+  const MetricsSnapshot snap = metrics.scrape();
+  double busy_gauge = -1.0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "scenario.worker_util.busy") busy_gauge = value;
+  }
+  EXPECT_NEAR(busy_gauge, 1.0 / 3.0, 1e-9);
+}
+
+TEST(TelemetrySampler, ProviderRemovalDropsWorkerSections) {
+  const TempDir tmp("removal");
+  TelemetrySampler::Config config;
+  config.period_ms = 1000;
+  TelemetrySampler sampler(config);
+  sampler.set_worker_states(
+      [] { return std::vector<WorkerState>{WorkerState::kBusy}; });
+  sampler.set_worker_states({});  // the engine detaches before returning
+  const std::string path = (tmp.path / "ts.jsonl").string();
+  ASSERT_TRUE(sampler.start(path));
+  sampler.stop();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  JsonValue tick;
+  ASSERT_TRUE(parse_json(lines.back(), tick));
+  EXPECT_EQ(tick.find("workers"), nullptr);
+  EXPECT_EQ(tick.find("utilization"), nullptr);
+}
+
+TEST(TelemetrySampler, StartWhileRunningFailsAndStopIsIdempotent) {
+  const TempDir tmp("lifecycle");
+  TelemetrySampler::Config config;
+  config.period_ms = 1000;
+  TelemetrySampler sampler(config);
+  const std::string path = (tmp.path / "a.jsonl").string();
+  ASSERT_TRUE(sampler.start(path));
+  EXPECT_TRUE(sampler.running());
+  EXPECT_FALSE(sampler.start((tmp.path / "b.jsonl").string()));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // idempotent
+  EXPECT_FALSE(sampler.running());
+
+  // A stopped sampler can start a fresh file.
+  const std::string second = (tmp.path / "c.jsonl").string();
+  ASSERT_TRUE(sampler.start(second));
+  sampler.stop();
+  EXPECT_GE(read_lines(second).size(), 2u);
+}
+
+TEST(TelemetrySampler, StartFailsOnUnwritablePath) {
+  TelemetrySampler::Config config;
+  TelemetrySampler sampler(config);
+  EXPECT_FALSE(sampler.start("/nonexistent_dir_zz/ts.jsonl"));
+  EXPECT_FALSE(sampler.running());
+}
+
+}  // namespace
+}  // namespace wsn

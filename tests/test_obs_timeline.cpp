@@ -1,0 +1,216 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/profile.h"
+
+namespace wsn {
+namespace {
+
+// The Timeline is process-wide (rings register per thread and survive for
+// the process); every test starts from disabled + empty and leaves both
+// profiling sinks that way for the rest of the suite.
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { quiesce(); }
+  void TearDown() override { quiesce(); }
+  static void quiesce() {
+    Timeline::instance().set_enabled(false);
+    Timeline::instance().set_thread_capacity(1u << 16);
+    Timeline::instance().reset();
+    Profiler::instance().set_enabled(false);
+    Profiler::instance().reset();
+  }
+  static std::size_t total_records() {
+    std::size_t total = 0;
+    for (const TimelineThreadDump& t : Timeline::instance().snapshot()) {
+      total += t.records.size();
+    }
+    return total;
+  }
+};
+
+TEST_F(TimelineTest, DisabledRecordsNothing) {
+  Timeline& timeline = Timeline::instance();
+  ASSERT_FALSE(timeline.enabled());
+  timeline.record("test.span", 10, 20);
+  timeline.record_wait("test.wait", 5);
+  { WSN_SPAN("test.macro"); }
+  EXPECT_EQ(total_records(), 0u);
+}
+
+TEST_F(TimelineTest, RecordsPerThreadWithLabels) {
+  Timeline& timeline = Timeline::instance();
+  timeline.set_enabled(true);
+  timeline.set_thread_label("main");
+  timeline.record("test.a", 10, 20);
+  timeline.record("test.b", 30, 45);
+
+  std::thread worker([&] {
+    timeline.set_thread_label("worker/7");
+    timeline.record("test.w", 100, 250);
+  });
+  worker.join();
+
+  const TimelineThreadDump* main_dump = nullptr;
+  const TimelineThreadDump* worker_dump = nullptr;
+  const auto snapshot = timeline.snapshot();
+  for (const TimelineThreadDump& t : snapshot) {
+    if (t.label == "main") main_dump = &t;
+    if (t.label == "worker/7") worker_dump = &t;
+  }
+  ASSERT_NE(main_dump, nullptr);
+  ASSERT_NE(worker_dump, nullptr);
+  ASSERT_EQ(main_dump->records.size(), 2u);
+  EXPECT_STREQ(main_dump->records[0].name, "test.a");  // oldest first
+  EXPECT_EQ(main_dump->records[0].begin_ns, 10u);
+  EXPECT_EQ(main_dump->records[0].end_ns, 20u);
+  EXPECT_STREQ(main_dump->records[1].name, "test.b");
+  ASSERT_EQ(worker_dump->records.size(), 1u);
+  EXPECT_STREQ(worker_dump->records[0].name, "test.w");
+  EXPECT_NE(main_dump->tid, worker_dump->tid);
+  EXPECT_EQ(main_dump->dropped, 0u);
+}
+
+TEST_F(TimelineTest, RingWrapKeepsNewestAndCountsDropped) {
+  Timeline& timeline = Timeline::instance();
+  timeline.set_enabled(true);
+  timeline.set_thread_capacity(64);  // applies to threads registering later
+
+  std::thread writer([&] {
+    timeline.set_thread_label("wrap");
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      timeline.record("test.wrap", i, i + 1);
+    }
+  });
+  writer.join();
+
+  const TimelineThreadDump* wrap = nullptr;
+  const auto snapshot = Timeline::instance().snapshot();
+  for (const TimelineThreadDump& t : snapshot) {
+    if (t.label == "wrap") wrap = &t;
+  }
+  ASSERT_NE(wrap, nullptr);
+  EXPECT_EQ(wrap->records.size(), 64u);
+  EXPECT_EQ(wrap->dropped, 36u);
+  // Oldest-first, and the oldest surviving record is #36.
+  EXPECT_EQ(wrap->records.front().begin_ns, 36u);
+  EXPECT_EQ(wrap->records.back().begin_ns, 99u);
+}
+
+TEST_F(TimelineTest, RecordWaitSpansEndNow) {
+  Timeline& timeline = Timeline::instance();
+  timeline.set_enabled(true);
+  const std::uint64_t before = timeline.now_ns();
+  timeline.record_wait("test.wait", 1000);
+  const auto snapshot = timeline.snapshot();
+  const TimelineRecord* found = nullptr;
+  for (const TimelineThreadDump& t : snapshot) {
+    for (const TimelineRecord& r : t.records) {
+      if (std::string(r.name) == "test.wait") found = &r;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->end_ns - found->begin_ns, 1000u);
+  EXPECT_GE(found->end_ns, before);
+}
+
+TEST_F(TimelineTest, TimelineAndAggregateModesAreIndependent) {
+  // Timeline only: the aggregate Profiler must stay empty.
+  Timeline::instance().set_enabled(true);
+  { WSN_SPAN("test.tl_only"); }
+  EXPECT_GE(total_records(), 1u);
+  EXPECT_TRUE(Profiler::instance().snapshot().empty());
+
+  // Aggregate only: the timeline must stay empty.
+  quiesce();
+  Profiler::instance().set_enabled(true);
+  { WSN_SPAN("test.agg_only"); }
+  EXPECT_EQ(total_records(), 0u);
+  ASSERT_EQ(Profiler::instance().snapshot().size(), 1u);
+}
+
+TEST_F(TimelineTest, ResetDropsRecordsAndLabels) {
+  Timeline& timeline = Timeline::instance();
+  timeline.set_enabled(true);
+  timeline.set_thread_label("doomed");
+  timeline.record("test.gone", 1, 2);
+  timeline.reset();
+  for (const TimelineThreadDump& t : timeline.snapshot()) {
+    EXPECT_TRUE(t.records.empty());
+    EXPECT_TRUE(t.label.empty());
+    EXPECT_EQ(t.dropped, 0u);
+  }
+}
+
+TEST_F(TimelineTest, JsonlExportCarriesSchemaThreadsAndSpans) {
+  std::vector<TimelineThreadDump> threads(2);
+  threads[0].tid = 0;
+  threads[0].label = "producer";
+  threads[0].records = {{10, 20, "queue.push_wait"}};
+  threads[1].tid = 1;
+  threads[1].label = "worker/0";
+  threads[1].dropped = 3;
+  threads[1].records = {{5, 9, "scenario.job"}, {12, 30, "scenario.job"}};
+
+  std::ostringstream out;
+  write_timeline_jsonl(out, threads);
+  std::istringstream in(out.str());
+  std::string line;
+
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue header;
+  ASSERT_TRUE(parse_json(line, header)) << line;
+  EXPECT_EQ(header.string_or("schema", ""), "meshbcast.timeline");
+  EXPECT_EQ(header.number_or("version", 0), 1.0);
+  EXPECT_EQ(header.number_or("threads", 0), 2.0);
+  EXPECT_EQ(header.number_or("records", 0), 3.0);
+
+  // Two thread-description lines, then the three span lines.
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue t0;
+  ASSERT_TRUE(parse_json(line, t0));
+  EXPECT_EQ(t0.string_or("label", ""), "producer");
+  EXPECT_EQ(t0.number_or("records", -1), 1.0);
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue t1;
+  ASSERT_TRUE(parse_json(line, t1));
+  EXPECT_EQ(t1.string_or("label", ""), "worker/0");
+  EXPECT_EQ(t1.number_or("dropped", -1), 3.0);
+
+  std::size_t spans = 0;
+  while (std::getline(in, line)) {
+    JsonValue span;
+    ASSERT_TRUE(parse_json(line, span)) << line;
+    ASSERT_NE(span.find("name"), nullptr);
+    EXPECT_GE(span.number_or("end_ns", -1), span.number_or("begin_ns", 0));
+    ++spans;
+  }
+  EXPECT_EQ(spans, 3u);
+}
+
+TEST_F(TimelineTest, PerfettoExportEmitsCompleteEventsAndThreadNames) {
+  std::vector<TimelineThreadDump> threads(1);
+  threads[0].tid = 4;
+  threads[0].label = "worker/4";
+  threads[0].records = {{2000, 7000, "scenario.job"}};
+
+  std::ostringstream out;
+  write_timeline_perfetto(out, threads);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(text.find("\"worker/4\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":2"), std::string::npos);   // ns -> us
+  EXPECT_NE(text.find("\"dur\":5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsn

@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "analysis/report.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeline.h"
 #include "protocol/etr.h"
 #include "protocol/ideal_model.h"
 #include "protocol/registry.h"
@@ -162,6 +165,55 @@ TEST(ScenarioTelemetry, HeartbeatJsonCarriesTheSchema) {
             "{\"schema\":\"meshbcast.heartbeat\",\"version\":1,"
             "\"emitted\":10,\"jobs\":92,\"errors\":1,\"queue_depth\":3,"
             "\"workers_busy\":7}");
+}
+
+TEST(ScenarioDeterminism, ByteIdenticalWithTimelineAndSamplerOnOrOff) {
+  // ISSUE 7 acceptance: full observability -- span timelines recording
+  // on every thread plus the wall-clock telemetry sampler attached --
+  // never reaches the results bytes, at 1 worker or 8.
+  const TempDir tmp("observed");
+  JobMatrix matrix;
+  expand(kHazardSpec, matrix);
+
+  EngineConfig plain;
+  plain.workers = 4;
+  const std::string golden =
+      run_to_string(matrix, plain, tmp.path / "plain.jsonl");
+
+  Timeline::instance().reset();
+  Timeline::instance().set_enabled(true);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE(workers);
+    MetricsRegistry metrics;
+    TelemetrySampler::Config sampler_config;
+    sampler_config.period_ms = 1;  // hammer the run with samples
+    sampler_config.metrics = &metrics;
+    TelemetrySampler sampler(sampler_config);
+    const std::string tag = std::to_string(workers);
+    const auto ts_path = tmp.path / ("ts" + tag + ".jsonl");
+    ASSERT_TRUE(sampler.start(ts_path.string()));
+
+    EngineConfig observed;
+    observed.workers = workers;
+    observed.metrics = &metrics;
+    observed.sampler = &sampler;
+    const auto out_path = tmp.path / ("w" + tag + ".jsonl");
+    const std::string bytes = run_to_string(matrix, observed, out_path);
+    sampler.stop();
+
+    EXPECT_EQ(bytes, golden);
+    EXPECT_GE(sampler.ticks(), 1u);
+  }
+  Timeline::instance().set_enabled(false);
+
+  // The observed runs actually recorded spans -- the identity above is
+  // not vacuous.
+  std::size_t recorded = 0;
+  for (const TimelineThreadDump& t : Timeline::instance().snapshot()) {
+    recorded += t.records.size();
+  }
+  EXPECT_GT(recorded, 0u);
+  Timeline::instance().reset();
 }
 
 TEST(ScenarioDeterminism, ByteIdenticalColdAndWarmPlanCache) {

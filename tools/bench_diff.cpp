@@ -1,0 +1,57 @@
+// Bench comparison CLI (analysis/bench_diff.h).
+//
+//   $ bench_diff A.json B.json [--tolerance 0.05]
+//       [--json-out diff.json] [--fail-on-regression]
+//
+// Diffs two BENCH_*.json documents metric-by-metric: every numeric field
+// of every result row, with a direction-aware verdict (improved /
+// regressed / equal within tolerance / only on one side).  Reads as "how
+// did B move relative to A" -- point A at the baseline or the pre-change
+// run.  Exit status: 0, or 1 when --fail-on-regression is set and any
+// metric regressed, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "analysis/bench_diff.h"
+#include "common/cli.h"
+
+int main(int argc, char** argv) {
+  wsn::CliParser cli("bench_diff",
+                     "diff two BENCH_*.json documents metric-by-metric");
+  cli.add_option("tolerance",
+                 "fractional band treated as equal (|b/a - 1|)", "0.05");
+  cli.add_option("json-out", "write the meshbcast.bench.diff JSON here"
+                 " ('' = skip)", "");
+  cli.add_flag("fail-on-regression", "exit 1 when any metric regressed");
+  if (!cli.parse(argc, argv)) return 2;
+
+  if (cli.positional().size() != 2) {
+    std::fprintf(stderr, "bench_diff: expected exactly two files (A B)\n");
+    return 2;
+  }
+  wsn::DiffOptions options;
+  options.tolerance = cli.get_f64("tolerance");
+  if (options.tolerance < 0.0 || options.tolerance >= 1.0) {
+    std::fprintf(stderr, "tolerance must be in [0, 1)\n");
+    return 2;
+  }
+
+  const wsn::DiffReport report = wsn::diff_bench_files(
+      cli.positional()[0], cli.positional()[1], options);
+  std::printf("%s", wsn::diff_text(report).c_str());
+
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    wsn::write_diff_json(out, report, options);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (cli.get_flag("fail-on-regression") && report.regressed() > 0) return 1;
+  return 0;
+}
