@@ -6,11 +6,9 @@
 //   scenario_runner --scenario ... --out ... --resume      # after a kill
 //   scenario_runner --scenario ... --workers 8 --plan-cache .plan-cache
 //
-// Ctrl-C cancels cooperatively: in-flight jobs finish, the results file
-// keeps a valid resumable prefix, and a later --resume run completes it
-// into a byte-identical file.
-#include <atomic>
-#include <csignal>
+// Ctrl-C cancels cooperatively (obs/heartbeat.h's SignalDrain): in-flight
+// jobs finish, the results file keeps a valid resumable prefix, and a
+// later --resume run completes it into a byte-identical file.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +17,7 @@
 #include "common/cli.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/timeline.h"
@@ -27,10 +26,6 @@
 #include "store/plan_store.h"
 
 namespace {
-
-std::atomic<bool> g_interrupted{false};
-
-void on_sigint(int) { g_interrupted.store(true, std::memory_order_release); }
 
 std::string format_energy(double joules) {
   char buf[32];
@@ -109,22 +104,23 @@ int main(int argc, char** argv) {
   MetricsRegistry metrics;
   store.bind_metrics(metrics);
 
+  // The shared drain latch (obs/heartbeat.h): SIGINT/SIGTERM set a flag
+  // the engine polls between jobs, so an interrupted run flushes a clean,
+  // resumable checkpoint instead of tearing the stream mid-record.
+  SignalDrain drain;
+
   EngineConfig config;
   config.workers = workers;
   config.queue_capacity = static_cast<std::size_t>(cli.get_u64("queue-cap"));
   config.resume = cli.get_flag("resume");
   config.store = &store;
   config.metrics = &metrics;
-  config.cancel = &g_interrupted;
+  config.cancel = drain.flag();
   config.audit = cli.get_flag("audit");
   config.heartbeat_every = static_cast<std::size_t>(cli.get_u64("heartbeat"));
   config.job_timeout_ms =
       static_cast<std::size_t>(cli.get_u64("job-timeout-ms"));
-  if (config.heartbeat_every > 0) {
-    config.on_heartbeat = [](const HeartbeatRecord& beat) {
-      std::fprintf(stderr, "%s\n", heartbeat_json(beat).c_str());
-    };
-  }
+  if (config.heartbeat_every > 0) config.on_heartbeat = heartbeat_to_stderr;
 
   const std::string timeline_path = cli.get("timeline-out");
   if (!timeline_path.empty()) Timeline::instance().set_enabled(true);
@@ -142,9 +138,6 @@ int main(int argc, char** argv) {
     }
     config.sampler = &sampler;
   }
-
-  std::signal(SIGINT, on_sigint);
-  std::signal(SIGTERM, on_sigint);
 
   const std::string out_path = cli.get("out");
   std::cout << "scenario '" << matrix.spec.name << "': "

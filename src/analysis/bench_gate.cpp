@@ -26,6 +26,11 @@ constexpr std::string_view kAdvisoryMetrics[] = {
     "mean_ms",
     "p50_ms",
     "p95_ms",
+    // Service loadgen tail latency and admission shedding
+    // (meshbcast.bench.service): advisory -- both swing with machine
+    // load, and a shed is the admission control *working*.
+    "p99_ms",
+    "shed_rate",
     "queue_wait_ms_mean",
     // Deduped scenario-bench spread (schema v2): the repeat-aware min/max
     // around the gated means.  Advisory only -- spread wobbles hardest on
@@ -38,7 +43,9 @@ constexpr std::string_view kAdvisoryMetrics[] = {
 
 bool is_bench_schema(const JsonValue& doc, std::string& schema) {
   schema = doc.string_or("schema", "");
-  return schema == "meshbcast.bench" || schema == "meshbcast.bench.scenario";
+  return schema == "meshbcast.bench" ||
+         schema == "meshbcast.bench.scenario" ||
+         schema == "meshbcast.bench.service";
 }
 
 std::vector<EntryMetrics> collect_entries(const JsonValue& doc) {

@@ -1,0 +1,314 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+namespace {
+
+std::string errno_text(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Request/response protocols die under Nagle + delayed ACK (a small
+/// request can stall ~40ms waiting for the peer's ACK), so every TCP
+/// socket here runs with TCP_NODELAY.  No-op (EOPNOTSUPP) on Unix
+/// sockets, so it is safe to apply blindly to accepted fds.
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::read_exact(void* buf, std::size_t n, std::size_t& got) {
+  got = 0;
+  auto* bytes = static_cast<unsigned char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, bytes + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) return true;  // clean EOF; got < n tells the caller
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Socket::write_all(const void* buf, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a vanished peer is an EPIPE error, never a SIGPIPE.
+    const ssize_t r = ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string_view to_string(FrameStatus status) noexcept {
+  switch (status) {
+    case FrameStatus::kOk:
+      return "ok";
+    case FrameStatus::kClosed:
+      return "closed";
+    case FrameStatus::kOversized:
+      return "oversized";
+    case FrameStatus::kTruncated:
+      return "truncated";
+    case FrameStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+FrameStatus read_frame(Socket& sock, std::string& payload,
+                       std::size_t max_bytes) {
+  payload.clear();
+  unsigned char header[4];
+  std::size_t got = 0;
+  if (!sock.read_exact(header, sizeof header, got)) return FrameStatus::kError;
+  if (got == 0) return FrameStatus::kClosed;
+  if (got < sizeof header) return FrameStatus::kTruncated;
+  const std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24) |
+                               (static_cast<std::uint32_t>(header[1]) << 16) |
+                               (static_cast<std::uint32_t>(header[2]) << 8) |
+                               static_cast<std::uint32_t>(header[3]);
+  // The cap is checked BEFORE any payload allocation: a hostile 4 GiB
+  // length prefix costs four bytes of reading and nothing else.
+  if (length > max_bytes) return FrameStatus::kOversized;
+  payload.resize(length);
+  if (length == 0) return FrameStatus::kOk;
+  if (!sock.read_exact(payload.data(), length, got)) {
+    return FrameStatus::kError;
+  }
+  if (got < length) return FrameStatus::kTruncated;
+  return FrameStatus::kOk;
+}
+
+bool write_frame(Socket& sock, std::string_view payload) {
+  WSN_EXPECTS(payload.size() <= 0xffffffffull);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  // Header and payload go out in ONE send: two small writes would cost a
+  // syscall each and -- even with TCP_NODELAY -- risk landing in two
+  // segments for no reason.
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return sock.write_all(frame.data(), frame.size());
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.port_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.port_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+bool Listener::listen_tcp(int port, Listener& out, std::string& error) {
+  out.close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error = errno_text("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) < 0) {
+    error = errno_text("listen");
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    error = errno_text("getsockname");
+    ::close(fd);
+    return false;
+  }
+  out.fd_ = fd;
+  out.port_ = static_cast<int>(ntohs(bound.sin_port));
+  return true;
+}
+
+bool Listener::listen_unix(const std::string& path, Listener& out,
+                           std::string& error) {
+  out.close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    error = "unix socket path empty or too long (" +
+            std::to_string(path.size()) + " bytes, limit " +
+            std::to_string(sizeof addr.sun_path - 1) + "): " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A stale socket file from a crashed daemon must never block a
+  // restart; remove_all on a socket path is just unlink.
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error = errno_text("bind " + path);
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) < 0) {
+    error = errno_text("listen " + path);
+    ::close(fd);
+    return false;
+  }
+  out.fd_ = fd;
+  out.port_ = -1;
+  out.unix_path_ = path;
+  return true;
+}
+
+bool Listener::accept(Socket& out, int timeout_ms) {
+  out = Socket();
+  if (fd_ < 0) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return false;  // timeout or error; caller re-polls
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return false;
+  set_nodelay(conn);
+  out = Socket(conn);
+  return true;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(unix_path_, ec);
+    unix_path_.clear();
+  }
+  port_ = -1;
+}
+
+bool connect_tcp(const std::string& host, int port, Socket& out,
+                 std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error = "invalid IPv4 address: " + host;
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error = errno_text("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return false;
+  }
+  set_nodelay(fd);
+  out = Socket(fd);
+  return true;
+}
+
+bool connect_unix(const std::string& path, Socket& out, std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    error = "unix socket path empty or too long: " + path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error = errno_text("connect " + path);
+    ::close(fd);
+    return false;
+  }
+  out = Socket(fd);
+  return true;
+}
+
+}  // namespace wsn

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Minimal blocking POSIX sockets plus the length-prefixed frame codec
+/// the `meshbcast.rpc` protocol rides on (service/rpc.h).
+///
+/// Scope: loopback TCP and Unix-domain stream sockets, blocking I/O,
+/// EINTR-safe full reads/writes, and a 4-byte big-endian length-prefixed
+/// framing layer with an explicit per-frame size cap.  No TLS, no
+/// non-blocking state machines: the service's concurrency model is
+/// thread-per-connection over a bounded admission queue, so blocking
+/// calls are exactly what the handlers want.
+///
+/// Failure discipline mirrors the plan store's: malformed input from the
+/// network -- an oversized length prefix, a truncated payload, a peer
+/// vanishing mid-frame -- is a *status*, never a crash and never a hang
+/// (frame reads are bounded by the declared length, and writes use
+/// MSG_NOSIGNAL so a dead peer yields an error instead of SIGPIPE).
+namespace wsn {
+
+/// Owning socket fd; move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { close(); }
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Reads exactly `n` bytes unless the peer closes first; `got` reports
+  /// the bytes actually read.  Returns false on a hard error (`got` is
+  /// still valid).  A clean EOF with got < n returns true -- the caller
+  /// distinguishes "closed at a boundary" from "truncated mid-frame".
+  [[nodiscard]] bool read_exact(void* buf, std::size_t n, std::size_t& got);
+
+  /// Writes all `n` bytes; false on any error (peer gone included).
+  [[nodiscard]] bool write_all(const void* buf, std::size_t n);
+
+  /// Half-closes both directions: a peer (or our own handler thread)
+  /// blocked in read returns immediately with EOF.  The fd stays owned.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Frame codec result.  Every outcome an attacker (or a dying peer) can
+/// produce has its own value so the server can answer with a structured
+/// error -- or drop the connection -- instead of guessing.
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  /// Peer closed cleanly between frames.
+  kClosed,
+  /// Declared length exceeds the caller's cap.  The payload was NOT
+  /// consumed; the stream can no longer be resynchronized, so respond
+  /// (the 4-byte header was all we read) and close.
+  kOversized,
+  /// Peer closed mid-header or mid-payload: a torn frame.
+  kTruncated,
+  /// Transport error (ECONNRESET and friends).
+  kError,
+};
+
+[[nodiscard]] std::string_view to_string(FrameStatus status) noexcept;
+
+/// Reads one frame: 4-byte big-endian payload length, then the payload.
+/// `max_bytes` caps the declared length (the request-size knob).
+[[nodiscard]] FrameStatus read_frame(Socket& sock, std::string& payload,
+                                     std::size_t max_bytes);
+
+/// Writes one frame.  False on transport error.  Payloads above 2^32-1
+/// bytes are a precondition violation (the length prefix cannot carry
+/// them).
+[[nodiscard]] bool write_frame(Socket& sock, std::string_view payload);
+
+/// Listening socket: loopback TCP (`listen_tcp`, port 0 = ephemeral) or
+/// Unix-domain (`listen_unix`; the path is unlinked first and again on
+/// close so stale sockets never block a restart).
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { close(); }
+
+  [[nodiscard]] static bool listen_tcp(int port, Listener& out,
+                                       std::string& error);
+  [[nodiscard]] static bool listen_unix(const std::string& path,
+                                        Listener& out, std::string& error);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Bound TCP port (resolved for ephemeral binds); -1 for Unix sockets.
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection.  Returns true with a
+  /// valid socket on accept; false with an invalid socket on timeout or
+  /// a closed/failed listener -- the accept loop polls its stop flag
+  /// between calls, which is the whole graceful-drain story.
+  [[nodiscard]] bool accept(Socket& out, int timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  int port_ = -1;
+  std::string unix_path_;
+};
+
+[[nodiscard]] bool connect_tcp(const std::string& host, int port, Socket& out,
+                               std::string& error);
+[[nodiscard]] bool connect_unix(const std::string& path, Socket& out,
+                                std::string& error);
+
+}  // namespace wsn

@@ -86,4 +86,44 @@ bool parse_f64(std::string_view text, double& out) noexcept {
   return ec == std::errc{} && ptr == last;
 }
 
+bool is_valid_utf8(std::string_view text) noexcept {
+  const auto* p = reinterpret_cast<const unsigned char*>(text.data());
+  const unsigned char* end = p + text.size();
+  while (p < end) {
+    const unsigned char lead = *p;
+    if (lead < 0x80) {
+      p += 1;
+      continue;
+    }
+    std::size_t trail = 0;
+    std::uint32_t code = 0;
+    std::uint32_t min_code = 0;
+    if ((lead & 0xe0) == 0xc0) {
+      trail = 1;
+      code = lead & 0x1fu;
+      min_code = 0x80;
+    } else if ((lead & 0xf0) == 0xe0) {
+      trail = 2;
+      code = lead & 0x0fu;
+      min_code = 0x800;
+    } else if ((lead & 0xf8) == 0xf0) {
+      trail = 3;
+      code = lead & 0x07u;
+      min_code = 0x10000;
+    } else {
+      return false;  // bare continuation byte or 0xf8+ lead
+    }
+    if (static_cast<std::size_t>(end - p) < trail + 1) return false;
+    for (std::size_t i = 1; i <= trail; ++i) {
+      if ((p[i] & 0xc0) != 0x80) return false;
+      code = (code << 6) | (p[i] & 0x3fu);
+    }
+    if (code < min_code) return false;                    // overlong
+    if (code >= 0xd800 && code <= 0xdfff) return false;   // surrogate
+    if (code > 0x10ffff) return false;
+    p += trail + 1;
+  }
+  return true;
+}
+
 }  // namespace wsn

@@ -39,4 +39,10 @@ bool parse_u64(std::string_view text, std::uint64_t& out) noexcept;
 /// Parses a double via std::from_chars; returns false on malformed input.
 bool parse_f64(std::string_view text, double& out) noexcept;
 
+/// True iff `text` is well-formed UTF-8: no truncated sequences, no
+/// overlong encodings, no surrogate code points, nothing past U+10FFFF.
+/// The RPC framing layer rejects non-UTF-8 payloads before JSON parsing
+/// so malformed bytes can never reach a response echo.
+bool is_valid_utf8(std::string_view text) noexcept;
+
 }  // namespace wsn

@@ -1,0 +1,113 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+
+#include "common/assert.h"
+#include "common/json.h"
+
+namespace wsn {
+
+namespace {
+
+/// The process-global latch the handlers write.  Signal handlers cannot
+/// carry state, so the flag lives here; SignalDrain scopes the handler
+/// installation around it.
+std::atomic<bool> g_drain_requested{false};
+std::atomic<bool> g_drain_live{false};
+
+void drain_handler(int) {
+  g_drain_requested.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+std::string heartbeat_json(const HeartbeatRecord& beat) {
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.heartbeat")
+      .member("version", std::uint64_t{1})
+      .member("emitted", std::uint64_t{beat.emitted})
+      .member("jobs", std::uint64_t{beat.jobs_total})
+      .member("errors", std::uint64_t{beat.errors})
+      .member("queue_depth", std::uint64_t{beat.queue_depth})
+      .member("workers_busy", std::uint64_t{beat.workers_busy})
+      .end_object();
+  return std::move(w).str();
+}
+
+void heartbeat_to_stderr(const HeartbeatRecord& beat) {
+  std::fprintf(stderr, "%s\n", heartbeat_json(beat).c_str());
+}
+
+SignalDrain::SignalDrain() {
+  WSN_EXPECTS(!g_drain_live.exchange(true, std::memory_order_acq_rel));
+  g_drain_requested.store(false, std::memory_order_release);
+  prev_int_ = std::signal(SIGINT, drain_handler);
+  prev_term_ = std::signal(SIGTERM, drain_handler);
+}
+
+SignalDrain::~SignalDrain() {
+  std::signal(SIGINT, prev_int_ == SIG_ERR ? SIG_DFL : prev_int_);
+  std::signal(SIGTERM, prev_term_ == SIG_ERR ? SIG_DFL : prev_term_);
+  g_drain_live.store(false, std::memory_order_release);
+}
+
+bool SignalDrain::requested() const noexcept {
+  return g_drain_requested.load(std::memory_order_acquire);
+}
+
+void SignalDrain::trigger() noexcept {
+  g_drain_requested.store(true, std::memory_order_release);
+}
+
+const std::atomic<bool>* SignalDrain::flag() const noexcept {
+  return &g_drain_requested;
+}
+
+HeartbeatEmitter::HeartbeatEmitter(Config config)
+    : config_(std::move(config)) {
+  if (!config_.sink) config_.sink = heartbeat_to_stderr;
+  if (config_.period_ms == 0) config_.period_ms = 1000;
+}
+
+HeartbeatEmitter::~HeartbeatEmitter() { stop(); }
+
+void HeartbeatEmitter::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_ || !config_.sample) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> wait_lock(mutex_);
+    while (!stopping_) {
+      // Interruptible sleep: stop() wakes the thread immediately instead
+      // of waiting out the period.
+      cv_.wait_for(wait_lock, std::chrono::milliseconds(config_.period_ms),
+                   [this] { return stopping_; });
+      if (stopping_) break;
+      wait_lock.unlock();
+      config_.sink(config_.sample());
+      wait_lock.lock();
+    }
+  });
+}
+
+void HeartbeatEmitter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+  }
+  // Closing beat: the terminal state after the drain.
+  config_.sink(config_.sample());
+}
+
+}  // namespace wsn

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+/// Liveness plumbing shared by every long-running front end: the
+/// `meshbcast.heartbeat` line format, a periodic background emitter, and
+/// the SIGINT/SIGTERM -> atomic-flag drain latch.
+///
+/// Two consumers drive the shape of this header.  The scenario runner
+/// emits COUNT-based heartbeats (every N emitted records, through the
+/// engine's `on_heartbeat` hook) and needs a signal latch its engine can
+/// poll between jobs so Ctrl-C leaves a clean, resumable checkpoint.  The
+/// broadcast-planning daemon (`meshbcastd`) emits TIME-based heartbeats
+/// (a liveness thread on a fixed period) and needs the same latch to
+/// trigger its graceful drain.  Both used to hand-roll this; now they
+/// share one implementation, and the record format stays identical across
+/// front ends so one log scraper serves both.
+namespace wsn {
+
+/// One heartbeat observation.  Field meaning is front-end-relative --
+/// the scenario engine reports emitted records over total jobs, the
+/// service reports served requests over admitted -- but the *shape* (and
+/// therefore the schema) is shared.
+struct HeartbeatRecord {
+  std::size_t emitted = 0;
+  std::size_t jobs_total = 0;
+  std::size_t errors = 0;
+  std::size_t queue_depth = 0;
+  std::size_t workers_busy = 0;
+};
+
+/// One-line `meshbcast.heartbeat` v1 JSON rendering (no trailing newline).
+[[nodiscard]] std::string heartbeat_json(const HeartbeatRecord& beat);
+
+/// The canonical sink: one heartbeat line to stderr, newline-terminated,
+/// written with a single stdio call so concurrent emitters never
+/// interleave mid-line.
+void heartbeat_to_stderr(const HeartbeatRecord& beat);
+
+/// Scoped SIGINT/SIGTERM latch for cooperative drains.
+///
+///   SignalDrain drain;
+///   config.cancel = drain.flag();      // engine polls between jobs
+///   ...
+///   if (drain.requested()) { /* finish in-flight, flush, exit */ }
+///
+/// The handlers only set a process-global atomic (the one async-signal-
+/// safe thing a handler can do); everything else -- queue cancellation,
+/// checkpoint flushing, socket teardown -- happens on normal threads that
+/// poll the flag.  The destructor restores the previous handlers, so the
+/// latch nests correctly around a scoped run.  `trigger()` sets the same
+/// flag programmatically -- the daemon's `shutdown` RPC and the tests use
+/// it so every drain path exercises the same code.
+///
+/// At most one instance may be live at a time (the flag is necessarily
+/// process-global); a second concurrent instance is a precondition
+/// violation.
+class SignalDrain {
+ public:
+  SignalDrain();
+  ~SignalDrain();
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  /// True once a signal arrived (or `trigger()` ran).
+  [[nodiscard]] bool requested() const noexcept;
+  /// Programmatic drain request; same observable effect as SIGINT.
+  void trigger() noexcept;
+  /// The underlying flag, shaped for `EngineConfig::cancel`.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept;
+
+ private:
+  void (*prev_int_)(int);
+  void (*prev_term_)(int);
+};
+
+/// Periodic heartbeat thread: samples a snapshot closure every
+/// `period_ms` and hands it to the sink.  Start/stop are idempotent and
+/// the destructor stops; the final beat is emitted by `stop()` so a
+/// drain always leaves a closing line (tests key off it, and operators
+/// get the terminal queue state for free).
+class HeartbeatEmitter {
+ public:
+  struct Config {
+    std::size_t period_ms = 1000;
+    /// Snapshot provider; called on the emitter thread.
+    std::function<HeartbeatRecord()> sample;
+    /// Defaults to `heartbeat_to_stderr` when empty.
+    std::function<void(const HeartbeatRecord&)> sink;
+  };
+
+  explicit HeartbeatEmitter(Config config);
+  ~HeartbeatEmitter();
+  HeartbeatEmitter(const HeartbeatEmitter&) = delete;
+  HeartbeatEmitter& operator=(const HeartbeatEmitter&) = delete;
+
+  void start();
+  /// Joins the thread and emits one final beat (no-op when not started).
+  void stop();
+
+ private:
+  Config config_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+};
+
+}  // namespace wsn

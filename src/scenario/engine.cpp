@@ -513,20 +513,6 @@ std::int64_t steady_now_ms() {
 }
 }  // namespace
 
-std::string heartbeat_json(const HeartbeatRecord& beat) {
-  JsonWriter w;
-  w.begin_object()
-      .member("schema", "meshbcast.heartbeat")
-      .member("version", std::uint64_t{1})
-      .member("emitted", std::uint64_t{beat.emitted})
-      .member("jobs", std::uint64_t{beat.jobs_total})
-      .member("errors", std::uint64_t{beat.errors})
-      .member("queue_depth", std::uint64_t{beat.queue_depth})
-      .member("workers_busy", std::uint64_t{beat.workers_busy})
-      .end_object();
-  return std::move(w).str();
-}
-
 ScenarioEngine::ScenarioEngine(const JobMatrix& matrix, EngineConfig config)
     : matrix_(matrix), config_(std::move(config)) {}
 
@@ -667,7 +653,9 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   impl.next_to_emit = completed;
   impl.errors = summary.errors;
   impl.envelopes = &envelopes;
-  impl.manifest_path = results_path + ".manifest";
+  // Stream-only mode (empty path): no results file, no manifest sidecar.
+  impl.manifest_path =
+      results_path.empty() ? std::string() : results_path + ".manifest";
   {
     std::ostringstream prefix;
     prefix << "{\"schema\":\"" << kManifestSchema
@@ -729,20 +717,21 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
       std::error_code ec;
       std::filesystem::create_directories(parent, ec);
     }
-  }
-  impl.out.open(results_path,
-                append ? (std::ios::out | std::ios::app)
-                       : (std::ios::out | std::ios::trunc));
-  if (!impl.out) {
-    summary.error = "cannot open " + results_path + " for writing";
-    return summary;
-  }
-  if (!append) {
-    impl.out << header << '\n';
-    impl.out.flush();
+    impl.out.open(results_path,
+                  append ? (std::ios::out | std::ios::app)
+                         : (std::ios::out | std::ios::trunc));
+    if (!impl.out) {
+      summary.error = "cannot open " + results_path + " for writing";
+      return summary;
+    }
+    if (!append) {
+      impl.out << header << '\n';
+      impl.out.flush();
+    }
   }
 
   const auto write_manifest = [&](std::size_t emitted, bool complete) {
+    if (impl.manifest_path.empty()) return;
     std::ofstream manifest(impl.manifest_path, std::ios::trunc);
     if (!manifest) return;
     manifest << impl.manifest_prefix << emitted
@@ -788,8 +777,13 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
         while (true) {
           const auto it = impl.pending.find(impl.next_to_emit);
           if (it == impl.pending.end()) break;
-          impl.out << it->second.line << '\n';
-          impl.out.flush();
+          if (impl.out.is_open()) {
+            impl.out << it->second.line << '\n';
+            impl.out.flush();
+          }
+          if (config_.on_record) {
+            config_.on_record(impl.next_to_emit, it->second.line);
+          }
           if (ScenarioEnvelope* env =
                   envelope_for(it->second.fold.scenario)) {
             fold_into(*env, it->second.fold);
@@ -1033,6 +1027,11 @@ RunSummary ScenarioEngine::run(const std::string& results_path) {
   summary.envelopes = std::move(envelopes);
   write_manifest(summary.emitted, summary.emitted == summary.jobs_total);
   return summary;
+}
+
+std::string run_scenario_job(const JobMatrix& matrix, const ScenarioJob& job,
+                             Simulator& sim, PlanStore* store, bool audit) {
+  return execute_job(matrix, job, sim, store, audit).line;
 }
 
 }  // namespace wsn

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "scenario/spec.h"
 #include "store/plan_store.h"
@@ -47,23 +48,14 @@ namespace wsn {
 
 class TelemetrySampler;
 
-/// Progress heartbeat, delivered through `EngineConfig::on_heartbeat`
-/// every `heartbeat_every` emitted records.  Cadence is COUNT-based (a
-/// pure function of emission progress) but the payload carries live pool
-/// telemetry -- queue depth, busy workers -- which is exactly why
-/// heartbeats go through a callback and never into the results stream:
-/// records stay byte-identical across worker counts, heartbeats do not
-/// have to.
-struct HeartbeatRecord {
-  std::size_t emitted = 0;
-  std::size_t jobs_total = 0;
-  std::size_t errors = 0;
-  std::size_t queue_depth = 0;
-  std::size_t workers_busy = 0;
-};
-
-/// One-line `meshbcast.heartbeat` JSON rendering (no trailing newline).
-[[nodiscard]] std::string heartbeat_json(const HeartbeatRecord& beat);
+// Progress heartbeats (HeartbeatRecord, heartbeat_json) live in
+// obs/heartbeat.h, shared with the service daemon; `on_heartbeat` below
+// fires every `heartbeat_every` emitted records.  Cadence is COUNT-based
+// (a pure function of emission progress) but the payload carries live
+// pool telemetry -- queue depth, busy workers -- which is exactly why
+// heartbeats go through a callback and never into the results stream:
+// records stay byte-identical across worker counts, heartbeats do not
+// have to.
 
 struct EngineConfig {
   /// Worker threads; 0 resolves through flag > MESHBCAST_THREADS >
@@ -94,6 +86,15 @@ struct EngineConfig {
   std::size_t heartbeat_every = 0;
   /// Heartbeat hook; runs on a worker thread, outside the collector lock.
   std::function<void(const HeartbeatRecord&)> on_heartbeat;
+  /// In-order record sink (nullable): called with each record line (no
+  /// trailing newline) in strict job-index order as it is emitted -- the
+  /// same bytes the results file receives, which is how the service
+  /// daemon streams scenario results to a client while keeping them
+  /// byte-identical to an offline run.  Fires only for records emitted
+  /// this invocation (a resumed prefix is not replayed).  Runs under the
+  /// collector lock so ordering is structural; a slow sink backpressures
+  /// emission exactly like a slow disk.
+  std::function<void(std::size_t index, const std::string& line)> on_record;
   /// Per-job watchdog deadline in milliseconds (0 = off).  A job running
   /// past its deadline is resolved into an error record carrying the
   /// elapsed time and the execution stage it was in, so in-order emission
@@ -163,6 +164,9 @@ class ScenarioEngine {
 
   /// Executes the matrix, streaming records to `results_path` (and the
   /// `<results_path>.manifest` sidecar).  Blocking; returns the summary.
+  /// An EMPTY `results_path` runs stream-only: no file, no manifest, no
+  /// resume -- records reach `EngineConfig::on_record` alone (the
+  /// service daemon's mode).
   [[nodiscard]] RunSummary run(const std::string& results_path);
 
   /// Cooperative cancel: in-flight jobs finish, the backlog is dropped.
@@ -181,5 +185,15 @@ class ScenarioEngine {
   Impl* active_ = nullptr;  // run()-scoped; guarded by run_mutex_
   std::mutex run_mutex_;
 };
+
+/// Runs one expanded job to its deterministic record line -- the exact
+/// bytes the engine would emit for it (same plan-store interaction, same
+/// audit fold).  This is the service daemon's `simulate` path: one
+/// request, one record, no pool.  `sim` is the caller's reusable
+/// simulator; `store` and `audit` mean what they mean in EngineConfig.
+[[nodiscard]] std::string run_scenario_job(const JobMatrix& matrix,
+                                           const ScenarioJob& job,
+                                           Simulator& sim, PlanStore* store,
+                                           bool audit);
 
 }  // namespace wsn

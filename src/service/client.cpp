@@ -1,0 +1,102 @@
+#include "service/client.h"
+
+#include "common/string_util.h"
+
+namespace wsn {
+
+bool RpcClient::connect(const std::string& address, std::string& error) {
+  sock_.close();
+  if (starts_with(address, "unix:")) {
+    return connect_unix(address.substr(5), sock_, error);
+  }
+  std::string hostport = address;
+  if (starts_with(hostport, "tcp:")) hostport = hostport.substr(4);
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    error = "address must be tcp:<host>:<port> or unix:<path>: " + address;
+    return false;
+  }
+  std::uint64_t port = 0;
+  if (!parse_u64(hostport.substr(colon + 1), port) || port == 0 ||
+      port > 65535) {
+    error = "bad port in address: " + address;
+    return false;
+  }
+  return connect_tcp(hostport.substr(0, colon), static_cast<int>(port),
+                     sock_, error);
+}
+
+bool RpcClient::call(std::string_view request, std::string& response,
+                     std::string& error) {
+  if (!sock_.valid()) {
+    error = "not connected";
+    return false;
+  }
+  if (!write_frame(sock_, request)) {
+    error = "send failed";
+    return false;
+  }
+  const FrameStatus status = read_frame(sock_, response, max_frame_bytes_);
+  if (status != FrameStatus::kOk) {
+    error = "read failed: " + std::string(to_string(status));
+    return false;
+  }
+  return true;
+}
+
+bool RpcClient::call_json(std::string_view request, JsonValue& response,
+                          std::string& error) {
+  std::string payload;
+  if (!call(request, payload, error)) return false;
+  std::string json_error;
+  if (!parse_json(payload, response, &json_error)) {
+    error = "unparseable response: " + json_error;
+    return false;
+  }
+  return true;
+}
+
+bool RpcClient::scenario(
+    std::string_view request,
+    const std::function<void(const std::string& line)>& on_record,
+    JsonValue& finish, std::string& error) {
+  if (!sock_.valid()) {
+    error = "not connected";
+    return false;
+  }
+  if (!write_frame(sock_, request)) {
+    error = "send failed";
+    return false;
+  }
+  std::string payload;
+  while (true) {
+    const FrameStatus status = read_frame(sock_, payload, max_frame_bytes_);
+    if (status != FrameStatus::kOk) {
+      error = "read failed mid-stream: " + std::string(to_string(status));
+      return false;
+    }
+    JsonValue doc;
+    std::string json_error;
+    if (!parse_json(payload, doc, &json_error)) {
+      error = "unparseable frame: " + json_error;
+      return false;
+    }
+    // Record frames have no "type" member (the results schema is
+    // typeless); control frames always do.
+    const JsonValue* type = doc.find("type");
+    if (type == nullptr || !type->is_string()) {
+      if (on_record) on_record(payload);
+      continue;
+    }
+    const std::string& kind = type->as_string();
+    if (kind == "scenario.begin") continue;
+    if (kind == "scenario.done" || kind == "error") {
+      finish = doc;
+      return true;
+    }
+    error = "unexpected frame type mid-stream: " + kind;
+    return false;
+  }
+}
+
+}  // namespace wsn

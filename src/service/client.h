@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/json.h"
+#include "common/socket.h"
+
+/// Blocking `meshbcast.rpc` v1 client -- the tests' and the load
+/// generator's view of the service.  One request in flight at a time,
+/// matching the server's per-connection discipline.
+namespace wsn {
+
+class RpcClient {
+ public:
+  /// Connects to "tcp:<host>:<port>" or "unix:<path>" (the string
+  /// MeshbcastService::address() returns).
+  [[nodiscard]] bool connect(const std::string& address, std::string& error);
+
+  [[nodiscard]] bool connected() const noexcept { return sock_.valid(); }
+  void close() noexcept { sock_.close(); }
+  [[nodiscard]] Socket& socket() noexcept { return sock_; }
+
+  /// Response frames larger than this are treated as a protocol error
+  /// (generous: scenario records are small, metrics scrapes medium).
+  void set_max_frame_bytes(std::size_t n) noexcept { max_frame_bytes_ = n; }
+
+  /// One frame out, one frame in.  False + `error` on transport failure;
+  /// a structured error *response* is a successful call (the caller
+  /// inspects the payload).
+  [[nodiscard]] bool call(std::string_view request, std::string& response,
+                          std::string& error);
+
+  /// `call` plus JSON parsing of the response.
+  [[nodiscard]] bool call_json(std::string_view request, JsonValue& response,
+                               std::string& error);
+
+  /// Sends a `scenario` request and consumes the stream: `on_record` is
+  /// invoked with each record frame's exact bytes (in job order);
+  /// `finish` receives the `scenario.done` (or `error`) frame.  False +
+  /// `error` only on transport/protocol failure.
+  [[nodiscard]] bool scenario(
+      std::string_view request,
+      const std::function<void(const std::string& line)>& on_record,
+      JsonValue& finish, std::string& error);
+
+ private:
+  Socket sock_;
+  std::size_t max_frame_bytes_ = 64u << 20;
+};
+
+}  // namespace wsn

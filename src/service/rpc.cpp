@@ -1,0 +1,241 @@
+#include "service/rpc.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace wsn {
+
+namespace {
+
+bool fail(RpcError& error, std::string_view code, std::string message) {
+  error.code = std::string(code);
+  error.message = std::move(message);
+  return false;
+}
+
+bool bad(RpcError& error, std::string message) {
+  return fail(error, rpc_code::kBadRequest, std::move(message));
+}
+
+/// Non-negative integer member, range-checked into `out`.
+bool take_u64(const JsonValue& value, std::string_view key,
+              std::uint64_t& out, RpcError& error) {
+  std::uint64_t parsed = 0;
+  if (!value.is_number() || !value.to_u64(parsed)) {
+    return bad(error, std::string(key) +
+                          " must be a non-negative integer (<= 2^53)");
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_plan(const JsonValue& doc, PlanRpc& out, RpcError& error) {
+  bool have_family = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "type" || key == "id") continue;
+    if (key == "family") {
+      if (!value.is_string()) return bad(error, "family must be a string");
+      out.family = value.as_string();
+      have_family = true;
+    } else if (key == "dims") {
+      if (!value.is_array()) {
+        return bad(error, "dims must be [m,n] or [m,n,l]");
+      }
+      const JsonValue::Array& dims = value.as_array();
+      if (dims.size() != 2 && dims.size() != 3) {
+        return bad(error, "dims must have 2 or 3 elements");
+      }
+      int parsed[3] = {0, 0, 1};
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        std::uint64_t d = 0;
+        if (!dims[i].is_number() || !dims[i].to_u64(d) || d == 0 ||
+            d > (1u << 20)) {
+          return bad(error, "dims elements must be positive integers");
+        }
+        parsed[i] = static_cast<int>(d);
+      }
+      out.m = parsed[0];
+      out.n = parsed[1];
+      out.l = parsed[2];
+    } else if (key == "spacing") {
+      if (!value.is_number() || value.as_number() <= 0.0) {
+        return bad(error, "spacing must be a positive number");
+      }
+      out.spacing = value.as_number();
+    } else if (key == "source") {
+      if (!take_u64(value, "source", out.source, error)) return false;
+    } else if (key == "protocol") {
+      if (!value.is_string()) return bad(error, "protocol must be a string");
+      out.protocol = value.as_string();
+      if (out.protocol != "paper" && out.protocol != "cds") {
+        return bad(error, "plan protocol must be \"paper\" or \"cds\" "
+                          "(got \"" + out.protocol + "\")");
+      }
+    } else if (key == "packet_bits") {
+      if (!take_u64(value, "packet_bits", out.packet_bits, error)) {
+        return false;
+      }
+      if (out.packet_bits == 0 || out.packet_bits > (1u << 24)) {
+        return bad(error, "packet_bits out of range");
+      }
+    } else {
+      return bad(error, "unknown plan key: " + key);
+    }
+  }
+  if (!have_family) return bad(error, "plan: family is required");
+  return true;
+}
+
+bool parse_simulate(const JsonValue& doc, SimulateRpc& out, RpcError& error) {
+  // Everything that is not envelope is a scenario-entry key; the spec
+  // parser (strict about unknown keys, families, protocols) does the
+  // real validation server-side.  Wrap into a one-entry spec document.
+  JsonValue::Object entry;
+  bool have_name = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "type" || key == "id") continue;
+    if (key == "audit") {
+      if (!value.is_bool()) return bad(error, "audit must be a boolean");
+      out.audit = value.as_bool();
+      continue;
+    }
+    if (key == "name") have_name = true;
+    entry.emplace_back(key, value);
+  }
+  if (!have_name) {
+    entry.emplace_back("name", JsonValue::make_string("simulate"));
+  }
+  JsonValue::Array scenarios;
+  scenarios.push_back(JsonValue::make_object(std::move(entry)));
+  JsonValue::Object spec;
+  spec.emplace_back("name", JsonValue::make_string("rpc"));
+  spec.emplace_back("scenarios", JsonValue::make_array(std::move(scenarios)));
+  out.spec_doc = JsonValue::make_object(std::move(spec));
+  return true;
+}
+
+bool parse_scenario(const JsonValue& doc, ScenarioRpc& out, RpcError& error) {
+  bool have_spec = false;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "type" || key == "id") continue;
+    if (key == "spec") {
+      if (!value.is_object()) {
+        return bad(error, "spec must be a JSON object");
+      }
+      out.spec_doc = value;
+      have_spec = true;
+    } else if (key == "workers") {
+      if (!take_u64(value, "workers", out.workers, error)) return false;
+      if (out.workers > 256) return bad(error, "workers out of range");
+    } else if (key == "audit") {
+      if (!value.is_bool()) return bad(error, "audit must be a boolean");
+      out.audit = value.as_bool();
+    } else {
+      return bad(error, "unknown scenario key: " + key);
+    }
+  }
+  if (!have_spec) return bad(error, "scenario: spec is required");
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(RpcType type) noexcept {
+  switch (type) {
+    case RpcType::kHealth:
+      return "health";
+    case RpcType::kMetrics:
+      return "metrics";
+    case RpcType::kPlan:
+      return "plan";
+    case RpcType::kSimulate:
+      return "simulate";
+    case RpcType::kScenario:
+      return "scenario";
+    case RpcType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+bool parse_rpc_request(std::string_view payload, RpcRequest& out,
+                       RpcError& error) {
+  out = RpcRequest{};
+  // Encoding before syntax: malformed bytes must never reach a response
+  // echo (or a log line).
+  if (!is_valid_utf8(payload)) {
+    return fail(error, rpc_code::kBadEncoding,
+                "request payload is not valid UTF-8");
+  }
+  JsonValue doc;
+  std::string json_error;
+  if (!parse_json(payload, doc, &json_error)) {
+    return fail(error, rpc_code::kBadJson, "bad JSON: " + json_error);
+  }
+  if (!doc.is_object()) {
+    return bad(error, "request must be a JSON object");
+  }
+  // Envelope first, so even a failed parse can echo the id.
+  if (const JsonValue* id = doc.find("id")) {
+    if (!id->is_number() || !id->to_u64(out.id)) {
+      return bad(error, "id must be a non-negative integer (<= 2^53)");
+    }
+    out.has_id = true;
+  }
+  const JsonValue* type = doc.find("type");
+  if (type == nullptr || !type->is_string()) {
+    return bad(error, "request needs a string \"type\"");
+  }
+  const std::string& name = type->as_string();
+  if (name == "health") {
+    out.type = RpcType::kHealth;
+    return true;
+  }
+  if (name == "metrics") {
+    out.type = RpcType::kMetrics;
+    return true;
+  }
+  if (name == "shutdown") {
+    out.type = RpcType::kShutdown;
+    return true;
+  }
+  if (name == "plan") {
+    out.type = RpcType::kPlan;
+    return parse_plan(doc, out.plan, error);
+  }
+  if (name == "simulate") {
+    out.type = RpcType::kSimulate;
+    return parse_simulate(doc, out.simulate, error);
+  }
+  if (name == "scenario") {
+    out.type = RpcType::kScenario;
+    return parse_scenario(doc, out.scenario, error);
+  }
+  return bad(error, "unknown request type: " + name);
+}
+
+std::string rpc_error_json(bool has_id, std::uint64_t id,
+                           std::string_view code, std::string_view message) {
+  JsonWriter w;
+  w.begin_object().member("type", "error");
+  if (has_id) w.member("id", id);
+  w.key("error")
+      .begin_object()
+      .member("code", code)
+      .member("message", message)
+      .end_object()
+      .end_object();
+  return std::move(w).str();
+}
+
+JsonWriter rpc_response_begin(const RpcRequest& req,
+                              std::string_view frame_type) {
+  JsonWriter w;
+  w.begin_object().member("type", frame_type);
+  if (req.has_id) w.member("id", req.id);
+  w.member("ok", true);
+  return w;
+}
+
+}  // namespace wsn

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+
+/// The `meshbcast.rpc` v1 request/response codec.
+///
+/// Wire format: each message is one frame (common/socket.h -- 4-byte
+/// big-endian length prefix) whose payload is a single UTF-8 JSON object.
+/// Requests carry a required `"type"` and an optional non-negative
+/// integer `"id"` the server echoes back, so a client can correlate
+/// without trusting ordering:
+///
+///   {"type":"health","id":7}
+///   {"type":"plan","family":"2D-4","dims":[32,16],"source":100,
+///    "protocol":"paper"}
+///   {"type":"simulate","family":"2D-4","sources":[100],
+///    "protocols":["paper"],"audit":true}          // one scenario entry
+///   {"type":"scenario","spec":{...spec doc...},"workers":4}
+///   {"type":"shutdown"}
+///
+/// Responses are `{"type":"response","id":N,"ok":true,...}` or
+/// `{"type":"error","id":N,"error":{"code":"...","message":"..."}}`.
+/// A `scenario` request streams: one `scenario.begin` frame, then each
+/// result record as its own frame -- the *exact bytes* an offline
+/// scenario run writes to its results file, which is what makes service
+/// output diffable against `scenario_runner` -- then one `scenario.done`
+/// frame.  Record frames carry no `"type"` member (the results schema
+/// has none), so control frames are unambiguous.
+///
+/// Parsing is strict in layers, each with its own error code so clients
+/// (and the framing-hardening tests) can tell malice from typo:
+/// `bad_encoding` (not UTF-8), `bad_json` (unparseable), `bad_request`
+/// (schema violation, unknown type, bad field), and -- issued by the
+/// server, not the parser -- `oversized`, `overloaded`, `shutting_down`,
+/// `invalid_spec`, `internal`.
+namespace wsn {
+
+namespace rpc_code {
+inline constexpr std::string_view kBadEncoding = "bad_encoding";
+inline constexpr std::string_view kBadJson = "bad_json";
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kOversized = "oversized";
+inline constexpr std::string_view kOverloaded = "overloaded";
+inline constexpr std::string_view kShuttingDown = "shutting_down";
+inline constexpr std::string_view kInvalidSpec = "invalid_spec";
+inline constexpr std::string_view kInternal = "internal";
+}  // namespace rpc_code
+
+enum class RpcType : std::uint8_t {
+  kHealth = 0,
+  kMetrics,
+  kPlan,
+  kSimulate,
+  kScenario,
+  kShutdown,
+};
+
+[[nodiscard]] std::string_view to_string(RpcType type) noexcept;
+
+struct RpcError {
+  std::string code;
+  std::string message;
+};
+
+/// `plan`: compile-or-fetch one relay plan through the shared PlanStore.
+/// Fields: family (required), dims ([m,n] or [m,n,l]; 0 = paper default),
+/// spacing (default 0.5), source (default 0), protocol ("paper"|"cds",
+/// default "paper"), packet_bits (default 512).  Unknown keys are a
+/// `bad_request` -- same strictness as the scenario spec parser.
+struct PlanRpc {
+  std::string family;
+  int m = 0, n = 0, l = 1;
+  double spacing = 0.5;
+  std::uint64_t source = 0;
+  std::string protocol = "paper";
+  std::uint64_t packet_bits = 512;
+};
+
+/// `simulate`: one scenario entry inline (any ScenarioEntry key), run to
+/// its deterministic record.  The parser strips the envelope keys
+/// (type/id/audit) and wraps the rest into a one-entry spec document;
+/// the server requires the expansion to be exactly one job.
+struct SimulateRpc {
+  JsonValue spec_doc;  // {"name":...,"scenarios":[<entry>]}
+  bool audit = false;
+};
+
+/// `scenario`: a full spec document under "spec", streamed back in job
+/// order.  `workers` asks for an engine pool size (server-capped).
+struct ScenarioRpc {
+  JsonValue spec_doc;
+  std::uint64_t workers = 0;  // 0 = server default
+  bool audit = false;
+};
+
+struct RpcRequest {
+  RpcType type = RpcType::kHealth;
+  bool has_id = false;
+  std::uint64_t id = 0;
+  PlanRpc plan;
+  SimulateRpc simulate;
+  ScenarioRpc scenario;
+};
+
+/// Parses one frame payload.  On failure returns false with `error`
+/// filled; `out.has_id`/`out.id` are still populated whenever the
+/// envelope was readable, so the error response can echo the id.
+[[nodiscard]] bool parse_rpc_request(std::string_view payload,
+                                     RpcRequest& out, RpcError& error);
+
+/// Renders one error frame payload.
+[[nodiscard]] std::string rpc_error_json(bool has_id, std::uint64_t id,
+                                         std::string_view code,
+                                         std::string_view message);
+
+/// Opens a `{"type":<frame_type>,"id":...,"ok":true` object; the caller
+/// appends members and calls `end_object()`.
+[[nodiscard]] JsonWriter rpc_response_begin(
+    const RpcRequest& req, std::string_view frame_type = "response");
+
+}  // namespace wsn

@@ -1,0 +1,623 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.h"
+#include "obs/profile.h"
+#include "protocol/cds_broadcast.h"
+#include "protocol/registry.h"
+#include "scenario/engine.h"
+#include "sim/simulator.h"
+#include "topology/factory.h"
+
+namespace wsn {
+
+namespace {
+
+/// Latency bucket edges in milliseconds: sub-100us plan-cache hits up to
+/// multi-second scenario batches.
+std::vector<double> latency_bounds() {
+  return {0.05, 0.1,  0.25, 0.5,  1.0,   2.5,   5.0,    10.0,
+          25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool known_family(const std::string& family) {
+  const std::vector<std::string>& families = regular_families();
+  return std::find(families.begin(), families.end(), family) !=
+         families.end();
+}
+
+}  // namespace
+
+MeshbcastService::MeshbcastService(ServiceConfig config)
+    : config_(std::move(config)) {}
+
+MeshbcastService::~MeshbcastService() { shutdown(); }
+
+bool MeshbcastService::start(std::string& error) {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  WSN_EXPECTS(!started_ && !stopped_);
+  worker_count_ = config_.workers == 0 ? 2 : config_.workers;
+  const std::size_t capacity = config_.queue_capacity == 0
+                                   ? std::max<std::size_t>(2 * worker_count_, 8)
+                                   : config_.queue_capacity;
+  if (!config_.unix_path.empty()) {
+    if (!Listener::listen_unix(config_.unix_path, listener_, error)) {
+      return false;
+    }
+    address_ = "unix:" + config_.unix_path;
+  } else {
+    if (!Listener::listen_tcp(config_.tcp_port, listener_, error)) {
+      return false;
+    }
+    address_ = "tcp:127.0.0.1:" + std::to_string(listener_.port());
+  }
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& reg = *config_.metrics;
+    m_.requests = &reg.counter("service.requests");
+    m_.served = &reg.counter("service.requests_ok");
+    m_.errors = &reg.counter("service.requests_error");
+    m_.sheds = &reg.counter("service.sheds");
+    m_.bad_frames = &reg.counter("service.bad_frames");
+    m_.connections = &reg.counter("service.connections");
+    m_.queue_depth = &reg.gauge("service.queue_depth");
+    m_.workers_busy = &reg.gauge("service.workers_busy");
+    m_.connections_open = &reg.gauge("service.connections_open");
+    m_.request_ms = &reg.histogram("service.request_ms", latency_bounds());
+    m_.plan_ms = &reg.histogram("service.plan_ms", latency_bounds());
+    m_.simulate_ms = &reg.histogram("service.simulate_ms", latency_bounds());
+    m_.scenario_ms = &reg.histogram("service.scenario_ms", latency_bounds());
+  }
+  queue_ = std::make_unique<BoundedQueue<Work>>(capacity);
+  started_at_ = std::chrono::steady_clock::now();
+  workers_.reserve(worker_count_);
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (config_.heartbeat_ms > 0) {
+    HeartbeatEmitter::Config hb;
+    hb.period_ms = config_.heartbeat_ms;
+    hb.sample = [this] { return sample_heartbeat(); };
+    hb.sink = config_.heartbeat_sink;
+    heartbeat_ = std::make_unique<HeartbeatEmitter>(std::move(hb));
+    heartbeat_->start();
+  }
+  started_ = true;
+  return true;
+}
+
+int MeshbcastService::port() const noexcept { return listener_.port(); }
+
+std::string MeshbcastService::address() const { return address_; }
+
+void MeshbcastService::wait(const std::atomic<bool>* external_stop) {
+  while (!shutdown_requested_.load(std::memory_order_acquire)) {
+    if (external_stop != nullptr &&
+        external_stop->load(std::memory_order_acquire)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  shutdown();
+}
+
+void MeshbcastService::shutdown() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!started_ || stopped_) return;
+  // Order matters.  (1) Stop admitting: the accept loop exits on the
+  // drain flag and the queue closes -- its backlog still drains, so
+  // every admitted request gets its response.  (2) Join the workers;
+  // only THEN (3) half-close the connections, so a worker is never
+  // racing a teardown on the socket it is responding on.
+  draining_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  listener_.close();
+  queue_->close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> conn_lock(connections_mutex_);
+    for (const std::shared_ptr<Connection>& conn : connections_) {
+      conn->sock.shutdown_both();
+    }
+  }
+  // No lock while joining: the handlers never touch the list, and the
+  // accept thread (the only other mutator) is already gone.
+  for (const std::shared_ptr<Connection>& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  connections_.clear();
+  if (heartbeat_) heartbeat_->stop();
+  stopped_ = true;
+}
+
+MeshbcastService::Counters MeshbcastService::counters() const noexcept {
+  Counters c;
+  c.connections = connections_total_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.served = served_.load(std::memory_order_relaxed);
+  c.errors = errors_.load(std::memory_order_relaxed);
+  c.sheds = sheds_.load(std::memory_order_relaxed);
+  c.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  return c;
+}
+
+HeartbeatRecord MeshbcastService::sample_heartbeat() {
+  HeartbeatRecord beat;
+  beat.emitted = served_.load(std::memory_order_relaxed);
+  beat.jobs_total = requests_.load(std::memory_order_relaxed);
+  beat.errors = errors_.load(std::memory_order_relaxed);
+  beat.queue_depth = queue_ ? queue_->size() : 0;
+  beat.workers_busy = busy_.load(std::memory_order_relaxed);
+  return beat;
+}
+
+void MeshbcastService::accept_loop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    Socket sock;
+    if (listener_.accept(sock, 100)) {
+      connections_total_.fetch_add(1, std::memory_order_relaxed);
+      if (m_.connections != nullptr) m_.connections->increment();
+      auto conn = std::make_shared<Connection>();
+      conn->sock = std::move(sock);
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(conn);
+      conn->thread =
+          std::thread([this, conn] { handle_connection(conn); });
+    }
+    reap_finished();
+  }
+}
+
+void MeshbcastService::reap_finished() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MeshbcastService::handle_connection(
+    const std::shared_ptr<Connection>& conn) {
+  connections_open_.fetch_add(1, std::memory_order_relaxed);
+  if (m_.connections_open != nullptr) {
+    m_.connections_open->set(
+        static_cast<double>(connections_open_.load(std::memory_order_relaxed)));
+  }
+  std::string payload;
+  bool alive = true;
+  while (alive) {
+    const FrameStatus status =
+        read_frame(conn->sock, payload, config_.max_request_bytes);
+    if (status == FrameStatus::kClosed) break;
+    if (status == FrameStatus::kOversized) {
+      // The length prefix was read but the payload was not: the stream
+      // cannot be resynchronized.  Answer, then drop the connection.
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      if (m_.bad_frames != nullptr) m_.bad_frames->increment();
+      (void)write_frame(
+          conn->sock,
+          rpc_error_json(false, 0, rpc_code::kOversized,
+                         "frame exceeds max_request_bytes (" +
+                             std::to_string(config_.max_request_bytes) +
+                             ")"));
+      break;
+    }
+    if (status != FrameStatus::kOk) {  // truncated or transport error
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      if (m_.bad_frames != nullptr) m_.bad_frames->increment();
+      break;
+    }
+    RpcRequest req;
+    RpcError error;
+    if (!parse_rpc_request(payload, req, error)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (m_.errors != nullptr) m_.errors->increment();
+      alive = write_frame(conn->sock, rpc_error_json(req.has_id, req.id,
+                                                     error.code,
+                                                     error.message));
+      continue;
+    }
+    // Inline lane: liveness probes and the drain trigger never sit
+    // behind the admission queue -- a saturated service must still
+    // answer health checks and accept its own shutdown.
+    if (req.type == RpcType::kHealth) {
+      alive = write_frame(conn->sock, health_json(req));
+      continue;
+    }
+    if (req.type == RpcType::kMetrics) {
+      alive = write_frame(conn->sock, metrics_json(req));
+      continue;
+    }
+    if (req.type == RpcType::kShutdown) {
+      JsonWriter w = rpc_response_begin(req);
+      w.member("status", "draining").end_object();
+      alive = write_frame(conn->sock, std::move(w).str());
+      // A handler cannot join itself: flag the request and let wait()
+      // perform the actual drain from the main thread.
+      shutdown_requested_.store(true, std::memory_order_release);
+      continue;
+    }
+    // Admission lane.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (m_.requests != nullptr) m_.requests->increment();
+    const bool has_id = req.has_id;
+    const std::uint64_t id = req.id;
+    Pending pending;
+    Work work;
+    work.conn = conn;
+    work.req = std::move(req);
+    work.pending = &pending;
+    work.admitted = std::chrono::steady_clock::now();
+    if (!queue_->try_push(std::move(work))) {
+      const bool draining = draining_.load(std::memory_order_acquire);
+      if (!draining) {
+        sheds_.fetch_add(1, std::memory_order_relaxed);
+        if (m_.sheds != nullptr) m_.sheds->increment();
+      }
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (m_.errors != nullptr) m_.errors->increment();
+      alive = write_frame(
+          conn->sock,
+          rpc_error_json(has_id, id,
+                         draining ? rpc_code::kShuttingDown
+                                  : rpc_code::kOverloaded,
+                         draining ? "service is draining"
+                                  : "admission queue is full; retry"));
+      continue;
+    }
+    if (m_.queue_depth != nullptr) {
+      m_.queue_depth->set(static_cast<double>(queue_->size()));
+    }
+    std::unique_lock<std::mutex> wait_lock(pending.mutex);
+    pending.cv.wait(wait_lock, [&] { return pending.done; });
+    alive = pending.write_ok;
+  }
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+  if (m_.connections_open != nullptr) {
+    m_.connections_open->set(
+        static_cast<double>(connections_open_.load(std::memory_order_relaxed)));
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void MeshbcastService::worker_loop() {
+  Simulator sim;
+  while (std::optional<Work> work = queue_->pop()) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    if (m_.workers_busy != nullptr) {
+      m_.workers_busy->set(
+          static_cast<double>(busy_.load(std::memory_order_relaxed)));
+    }
+    if (m_.queue_depth != nullptr) {
+      m_.queue_depth->set(static_cast<double>(queue_->size()));
+    }
+    if (config_.before_execute) config_.before_execute();
+    execute(*work, sim);
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+    if (m_.workers_busy != nullptr) {
+      m_.workers_busy->set(
+          static_cast<double>(busy_.load(std::memory_order_relaxed)));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(work->pending->mutex);
+      work->pending->done = true;
+    }
+    work->pending->cv.notify_one();
+  }
+}
+
+void MeshbcastService::execute(Work& work, Simulator& sim) {
+  WSN_SPAN("service.request");
+  const auto start = std::chrono::steady_clock::now();
+  bool ok = true;
+  Histogram* hist = nullptr;
+  switch (work.req.type) {
+    case RpcType::kPlan: {
+      const std::string response = respond_plan(work.req, ok);
+      work.pending->write_ok = write_frame(work.conn->sock, response);
+      hist = m_.plan_ms;
+      break;
+    }
+    case RpcType::kSimulate: {
+      const std::string response = respond_simulate(work.req, sim, ok);
+      work.pending->write_ok = write_frame(work.conn->sock, response);
+      hist = m_.simulate_ms;
+      break;
+    }
+    case RpcType::kScenario: {
+      respond_scenario(work, ok);
+      hist = m_.scenario_ms;
+      break;
+    }
+    default:
+      // Inline types are never admitted.
+      WSN_ASSERT(false);
+  }
+  const double elapsed = ms_since(start);
+  if (m_.request_ms != nullptr) m_.request_ms->observe(elapsed);
+  if (hist != nullptr) hist->observe(elapsed);
+  if (ok) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (m_.served != nullptr) m_.served->increment();
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    if (m_.errors != nullptr) m_.errors->increment();
+  }
+}
+
+const MeshbcastService::TopoEntry* MeshbcastService::topology_for(
+    const PlanRpc& plan, std::string& error) {
+  int m = plan.m, n = plan.n, l = plan.l;
+  if (m == 0) {  // paper default size for the family
+    if (plan.family == "3D-6") {
+      m = 8;
+      n = 8;
+      l = 8;
+    } else {
+      m = 32;
+      n = 16;
+      l = 1;
+    }
+  }
+  const std::size_t nodes = static_cast<std::size_t>(m) *
+                            static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(l);
+  if (nodes == 0 || nodes > config_.max_nodes) {
+    error = "topology size " + std::to_string(nodes) +
+            " exceeds max_nodes (" + std::to_string(config_.max_nodes) + ")";
+    return nullptr;
+  }
+  std::ostringstream key;
+  key << plan.family << ':' << m << 'x' << n << 'x' << l << '@'
+      << json_number(plan.spacing);
+  const std::lock_guard<std::mutex> lock(topologies_mutex_);
+  std::unique_ptr<TopoEntry>& slot = topologies_[key.str()];
+  if (!slot) {
+    auto entry = std::make_unique<TopoEntry>();
+    entry->topo = make_mesh(plan.family, m, n, l, plan.spacing);
+    entry->digest = digest_topology(*entry->topo);
+    slot = std::move(entry);
+  }
+  return slot.get();
+}
+
+std::string MeshbcastService::respond_plan(const RpcRequest& req, bool& ok) {
+  const PlanRpc& plan = req.plan;
+  if (!known_family(plan.family)) {
+    ok = false;
+    return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+                          "unknown family: " + plan.family);
+  }
+  std::string topo_error;
+  const TopoEntry* entry = topology_for(plan, topo_error);
+  if (entry == nullptr) {
+    ok = false;
+    return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+                          topo_error);
+  }
+  const Topology& topo = *entry->topo;
+  if (plan.source >= topo.num_nodes()) {
+    ok = false;
+    return rpc_error_json(
+        req.has_id, req.id, rpc_code::kBadRequest,
+        "source " + std::to_string(plan.source) + " out of range (" +
+            std::to_string(topo.num_nodes()) + " nodes)");
+  }
+  const NodeId source = static_cast<NodeId>(plan.source);
+  SimOptions options;
+  options.packet_bits = plan.packet_bits;
+  const PlanFingerprint fingerprint =
+      fingerprint_plan_request(entry->digest, source, plan.protocol, options);
+  const auto compile = [&](ResolveReport& report) {
+    return plan.protocol == "paper"
+               ? paper_plan(topo, source, options, &report)
+               : CdsBroadcast{}.plan(topo, source);
+  };
+  std::string origin_text;
+  std::size_t planned_tx = 0, repairs = 0, unrepaired = 0;
+  if (config_.store != nullptr) {
+    // Single-flight per fingerprint: the store itself lets concurrent
+    // compiles race (harmless in a batch run, wasteful in a service).
+    // Holding the keyed lock across fetch_or_compile means one compile
+    // per key; the blocked requesters then hit the memory tier.
+    const KeyedMutex::Guard flight = flights_.lock(fingerprint.hex());
+    PlanStore::Origin origin = PlanStore::Origin::kCompiled;
+    const std::shared_ptr<const StoredPlan> stored =
+        config_.store->fetch_or_compile(topo, source, plan.protocol, options,
+                                        compile, &origin);
+    origin_text = std::string(to_string(origin));
+    planned_tx = stored->plan.total_offsets();
+    repairs = stored->report.repairs;
+    unrepaired = stored->report.unrepaired;
+  } else {
+    ResolveReport report;
+    const RelayPlan compiled = compile(report);
+    origin_text = "uncached";
+    planned_tx = compiled.planned_tx();
+    repairs = report.repairs;
+    unrepaired = report.unrepaired;
+  }
+  JsonWriter w = rpc_response_begin(req);
+  w.member("family", plan.family)
+      .member("protocol", plan.protocol)
+      .member("nodes", static_cast<std::uint64_t>(topo.num_nodes()))
+      .member("source", static_cast<std::uint64_t>(source))
+      .member("origin", origin_text)
+      .member("fingerprint", fingerprint.hex())
+      .member("planned_tx", static_cast<std::uint64_t>(planned_tx))
+      .member("repairs", static_cast<std::uint64_t>(repairs))
+      .member("unrepaired", static_cast<std::uint64_t>(unrepaired))
+      .end_object();
+  return std::move(w).str();
+}
+
+std::string MeshbcastService::respond_simulate(const RpcRequest& req,
+                                               Simulator& sim, bool& ok) {
+  ScenarioSpec spec;
+  std::string error;
+  if (!parse_scenario_spec(req.simulate.spec_doc, spec, error)) {
+    ok = false;
+    return rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error);
+  }
+  JobMatrix matrix;
+  if (!expand_jobs(std::move(spec), matrix, error)) {
+    ok = false;
+    return rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error);
+  }
+  if (matrix.jobs.size() != 1) {
+    ok = false;
+    return rpc_error_json(
+        req.has_id, req.id, rpc_code::kBadRequest,
+        "simulate expands to " + std::to_string(matrix.jobs.size()) +
+            " jobs; use a scenario request for matrices");
+  }
+  for (const std::unique_ptr<Topology>& topo : matrix.topologies) {
+    if (topo->num_nodes() > config_.max_nodes) {
+      ok = false;
+      return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+                            "topology exceeds max_nodes");
+    }
+  }
+  const std::string record = run_scenario_job(
+      matrix, matrix.jobs[0], sim, config_.store, req.simulate.audit);
+  JsonWriter w = rpc_response_begin(req);
+  w.key("record").raw(record).end_object();
+  return std::move(w).str();
+}
+
+void MeshbcastService::respond_scenario(Work& work, bool& ok) {
+  const RpcRequest& req = work.req;
+  ScenarioSpec spec;
+  std::string error;
+  if (!parse_scenario_spec(req.scenario.spec_doc, spec, error)) {
+    ok = false;
+    work.pending->write_ok = write_frame(
+        work.conn->sock,
+        rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error));
+    return;
+  }
+  JobMatrix matrix;
+  if (!expand_jobs(std::move(spec), matrix, error)) {
+    ok = false;
+    work.pending->write_ok = write_frame(
+        work.conn->sock,
+        rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error));
+    return;
+  }
+  for (const std::unique_ptr<Topology>& topo : matrix.topologies) {
+    if (topo->num_nodes() > config_.max_nodes) {
+      ok = false;
+      work.pending->write_ok = write_frame(
+          work.conn->sock,
+          rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+                         "topology exceeds max_nodes"));
+      return;
+    }
+  }
+  EngineConfig engine_config;
+  const std::size_t requested =
+      req.scenario.workers == 0 ? 1 : req.scenario.workers;
+  engine_config.workers =
+      std::min<std::size_t>(requested, config_.scenario_workers_cap);
+  engine_config.store = config_.store;
+  engine_config.metrics = config_.metrics;
+  engine_config.audit = req.scenario.audit;
+  // The service drain doubles as the engine's cancel signal: an
+  // in-flight stream ends in a `cancelled` done frame instead of
+  // holding the drain hostage.
+  engine_config.cancel = &draining_;
+  std::atomic<bool> write_failed{false};
+  ScenarioEngine* engine_ptr = nullptr;
+  engine_config.on_record = [&](std::size_t, const std::string& line) {
+    if (write_failed.load(std::memory_order_relaxed)) return;
+    if (!write_frame(work.conn->sock, line)) {
+      // Client gone mid-stream: stop simulating for nobody.
+      write_failed.store(true, std::memory_order_relaxed);
+      if (engine_ptr != nullptr) engine_ptr->request_cancel();
+    }
+  };
+  ScenarioEngine engine(matrix, engine_config);
+  engine_ptr = &engine;
+  JsonWriter begin = rpc_response_begin(req, "scenario.begin");
+  begin.member("name", matrix.spec.name)
+      .member("jobs", static_cast<std::uint64_t>(matrix.jobs.size()))
+      .key("header")
+      .raw(engine.header_line())
+      .end_object();
+  if (!write_frame(work.conn->sock, std::move(begin).str())) {
+    ok = false;
+    work.pending->write_ok = false;
+    return;
+  }
+  const RunSummary summary = engine.run("");  // stream-only: no file
+  ok = summary.ok && !write_failed.load(std::memory_order_relaxed);
+  JsonWriter done;
+  done.begin_object().member("type", "scenario.done");
+  if (req.has_id) done.member("id", req.id);
+  done.member("ok", summary.ok)
+      .member("cancelled", summary.cancelled)
+      .member("jobs_total", static_cast<std::uint64_t>(summary.jobs_total))
+      .member("emitted", static_cast<std::uint64_t>(summary.emitted))
+      .member("errors", static_cast<std::uint64_t>(summary.errors));
+  if (!summary.ok) done.member("error", summary.error);
+  done.end_object();
+  const bool wrote = write_frame(work.conn->sock, std::move(done).str());
+  work.pending->write_ok =
+      wrote && !write_failed.load(std::memory_order_relaxed);
+}
+
+std::string MeshbcastService::health_json(const RpcRequest& req) {
+  JsonWriter w = rpc_response_begin(req);
+  const Counters c = counters();
+  w.member("status", draining_.load(std::memory_order_acquire)
+                         ? "draining"
+                         : (shutdown_requested() ? "drain_pending"
+                                                 : "serving"))
+      .member("uptime_ms", ms_since(started_at_))
+      .member("workers", static_cast<std::uint64_t>(worker_count_))
+      .member("workers_busy",
+              static_cast<std::uint64_t>(busy_.load(std::memory_order_relaxed)))
+      .member("queue_depth",
+              static_cast<std::uint64_t>(queue_ ? queue_->size() : 0))
+      .member("queue_capacity",
+              static_cast<std::uint64_t>(queue_ ? queue_->capacity() : 0))
+      .member("connections", static_cast<std::uint64_t>(connections_open_.load(
+                                 std::memory_order_relaxed)))
+      .member("requests", c.requests)
+      .member("served", c.served)
+      .member("errors", c.errors)
+      .member("sheds", c.sheds)
+      .member("bad_frames", c.bad_frames)
+      .end_object();
+  return std::move(w).str();
+}
+
+std::string MeshbcastService::metrics_json(const RpcRequest& req) {
+  JsonWriter w = rpc_response_begin(req);
+  if (config_.metrics != nullptr) {
+    std::ostringstream doc;
+    write_metrics_json(doc, config_.metrics->scrape());
+    w.key("metrics").raw(doc.str());
+  } else {
+    w.key("metrics").null();
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace wsn

@@ -1,0 +1,95 @@
+// meshbcastd: the long-running broadcast-planning service.
+//
+//   meshbcastd --port 0                       # loopback TCP, ephemeral
+//   meshbcastd --unix /tmp/meshbcast.sock     # Unix-domain socket
+//   meshbcastd --port 7970 --workers 8 --queue-cap 64
+//              --plan-cache .plan-cache --heartbeat-ms 1000
+//
+// Speaks `meshbcast.rpc` v1 (src/service/rpc.h): plan / simulate /
+// scenario / metrics / health / shutdown over 4-byte length-prefixed JSON
+// frames.  Prints one line to stdout when ready --
+//
+//   meshbcastd listening on tcp:127.0.0.1:34787
+//
+// -- which scripts (the CI smoke job, loadgen wrappers) scrape for the
+// address.  Drains gracefully on SIGINT/SIGTERM or the `shutdown` RPC:
+// in-flight requests finish, every admitted request gets its response,
+// then the process exits 0 with a final counter summary on stderr.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "obs/heartbeat.h"
+#include "obs/metrics.h"
+#include "service/server.h"
+#include "store/plan_store.h"
+
+int main(int argc, char** argv) {
+  using namespace wsn;
+
+  CliParser cli("meshbcastd", "broadcast-planning service daemon");
+  cli.add_option("port", "loopback TCP port (0 = ephemeral)", "0");
+  cli.add_option("unix", "Unix-domain socket path (wins over --port)", "");
+  cli.add_option("workers", "executor threads", "2");
+  cli.add_option("queue-cap", "admission queue capacity (0 = 2x workers)",
+                 "0");
+  cli.add_option("max-request-bytes",
+                 "per-frame request size cap in bytes", "1048576");
+  cli.add_option("max-nodes", "largest topology a request may ask for",
+                 "1048576");
+  cli.add_option("scenario-workers-cap",
+                 "cap on a scenario request's engine pool", "8");
+  cli.add_option("plan-cache",
+                 "plan store artifact directory (empty = memory-only)", "");
+  cli.add_option("heartbeat-ms",
+                 "liveness heartbeat period on stderr (0 = off)", "1000");
+  if (!cli.parse(argc, argv)) return 2;
+
+  PlanStore::Config store_config;
+  store_config.disk_dir = cli.get("plan-cache");
+  PlanStore store(store_config);
+  MetricsRegistry metrics;
+  store.bind_metrics(metrics);
+
+  ServiceConfig config;
+  config.unix_path = cli.get("unix");
+  config.tcp_port = static_cast<int>(cli.get_u64("port"));
+  config.workers = cli.get_u64("workers");
+  config.queue_capacity = cli.get_u64("queue-cap");
+  config.max_request_bytes = cli.get_u64("max-request-bytes");
+  config.max_nodes = cli.get_u64("max-nodes");
+  config.scenario_workers_cap = cli.get_u64("scenario-workers-cap");
+  config.store = &store;
+  config.metrics = &metrics;
+  config.heartbeat_ms = cli.get_u64("heartbeat-ms");
+
+  // The latch must exist before the listener so a signal during startup
+  // still drains instead of killing the process mid-bind.
+  SignalDrain drain;
+  MeshbcastService service(std::move(config));
+  std::string error;
+  if (!service.start(error)) {
+    std::fprintf(stderr, "meshbcastd: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("meshbcastd listening on %s\n", service.address().c_str());
+  std::fflush(stdout);
+
+  service.wait(drain.flag());
+
+  const MeshbcastService::Counters c = service.counters();
+  const PlanStore::Stats s = store.stats();
+  std::fprintf(stderr,
+               "meshbcastd: drained. connections=%llu requests=%llu "
+               "served=%llu errors=%llu sheds=%llu bad_frames=%llu "
+               "compiles=%llu disk_hits=%llu\n",
+               static_cast<unsigned long long>(c.connections),
+               static_cast<unsigned long long>(c.requests),
+               static_cast<unsigned long long>(c.served),
+               static_cast<unsigned long long>(c.errors),
+               static_cast<unsigned long long>(c.sheds),
+               static_cast<unsigned long long>(c.bad_frames),
+               static_cast<unsigned long long>(s.compiles),
+               static_cast<unsigned long long>(s.disk_hits));
+  return 0;
+}
