@@ -1,0 +1,92 @@
+// Bulk-engine scaling bench: implicit lattice + SoA bitset slot kernel.
+//
+// The materialized Simulator tops out around 10^4-10^5 nodes (adjacency
+// lists dominate memory and planning time); the bulk engine's shift-rule
+// kernel is the path to the paper's protocols at 10^6+.  This bench tracks
+// that scaling claim: schedule compilation (implicit_paper_plan, which
+// runs the resolver's probe broadcasts on the bulk engine) and the
+// instrumented slot kernel (bulk_simulate) on 2D-4 meshes from 4k to 2M
+// nodes, with per-size throughput in nodes/s.
+//
+//   $ bulk_scale [--json-out BENCH_bulk.json]
+//
+// --json-out writes a meshbcast.bench JSON document (schema in
+// EXPERIMENTS.md) with a bulk_plan/ and bulk_sim/ entry per mesh size;
+// nodes/s follows from runs_per_sec times the node count in the name.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "protocol/implicit_plan.h"
+#include "sim/bulk/bulk_simulator.h"
+#include "topology/implicit.h"
+
+int main(int argc, char** argv) {
+  wsn::CliParser cli("bulk_scale",
+                     "bulk engine scaling: plan compile + slot kernel");
+  cli.add_option("json-out", "meshbcast.bench JSON path ('' = skip)", "");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // Iteration counts shrink with size so the 2M run stays CI-friendly;
+  // the small mesh gets enough repeats to smooth scheduler noise.
+  const struct {
+    int m, n;
+    std::size_t min_iters;
+  } sizes[] = {{64, 64, 16}, {1000, 1000, 3}, {2048, 1024, 2}};
+
+  wsn::AsciiTable table(
+      {"Mesh", "nodes", "plan ms", "sim ms", "sim nodes/s"});
+  table.set_title("Bulk engine scaling (2D-4, center source)");
+
+  std::vector<wsn::bench::BenchResult> results;
+  std::size_t sink = 0;  // keeps the timed bodies observable
+  for (const auto& s : sizes) {
+    const wsn::ImplicitLattice lat = wsn::ImplicitLattice::mesh2d4(s.m, s.n);
+    const wsn::NodeId src = lat.central_node();
+    const std::string dims =
+        std::to_string(s.m) + "x" + std::to_string(s.n);
+
+    results.push_back(wsn::bench::measure(
+        "bulk_plan/2D-4/" + dims,
+        [&] { sink += wsn::implicit_paper_plan(lat, src).tx_offsets.size(); },
+        s.min_iters, /*min_seconds=*/0.0, /*max_iterations=*/64));
+
+    const wsn::RelayPlan plan = wsn::implicit_paper_plan(lat, src);
+    results.push_back(wsn::bench::measure(
+        "bulk_sim/2D-4/" + dims,
+        [&] { sink += wsn::bulk_simulate(lat, plan).stats.reached; },
+        s.min_iters, /*min_seconds=*/0.0, /*max_iterations=*/64));
+
+    const wsn::bench::BenchResult& plan_r = results[results.size() - 2];
+    const wsn::bench::BenchResult& sim_r = results.back();
+    const double nodes_per_sec =
+        static_cast<double>(lat.num_nodes()) / (sim_r.mean_ms * 1e-3);
+    char plan_ms[32], sim_ms[32], rate[32];
+    std::snprintf(plan_ms, sizeof plan_ms, "%.3f", plan_r.mean_ms);
+    std::snprintf(sim_ms, sizeof sim_ms, "%.3f", sim_r.mean_ms);
+    std::snprintf(rate, sizeof rate, "%.2fM", nodes_per_sec / 1e6);
+    table.add_row({dims, std::to_string(lat.num_nodes()), plan_ms, sim_ms,
+                   rate});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\n'plan' compiles the schedule through the bulk resolver (probe "
+      "broadcasts\nincluded); 'sim' is one fully instrumented broadcast "
+      "over the compiled plan.\n(checksum %zu)\n",
+      sink);
+
+  const std::string json_path = cli.get("json-out");
+  if (!json_path.empty()) {
+    if (!wsn::bench::write_bench_json(json_path, "bulk_scale", results)) {
+      return 1;
+    }
+    std::printf("wrote %s (%zu results)\n", json_path.c_str(),
+                results.size());
+  }
+  return 0;
+}

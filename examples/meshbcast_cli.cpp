@@ -41,7 +41,10 @@
 #include "protocol/cds_broadcast.h"
 #include "protocol/flooding.h"
 #include "protocol/gossip.h"
+#include "protocol/implicit_plan.h"
 #include "protocol/registry.h"
+#include "sim/bulk/bulk_audit.h"
+#include "sim/bulk/bulk_simulator.h"
 #include "sim/pipeline.h"
 #include "store/plan_store.h"
 #include "topology/factory.h"
@@ -148,6 +151,10 @@ int main(int argc, char** argv) {
   cli.add_option("src", "source node id; 'center' for the graph center",
                  "center");
   cli.add_option("protocol", "paper, cds, flood or gossip", "paper");
+  cli.add_option("engine",
+                 "reference (materialized adjacency) or bulk (implicit "
+                 "lattice + bitset kernel; handles million-node meshes)",
+                 "reference");
   cli.add_option("packets", "pipeline depth (pipeline command)", "4");
   cli.add_option("workers",
                  "sweep worker threads (flag > MESHBCAST_THREADS > "
@@ -192,6 +199,131 @@ int main(int argc, char** argv) {
   wsn::MetricsRegistry registry;
   wsn::Observer observer(trace_path.empty() ? nullptr : &sink, &registry);
   const bool observe = !trace_path.empty() || !metrics_path.empty();
+
+  // Writes the requested observability artifacts, then forwards `code`.
+  const auto finish = [&](int code) {
+    if (!trace_path.empty()) {
+      std::ofstream file(trace_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      if (trace_path.size() >= 6 &&
+          trace_path.rfind(".jsonl") == trace_path.size() - 6) {
+        wsn::write_events_jsonl(file, sink);
+      } else {
+        wsn::write_chrome_trace(file, sink);
+      }
+      std::printf("trace: %s (%llu events)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(sink.total()));
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream file(metrics_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      wsn::write_metrics_json(file, registry.scrape());
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (profile) {
+      std::fputs(wsn::Profiler::instance().report_text().c_str(), stdout);
+    }
+    if (!timeline_path.empty()) {
+      std::ofstream file(timeline_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+        return 1;
+      }
+      const auto threads = wsn::Timeline::instance().snapshot();
+      if (timeline_path.size() >= 6 &&
+          timeline_path.rfind(".jsonl") == timeline_path.size() - 6) {
+        wsn::write_timeline_jsonl(file, threads);
+      } else {
+        wsn::write_timeline_perfetto(file, threads);
+      }
+      std::printf("timeline: %s\n", timeline_path.c_str());
+    }
+    return code;
+  };
+
+  const std::string engine = cli.get("engine");
+  if (engine != "reference" && engine != "bulk") {
+    std::fprintf(stderr, "unknown --engine %s (reference|bulk)\n",
+                 engine.c_str());
+    return 1;
+  }
+  if (engine == "bulk") {
+    // Validate the whole flag surface BEFORE touching the mesh: at bulk
+    // sizes nothing may be allocated until we know the run can proceed.
+    if (command != "run") {
+      std::fprintf(stderr,
+                   "--engine bulk supports the run command only; sweep, viz "
+                   "and pipeline need the materialized engine (drop "
+                   "--engine or use --engine reference)\n");
+      return 1;
+    }
+    if (cli.get("protocol") != "paper") {
+      std::fprintf(stderr,
+                   "--engine bulk implements the paper protocols only; "
+                   "--protocol %s needs the materialized engine\n",
+                   cli.get("protocol").c_str());
+      return 1;
+    }
+    if (!cli.get("plan-cache").empty() || !cli.get("plan-in").empty() ||
+        !cli.get("plan-out").empty()) {
+      std::fprintf(stderr,
+                   "--engine bulk compiles plans in memory; the plan store "
+                   "flags (--plan-cache/--plan-in/--plan-out) need the "
+                   "materialized engine\n");
+      return 1;
+    }
+    wsn::SimOptions bulk_options;
+    bulk_options.observer = observe ? &observer : nullptr;
+    std::string why;
+    if (!wsn::BulkSimulator::options_supported(bulk_options, &why)) {
+      std::fprintf(stderr,
+                   "--engine bulk: unsupported option (%s); drop "
+                   "--trace-out/--metrics-out or use --engine reference\n",
+                   why.c_str());
+      return 1;
+    }
+
+    const wsn::ImplicitLattice lat = wsn::ImplicitLattice::make(
+        cli.get("family"), static_cast<int>(cli.get_u64("width")),
+        static_cast<int>(cli.get_u64("height")),
+        static_cast<int>(cli.get_u64("depth")));
+    wsn::NodeId bulk_src = 0;
+    if (cli.get("src") == "center") {
+      bulk_src = lat.central_node();
+    } else {
+      std::uint64_t value = 0;
+      if (!wsn::parse_u64(cli.get("src"), value) ||
+          value >= lat.num_nodes()) {
+        std::fprintf(stderr, "bad --src\n");
+        return 1;
+      }
+      bulk_src = static_cast<wsn::NodeId>(value);
+    }
+
+    wsn::ResolveReport report;
+    const wsn::RelayPlan plan =
+        wsn::implicit_paper_plan(lat, bulk_src, bulk_options, &report);
+    const wsn::BroadcastOutcome out =
+        wsn::bulk_simulate(lat, plan, bulk_options);
+    const wsn::BulkAuditReport audit =
+        wsn::audit_bulk_outcome(lat, out, bulk_src);
+    std::printf("%s, source %u, paper protocol (bulk engine)\n  %s\n"
+                "  plan: compiled, repairs=%zu, rounds=%zu, unrepaired=%zu\n"
+                "  audit: relay-mean ETR %.6f, conservation %s, coverage "
+                "%s\n",
+                lat.name().c_str(), bulk_src, out.stats.summary().c_str(),
+                report.repairs, report.rounds, report.unrepaired,
+                audit.relay_mean_etr,
+                audit.conservation_ok() ? "ok" : "VIOLATED",
+                audit.full_coverage() ? "full" : "PARTIAL");
+    return finish(0);
+  }
 
   const auto topo = wsn::make_mesh(cli.get("family"),
                                    static_cast<int>(cli.get_u64("width")),
@@ -269,53 +401,6 @@ int main(int argc, char** argv) {
       std::printf("plan artifact: %s\n", plan_out.c_str());
     }
     return outcome;
-  };
-
-  // Writes the requested observability artifacts, then forwards `code`.
-  const auto finish = [&](int code) {
-    if (!trace_path.empty()) {
-      std::ofstream file(trace_path);
-      if (!file) {
-        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
-        return 1;
-      }
-      if (trace_path.size() >= 6 &&
-          trace_path.rfind(".jsonl") == trace_path.size() - 6) {
-        wsn::write_events_jsonl(file, sink);
-      } else {
-        wsn::write_chrome_trace(file, sink);
-      }
-      std::printf("trace: %s (%llu events)\n", trace_path.c_str(),
-                  static_cast<unsigned long long>(sink.total()));
-    }
-    if (!metrics_path.empty()) {
-      std::ofstream file(metrics_path);
-      if (!file) {
-        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
-        return 1;
-      }
-      wsn::write_metrics_json(file, registry.scrape());
-      std::printf("metrics: %s\n", metrics_path.c_str());
-    }
-    if (profile) {
-      std::fputs(wsn::Profiler::instance().report_text().c_str(), stdout);
-    }
-    if (!timeline_path.empty()) {
-      std::ofstream file(timeline_path);
-      if (!file) {
-        std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
-        return 1;
-      }
-      const auto threads = wsn::Timeline::instance().snapshot();
-      if (timeline_path.size() >= 6 &&
-          timeline_path.rfind(".jsonl") == timeline_path.size() - 6) {
-        wsn::write_timeline_jsonl(file, threads);
-      } else {
-        wsn::write_timeline_perfetto(file, threads);
-      }
-      std::printf("timeline: %s\n", timeline_path.c_str());
-    }
-    return code;
   };
 
   if (command == "run") {

@@ -63,10 +63,7 @@ bool Mesh2d3Broadcast::in_b2_family(Vec2 v, Vec2 src) noexcept {
   return brick_has_up(src) ? (r == 0 || r == 3) : (r == 0 || r == 1);
 }
 
-RelayPlan Mesh2d3Broadcast::plan(const Topology& topo, NodeId source) const {
-  const auto* mesh = dynamic_cast<const Mesh2D3*>(&topo);
-  WSN_EXPECTS(mesh != nullptr);
-  const Grid2D& grid = mesh->grid();
+RelayPlan Mesh2d3Broadcast::plan_on_grid(const Grid2D& grid, NodeId source) {
   const Vec2 src = grid.to_coord(source);
   const int m = grid.m();
   const int n = grid.n();
@@ -157,6 +154,12 @@ RelayPlan Mesh2d3Broadcast::plan(const Topology& topo, NodeId source) const {
   }
   plan.tx_offsets[source] = {1};
   return plan;
+}
+
+RelayPlan Mesh2d3Broadcast::plan(const Topology& topo, NodeId source) const {
+  const auto* mesh = dynamic_cast<const Mesh2D3*>(&topo);
+  WSN_EXPECTS(mesh != nullptr);
+  return plan_on_grid(mesh->grid(), source);
 }
 
 }  // namespace wsn

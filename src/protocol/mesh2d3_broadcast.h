@@ -39,6 +39,11 @@ class Mesh2d3Broadcast final : public BroadcastProtocol {
                                NodeId source) const override;
   [[nodiscard]] std::string name() const override { return "mesh2d3-broadcast"; }
 
+  /// The plan computed directly from grid coordinates; `plan` delegates
+  /// here and the implicit-lattice path calls it without a Topology.
+  [[nodiscard]] static RelayPlan plan_on_grid(const Grid2D& grid,
+                                              NodeId source);
+
   /// True if `v` is in the B1(i+4k, j) family for the given source (any
   /// valid anchor k).  Exposed for tests.
   [[nodiscard]] static bool in_b1_family(Vec2 v, Vec2 src) noexcept;

@@ -1,5 +1,6 @@
 #include "protocol/mesh2d4_broadcast.h"
 
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/assert.h"
@@ -45,10 +46,60 @@ std::size_t Mesh2d4Broadcast::analytic_tx_count(int i, int m,
          columns * static_cast<std::size_t>(n - 1);
 }
 
-RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
-  const auto* mesh = dynamic_cast<const Mesh2D4*>(&topo);
-  WSN_EXPECTS(mesh != nullptr);
-  const Grid2D& grid = mesh->grid();
+double Mesh2d4Broadcast::analytic_relay_mean_etr(int i, int j, int m,
+                                                 int n) noexcept {
+  WSN_EXPECTS(i >= 1 && i <= m && j >= 1 && j <= n);
+  const auto degree = [&](int x, int y) {
+    return 4 - (x == 1) - (x == m) - (y == 1) - (y == n);
+  };
+
+  std::uint64_t acc = 0;  // sum of 840/deg(parent) over non-source-fed nodes
+  for (int y = 1; y <= n; ++y) {
+    for (int x = 1; x <= m; ++x) {
+      if (x == i && y == j) continue;
+      int px = 0;
+      int py = 0;
+      if (y == j) {
+        // X-axis sweep: fed by the row neighbor toward the source.
+        px = x > i ? x - 1 : x + 1;
+        py = j;
+      } else if (y == j - 1 || y == j + 1) {
+        // Covered sideways by the row wavefront (the retransmitters'
+        // second transmissions repair the cells their first ones collided
+        // at, so the parent is the row node either way).
+        px = x;
+        py = j;
+      } else if (is_relay_column(x, i, m)) {
+        // Column sweep: previous cell of the same column.
+        px = x;
+        py = y > j ? y - 1 : y + 1;
+      } else {
+        // Fed sideways by an adjacent relay column.  The spacing-3 lattice
+        // plus the border rule guarantees one exists; when both neighbors
+        // are relay columns the one nearer the source column transmits
+        // first (its sweep started earlier) and delivers the cell.
+        int best = 0;
+        for (const int c : {x - 1, x + 1}) {
+          if (c < 1 || c > m || !is_relay_column(c, i, m)) continue;
+          if (best == 0 || std::abs(c - i) < std::abs(best - i)) best = c;
+        }
+        WSN_ASSERT(best != 0);
+        px = best;
+        py = y;
+      }
+      if (px == i && py == j) continue;  // the source's own children
+      acc += 840u / static_cast<std::uint64_t>(degree(px, py));
+    }
+  }
+
+  const std::size_t relays = analytic_tx_count(i, m, n) - 1;
+  return relays == 0 ? 0.0
+                     : (static_cast<double>(acc) / 840.0) /
+                           static_cast<double>(relays);
+}
+
+RelayPlan Mesh2d4Broadcast::plan_on_grid(const Grid2D& grid, NodeId source,
+                                         CollisionPolicy policy) {
   const Vec2 src = grid.to_coord(source);
 
   RelayPlan plan = RelayPlan::empty(grid.num_nodes(), source);
@@ -57,7 +108,7 @@ RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
     if (v.y == src.y) {
       // X-axis sweep: every row node forwards; the nodes straddling a relay
       // column collide with its first vertical hop and retransmit.
-      if (policy_ == CollisionPolicy::kRetransmit &&
+      if (policy == CollisionPolicy::kRetransmit &&
           is_row_retransmitter(v.x, src.x, grid.m())) {
         plan.tx_offsets[id] = {1, 2};
       } else {
@@ -68,7 +119,7 @@ RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
       // vertical hop waits an extra slot so it never overlaps the row
       // wavefront (the paper's §3.1 alternative, kept for the ablation).
       const bool first_hop = std::abs(v.y - src.y) == 1;
-      if (policy_ == CollisionPolicy::kDelayAvoidance && first_hop) {
+      if (policy == CollisionPolicy::kDelayAvoidance && first_hop) {
         plan.tx_offsets[id] = {2};
       } else {
         plan.tx_offsets[id] = {1};
@@ -76,6 +127,12 @@ RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
     }
   }
   return plan;
+}
+
+RelayPlan Mesh2d4Broadcast::plan(const Topology& topo, NodeId source) const {
+  const auto* mesh = dynamic_cast<const Mesh2D4*>(&topo);
+  WSN_EXPECTS(mesh != nullptr);
+  return plan_on_grid(mesh->grid(), source, policy_);
 }
 
 std::string Mesh2d4Broadcast::name() const {

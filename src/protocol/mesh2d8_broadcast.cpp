@@ -27,10 +27,7 @@ bool Mesh2d8Broadcast::family_on_s2(Vec2 src, int m, int n) noexcept {
   return feeder_s1 >= feeder_s2;
 }
 
-RelayPlan Mesh2d8Broadcast::plan(const Topology& topo, NodeId source) const {
-  const auto* mesh = dynamic_cast<const Mesh2D8*>(&topo);
-  WSN_EXPECTS(mesh != nullptr);
-  const Grid2D& grid = mesh->grid();
+RelayPlan Mesh2d8Broadcast::plan_on_grid(const Grid2D& grid, NodeId source) {
   const Vec2 src = grid.to_coord(source);
   const int m = grid.m();
   const int n = grid.n();
@@ -110,6 +107,12 @@ RelayPlan Mesh2d8Broadcast::plan(const Topology& topo, NodeId source) const {
     }
   }
   return plan;
+}
+
+RelayPlan Mesh2d8Broadcast::plan(const Topology& topo, NodeId source) const {
+  const auto* mesh = dynamic_cast<const Mesh2D8*>(&topo);
+  WSN_EXPECTS(mesh != nullptr);
+  return plan_on_grid(mesh->grid(), source);
 }
 
 }  // namespace wsn

@@ -33,6 +33,11 @@ class Mesh2d8Broadcast final : public BroadcastProtocol {
                                NodeId source) const override;
   [[nodiscard]] std::string name() const override { return "mesh2d8-broadcast"; }
 
+  /// The plan computed directly from grid coordinates; `plan` delegates
+  /// here and the implicit-lattice path calls it without a Topology.
+  [[nodiscard]] static RelayPlan plan_on_grid(const Grid2D& grid,
+                                              NodeId source);
+
   /// Which axis carries the parallel relay family for this source: true if
   /// the family runs along S2 (feeder S1), the paper's default.  Chooses the
   /// longer feeder; ties keep the paper's S2 family.

@@ -66,10 +66,7 @@ std::vector<Vec2> Mesh3d6Broadcast::border_relays(Vec2 src_xy, int m, int n) {
   return out;
 }
 
-RelayPlan Mesh3d6Broadcast::plan(const Topology& topo, NodeId source) const {
-  const auto* mesh = dynamic_cast<const Mesh3D6*>(&topo);
-  WSN_EXPECTS(mesh != nullptr);
-  const Grid3D& grid = mesh->grid();
+RelayPlan Mesh3d6Broadcast::plan_on_grid(const Grid3D& grid, NodeId source) {
   const Vec3 src = grid.to_coord(source);
   const int m = grid.m();
   const int n = grid.n();
@@ -126,6 +123,12 @@ RelayPlan Mesh3d6Broadcast::plan(const Topology& topo, NodeId source) const {
     }
   }
   return plan;
+}
+
+RelayPlan Mesh3d6Broadcast::plan(const Topology& topo, NodeId source) const {
+  const auto* mesh = dynamic_cast<const Mesh3D6*>(&topo);
+  WSN_EXPECTS(mesh != nullptr);
+  return plan_on_grid(mesh->grid(), source);
 }
 
 }  // namespace wsn

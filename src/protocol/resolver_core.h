@@ -1,0 +1,300 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "protocol/resolver.h"
+#include "sim/plan.h"
+#include "sim/simulator.h"
+
+/// The resolver algorithm, templated over the network representation.
+///
+/// resolve_full_reachability (resolver.h) must produce the *same plan* on
+/// a materialized Topology and on an ImplicitLattice of the same
+/// family/dims -- otherwise the bulk engine's bit-exactness contract stops
+/// at raw protocol plans.  Rather than maintain two copies of a subtle
+/// algorithm, the whole body lives here as a template over
+///
+///   * `Net`  -- num_nodes(), neighbors(id) (sorted ascending; span or
+///     value type), adjacent(a, b);
+///   * `SimT` -- run(net, plan, options) -> BroadcastOutcome, reusing its
+///     scratch across probes (Simulator and BulkSimulator both qualify).
+///
+/// Every decision the resolver makes (helper choice by min first_rx then
+/// min id, quiet-slot probing, 2-hop slot packing) consumes only neighbor
+/// sets and simulation outcomes; byte-identical neighbor iteration plus
+/// bit-identical outcomes therefore force identical resolved plans, which
+/// tests/test_implicit_plan.cpp asserts per family.
+namespace wsn::resolver_core {
+
+template <typename Net>
+[[nodiscard]] bool within_two_hops(const Net& net, NodeId a, NodeId b) {
+  if (net.adjacent(a, b)) return true;
+  // Bind both sets to locals: neighbors() may return a value type, and
+  // begin()/end() drawn from two separate temporaries would be UB.
+  const auto na = net.neighbors(a);
+  const auto nb = net.neighbors(b);
+  // Merge-walk two sorted ranges looking for a common element.
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < na.size() && ib < nb.size()) {
+    if (na[ia] == nb[ib]) return true;
+    if (na[ia] < nb[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+/// Optimistic repair phase: gives helpers an immediate retransmission (one
+/// slot after their last scheduled transmission), the way the paper's own
+/// gray nodes retransmit "in next time slot".  Early retransmissions change
+/// downstream collision dynamics, so this iterates to a fixpoint, keeps the
+/// best plan seen, and gives up after a few non-improving rounds -- the
+/// guaranteed quiet-slot phase finishes whatever is left.
+template <typename Net, typename SimT>
+RelayPlan optimistic_repairs(const Net& net, RelayPlan plan,
+                             const SimOptions& options,
+                             ResolveReport& report, SimT& sim) {
+  constexpr std::size_t kPatience = 3;
+  constexpr std::size_t kMaxIters = 48;
+  constexpr Slot kMaxProbe = 8;  // how far past the helper's last tx we look
+
+  const std::size_t n = net.num_nodes();
+  RelayPlan best = plan;
+  std::size_t best_unreached = sim.run(net, best, options).unreached().size();
+  std::size_t stall = 0;
+
+  // Sorted per-node slots at which some neighbor transmitted; lets a repair
+  // be placed into a slot that is quiet at every victim.
+  std::vector<std::vector<Slot>> heard_slots(n);
+  const auto neighbor_tx_at = [&](NodeId u, Slot s) {
+    const auto& slots = heard_slots[u];
+    return std::binary_search(slots.begin(), slots.end(), s);
+  };
+
+  for (std::size_t iter = 0; iter < kMaxIters && best_unreached > 0; ++iter) {
+    const BroadcastOutcome outcome = sim.run(net, plan, options);
+    const std::vector<NodeId> unreached = outcome.unreached();
+    if (unreached.empty()) {
+      report.rounds += 1;
+      return plan;
+    }
+
+    for (auto& slots : heard_slots) slots.clear();
+    for (const TxRecord& rec : outcome.transmissions) {
+      for (NodeId u : net.neighbors(rec.node)) {
+        heard_slots[u].push_back(rec.slot);
+      }
+    }
+    for (auto& slots : heard_slots) std::sort(slots.begin(), slots.end());
+
+    std::vector<char> is_unreached(n, 0);
+    for (NodeId u : unreached) is_unreached[u] = 1;
+
+    // Tracks slots already claimed by this round's repairs, per node, so two
+    // repairs placed in the same round don't collide at a shared victim.
+    std::vector<std::vector<Slot>> claimed(n);
+    const auto claimed_at = [&](NodeId u, Slot s) {
+      const auto& slots = claimed[u];
+      return std::find(slots.begin(), slots.end(), s) != slots.end();
+    };
+
+    std::vector<char> covered(n, 0);
+    std::size_t added = 0;
+    for (NodeId u : unreached) {
+      if (covered[u]) continue;
+      NodeId helper = kInvalidNode;
+      Slot helper_rx = kNeverSlot;
+      for (NodeId h : net.neighbors(u)) {
+        if (outcome.first_rx[h] == kNeverSlot) continue;
+        if (outcome.first_rx[h] < helper_rx ||
+            (outcome.first_rx[h] == helper_rx && h < helper)) {
+          helper = h;
+          helper_rx = outcome.first_rx[h];
+        }
+      }
+      if (helper == kInvalidNode) continue;
+
+      // Place the retransmission in the earliest slot after the helper's
+      // last transmission that (a) is quiet at each of its unreached
+      // neighbors, so the repair actually lands, and (b) is not the slot in
+      // which any already-reached neighbor got its *first* reception, which
+      // the new transmission would knock out.
+      auto& offsets = plan.tx_offsets[helper];
+      const Slot last_tx =
+          offsets.empty() ? helper_rx : helper_rx + offsets.back();
+      Slot chosen = 0;
+      for (Slot s = last_tx + 1; s <= last_tx + kMaxProbe; ++s) {
+        bool ok = true;
+        for (NodeId w : net.neighbors(helper)) {
+          if (is_unreached[w] &&
+              (neighbor_tx_at(w, s) || claimed_at(w, s))) {
+            ok = false;
+            break;
+          }
+          if (!is_unreached[w] && outcome.first_rx[w] == s) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          chosen = s;
+          break;
+        }
+      }
+      if (chosen == 0) continue;  // quiet-slot phase will handle this one
+
+      offsets.push_back(chosen - helper_rx);
+      added += 1;
+      for (NodeId w : net.neighbors(helper)) {
+        if (is_unreached[w]) {
+          covered[w] = 1;
+          claimed[w].push_back(chosen);
+          // A stranded relay whose whole neighborhood is already reached
+          // forwards nothing anyone needs; getting it the message late and
+          // then letting it transmit would only re-collide downstream.
+          // Prune its transmissions (it still counts as reached).
+          const auto nw = net.neighbors(w);
+          const bool all_neighbors_reached = std::all_of(
+              nw.begin(), nw.end(),
+              [&](NodeId x) { return outcome.first_rx[x] != kNeverSlot; });
+          if (all_neighbors_reached && w != plan.source) {
+            plan.tx_offsets[w].clear();
+          }
+        }
+      }
+    }
+    if (added == 0) break;  // interior void; quiet-slot phase handles it
+    report.rounds += 1;
+
+    const std::size_t now_unreached =
+        sim.run(net, plan, options).unreached().size();
+    if (now_unreached < best_unreached) {
+      best = plan;
+      best_unreached = now_unreached;
+      stall = 0;
+    } else if (++stall >= kPatience) {
+      break;
+    }
+  }
+  return best;
+}
+
+template <typename Net, typename SimT>
+RelayPlan resolve_full_reachability(const Net& net, RelayPlan plan,
+                                    const SimOptions& caller_options,
+                                    ResolveReport* report, SimT& sim) {
+  // Probe simulations are plan-construction internals: they must not leak
+  // into the caller's observer (metrics/trace describe requested runs, not
+  // the resolver's trial broadcasts).
+  SimOptions options = caller_options;
+  options.observer = nullptr;
+
+  ResolveReport local;
+  const std::size_t n = net.num_nodes();
+  WSN_EXPECTS(plan.num_nodes() == n);
+
+  const std::size_t planned_before = plan.planned_tx();
+  plan = optimistic_repairs(net, std::move(plan), options, local, sim);
+  // Net extra transmissions; the optimistic phase also *prunes* stranded
+  // relays, so the difference can be negative -- clamp rather than let the
+  // unsigned arithmetic wrap.
+  const std::size_t planned_after = plan.planned_tx();
+  if (planned_after > planned_before) {
+    local.repairs += planned_after - planned_before;
+  }
+
+  // Each round strictly grows the reached set by the whole boundary of the
+  // unreached region, so n rounds is a safe upper bound.
+  for (std::size_t round = 0; round < n; ++round) {
+    const BroadcastOutcome outcome = sim.run(net, plan, options);
+    const std::vector<NodeId> unreached = outcome.unreached();
+    if (unreached.empty()) {
+      if (report != nullptr) *report = local;
+      return plan;
+    }
+    local.rounds += 1;
+
+    Slot t_end = 1;
+    for (const TxRecord& rec : outcome.transmissions) {
+      t_end = std::max(t_end, rec.slot);
+    }
+
+    std::vector<char> is_unreached(n, 0);
+    for (NodeId u : unreached) is_unreached[u] = 1;
+
+    // Pick helpers: walk the unreached boundary; one helper transmission
+    // covers all of its unreached neighbors at once.
+    std::vector<NodeId> helpers;
+    std::vector<char> covered(n, 0);
+    for (NodeId u : unreached) {
+      if (covered[u]) continue;
+      NodeId helper = kInvalidNode;
+      Slot helper_rx = kNeverSlot;
+      for (NodeId h : net.neighbors(u)) {
+        if (outcome.first_rx[h] == kNeverSlot) continue;  // no message
+        if (outcome.first_rx[h] < helper_rx ||
+            (outcome.first_rx[h] == helper_rx && h < helper)) {
+          helper = h;
+          helper_rx = outcome.first_rx[h];
+        }
+      }
+      if (helper == kInvalidNode) continue;  // deeper in the void; next round
+      helpers.push_back(helper);
+      for (NodeId covered_now : net.neighbors(helper)) {
+        if (is_unreached[covered_now]) covered[covered_now] = 1;
+      }
+    }
+
+    if (helpers.empty()) {
+      // Nothing adjacent to the reached region: the rest is disconnected.
+      local.unreachable = unreached.size();
+      local.unrepaired = unreached.size();
+      if (report != nullptr) *report = local;
+      return plan;
+    }
+
+    // Pack repairs into fresh slots after the old timeline; helpers within
+    // 2 hops of each other are serialized so no repair can collide.
+    std::vector<std::vector<NodeId>> slots;  // slots[s] = helpers at t_end+1+s
+    for (NodeId h : helpers) {
+      std::size_t s = 0;
+      for (;; ++s) {
+        if (s == slots.size()) {
+          slots.emplace_back();
+          break;
+        }
+        const bool clash = std::any_of(
+            slots[s].begin(), slots[s].end(), [&](NodeId other) {
+              return resolver_core::within_two_hops(net, h, other);
+            });
+        if (!clash) break;
+      }
+      slots[s].push_back(h);
+
+      const Slot tx_slot = t_end + 1 + static_cast<Slot>(s);
+      const Slot rx_slot = outcome.first_rx[h];
+      WSN_ASSERT(tx_slot > rx_slot);
+      auto& offsets = plan.tx_offsets[h];
+      const Slot offset = tx_slot - rx_slot;
+      WSN_ASSERT(offsets.empty() || offset > offsets.back());
+      offsets.push_back(offset);
+      local.repairs += 1;
+    }
+  }
+
+  // Round budget exhausted without convergence.  Each round strictly grows
+  // the reached set, so this cannot happen on any topology the simulator
+  // accepts -- but degrade gracefully instead of aborting: report what is
+  // left unrepaired and return the best plan built so far.
+  local.unrepaired = sim.run(net, plan, options).unreached().size();
+  if (report != nullptr) *report = local;
+  return plan;
+}
+
+}  // namespace wsn::resolver_core

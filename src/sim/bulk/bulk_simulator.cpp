@@ -1,0 +1,366 @@
+#include "sim/bulk/bulk_simulator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.h"
+#include "obs/profile.h"
+
+namespace wsn {
+
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+inline std::size_t word_count(std::size_t bits) noexcept {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& words,
+                    std::size_t bit) noexcept {
+  words[bit / kWordBits] |= std::uint64_t{1} << (bit % kWordBits);
+}
+
+inline void clear_bit(std::vector<std::uint64_t>& words,
+                      std::size_t bit) noexcept {
+  words[bit / kWordBits] &= ~(std::uint64_t{1} << (bit % kWordBits));
+}
+
+inline bool test_bit(const std::vector<std::uint64_t>& words,
+                     std::size_t bit) noexcept {
+  return (words[bit / kWordBits] >> (bit % kWordBits)) & 1u;
+}
+
+/// Sets bits [lo, hi] (inclusive), optionally only every second bit
+/// starting at lo (the 2D-3 parity mask).
+void set_bit_range(std::vector<std::uint64_t>& words, std::size_t lo,
+                   std::size_t hi, bool strided) {
+  if (strided) {
+    // Alternating bits: 0x5555… anchored so bit `lo` is set.
+    constexpr std::uint64_t kEven = 0x5555555555555555ull;
+    for (std::size_t w = lo / kWordBits; w <= hi / kWordBits; ++w) {
+      const std::size_t base = w * kWordBits;
+      std::uint64_t pattern = ((lo - base) % 2 == 0)
+                                  ? kEven
+                                  : ~kEven;  // phase within this word
+      // `lo - base` underflows only for w > lo's word, where the phase is
+      // (base - lo) % 2 -- same expression modulo 2 in unsigned arithmetic.
+      std::uint64_t range = ~std::uint64_t{0};
+      if (base < lo) range &= ~std::uint64_t{0} << (lo - base);
+      if (base + kWordBits - 1 > hi) {
+        range &= ~std::uint64_t{0} >> (base + kWordBits - 1 - hi);
+      }
+      words[w] |= pattern & range;
+    }
+    return;
+  }
+  for (std::size_t w = lo / kWordBits; w <= hi / kWordBits; ++w) {
+    const std::size_t base = w * kWordBits;
+    std::uint64_t range = ~std::uint64_t{0};
+    if (base < lo) range &= ~std::uint64_t{0} << (lo - base);
+    if (base + kWordBits - 1 > hi) {
+      range &= ~std::uint64_t{0} >> (base + kWordBits - 1 - hi);
+    }
+    words[w] |= range;
+  }
+}
+
+}  // namespace
+
+BulkSimulator::BulkSimulator(std::size_t num_nodes) {
+  const std::size_t words = word_count(num_nodes);
+  transmitting_.reserve(words);
+  ones_.reserve(words);
+  twos_.reserve(words);
+  received_.reserve(words);
+  record_of_.reserve(num_nodes);
+}
+
+bool BulkSimulator::options_supported(const SimOptions& options,
+                                      std::string* why) {
+  const auto reject = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (options.faults != nullptr) {
+    return reject("fault injection needs the reference engine's per-link "
+                  "medium state");
+  }
+  if (options.battery != nullptr) {
+    return reject("battery banks need the reference engine's per-node "
+                  "liveness checks");
+  }
+  if (options.observer != nullptr) {
+    return reject("per-event observation defeats the batched slot kernel; "
+                  "use the reference engine for tracing");
+  }
+  if (options.record_collisions) {
+    return reject("collision event records are ordered by the reference "
+                  "engine's discovery walk; use the reference engine");
+  }
+  return true;
+}
+
+void BulkSimulator::build_masks(const ImplicitLattice& lat) {
+  const std::string key = lat.name();
+  if (key == mask_key_ && masks_.size() == lat.rules().size() * words_) {
+    return;
+  }
+  const std::size_t m = static_cast<std::size_t>(lat.m());
+  masks_.assign(lat.rules().size() * words_, 0);
+  for (std::size_t r = 0; r < lat.rules().size(); ++r) {
+    const ShiftRule& rule = lat.rules()[r];
+    std::vector<std::uint64_t> mask(words_, 0);
+    // Coordinate ranges are row-aligned: fill each valid row's [xlo, xhi]
+    // span wholesale (every second bit under the 2D-3 parity constraint).
+    for (int z = std::max(1, rule.zlo); z <= std::min(lat.l(), rule.zhi);
+         ++z) {
+      for (int y = std::max(1, rule.ylo); y <= std::min(lat.n(), rule.yhi);
+           ++y) {
+        int xlo = std::max(1, rule.xlo);
+        const int xhi = std::min(lat.m(), rule.xhi);
+        if (rule.parity >= 0) {
+          // (x + y) & 1 == parity pins x's parity for this row.
+          const int want = rule.parity ^ (y & 1);
+          if ((xlo & 1) != want) ++xlo;
+        }
+        if (xlo > xhi) continue;
+        const std::size_t row =
+            (static_cast<std::size_t>(z - 1) *
+                 static_cast<std::size_t>(lat.n()) +
+             static_cast<std::size_t>(y - 1)) *
+            m;
+        set_bit_range(mask, row + static_cast<std::size_t>(xlo - 1),
+                      row + static_cast<std::size_t>(xhi - 1),
+                      rule.parity >= 0);
+      }
+    }
+    std::copy(mask.begin(), mask.end(),
+              masks_.begin() + static_cast<std::ptrdiff_t>(r * words_));
+  }
+  mask_key_ = key;
+}
+
+template <typename PlanT>
+BroadcastOutcome BulkSimulator::run_impl(const ImplicitLattice& lat,
+                                         const PlanT& plan,
+                                         const SimOptions& options) {
+  const std::size_t n = lat.num_nodes();
+  WSN_EXPECTS(plan.num_nodes() == n);
+  std::string why;
+  if (!options_supported(options, &why)) {
+    WSN_EXPECTS(false && "SimOptions outside the bulk engine's surface");
+  }
+  plan.validate();
+
+  const std::size_t prev_words = words_;
+  words_ = word_count(n);
+  if (words_ != prev_words) mask_key_.clear();
+  build_masks(lat);
+
+  const NodeId source = plan_source(plan);
+  BroadcastOutcome out;
+  out.stats.num_nodes = n;
+  out.first_rx.assign(n, kNeverSlot);
+  out.first_rx[source] = 0;
+  if (options.record_node_energy) out.node_energy.assign(n, 0.0);
+
+  transmitting_.assign(words_, 0);
+  ones_.assign(words_, 0);
+  twos_.assign(words_, 0);
+  received_.assign(words_, 0);
+  record_of_.resize(n);
+
+  const std::vector<ShiftRule>& rules = lat.rules();
+  const std::size_t num_rules = rules.size();
+  const Joules rx_cost = options.radio.rx_energy(options.packet_bits);
+
+  std::map<Slot, std::vector<NodeId>>& schedule = schedule_;
+  schedule.clear();
+  const auto schedule_node = [&](NodeId v, Slot received_at) {
+    for (const Slot offset : plan_offsets(plan, v)) {
+      schedule[received_at + offset].push_back(v);
+    }
+  };
+  schedule_node(source, 0);
+  set_bit(received_, source);
+
+  std::vector<std::uint32_t>& touched = touched_words_;
+  std::vector<std::uint32_t> tx_words;
+
+  while (!schedule.empty()) {
+    auto it = schedule.begin();
+    const Slot slot = it->first;
+    std::vector<NodeId> transmitters = std::move(it->second);
+    schedule.erase(it);
+    if (slot > options.max_slots) break;
+    std::sort(transmitters.begin(), transmitters.end());
+    if (transmitters.empty()) continue;
+
+    // --- transmit pass: records, energy, the T frontier -----------------
+    //
+    // Id-ascending, exactly the reference order, so the tx_energy running
+    // sum sees the same addends in the same sequence bit for bit.
+    tx_words.clear();
+    for (const NodeId v : transmitters) {
+      set_bit(transmitting_, v);
+      const std::uint32_t w = static_cast<std::uint32_t>(v / kWordBits);
+      if (tx_words.empty() || tx_words.back() != w) tx_words.push_back(w);
+      record_of_[v] = static_cast<std::uint32_t>(out.transmissions.size());
+      out.transmissions.push_back(TxRecord{slot, v, 0, 0});
+      out.stats.tx += 1;
+      const Joules cost =
+          options.radio.tx_energy(options.packet_bits, lat.tx_range(v));
+      out.stats.tx_energy += cost;
+      if (options.record_node_energy) out.node_energy[v] += cost;
+    }
+
+    // --- hearer pass: Σ_rules shift(T & mask, delta) into ones/twos -----
+    touched.clear();
+    for (std::size_t r = 0; r < num_rules; ++r) {
+      const std::uint64_t* mask = masks_.data() + r * words_;
+      const std::int64_t delta = rules[r].delta;
+      for (const std::uint32_t wi : tx_words) {
+        const std::uint64_t bits = transmitting_[wi] & mask[wi];
+        if (bits == 0) continue;
+        // Target bit of this word's bit 0 is wi·64 + delta; floor-divide
+        // into a word index and an in-word shift in [0, 64).
+        const std::int64_t base =
+            static_cast<std::int64_t>(wi) * static_cast<std::int64_t>(
+                                                kWordBits) +
+            delta;
+        const std::int64_t q =
+            base >= 0 ? base / static_cast<std::int64_t>(kWordBits)
+                      : -((-base + static_cast<std::int64_t>(kWordBits) - 1) /
+                          static_cast<std::int64_t>(kWordBits));
+        const std::uint64_t s = static_cast<std::uint64_t>(
+            base - q * static_cast<std::int64_t>(kWordBits));
+        const std::uint64_t lo_part = s == 0 ? bits : bits << s;
+        const std::uint64_t hi_part = s == 0 ? 0 : bits >> (kWordBits - s);
+        // All masked sources have in-range targets, so any part that falls
+        // off the array is necessarily zero and safe to drop.
+        if (q >= 0 && static_cast<std::size_t>(q) < words_ && lo_part != 0) {
+          const auto w = static_cast<std::size_t>(q);
+          twos_[w] |= ones_[w] & lo_part;
+          ones_[w] ^= lo_part;
+          touched.push_back(static_cast<std::uint32_t>(w));
+        }
+        if (q + 1 >= 0 && static_cast<std::size_t>(q + 1) < words_ &&
+            hi_part != 0) {
+          const auto w = static_cast<std::size_t>(q + 1);
+          twos_[w] |= ones_[w] & hi_part;
+          ones_[w] ^= hi_part;
+          touched.push_back(static_cast<std::uint32_t>(w));
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+
+    // --- classification pass: word-parallel counting, then the (sparse)
+    // per-reception attribution walk ------------------------------------
+    for (const std::uint32_t w : touched) {
+      const std::uint64_t t = transmitting_[w];
+      const std::uint64_t collided = twos_[w] & ~t;
+      const std::uint64_t rx = ones_[w] & ~twos_[w] & ~t;
+      const std::uint64_t fresh = rx & ~received_[w];
+      const std::uint64_t dup = rx & received_[w];
+      out.stats.collisions +=
+          static_cast<std::size_t>(std::popcount(collided));
+      out.stats.duplicates += static_cast<std::size_t>(std::popcount(dup));
+      const int rx_count = std::popcount(rx);
+      out.stats.rx += static_cast<std::size_t>(rx_count);
+      // One add per decode, like the reference -- the addends are all the
+      // same constant, so matching the count matches the bits.
+      for (int i = 0; i < rx_count; ++i) out.stats.rx_energy += rx_cost;
+      if (options.charge_collisions) {
+        const int coll_count = std::popcount(collided);
+        for (int i = 0; i < coll_count; ++i) {
+          out.stats.rx_energy += rx_cost;
+        }
+      }
+
+      const auto attribute = [&](std::uint64_t set, bool is_fresh) {
+        while (set != 0) {
+          const auto u = static_cast<NodeId>(
+              w * kWordBits +
+              static_cast<std::size_t>(std::countr_zero(set)));
+          set &= set - 1;
+          if (options.record_node_energy) out.node_energy[u] += rx_cost;
+          // The unique transmitting neighbor: invert each rule.
+          NodeId from = kInvalidNode;
+          for (std::size_t r = 0; r < num_rules; ++r) {
+            const std::int64_t v64 =
+                static_cast<std::int64_t>(u) - rules[r].delta;
+            if (v64 < 0 || v64 >= static_cast<std::int64_t>(n)) continue;
+            const auto v = static_cast<NodeId>(v64);
+            if (!test_bit(transmitting_, v)) continue;
+            if (((masks_[r * words_ + v / kWordBits] >>
+                  (v % kWordBits)) &
+                 1u) == 0) {
+              continue;
+            }
+            from = v;
+            break;
+          }
+          WSN_ASSERT(from != kInvalidNode);
+          TxRecord& rec = out.transmissions[record_of_[from]];
+          rec.delivered += 1;
+          if (is_fresh) {
+            rec.fresh += 1;
+            out.first_rx[u] = slot;
+            out.stats.delay = std::max(out.stats.delay, slot);
+            schedule_node(u, slot);
+          }
+        }
+      };
+      attribute(fresh, true);
+      attribute(dup, false);
+      if (options.charge_collisions && options.record_node_energy) {
+        std::uint64_t set = collided;
+        while (set != 0) {
+          const auto u = static_cast<NodeId>(
+              w * kWordBits +
+              static_cast<std::size_t>(std::countr_zero(set)));
+          set &= set - 1;
+          out.node_energy[u] += rx_cost;
+        }
+      }
+      received_[w] |= fresh;
+      ones_[w] = 0;
+      twos_[w] = 0;
+    }
+    for (const NodeId v : transmitters) clear_bit(transmitting_, v);
+  }
+
+  std::size_t reached = 0;
+  for (const std::uint64_t w : received_) {
+    reached += static_cast<std::size_t>(std::popcount(w));
+  }
+  out.stats.reached = reached;
+  return out;
+}
+
+BroadcastOutcome BulkSimulator::run(const ImplicitLattice& lat,
+                                    const RelayPlan& plan,
+                                    const SimOptions& options) {
+  WSN_SPAN("sim.bulk_simulate");
+  return run_impl(lat, plan, options);
+}
+
+BroadcastOutcome BulkSimulator::run(const ImplicitLattice& lat,
+                                    const FlatRelayPlan& plan,
+                                    const SimOptions& options) {
+  WSN_SPAN("sim.bulk_simulate");
+  return run_impl(lat, plan, options);
+}
+
+BroadcastOutcome bulk_simulate(const ImplicitLattice& lat,
+                               const RelayPlan& plan,
+                               const SimOptions& options) {
+  BulkSimulator sim(lat.num_nodes());
+  return sim.run(lat, plan, options);
+}
+
+}  // namespace wsn

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/plan.h"
+#include "sim/simulator.h"
+#include "topology/implicit.h"
+
+/// Bulk broadcast engine: the slot loop restructured as structure-of-arrays
+/// passes over uint64 bitset words, driven by an ImplicitLattice's shift
+/// rules instead of a materialized adjacency.
+///
+/// The reference simulator walks per-node adjacency spans -- O(Σ degree)
+/// pointer-chasing per slot with per-node branching.  At 10⁶–10⁷ nodes that
+/// is both too slow and too much memory (the CSR alone).  Here node state
+/// lives in bit vectors:
+///
+///   * T      -- transmitting this slot
+///   * R      -- has received (the reached set)
+///   * ones/twos -- a 2-bit saturating per-node hearer counter, built by
+///     SWAR adds of shift(T & rule_mask, delta) one shift rule at a time
+///
+/// and a slot becomes a handful of word-at-a-time passes touching only the
+/// words near the frontier: exactly-one-hearer nodes are ones & ~twos & ~T
+/// (half-duplex excluded), collisions popcount(twos & ~T), fresh coverage
+/// rx & ~R -- no per-node branching anywhere in the counting.
+///
+/// Semantics contract: `run` returns a BroadcastOutcome *bit-identical* to
+/// `Simulator::run` on the materialized topology of the same family/dims --
+/// every stats counter, every TxRecord, every first_rx slot, and the energy
+/// doubles (transmitter accounting walks slot-ascending then id-ascending,
+/// replaying the reference accumulation order exactly).  The cross-check
+/// tests (tests/test_bulk_simulator.cpp) hold this on all four paper
+/// topologies at paper dims and on the tori.
+///
+/// Scope: the perfect-medium fast path.  Options that need per-node
+/// mutable state in the medium (faults, battery, observer hooks,
+/// record_collisions ordering) are rejected with a precondition -- the
+/// reference engine remains the tool for those studies; the CLI validates
+/// and reports the incompatibility before building anything big.
+namespace wsn {
+
+class BulkSimulator {
+ public:
+  BulkSimulator() = default;
+  /// Pre-sizes the scratch for `num_nodes`-node lattices.
+  explicit BulkSimulator(std::size_t num_nodes);
+
+  /// True when `options` stays on the bulk engine's supported surface;
+  /// `why`, when non-null, receives a human-readable reason otherwise.
+  [[nodiscard]] static bool options_supported(const SimOptions& options,
+                                              std::string* why = nullptr);
+
+  [[nodiscard]] BroadcastOutcome run(const ImplicitLattice& lat,
+                                     const RelayPlan& plan,
+                                     const SimOptions& options = {});
+  [[nodiscard]] BroadcastOutcome run(const ImplicitLattice& lat,
+                                     const FlatRelayPlan& plan,
+                                     const SimOptions& options = {});
+
+ private:
+  template <typename PlanT>
+  BroadcastOutcome run_impl(const ImplicitLattice& lat, const PlanT& plan,
+                            const SimOptions& options);
+
+  /// (Re)builds the per-rule validity bitmasks; cached across runs keyed
+  /// on the lattice identity, so resolver-style repeated runs pay once.
+  void build_masks(const ImplicitLattice& lat);
+
+  std::size_t words_ = 0;
+  std::string mask_key_;               // lattice name; "" = masks invalid
+  std::vector<std::uint64_t> masks_;   // rules × words_, rule-major
+  std::vector<std::uint64_t> transmitting_;
+  std::vector<std::uint64_t> ones_;
+  std::vector<std::uint64_t> twos_;
+  std::vector<std::uint64_t> received_;
+  std::vector<std::uint32_t> record_of_;  // transmitter -> tx index (per slot)
+  std::vector<std::uint32_t> touched_words_;
+  std::map<Slot, std::vector<NodeId>> schedule_;
+};
+
+/// Stateless convenience over a fresh BulkSimulator (mirrors
+/// simulate_broadcast); hot loops keep a BulkSimulator for its scratch.
+[[nodiscard]] BroadcastOutcome bulk_simulate(const ImplicitLattice& lat,
+                                             const RelayPlan& plan,
+                                             const SimOptions& options = {});
+
+}  // namespace wsn

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 
 #include "common/assert.h"
 #include "common/types.h"
@@ -36,13 +37,16 @@ class Grid2D {
 
   [[nodiscard]] NodeId to_id(Vec2 v) const noexcept {
     WSN_EXPECTS(contains(v));
-    return static_cast<NodeId>((v.y - 1) * m_ + (v.x - 1));
+    // 64-bit on purpose: NodeId covers grids past 2^31 nodes and the int
+    // product (y-1)·m overflows there (caught by the BigGrid tests).
+    return static_cast<NodeId>(static_cast<std::int64_t>(v.y - 1) * m_ +
+                               (v.x - 1));
   }
 
   [[nodiscard]] Vec2 to_coord(NodeId id) const noexcept {
     WSN_EXPECTS(id < num_nodes());
-    const int idx = static_cast<int>(id);
-    return {idx % m_ + 1, idx / m_ + 1};
+    const auto idx = static_cast<std::int64_t>(id);
+    return {static_cast<int>(idx % m_) + 1, static_cast<int>(idx / m_) + 1};
   }
 
   /// Physical position in meters (z = 0); node (1,1) sits at the origin.

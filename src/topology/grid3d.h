@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 
 #include "common/assert.h"
 #include "common/types.h"
@@ -38,13 +39,20 @@ class Grid3D {
 
   [[nodiscard]] NodeId to_id(Vec3 v) const noexcept {
     WSN_EXPECTS(contains(v));
-    return static_cast<NodeId>(((v.z - 1) * n_ + (v.y - 1)) * m_ + (v.x - 1));
+    // 64-bit on purpose: NodeId covers grids past 2^31 nodes and the int
+    // plane product overflows there (caught by the BigGrid tests).
+    return static_cast<NodeId>(
+        (static_cast<std::int64_t>(v.z - 1) * n_ + (v.y - 1)) * m_ +
+        (v.x - 1));
   }
 
   [[nodiscard]] Vec3 to_coord(NodeId id) const noexcept {
     WSN_EXPECTS(id < num_nodes());
-    const int idx = static_cast<int>(id);
-    return {idx % m_ + 1, (idx / m_) % n_ + 1, idx / (m_ * n_) + 1};
+    const auto idx = static_cast<std::int64_t>(id);
+    const std::int64_t plane = static_cast<std::int64_t>(m_) * n_;
+    return {static_cast<int>(idx % m_) + 1,
+            static_cast<int>((idx / m_) % n_) + 1,
+            static_cast<int>(idx / plane) + 1};
   }
 
   [[nodiscard]] std::array<Meters, 3> position(Vec3 v) const noexcept {

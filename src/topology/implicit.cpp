@@ -1,0 +1,259 @@
+#include "topology/implicit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace wsn {
+
+namespace {
+
+/// Interior step ranges for a ±1 move along an axis of size `extent`:
+/// lo/hi such that the move stays on the grid.
+struct AxisRange {
+  int lo;
+  int hi;
+};
+AxisRange axis_range(int step, int extent) noexcept {
+  if (step > 0) return {1, extent - 1};
+  if (step < 0) return {2, extent};
+  return {1, extent};
+}
+
+}  // namespace
+
+ImplicitLattice::ImplicitLattice(std::string family, int m, int n, int l,
+                                 Meters spacing, int full_degree,
+                                 bool wrapped, Meters range_override,
+                                 std::vector<ShiftRule> rules)
+    : family_(std::move(family)),
+      m_(m),
+      n_(n),
+      l_(l),
+      spacing_(spacing),
+      full_degree_(full_degree),
+      wrapped_(wrapped),
+      range_override_(range_override),
+      num_nodes_(static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                 static_cast<std::size_t>(l)),
+      rules_(std::move(rules)) {
+  WSN_EXPECTS(m >= 1 && n >= 1 && l >= 1);
+  WSN_EXPECTS(spacing > 0.0);
+  // NodeId is 32-bit; the id space caps the lattice (ROADMAP targets
+  // 10⁶–10⁷, far below).
+  WSN_EXPECTS(num_nodes_ <= static_cast<std::size_t>(kInvalidNode));
+}
+
+ImplicitLattice ImplicitLattice::mesh2d4(int m, int n, Meters spacing) {
+  std::vector<ShiftRule> rules;
+  for (const int dx : {-1, 1}) {
+    const AxisRange r = axis_range(dx, m);
+    rules.push_back({dx, r.lo, r.hi, 1, n, 1, 1, -1});
+  }
+  for (const int dy : {-1, 1}) {
+    const AxisRange r = axis_range(dy, n);
+    rules.push_back({static_cast<std::int64_t>(dy) * m, 1, m, r.lo, r.hi, 1,
+                     1, -1});
+  }
+  return {"2D-4", m, n, 1, spacing, 4, false, 0.0, std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::mesh2d8(int m, int n, Meters spacing) {
+  std::vector<ShiftRule> rules;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const AxisRange rx = axis_range(dx, m);
+      const AxisRange ry = axis_range(dy, n);
+      rules.push_back({static_cast<std::int64_t>(dy) * m + dx, rx.lo, rx.hi,
+                       ry.lo, ry.hi, 1, 1, -1});
+    }
+  }
+  return {"2D-8", m, n, 1, spacing, 8, false, 0.0, std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::mesh2d3(int m, int n, Meters spacing) {
+  std::vector<ShiftRule> rules;
+  for (const int dx : {-1, 1}) {
+    const AxisRange r = axis_range(dx, m);
+    rules.push_back({dx, r.lo, r.hi, 1, n, 1, 1, -1});
+  }
+  // The brick wall's single vertical link: up when x + y is even
+  // (geometry/region.h brick_has_up), down when odd.
+  rules.push_back({static_cast<std::int64_t>(m), 1, m, 1, n - 1, 1, 1, 0});
+  rules.push_back({-static_cast<std::int64_t>(m), 1, m, 2, n, 1, 1, 1});
+  return {"2D-3", m, n, 1, spacing, 3, false, 0.0, std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::mesh3d6(int m, int n, int l,
+                                         Meters spacing) {
+  const std::int64_t plane = static_cast<std::int64_t>(m) * n;
+  std::vector<ShiftRule> rules;
+  for (const int dx : {-1, 1}) {
+    const AxisRange r = axis_range(dx, m);
+    rules.push_back({dx, r.lo, r.hi, 1, n, 1, l, -1});
+  }
+  for (const int dy : {-1, 1}) {
+    const AxisRange r = axis_range(dy, n);
+    rules.push_back({static_cast<std::int64_t>(dy) * m, 1, m, r.lo, r.hi, 1,
+                     l, -1});
+  }
+  for (const int dz : {-1, 1}) {
+    const AxisRange r = axis_range(dz, l);
+    rules.push_back({dz * plane, 1, m, 1, n, r.lo, r.hi, -1});
+  }
+  return {"3D-6", m, n, l, spacing, 6, false, 0.0, std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::torus2d4(int m, int n, Meters spacing) {
+  WSN_EXPECTS(m >= 3 && n >= 3);  // keep wrap links distinct per direction
+  std::vector<ShiftRule> rules;
+  for (const int dx : {-1, 1}) {
+    const AxisRange r = axis_range(dx, m);
+    rules.push_back({dx, r.lo, r.hi, 1, n, 1, 1, -1});
+    // Wrap: x == m steps to x == 1 (delta 1 - m) and vice versa.
+    const int edge = dx > 0 ? m : 1;
+    rules.push_back({static_cast<std::int64_t>(dx) * (1 - m), edge, edge, 1,
+                     n, 1, 1, -1});
+  }
+  for (const int dy : {-1, 1}) {
+    const AxisRange r = axis_range(dy, n);
+    rules.push_back({static_cast<std::int64_t>(dy) * m, 1, m, r.lo, r.hi, 1,
+                     1, -1});
+    const int edge = dy > 0 ? n : 1;
+    rules.push_back({static_cast<std::int64_t>(dy) * (1 - n) * m, 1, m, edge,
+                     edge, 1, 1, -1});
+  }
+  return {"2D-4T", m, n, 1, spacing, 4, true, spacing, std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::torus2d8(int m, int n, Meters spacing) {
+  WSN_EXPECTS(m >= 3 && n >= 3);
+  std::vector<ShiftRule> rules;
+  // Every (dx, dy) direction splits into up to four rules: x interior or
+  // wrapped × y interior or wrapped, each a pure coordinate-range test.
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      struct Part {
+        std::int64_t delta;
+        int lo;
+        int hi;
+      };
+      std::vector<Part> xs;
+      std::vector<Part> ys;
+      const AxisRange rx = axis_range(dx, m);
+      xs.push_back({dx, rx.lo, rx.hi});
+      if (dx != 0) {
+        const int edge = dx > 0 ? m : 1;
+        xs.push_back({static_cast<std::int64_t>(dx) * (1 - m), edge, edge});
+      }
+      const AxisRange ry = axis_range(dy, n);
+      ys.push_back({static_cast<std::int64_t>(dy) * m, ry.lo, ry.hi});
+      if (dy != 0) {
+        const int edge = dy > 0 ? n : 1;
+        ys.push_back(
+            {static_cast<std::int64_t>(dy) * (1 - n) * m, edge, edge});
+      }
+      for (const Part& px : xs) {
+        for (const Part& py : ys) {
+          rules.push_back({px.delta + py.delta, px.lo, px.hi, py.lo, py.hi,
+                           1, 1, -1});
+        }
+      }
+    }
+  }
+  return {"2D-8T", m, n, 1, spacing, 8, true, spacing * std::sqrt(2.0),
+          std::move(rules)};
+}
+
+ImplicitLattice ImplicitLattice::make(std::string_view family, int m, int n,
+                                      int l, Meters spacing) {
+  if (family == "2D-3") return mesh2d3(m, n, spacing);
+  if (family == "2D-4") return mesh2d4(m, n, spacing);
+  if (family == "2D-8") return mesh2d8(m, n, spacing);
+  if (family == "3D-6") return mesh3d6(m, n, l, spacing);
+  WSN_EXPECTS(false && "no implicit lattice for this family");
+  return mesh2d4(m, n, spacing);
+}
+
+std::string ImplicitLattice::name() const {
+  // Tori tag their family "2D-4T"/"2D-8T" but name themselves with the
+  // planar family, matching Torus2D4/Torus2D8.
+  std::string out = wrapped_ ? family_.substr(0, family_.size() - 1)
+                             : family_;
+  out += wrapped_ ? " torus " : " mesh ";
+  out += std::to_string(m_);
+  out += "x";
+  out += std::to_string(n_);
+  if (family_ == "3D-6") {
+    out += "x";
+    out += std::to_string(l_);
+  }
+  return out;
+}
+
+ImplicitLattice::Coord ImplicitLattice::to_coord(NodeId id) const noexcept {
+  WSN_ASSERT(id < num_nodes_);
+  const auto idx = static_cast<std::int64_t>(id);
+  const std::int64_t plane = static_cast<std::int64_t>(m_) * n_;
+  return {static_cast<int>(idx % m_) + 1,
+          static_cast<int>((idx / m_) % n_) + 1,
+          static_cast<int>(idx / plane) + 1};
+}
+
+NodeId ImplicitLattice::to_id(Coord c) const noexcept {
+  WSN_ASSERT(c.x >= 1 && c.x <= m_ && c.y >= 1 && c.y <= n_ && c.z >= 1 &&
+             c.z <= l_);
+  const std::int64_t plane = static_cast<std::int64_t>(m_) * n_;
+  return static_cast<NodeId>((c.z - 1) * plane +
+                             static_cast<std::int64_t>(c.y - 1) * m_ +
+                             (c.x - 1));
+}
+
+std::array<Meters, 3> ImplicitLattice::position(NodeId id) const noexcept {
+  const Coord c = to_coord(id);
+  return {static_cast<Meters>(c.x - 1) * spacing_,
+          static_cast<Meters>(c.y - 1) * spacing_,
+          static_cast<Meters>(c.z - 1) * spacing_};
+}
+
+ImplicitLattice::NeighborSet ImplicitLattice::neighbors(
+    NodeId id) const noexcept {
+  const Coord c = to_coord(id);
+  NeighborSet out;
+  for (const ShiftRule& rule : rules_) {
+    if (!rule_valid(rule, c)) continue;
+    WSN_ASSERT(out.count_ < out.ids_.size());
+    out.ids_[out.count_++] = static_cast<NodeId>(
+        static_cast<std::int64_t>(id) + rule.delta);
+  }
+  std::sort(out.ids_.begin(), out.ids_.begin() + out.count_);
+  return out;
+}
+
+bool ImplicitLattice::adjacent(NodeId a, NodeId b) const noexcept {
+  const NeighborSet set = neighbors(a);
+  return std::find(set.begin(), set.end(), b) != set.end();
+}
+
+Meters ImplicitLattice::distance(NodeId a, NodeId b) const noexcept {
+  const std::array<Meters, 3> pa = position(a);
+  const std::array<Meters, 3> pb = position(b);
+  const double dx = pa[0] - pb[0];
+  const double dy = pa[1] - pb[1];
+  const double dz = pa[2] - pb[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+Meters ImplicitLattice::tx_range(NodeId id) const noexcept {
+  if (range_override_ > 0.0) return range_override_;
+  Meters range = 0.0;
+  for (const NodeId u : neighbors(id)) {
+    range = std::max(range, distance(id, u));
+  }
+  return range;
+}
+
+}  // namespace wsn

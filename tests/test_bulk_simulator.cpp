@@ -1,0 +1,222 @@
+#include "sim/bulk/bulk_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "protocol/registry.h"
+#include "sim/simulator.h"
+#include "topology/factory.h"
+#include "topology/torus.h"
+
+namespace wsn {
+namespace {
+
+/// Full-outcome bitwise comparison: every stats counter, every TxRecord,
+/// every first_rx slot, and the energy doubles compared with == (no
+/// tolerance anywhere -- the bulk engine's contract is replication, not
+/// approximation).
+void expect_identical(const BroadcastOutcome& ref,
+                      const BroadcastOutcome& bulk) {
+  EXPECT_EQ(ref.stats.num_nodes, bulk.stats.num_nodes);
+  EXPECT_EQ(ref.stats.tx, bulk.stats.tx);
+  EXPECT_EQ(ref.stats.rx, bulk.stats.rx);
+  EXPECT_EQ(ref.stats.duplicates, bulk.stats.duplicates);
+  EXPECT_EQ(ref.stats.collisions, bulk.stats.collisions);
+  EXPECT_EQ(ref.stats.reached, bulk.stats.reached);
+  EXPECT_EQ(ref.stats.delay, bulk.stats.delay);
+  EXPECT_EQ(ref.stats.lost_to_crash, bulk.stats.lost_to_crash);
+  EXPECT_EQ(ref.stats.lost_to_fading, bulk.stats.lost_to_fading);
+  EXPECT_EQ(ref.stats.tx_energy, bulk.stats.tx_energy);   // bitwise
+  EXPECT_EQ(ref.stats.rx_energy, bulk.stats.rx_energy);   // bitwise
+  ASSERT_EQ(ref.first_rx.size(), bulk.first_rx.size());
+  EXPECT_EQ(ref.first_rx, bulk.first_rx);
+  ASSERT_EQ(ref.transmissions.size(), bulk.transmissions.size());
+  for (std::size_t i = 0; i < ref.transmissions.size(); ++i) {
+    EXPECT_EQ(ref.transmissions[i].slot, bulk.transmissions[i].slot);
+    EXPECT_EQ(ref.transmissions[i].node, bulk.transmissions[i].node);
+    EXPECT_EQ(ref.transmissions[i].delivered,
+              bulk.transmissions[i].delivered);
+    EXPECT_EQ(ref.transmissions[i].fresh, bulk.transmissions[i].fresh);
+  }
+  EXPECT_EQ(ref.node_energy, bulk.node_energy);
+}
+
+void cross_check(const Topology& topo, const ImplicitLattice& lat,
+                 const RelayPlan& plan, const SimOptions& options = {}) {
+  Simulator ref_sim(topo.num_nodes());
+  BulkSimulator bulk_sim(lat.num_nodes());
+  const FlatRelayPlan flat = FlatRelayPlan::from(plan);
+  expect_identical(ref_sim.run(topo, plan, options),
+                   bulk_sim.run(lat, plan, options));
+  expect_identical(ref_sim.run(topo, flat, options),
+                   bulk_sim.run(lat, flat, options));
+}
+
+/// Everybody forwards once: maximally collision-heavy, a stress test for
+/// the SWAR counter and the wrap rules.
+RelayPlan flooding_plan(std::size_t count, NodeId source) {
+  RelayPlan plan = RelayPlan::empty(count, source);
+  for (auto& offsets : plan.tx_offsets) offsets = {1};
+  return plan;
+}
+
+// The tentpole acceptance check: the paper's own protocol (resolved to
+// full reachability) replayed bit-exactly at paper dims, several seeded
+// sources per family.
+TEST(BulkSimulator, MatchesReferenceOnPaperTopologies) {
+  std::mt19937 rng(20260808u);
+  for (const std::string& family : regular_families()) {
+    const std::unique_ptr<Topology> topo = make_paper_topology(family);
+    const ImplicitLattice lat =
+        family == "3D-6"
+            ? ImplicitLattice::mesh3d6(PaperConfig::kMesh3d,
+                                       PaperConfig::kMesh3d,
+                                       PaperConfig::kMesh3d,
+                                       PaperConfig::kSpacing)
+            : ImplicitLattice::make(family, PaperConfig::kMesh2dM,
+                                    PaperConfig::kMesh2dN, 1,
+                                    PaperConfig::kSpacing);
+    std::uniform_int_distribution<NodeId> pick(
+        0, static_cast<NodeId>(topo->num_nodes() - 1));
+    std::vector<NodeId> sources = {0,
+                                   static_cast<NodeId>(topo->num_nodes() / 2),
+                                   static_cast<NodeId>(topo->num_nodes() - 1),
+                                   pick(rng), pick(rng)};
+    for (const NodeId src : sources) {
+      cross_check(*topo, lat, paper_plan(*topo, src));
+    }
+  }
+}
+
+TEST(BulkSimulator, MatchesReferenceFloodingOnMeshes) {
+  const struct {
+    const char* family;
+    int m, n, l;
+  } cases[] = {{"2D-3", 9, 7, 1}, {"2D-4", 8, 6, 1},
+               {"2D-8", 7, 7, 1}, {"3D-6", 4, 3, 5}};
+  for (const auto& c : cases) {
+    const std::unique_ptr<Topology> topo =
+        make_mesh(c.family, c.m, c.n, c.l);
+    const ImplicitLattice lat =
+        ImplicitLattice::make(c.family, c.m, c.n, c.l);
+    cross_check(*topo, lat, flooding_plan(topo->num_nodes(), 0));
+    cross_check(*topo, lat,
+                flooding_plan(topo->num_nodes(),
+                              static_cast<NodeId>(topo->num_nodes() / 2)));
+  }
+}
+
+TEST(BulkSimulator, MatchesReferenceFloodingOnTori) {
+  {
+    const Torus2D4 topo(7, 5);
+    const ImplicitLattice lat = ImplicitLattice::torus2d4(7, 5);
+    cross_check(topo, lat, flooding_plan(topo.num_nodes(), 11));
+  }
+  {
+    const Torus2D8 topo(6, 5);
+    const ImplicitLattice lat = ImplicitLattice::torus2d8(6, 5);
+    cross_check(topo, lat, flooding_plan(topo.num_nodes(), 0));
+    cross_check(topo, lat, flooding_plan(topo.num_nodes(), 29));
+  }
+}
+
+// Seeded random plans: arbitrary relay subsets with arbitrary strictly
+// increasing offsets probe slot dynamics no paper protocol produces
+// (gaps, far-ahead scheduling, silent relays).
+TEST(BulkSimulator, MatchesReferenceOnSeededRandomPlans) {
+  std::mt19937 rng(7u);
+  const struct {
+    const char* family;
+    int m, n, l;
+  } cases[] = {{"2D-3", 6, 8, 1}, {"2D-4", 9, 5, 1},
+               {"2D-8", 5, 9, 1}, {"3D-6", 3, 4, 4}};
+  for (const auto& c : cases) {
+    const std::unique_ptr<Topology> topo =
+        make_mesh(c.family, c.m, c.n, c.l);
+    const ImplicitLattice lat =
+        ImplicitLattice::make(c.family, c.m, c.n, c.l);
+    const auto count = topo->num_nodes();
+    std::uniform_int_distribution<NodeId> pick_src(
+        0, static_cast<NodeId>(count - 1));
+    std::uniform_int_distribution<int> relay_die(0, 3);
+    std::uniform_int_distribution<Slot> gap(1, 3);
+    for (int trial = 0; trial < 4; ++trial) {
+      RelayPlan plan = RelayPlan::empty(count, pick_src(rng));
+      for (NodeId v = 0; v < count; ++v) {
+        if (v != plan.source && relay_die(rng) == 0) continue;
+        Slot offset = 0;
+        std::vector<Slot> offsets;
+        const int hops = 1 + relay_die(rng) % 2;
+        for (int k = 0; k < hops; ++k) {
+          offset += gap(rng);
+          offsets.push_back(offset);
+        }
+        plan.tx_offsets[v] = offsets;
+      }
+      cross_check(*topo, lat, plan);
+    }
+  }
+}
+
+TEST(BulkSimulator, MaxSlotsTruncationMatches) {
+  const std::unique_ptr<Topology> topo = make_mesh("2D-4", 12, 9);
+  const ImplicitLattice lat = ImplicitLattice::mesh2d4(12, 9);
+  const RelayPlan plan = paper_plan(*topo, 30);
+  for (const Slot cap : {0u, 1u, 3u, 7u}) {
+    SimOptions options;
+    options.max_slots = cap;
+    cross_check(*topo, lat, plan, options);
+  }
+}
+
+TEST(BulkSimulator, ChargeCollisionsAndNodeEnergyMatch) {
+  const std::unique_ptr<Topology> topo = make_mesh("2D-8", 8, 8);
+  const ImplicitLattice lat = ImplicitLattice::mesh2d8(8, 8);
+  SimOptions options;
+  options.charge_collisions = true;
+  options.record_node_energy = true;
+  cross_check(*topo, lat, flooding_plan(topo->num_nodes(), 27), options);
+  cross_check(*topo, lat, paper_plan(*topo, 27), options);
+}
+
+TEST(BulkSimulator, ScratchReuseIsInvisible) {
+  // One simulator across different lattices and plan shapes must replay
+  // what fresh simulators produce (mask cache + scratch re-priming).
+  BulkSimulator reused;
+  const ImplicitLattice small = ImplicitLattice::mesh2d4(5, 4);
+  const ImplicitLattice big = ImplicitLattice::mesh2d8(9, 6);
+  const RelayPlan plan_small = flooding_plan(small.num_nodes(), 3);
+  const RelayPlan plan_big = flooding_plan(big.num_nodes(), 40);
+  const BroadcastOutcome fresh_small = bulk_simulate(small, plan_small);
+  const BroadcastOutcome fresh_big = bulk_simulate(big, plan_big);
+  expect_identical(fresh_small, reused.run(small, plan_small));
+  expect_identical(fresh_big, reused.run(big, plan_big));
+  expect_identical(fresh_small, reused.run(small, plan_small));
+}
+
+TEST(BulkSimulator, RejectsUnsupportedOptions) {
+  SimOptions options;
+  EXPECT_TRUE(BulkSimulator::options_supported(options));
+
+  std::string why;
+  options.record_collisions = true;
+  EXPECT_FALSE(BulkSimulator::options_supported(options, &why));
+  EXPECT_FALSE(why.empty());
+
+  options = {};
+  Observer observer;
+  options.observer = &observer;
+  EXPECT_FALSE(BulkSimulator::options_supported(options));
+
+  options = {};
+  BatteryBank battery(4, 1.0);
+  options.battery = &battery;
+  EXPECT_FALSE(BulkSimulator::options_supported(options));
+}
+
+}  // namespace
+}  // namespace wsn

@@ -7,6 +7,7 @@
 
 #include "topology/factory.h"
 #include "topology/mesh2d4.h"
+#include "topology/grid3d.h"
 #include "topology/mesh2d8.h"
 
 namespace wsn {
@@ -138,6 +139,32 @@ TEST(TopologyGeometry, Mesh2D4TxRangeIsAxis) {
   const Mesh2D4 mesh(5, 5, 0.5);
   const NodeId center = mesh.grid().to_id({3, 3});
   EXPECT_DOUBLE_EQ(mesh.tx_range(center), 0.5);
+}
+
+// NodeId reaches to 2^32; the coordinate maps must not truncate through
+// int on the way.  These ids are all above 2^31 -- the old int-indexed
+// to_coord/to_id produced garbage (or UB) for every one of them.  The
+// grids are pure value types, so no node storage is allocated here.
+TEST(BigGrid, CoordMapsSurvivePast31Bits) {
+  const Grid2D g2(65536, 40000, 0.5);  // 2.62e9 nodes
+  ASSERT_GT(g2.num_nodes(), static_cast<std::size_t>(1) << 31);
+  for (const NodeId id : {2200000000u, 2621439999u, 2147483648u}) {
+    const Vec2 v = g2.to_coord(id);
+    EXPECT_TRUE(g2.contains(v));
+    EXPECT_EQ(g2.to_id(v), id);
+  }
+  EXPECT_EQ(g2.to_id({65536, 40000}),
+            static_cast<NodeId>(g2.num_nodes() - 1));
+
+  const Grid3D g3(1300, 1300, 1300, 0.5);  // 2.197e9 nodes
+  ASSERT_GT(g3.num_nodes(), static_cast<std::size_t>(1) << 31);
+  for (const NodeId id : {2190000001u, 2196999999u, 2147483649u}) {
+    const Vec3 v = g3.to_coord(id);
+    EXPECT_TRUE(g3.contains(v));
+    EXPECT_EQ(g3.to_id(v), id);
+  }
+  EXPECT_EQ(g3.to_id({1300, 1300, 1300}),
+            static_cast<NodeId>(g3.num_nodes() - 1));
 }
 
 }  // namespace

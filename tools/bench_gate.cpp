@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     files = {"BENCH_perf.json", "BENCH_pipeline.json",
              "BENCH_plan_cache.json", "BENCH_scenario.json",
-             "BENCH_resilience.json", "BENCH_service.json"};
+             "BENCH_resilience.json", "BENCH_service.json",
+             "BENCH_bulk.json"};
   }
 
   const std::filesystem::path baseline_dir = cli.get("baseline-dir");
