@@ -155,6 +155,10 @@ int main(int argc, char** argv) {
                  "reference (materialized adjacency) or bulk (implicit "
                  "lattice + bitset kernel; handles million-node meshes)",
                  "reference");
+  cli.add_option("progress-slots",
+                 "--engine bulk: heartbeat line on stderr every N completed "
+                 "slots (0 = silent)",
+                 "0");
   cli.add_option("packets", "pipeline depth (pipeline command)", "4");
   cli.add_option("workers",
                  "sweep worker threads (flag > MESHBCAST_THREADS > "
@@ -309,8 +313,27 @@ int main(int argc, char** argv) {
     wsn::ResolveReport report;
     const wsn::RelayPlan plan =
         wsn::implicit_paper_plan(lat, bulk_src, bulk_options, &report);
+    wsn::BulkSimulator engine_sim(lat.num_nodes());
+    const std::uint64_t progress_slots = cli.get_u64("progress-slots");
+    if (progress_slots != 0) {
+      engine_sim.set_progress(
+          [](const wsn::BulkProgress& p) {
+            std::fprintf(stderr,
+                         "bulk: slot %llu, %llu slot(s) done, frontier "
+                         "%zu, reached %zu/%zu (%.1f%%), %.2fs elapsed\n",
+                         static_cast<unsigned long long>(p.slot),
+                         static_cast<unsigned long long>(p.slots_done),
+                         p.frontier, p.reached, p.total_nodes,
+                         p.total_nodes != 0
+                             ? 100.0 * static_cast<double>(p.reached) /
+                                   static_cast<double>(p.total_nodes)
+                             : 0.0,
+                         p.elapsed_s);
+          },
+          progress_slots);
+    }
     const wsn::BroadcastOutcome out =
-        wsn::bulk_simulate(lat, plan, bulk_options);
+        engine_sim.run(lat, plan, bulk_options);
     const wsn::BulkAuditReport audit =
         wsn::audit_bulk_outcome(lat, out, bulk_src);
     std::printf("%s, source %u, paper protocol (bulk engine)\n  %s\n"

@@ -53,6 +53,7 @@ std::vector<ParsedTimelineThread> from_snapshot(
       ParsedSpan span;
       span.begin_ns = record.begin_ns;
       span.end_ns = record.end_ns;
+      span.tag = record.tag;
       span.name = record.name == nullptr ? "" : record.name;
       thread.spans.push_back(std::move(span));
     }
@@ -125,6 +126,9 @@ bool read_timeline_file(const std::string& path,
       ParsedSpan span;
       span.begin_ns = begin_ns;
       span.end_ns = end_ns;
+      if (const JsonValue* req = doc.find("req")) {
+        if (!req->to_u64(span.tag)) return fail(line_no, "malformed req");
+      }
       span.name = name->as_string();
       slot.spans.push_back(std::move(span));
     } else {
@@ -304,6 +308,92 @@ std::string attribution_text(const AttributionReport& report) {
                   "min worker attribution: %.1f%%\n",
                   report.min_worker_attributed_share * 100.0);
     out << buf;
+  }
+  return out.str();
+}
+
+std::vector<RequestSpanRow> spans_for_request(
+    const std::vector<ParsedTimelineThread>& threads, std::uint64_t tag) {
+  std::vector<RequestSpanRow> rows;
+  for (const ParsedTimelineThread& thread : threads) {
+    for (const ParsedSpan& span : thread.spans) {
+      if (span.tag != tag) continue;
+      RequestSpanRow row;
+      row.tid = thread.tid;
+      row.label = thread.label.empty() ? "tid/" + std::to_string(thread.tid)
+                                       : thread.label;
+      row.name = span.name;
+      row.begin_ns = span.begin_ns;
+      row.end_ns = span.end_ns;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const RequestSpanRow& a, const RequestSpanRow& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.end_ns < b.end_ns;
+            });
+  return rows;
+}
+
+std::vector<RequestExtent> slowest_requests(
+    const std::vector<ParsedTimelineThread>& threads, std::size_t limit) {
+  std::vector<RequestExtent> extents;
+  const auto slot_for = [&](std::uint64_t tag) -> RequestExtent& {
+    for (RequestExtent& e : extents) {
+      if (e.tag == tag) return e;
+    }
+    extents.emplace_back();
+    extents.back().tag = tag;
+    extents.back().begin_ns = ~std::uint64_t{0};
+    return extents.back();
+  };
+  for (const ParsedTimelineThread& thread : threads) {
+    for (const ParsedSpan& span : thread.spans) {
+      if (span.tag == 0) continue;
+      RequestExtent& extent = slot_for(span.tag);
+      extent.begin_ns = std::min(extent.begin_ns, span.begin_ns);
+      extent.end_ns = std::max(extent.end_ns, span.end_ns);
+      extent.spans += 1;
+    }
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const RequestExtent& a, const RequestExtent& b) {
+              return a.wall_ns() != b.wall_ns() ? a.wall_ns() > b.wall_ns()
+                                                : a.tag < b.tag;
+            });
+  if (limit != 0 && extents.size() > limit) extents.resize(limit);
+  return extents;
+}
+
+std::string request_breakdown_text(const std::vector<RequestSpanRow>& rows,
+                                   std::uint64_t tag) {
+  std::ostringstream out;
+  if (rows.empty()) {
+    out << "request " << tag << ": no tagged spans in timeline\n";
+    return out.str();
+  }
+  std::uint64_t first_begin = rows.front().begin_ns;
+  std::uint64_t last_end = 0;
+  for (const RequestSpanRow& row : rows) {
+    first_begin = std::min(first_begin, row.begin_ns);
+    last_end = std::max(last_end, row.end_ns);
+  }
+  const std::uint64_t wall =
+      last_end > first_begin ? last_end - first_begin : 0;
+  out << "request " << tag << ": " << rows.size() << " span(s), wall "
+      << format_ms(wall) << " ms\n";
+  out << "  offset_ms    dur_ms  thread            stage\n";
+  for (const RequestSpanRow& row : rows) {
+    const std::uint64_t dur =
+        row.end_ns > row.begin_ns ? row.end_ns - row.begin_ns : 0;
+    std::string label = row.label;
+    label.resize(16, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  %9.2f %9.2f  ",
+                  static_cast<double>(row.begin_ns - first_begin) / 1e6,
+                  static_cast<double>(dur) / 1e6);
+    out << buf << label << "  " << row.name << "\n";
   }
   return out.str();
 }

@@ -46,10 +46,12 @@
 namespace wsn {
 
 /// One span with an owned name -- the file-parseable mirror of
-/// TimelineRecord.
+/// TimelineRecord.  `tag` is the request id the span was recorded for
+/// (0 = untagged; the `"req"` member of a span line).
 struct ParsedSpan {
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;
+  std::uint64_t tag = 0;
   std::string name;
 };
 
@@ -118,6 +120,43 @@ struct AttributionReport {
 
 /// Human-readable per-worker table plus the headline diagnosis.
 [[nodiscard]] std::string attribution_text(const AttributionReport& report);
+
+/// One tagged span pulled out of a timeline for a request-centric view:
+/// the thread it ran on plus the raw interval.
+struct RequestSpanRow {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::string name;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Every span tagged with request id `tag`, across all threads, sorted
+/// by begin time.  Empty when the timeline holds no such spans (id never
+/// served, or the ring already overwrote them).
+[[nodiscard]] std::vector<RequestSpanRow> spans_for_request(
+    const std::vector<ParsedTimelineThread>& threads, std::uint64_t tag);
+
+/// Wall extents per request id, slowest first -- "which requests should
+/// I decompose?".  `limit` caps the result (0 = all).
+struct RequestExtent {
+  std::uint64_t tag = 0;
+  std::uint64_t begin_ns = 0;  // min begin over the request's spans
+  std::uint64_t end_ns = 0;    // max end
+  std::uint64_t spans = 0;
+  [[nodiscard]] std::uint64_t wall_ns() const noexcept {
+    return end_ns > begin_ns ? end_ns - begin_ns : 0;
+  }
+};
+[[nodiscard]] std::vector<RequestExtent> slowest_requests(
+    const std::vector<ParsedTimelineThread>& threads, std::size_t limit);
+
+/// Human-readable single-request decomposition: one row per span in
+/// begin order (offset from the request's first span), with the stage
+/// names the service emits (service.admission, service.queue_wait,
+/// service.plan, ...).
+[[nodiscard]] std::string request_breakdown_text(
+    const std::vector<RequestSpanRow>& rows, std::uint64_t tag);
 
 /// `meshbcast.perf_report` v1 JSON.  When `metrics` is non-null the
 /// report embeds the contention histograms' count/sum/percentiles

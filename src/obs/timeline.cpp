@@ -24,6 +24,14 @@ std::size_t round_up_pow2(std::size_t n) noexcept {
 
 namespace obs_detail {
 
+namespace {
+thread_local std::uint64_t t_request_tag = 0;
+}  // namespace
+
+std::uint64_t request_tag() noexcept { return t_request_tag; }
+
+void set_request_tag(std::uint64_t tag) noexcept { t_request_tag = tag; }
+
 void timeline_record_span(const char* name,
                           std::chrono::steady_clock::time_point begin,
                           std::chrono::steady_clock::time_point end) noexcept {
@@ -79,22 +87,24 @@ Timeline::Ring& Timeline::local_ring() {
 }
 
 void Timeline::record(const char* name, std::uint64_t begin_ns,
-                      std::uint64_t end_ns) noexcept {
+                      std::uint64_t end_ns, std::uint64_t tag) noexcept {
   if (!enabled()) return;
   Ring& ring = local_ring();
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
   TimelineRecord& slot = ring.slots[head & ring.mask];
   slot.begin_ns = begin_ns;
   slot.end_ns = end_ns;
+  slot.tag = tag != 0 ? tag : obs_detail::request_tag();
   slot.name = name;
   // Release-publish: a reader that acquires `head` sees the slot fields.
   ring.head.store(head + 1, std::memory_order_release);
 }
 
-void Timeline::record_wait(const char* name, std::uint64_t wait_ns) noexcept {
+void Timeline::record_wait(const char* name, std::uint64_t wait_ns,
+                           std::uint64_t tag) noexcept {
   if (!enabled()) return;
   const std::uint64_t end_ns = now_ns();
-  record(name, end_ns >= wait_ns ? end_ns - wait_ns : 0, end_ns);
+  record(name, end_ns >= wait_ns ? end_ns - wait_ns : 0, end_ns, tag);
 }
 
 void Timeline::set_thread_label(const std::string& label) {
@@ -164,8 +174,9 @@ void write_timeline_jsonl(std::ostream& out,
           .member("thread", std::uint64_t{t.tid})
           .member("name", r.name == nullptr ? "" : r.name)
           .member("begin_ns", r.begin_ns)
-          .member("end_ns", r.end_ns)
-          .end_object();
+          .member("end_ns", r.end_ns);
+      if (r.tag != 0) w.member("req", r.tag);
+      w.end_object();
       out << std::move(w).str() << "\n";
     }
   }

@@ -43,10 +43,46 @@ namespace wsn {
 
 /// One finished span on one thread.  `name` points at static storage
 /// (span names are string literals), so records are trivially copyable.
+/// `tag` carries the request id the span belonged to (0 = untagged);
+/// the service sets it via RequestTagScope so perf_report can pull one
+/// request's spans out of a busy daemon timeline.
 struct TimelineRecord {
   std::uint64_t begin_ns = 0;  // since the process timeline epoch
   std::uint64_t end_ns = 0;
   const char* name = nullptr;
+  std::uint64_t tag = 0;
+};
+
+namespace obs_detail {
+
+/// Thread-local request tag attached to every span the calling thread
+/// finishes while it is nonzero.  Reading/writing it costs a TLS access
+/// only on paths that already record (the disabled-span fast path never
+/// touches it).
+[[nodiscard]] std::uint64_t request_tag() noexcept;
+void set_request_tag(std::uint64_t tag) noexcept;
+
+}  // namespace obs_detail
+
+/// RAII scope that tags spans finishing on this thread with a request
+/// id.  Nested scopes restore the outer tag on destruction.  Constructed
+/// with tag 0 it changes nothing until `set()` is called -- useful when
+/// the id only becomes known mid-scope (after parsing a frame) but the
+/// enclosing span must still pick it up.
+class RequestTagScope {
+ public:
+  explicit RequestTagScope(std::uint64_t tag = 0) noexcept
+      : previous_(obs_detail::request_tag()) {
+    if (tag != 0) obs_detail::set_request_tag(tag);
+  }
+  RequestTagScope(const RequestTagScope&) = delete;
+  RequestTagScope& operator=(const RequestTagScope&) = delete;
+  ~RequestTagScope() { obs_detail::set_request_tag(previous_); }
+
+  void set(std::uint64_t tag) noexcept { obs_detail::set_request_tag(tag); }
+
+ private:
+  std::uint64_t previous_;
 };
 
 /// Everything one thread recorded, oldest-first.
@@ -77,14 +113,18 @@ class Timeline {
   [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
   /// Appends one record to the calling thread's ring.  Lock-free after
-  /// the thread's first record.  No-op while disabled.
-  void record(const char* name, std::uint64_t begin_ns,
-              std::uint64_t end_ns) noexcept;
+  /// the thread's first record.  No-op while disabled.  `tag` overrides
+  /// the thread-local request tag when nonzero (explicit tagging for
+  /// records written on behalf of a request from an untagged context,
+  /// e.g. a worker logging the queue wait it just finished).
+  void record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+              std::uint64_t tag = 0) noexcept;
 
   /// Convenience for wait instrumentation: a span of `wait_ns` ending
   /// now.  No-op while disabled, so callers can invoke it unconditionally
-  /// on their (already rare) contended paths.
-  void record_wait(const char* name, std::uint64_t wait_ns) noexcept;
+  /// on their (already rare) contended paths.  `tag` as in `record`.
+  void record_wait(const char* name, std::uint64_t wait_ns,
+                   std::uint64_t tag = 0) noexcept;
 
   /// Names the calling thread's track in snapshots and exports.
   /// Registers the thread's ring if it has none yet; overwrites any
@@ -122,6 +162,7 @@ class Timeline {
 ///   {"schema":"meshbcast.timeline","version":1,"threads":T,"records":N}
 ///   {"thread":0,"label":"worker/0","records":n,"dropped":d}   (per thread)
 ///   {"thread":0,"name":"scenario.job","begin_ns":...,"end_ns":...}  (per span)
+/// Tagged spans additionally carry `"req":<id>` (omitted when 0).
 void write_timeline_jsonl(std::ostream& out,
                           const std::vector<TimelineThreadDump>& threads);
 

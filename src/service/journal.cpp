@@ -1,0 +1,376 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "store/serialize.h"
+
+namespace wsn {
+
+namespace {
+
+std::uint64_t get_u64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+double get_f64(const char* p) noexcept {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string header_bytes() {
+  std::string out(kJournalMagic);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((kJournalVersion >> (8 * i)) & 0xff));
+  }
+  out.append(4, '\0');
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(JournalMethod method) noexcept {
+  switch (method) {
+    case JournalMethod::kPlan: return "plan";
+    case JournalMethod::kSimulate: return "simulate";
+    case JournalMethod::kScenario: return "scenario";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(JournalOutcome outcome) noexcept {
+  switch (outcome) {
+    case JournalOutcome::kOk: return "ok";
+    case JournalOutcome::kError: return "error";
+    case JournalOutcome::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+bool parse_journal_method(std::string_view text, JournalMethod& out) noexcept {
+  if (text == "plan") { out = JournalMethod::kPlan; return true; }
+  if (text == "simulate") { out = JournalMethod::kSimulate; return true; }
+  if (text == "scenario") { out = JournalMethod::kScenario; return true; }
+  return false;
+}
+
+bool parse_journal_outcome(std::string_view text,
+                           JournalOutcome& out) noexcept {
+  if (text == "ok") { out = JournalOutcome::kOk; return true; }
+  if (text == "error") { out = JournalOutcome::kError; return true; }
+  if (text == "shed") { out = JournalOutcome::kShed; return true; }
+  return false;
+}
+
+void encode_journal_record_to(const JournalRecord& record,
+                              char* out) noexcept {
+  char* p = out;
+  const auto emit_u64 = [&p](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) *p++ = static_cast<char>((v >> (8 * i)) & 0xff);
+  };
+  const auto emit_f64 = [&emit_u64](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    emit_u64(bits);
+  };
+  emit_u64(record.seq);
+  emit_u64(record.client_id);
+  emit_u64(record.ts_micros);
+  emit_u64(record.fp_hi);
+  emit_u64(record.fp_lo);
+  emit_f64(record.admission_ms);
+  emit_f64(record.queue_ms);
+  emit_f64(record.exec_ms);
+  emit_f64(record.emit_ms);
+  emit_f64(record.total_ms);
+  *p++ = static_cast<char>(record.method);
+  *p++ = static_cast<char>(record.outcome);
+  *p++ = static_cast<char>(record.flags);
+  for (int i = 0; i < 5; ++i) *p++ = '\0';
+  emit_u64(fnv1a64(std::string_view(out, kJournalRecordSize - 8)));
+}
+
+std::string encode_journal_record(const JournalRecord& record) {
+  char bytes[kJournalRecordSize];
+  encode_journal_record_to(record, bytes);
+  return std::string(bytes, kJournalRecordSize);
+}
+
+bool decode_journal_record(std::string_view bytes,
+                           JournalRecord& out) noexcept {
+  if (bytes.size() != kJournalRecordSize) return false;
+  const std::size_t body = kJournalRecordSize - 8;
+  if (fnv1a64(bytes.substr(0, body)) != get_u64(bytes.data() + body)) {
+    return false;
+  }
+  const char* p = bytes.data();
+  out.seq = get_u64(p);
+  out.client_id = get_u64(p + 8);
+  out.ts_micros = get_u64(p + 16);
+  out.fp_hi = get_u64(p + 24);
+  out.fp_lo = get_u64(p + 32);
+  out.admission_ms = get_f64(p + 40);
+  out.queue_ms = get_f64(p + 48);
+  out.exec_ms = get_f64(p + 56);
+  out.emit_ms = get_f64(p + 64);
+  out.total_ms = get_f64(p + 72);
+  const auto method = static_cast<std::uint8_t>(p[80]);
+  const auto outcome = static_cast<std::uint8_t>(p[81]);
+  if (method > static_cast<std::uint8_t>(JournalMethod::kScenario)) {
+    return false;
+  }
+  if (outcome > static_cast<std::uint8_t>(JournalOutcome::kShed)) {
+    return false;
+  }
+  out.method = static_cast<JournalMethod>(method);
+  out.outcome = static_cast<JournalOutcome>(outcome);
+  out.flags = static_cast<std::uint8_t>(p[82]);
+  return true;
+}
+
+RequestJournal::~RequestJournal() { close(); }
+
+bool RequestJournal::open(const Config& config, std::string& error) {
+  if (fd_ >= 0) {
+    error = "journal already open";
+    return false;
+  }
+  config_ = config;
+  fd_ = ::open(config.path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    error = config.path + ": " + std::strerror(errno);
+    return false;
+  }
+
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    error = config.path + ": fstat: " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+
+  replay_ = JournalReplay{};
+  const std::string header = header_bytes();
+  if (st.st_size == 0) {
+    // Fresh journal: stamp the header durably before any record.
+    if (!write_all(fd_, header.data(), header.size()) || ::fsync(fd_) != 0) {
+      error = config.path + ": header write: " + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+  } else {
+    // Existing journal: validate the header, replay valid records, and
+    // truncate at the first record that is short or fails its checksum.
+    char head[kJournalHeaderSize];
+    const ssize_t n = ::pread(fd_, head, sizeof head, 0);
+    if (n != static_cast<ssize_t>(kJournalHeaderSize) ||
+        std::memcmp(head, header.data(), kJournalHeaderSize) != 0) {
+      error = config.path + ": not a WSNJRNL1 journal";
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    off_t offset = static_cast<off_t>(kJournalHeaderSize);
+    char buf[kJournalRecordSize];
+    while (true) {
+      const ssize_t got = ::pread(fd_, buf, sizeof buf, offset);
+      if (got <= 0) break;
+      JournalRecord record;
+      if (got != static_cast<ssize_t>(kJournalRecordSize) ||
+          !decode_journal_record(std::string_view(buf, sizeof buf), record)) {
+        break;
+      }
+      replay_.records += 1;
+      replay_.max_seq = std::max(replay_.max_seq, record.seq);
+      switch (record.outcome) {
+        case JournalOutcome::kOk: replay_.served += 1; break;
+        case JournalOutcome::kError: replay_.errors += 1; break;
+        case JournalOutcome::kShed: replay_.sheds += 1; break;
+      }
+      offset += static_cast<off_t>(kJournalRecordSize);
+    }
+    if (offset < st.st_size) {
+      replay_.truncated_bytes =
+          static_cast<std::uint64_t>(st.st_size - offset);
+      if (::ftruncate(fd_, offset) != 0 || ::fsync(fd_) != 0) {
+        error = config.path + ": truncate: " + std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+      }
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+      error = config.path + ": seek: " + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+  }
+
+  total_records_.store(replay_.records, std::memory_order_relaxed);
+  total_served_.store(replay_.served, std::memory_order_relaxed);
+  total_errors_.store(replay_.errors, std::memory_order_relaxed);
+  total_sheds_.store(replay_.sheds, std::memory_order_relaxed);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+    pending_.clear();
+    pending_records_ = 0;
+  }
+  flusher_ = std::thread([this] { flusher_main(); });
+  return true;
+}
+
+void RequestJournal::append(const JournalRecord& record) {
+  if (fd_ < 0) return;
+  // Encoding happens outside the lock, into a stack buffer: the hot
+  // path (one per served request) must not heap-allocate.
+  char bytes[kJournalRecordSize];
+  encode_journal_record_to(record, bytes);
+  bool wake = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.append(bytes, kJournalRecordSize);
+    pending_records_ += 1;
+    // Notify only on the crossing: past the threshold the flusher is
+    // already awake (or about to be), and a futex wake per append at
+    // tens of thousands of requests per second is pure overhead.
+    wake = pending_records_ == config_.flush_batch;
+  }
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  switch (record.outcome) {
+    case JournalOutcome::kOk:
+      total_served_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JournalOutcome::kError:
+      total_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case JournalOutcome::kShed:
+      total_sheds_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  if (wake) cv_.notify_one();
+}
+
+void RequestJournal::write_locked(std::string batch) {
+  if (batch.empty() || fd_ < 0) return;
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  // A failed write leaves the tail short or torn; the next open()
+  // truncates it, so there is nothing useful to do here but drop.
+  if (write_all(fd_, batch.data(), batch.size())) {
+    ::fsync(fd_);
+  }
+}
+
+void RequestJournal::flush() {
+  std::string batch;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch.swap(pending_);
+    pending_records_ = 0;
+  }
+  write_locked(std::move(batch));
+}
+
+void RequestJournal::flusher_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(config_.flush_interval_ms),
+                 [this] {
+                   return stop_ || pending_records_ >= config_.flush_batch;
+                 });
+    std::string batch;
+    batch.swap(pending_);
+    pending_records_ = 0;
+    lock.unlock();
+    write_locked(std::move(batch));
+    lock.lock();
+  }
+}
+
+void RequestJournal::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 && !flusher_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (flusher_.joinable()) flusher_.join();
+  flush();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+JournalLifetime RequestJournal::lifetime() const noexcept {
+  JournalLifetime out;
+  out.records = total_records_.load(std::memory_order_relaxed);
+  out.served = total_served_.load(std::memory_order_relaxed);
+  out.errors = total_errors_.load(std::memory_order_relaxed);
+  out.sheds = total_sheds_.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool read_journal_file(const std::string& path, JournalReadResult& out,
+                       std::string& error) {
+  out.records.clear();
+  out.torn_bytes = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = path + ": cannot open";
+    return false;
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const std::string header = header_bytes();
+  if (contents.size() < kJournalHeaderSize ||
+      contents.compare(0, kJournalHeaderSize, header) != 0) {
+    error = path + ": not a WSNJRNL1 journal";
+    return false;
+  }
+  std::size_t offset = kJournalHeaderSize;
+  while (offset + kJournalRecordSize <= contents.size()) {
+    JournalRecord record;
+    if (!decode_journal_record(
+            std::string_view(contents).substr(offset, kJournalRecordSize),
+            record)) {
+      break;
+    }
+    out.records.push_back(record);
+    offset += kJournalRecordSize;
+  }
+  out.torn_bytes = contents.size() - offset;
+  return true;
+}
+
+}  // namespace wsn

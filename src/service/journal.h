@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+/// WSNJRNL1 -- the append-only request journal behind meshbcastd.
+///
+/// One fixed-size record per admitted-lane request (plan / simulate /
+/// scenario, sheds included; the inline health/metrics/shutdown lanes
+/// are deliberately absent so a journal diff against a loadgen run's
+/// client-side counts balances exactly).  The format follows the
+/// WSNPLAN1 conventions from store/serialize.h: explicit magic, explicit
+/// version, little-endian fixed-width fields, and an FNV-1a checksum --
+/// here per record rather than per file, because the file is append-only
+/// and must survive losing its tail.
+///
+/// Layout:
+///   header (16 bytes):  "WSNJRNL1" | u32 version=1 | u32 reserved=0
+///   record (96 bytes):  u64 seq        server-assigned request id
+///                       u64 client_id  client "id" echo (see flags)
+///                       u64 ts_micros  wall clock at admission
+///                       u64 fp_hi, u64 fp_lo   plan/spec fingerprint
+///                       f64 admission_ms  frame read -> enqueue
+///                       f64 queue_ms      enqueue -> worker pop
+///                       f64 exec_ms       compile / simulate / scenario
+///                       f64 emit_ms       response frame write(s)
+///                       f64 total_ms      admission + queue + exec + emit
+///                       u8 method | u8 outcome | u8 flags | 5 pad bytes
+///                       u64 checksum   fnv1a64 of the preceding 88 bytes
+///
+/// Durability: appends are buffered and flushed (write + fsync) by a
+/// background thread every `flush_interval_ms` or once `flush_batch`
+/// records pend, whichever comes first -- "fsync'd in batches".  A crash
+/// therefore loses at most the unflushed window, and a torn write leaves
+/// a partial or checksum-failing record at the tail.  `open()` scans the
+/// file, truncates everything after the last valid record (torn-tail
+/// truncation, like scenario checkpoints), and replays the valid prefix
+/// into lifetime counters so a restarted daemon can answer "what did I
+/// serve" across its whole history.
+namespace wsn {
+
+inline constexpr std::string_view kJournalMagic = "WSNJRNL1";
+inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::size_t kJournalHeaderSize = 16;
+inline constexpr std::size_t kJournalRecordSize = 96;
+
+enum class JournalMethod : std::uint8_t {
+  kPlan = 0,
+  kSimulate = 1,
+  kScenario = 2,
+};
+
+enum class JournalOutcome : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  kShed = 2,  // admission refused on a full queue ("overloaded")
+};
+
+/// Record flag bits.
+inline constexpr std::uint8_t kJournalHasClientId = 1u << 0;
+/// The request was refused because the daemon was draining (the
+/// "shutting_down" error) -- the drain marker the restart analysis keys
+/// on.  Such refusals are journaled as kError, not kShed, mirroring how
+/// loadgen classifies them client-side.
+inline constexpr std::uint8_t kJournalDrainRefused = 1u << 1;
+
+[[nodiscard]] std::string_view to_string(JournalMethod method) noexcept;
+[[nodiscard]] std::string_view to_string(JournalOutcome outcome) noexcept;
+[[nodiscard]] bool parse_journal_method(std::string_view text,
+                                        JournalMethod& out) noexcept;
+[[nodiscard]] bool parse_journal_outcome(std::string_view text,
+                                         JournalOutcome& out) noexcept;
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  std::uint64_t client_id = 0;
+  std::uint64_t ts_micros = 0;
+  std::uint64_t fp_hi = 0;
+  std::uint64_t fp_lo = 0;
+  double admission_ms = 0.0;
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
+  double emit_ms = 0.0;
+  double total_ms = 0.0;
+  JournalMethod method = JournalMethod::kPlan;
+  JournalOutcome outcome = JournalOutcome::kOk;
+  std::uint8_t flags = 0;
+};
+
+/// Encodes one record (kJournalRecordSize bytes, checksum included).
+[[nodiscard]] std::string encode_journal_record(const JournalRecord& record);
+
+/// Allocation-free variant for the append hot path: writes exactly
+/// kJournalRecordSize bytes at `out`.
+void encode_journal_record_to(const JournalRecord& record,
+                              char* out) noexcept;
+
+/// Decodes one record; false when `bytes` is not exactly
+/// kJournalRecordSize long or the checksum does not match.
+[[nodiscard]] bool decode_journal_record(std::string_view bytes,
+                                         JournalRecord& out) noexcept;
+
+/// What `open()` recovered from an existing journal file.
+struct JournalReplay {
+  std::uint64_t records = 0;
+  std::uint64_t max_seq = 0;
+  std::uint64_t served = 0;   // outcome == kOk
+  std::uint64_t errors = 0;   // outcome == kError
+  std::uint64_t sheds = 0;    // outcome == kShed
+  std::uint64_t truncated_bytes = 0;  // torn tail dropped at open
+};
+
+/// Lifetime totals: the replayed prefix plus everything appended since
+/// open.  This is what the daemon's lifetime gauges report.
+struct JournalLifetime {
+  std::uint64_t records = 0;
+  std::uint64_t served = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t sheds = 0;
+};
+
+class RequestJournal {
+ public:
+  struct Config {
+    std::string path;
+    std::uint64_t flush_interval_ms = 50;
+    /// Pending-record count that wakes the flusher early.  This is a
+    /// memory-growth backstop, not the durability knob -- the interval
+    /// bounds data loss.  Set high enough that a loaded daemon is paced
+    /// by the timer (each early wake is a write+fsync; at tens of
+    /// thousands of requests per second a small batch turns into
+    /// hundreds of fsyncs per second and measurably slows serving).
+    std::size_t flush_batch = 1024;
+  };
+
+  RequestJournal() = default;
+  ~RequestJournal();
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Opens (creating if absent) the journal, truncates any torn tail,
+  /// replays the valid prefix, and starts the flusher thread.  False
+  /// with a diagnostic on IO failure or a foreign/mismatched header.
+  [[nodiscard]] bool open(const Config& config, std::string& error);
+
+  [[nodiscard]] const JournalReplay& replay() const noexcept {
+    return replay_;
+  }
+
+  /// Thread-safe; buffers the record for the next batch flush.
+  void append(const JournalRecord& record);
+
+  /// Synchronously writes and fsyncs everything buffered so far.
+  void flush();
+
+  /// Stops the flusher, flushes the remainder, closes the fd.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+  /// Replay base + appended-since-open, updated atomically with append.
+  [[nodiscard]] JournalLifetime lifetime() const noexcept;
+
+ private:
+  void flusher_main();
+  void write_locked(std::string batch);
+
+  Config config_;
+  int fd_ = -1;
+  JournalReplay replay_;
+
+  std::mutex mutex_;              // guards pending_ + stop_
+  std::condition_variable cv_;
+  std::string pending_;
+  std::size_t pending_records_ = 0;
+  bool stop_ = false;
+  std::thread flusher_;
+  std::mutex io_mutex_;           // serializes write+fsync batches
+
+  std::atomic<std::uint64_t> total_records_{0};
+  std::atomic<std::uint64_t> total_served_{0};
+  std::atomic<std::uint64_t> total_errors_{0};
+  std::atomic<std::uint64_t> total_sheds_{0};
+};
+
+/// Tolerant whole-file read for the query CLI and tests: every valid
+/// record in prefix order, plus how many trailing bytes did not form a
+/// valid record (0 on a clean file).  Does not modify the file.
+struct JournalReadResult {
+  std::vector<JournalRecord> records;
+  std::uint64_t torn_bytes = 0;
+};
+[[nodiscard]] bool read_journal_file(const std::string& path,
+                                     JournalReadResult& out,
+                                     std::string& error);
+
+}  // namespace wsn

@@ -216,10 +216,12 @@ bool parse_rpc_request(std::string_view payload, RpcRequest& out,
 }
 
 std::string rpc_error_json(bool has_id, std::uint64_t id,
-                           std::string_view code, std::string_view message) {
+                           std::string_view code, std::string_view message,
+                           std::uint64_t seq) {
   JsonWriter w;
   w.begin_object().member("type", "error");
   if (has_id) w.member("id", id);
+  if (seq != 0) w.member("req", seq);
   w.key("error")
       .begin_object()
       .member("code", code)
@@ -229,11 +231,17 @@ std::string rpc_error_json(bool has_id, std::uint64_t id,
   return std::move(w).str();
 }
 
+std::string rpc_error_json(const RpcRequest& req, std::string_view code,
+                           std::string_view message) {
+  return rpc_error_json(req.has_id, req.id, code, message, req.seq);
+}
+
 JsonWriter rpc_response_begin(const RpcRequest& req,
                               std::string_view frame_type) {
   JsonWriter w;
   w.begin_object().member("type", frame_type);
   if (req.has_id) w.member("id", req.id);
+  if (req.seq != 0) w.member("req", req.seq);
   w.member("ok", true);
   return w;
 }

@@ -24,6 +24,12 @@
 ///
 /// Responses are `{"type":"response","id":N,"ok":true,...}` or
 /// `{"type":"error","id":N,"error":{"code":"...","message":"..."}}`.
+/// The server additionally stamps every response and structured error
+/// with `"req":<u64>` -- its own unique request id, distinct from the
+/// client-chosen `"id"` -- which is the key into the request journal
+/// (service/journal.h) and the tag on the request's timeline spans, so
+/// one slow reply can be traced end to end.  Frames that fail before an
+/// id is assigned (unparseable payloads) carry no `"req"`.
 /// A `scenario` request streams: one `scenario.begin` frame, then each
 /// result record as its own frame -- the *exact bytes* an offline
 /// scenario run writes to its results file, which is what makes service
@@ -101,6 +107,10 @@ struct RpcRequest {
   RpcType type = RpcType::kHealth;
   bool has_id = false;
   std::uint64_t id = 0;
+  /// Server-assigned request id (not parsed from the wire; the service
+  /// stamps it after a successful parse).  0 = unassigned; echoed as
+  /// `"req"` in responses and errors when nonzero.
+  std::uint64_t seq = 0;
   PlanRpc plan;
   SimulateRpc simulate;
   ScenarioRpc scenario;
@@ -112,13 +122,21 @@ struct RpcRequest {
 [[nodiscard]] bool parse_rpc_request(std::string_view payload,
                                      RpcRequest& out, RpcError& error);
 
-/// Renders one error frame payload.
+/// Renders one error frame payload.  `seq` is the server request id to
+/// echo (`"req"`; 0 = omit).
 [[nodiscard]] std::string rpc_error_json(bool has_id, std::uint64_t id,
+                                         std::string_view code,
+                                         std::string_view message,
+                                         std::uint64_t seq = 0);
+
+/// Convenience overload echoing both ids straight from the request.
+[[nodiscard]] std::string rpc_error_json(const RpcRequest& req,
                                          std::string_view code,
                                          std::string_view message);
 
-/// Opens a `{"type":<frame_type>,"id":...,"ok":true` object; the caller
-/// appends members and calls `end_object()`.
+/// Opens a `{"type":<frame_type>,"id":...,"req":...,"ok":true` object
+/// (id/req only when present); the caller appends members and calls
+/// `end_object()`.
 [[nodiscard]] JsonWriter rpc_response_begin(
     const RpcRequest& req, std::string_view frame_type = "response");
 

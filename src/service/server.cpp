@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "obs/profile.h"
+#include "obs/timeline.h"
 #include "protocol/cds_broadcast.h"
 #include "protocol/registry.h"
 #include "scenario/engine.h"
@@ -33,6 +34,20 @@ bool known_family(const std::string& family) {
   const std::vector<std::string>& families = regular_families();
   return std::find(families.begin(), families.end(), family) !=
          families.end();
+}
+
+std::uint64_t wall_micros() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now);
+  return us.count() < 0 ? 0 : static_cast<std::uint64_t>(us.count());
+}
+
+JournalMethod journal_method_for(RpcType type) noexcept {
+  switch (type) {
+    case RpcType::kSimulate: return JournalMethod::kSimulate;
+    case RpcType::kScenario: return JournalMethod::kScenario;
+    default: return JournalMethod::kPlan;
+  }
 }
 
 }  // namespace
@@ -75,6 +90,20 @@ bool MeshbcastService::start(std::string& error) {
     m_.plan_ms = &reg.histogram("service.plan_ms", latency_bounds());
     m_.simulate_ms = &reg.histogram("service.simulate_ms", latency_bounds());
     m_.scenario_ms = &reg.histogram("service.scenario_ms", latency_bounds());
+    SloTracker::Config slo_config;
+    slo_config.window = std::max<std::size_t>(config_.slo_window, 1);
+    slo_ = std::make_unique<SloTracker>(config_.metrics, slo_config);
+    if (config_.journal != nullptr) {
+      m_.lifetime_requests = &reg.gauge("service.lifetime_requests");
+      m_.lifetime_served = &reg.gauge("service.lifetime_served");
+      m_.lifetime_errors = &reg.gauge("service.lifetime_errors");
+      m_.lifetime_sheds = &reg.gauge("service.lifetime_sheds");
+    }
+  }
+  if (config_.journal != nullptr) {
+    request_seq_.store(config_.journal->replay().max_seq,
+                       std::memory_order_relaxed);
+    update_lifetime_gauges();
   }
   queue_ = std::make_unique<BoundedQueue<Work>>(capacity);
   started_at_ = std::chrono::steady_clock::now();
@@ -137,6 +166,9 @@ void MeshbcastService::shutdown() {
   }
   connections_.clear();
   if (heartbeat_) heartbeat_->stop();
+  // Every admitted request has executed; make its journal record
+  // durable before reporting the drain complete.
+  if (config_.journal != nullptr) config_.journal->flush();
   stopped_ = true;
 }
 
@@ -222,9 +254,14 @@ void MeshbcastService::handle_connection(
       if (m_.bad_frames != nullptr) m_.bad_frames->increment();
       break;
     }
+    // Admission timing starts when the frame is fully read: everything
+    // from here to the enqueue (or inline reply) is the daemon's doing,
+    // not the client's.
+    const auto frame_received = std::chrono::steady_clock::now();
     RpcRequest req;
     RpcError error;
     if (!parse_rpc_request(payload, req, error)) {
+      // No request id: the frame never became a request.
       errors_.fetch_add(1, std::memory_order_relaxed);
       if (m_.errors != nullptr) m_.errors->increment();
       alive = write_frame(conn->sock, rpc_error_json(req.has_id, req.id,
@@ -232,6 +269,10 @@ void MeshbcastService::handle_connection(
                                                      error.message));
       continue;
     }
+    req.seq = request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Spans the handler finishes from here on (admission, inline
+    // replies) carry the request id.
+    RequestTagScope tag_scope(req.seq);
     // Inline lane: liveness probes and the drain trigger never sit
     // behind the admission queue -- a saturated service must still
     // answer health checks and accept its own shutdown.
@@ -257,13 +298,27 @@ void MeshbcastService::handle_connection(
     if (m_.requests != nullptr) m_.requests->increment();
     const bool has_id = req.has_id;
     const std::uint64_t id = req.id;
+    const std::uint64_t seq = req.seq;
+    const RpcType req_type = req.type;
     Pending pending;
     Work work;
     work.conn = conn;
     work.req = std::move(req);
     work.pending = &pending;
+    work.ts_micros = wall_micros();
     work.admitted = std::chrono::steady_clock::now();
-    if (!queue_->try_push(std::move(work))) {
+    work.admission_ms = std::chrono::duration<double, std::milli>(
+                            work.admitted - frame_received)
+                            .count();
+    const double admission_ms = work.admission_ms;
+    const bool pushed = queue_->try_push(std::move(work));
+    Timeline& timeline = Timeline::instance();
+    if (timeline.enabled()) {
+      timeline.record_wait(
+          "service.admission",
+          static_cast<std::uint64_t>(ms_since(frame_received) * 1e6), seq);
+    }
+    if (!pushed) {
       const bool draining = draining_.load(std::memory_order_acquire);
       if (!draining) {
         sheds_.fetch_add(1, std::memory_order_relaxed);
@@ -271,13 +326,31 @@ void MeshbcastService::handle_connection(
       }
       errors_.fetch_add(1, std::memory_order_relaxed);
       if (m_.errors != nullptr) m_.errors->increment();
+      // A refused request still gets a journal record: sheds are part
+      // of "what did I serve", and the drain flag marks refusals that
+      // were the drain's fault rather than load's.
+      JournalRecord record;
+      record.seq = seq;
+      record.client_id = id;
+      record.ts_micros = wall_micros();
+      record.admission_ms = admission_ms;
+      record.total_ms = admission_ms;
+      record.method = journal_method_for(req_type);
+      record.outcome =
+          draining ? JournalOutcome::kError : JournalOutcome::kShed;
+      record.flags = static_cast<std::uint8_t>(
+          (has_id ? kJournalHasClientId : 0) |
+          (draining ? kJournalDrainRefused : 0));
+      journal_append(record);
+      if (slo_) slo_->record(admission_ms, record.outcome);
       alive = write_frame(
           conn->sock,
           rpc_error_json(has_id, id,
                          draining ? rpc_code::kShuttingDown
                                   : rpc_code::kOverloaded,
                          draining ? "service is draining"
-                                  : "admission queue is full; retry"));
+                                  : "admission queue is full; retry",
+                         seq));
       continue;
     }
     if (m_.queue_depth != nullptr) {
@@ -322,25 +395,64 @@ void MeshbcastService::worker_loop() {
 }
 
 void MeshbcastService::execute(Work& work, Simulator& sim) {
+  // Everything this worker records for the request -- the queue-wait
+  // span, the stage spans inside respond_*, the emission span -- carries
+  // the request id.
+  RequestTagScope tag_scope(work.req.seq);
+  const double queue_ms = ms_since(work.admitted);
+  Timeline& timeline = Timeline::instance();
+  if (timeline.enabled()) {
+    timeline.record_wait("service.queue_wait",
+                         static_cast<std::uint64_t>(queue_ms * 1e6),
+                         work.req.seq);
+  }
   WSN_SPAN("service.request");
   const auto start = std::chrono::steady_clock::now();
   bool ok = true;
+  StageTrace trace;
   Histogram* hist = nullptr;
   switch (work.req.type) {
     case RpcType::kPlan: {
-      const std::string response = respond_plan(work.req, ok);
-      work.pending->write_ok = write_frame(work.conn->sock, response);
+      std::string response;
+      {
+        WSN_SPAN("service.plan");
+        const auto t = std::chrono::steady_clock::now();
+        response = respond_plan(work.req, ok, trace);
+        trace.exec_ms = ms_since(t);
+      }
+      {
+        WSN_SPAN("service.emit");
+        const auto t = std::chrono::steady_clock::now();
+        work.pending->write_ok = write_frame(work.conn->sock, response);
+        trace.emit_ms = ms_since(t);
+      }
       hist = m_.plan_ms;
       break;
     }
     case RpcType::kSimulate: {
-      const std::string response = respond_simulate(work.req, sim, ok);
-      work.pending->write_ok = write_frame(work.conn->sock, response);
+      std::string response;
+      {
+        WSN_SPAN("service.simulate");
+        const auto t = std::chrono::steady_clock::now();
+        response = respond_simulate(work.req, sim, ok, trace);
+        trace.exec_ms = ms_since(t);
+      }
+      {
+        WSN_SPAN("service.emit");
+        const auto t = std::chrono::steady_clock::now();
+        work.pending->write_ok = write_frame(work.conn->sock, response);
+        trace.emit_ms = ms_since(t);
+      }
       hist = m_.simulate_ms;
       break;
     }
     case RpcType::kScenario: {
-      respond_scenario(work, ok);
+      WSN_SPAN("service.scenario");
+      const auto t = std::chrono::steady_clock::now();
+      respond_scenario(work, ok, trace);
+      // The stream interleaves compute and emission; the handler
+      // accumulated the emission share, the rest is execution.
+      trace.exec_ms = std::max(0.0, ms_since(t) - trace.emit_ms);
       hist = m_.scenario_ms;
       break;
     }
@@ -358,6 +470,45 @@ void MeshbcastService::execute(Work& work, Simulator& sim) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     if (m_.errors != nullptr) m_.errors->increment();
   }
+  const double total_ms =
+      work.admission_ms + queue_ms + trace.exec_ms + trace.emit_ms;
+  const JournalOutcome outcome =
+      ok ? JournalOutcome::kOk : JournalOutcome::kError;
+  if (config_.journal != nullptr) {
+    JournalRecord record;
+    record.seq = work.req.seq;
+    record.client_id = work.req.id;
+    record.ts_micros = work.ts_micros;
+    record.fp_hi = trace.fp_hi;
+    record.fp_lo = trace.fp_lo;
+    record.admission_ms = work.admission_ms;
+    record.queue_ms = queue_ms;
+    record.exec_ms = trace.exec_ms;
+    record.emit_ms = trace.emit_ms;
+    record.total_ms = total_ms;
+    record.method = journal_method_for(work.req.type);
+    record.outcome = outcome;
+    record.flags =
+        static_cast<std::uint8_t>(work.req.has_id ? kJournalHasClientId : 0);
+    journal_append(record);
+  }
+  if (slo_) slo_->record(total_ms, outcome);
+}
+
+void MeshbcastService::journal_append(const JournalRecord& record) {
+  if (config_.journal == nullptr) return;
+  config_.journal->append(record);
+  // Lifetime gauges refresh lazily: the metrics scrape and health paths
+  // pull them, so the per-request cost stays one buffered append.
+}
+
+void MeshbcastService::update_lifetime_gauges() {
+  if (config_.journal == nullptr || m_.lifetime_requests == nullptr) return;
+  const JournalLifetime life = config_.journal->lifetime();
+  m_.lifetime_requests->set(static_cast<double>(life.records));
+  m_.lifetime_served->set(static_cast<double>(life.served));
+  m_.lifetime_errors->set(static_cast<double>(life.errors));
+  m_.lifetime_sheds->set(static_cast<double>(life.sheds));
 }
 
 const MeshbcastService::TopoEntry* MeshbcastService::topology_for(
@@ -396,25 +547,25 @@ const MeshbcastService::TopoEntry* MeshbcastService::topology_for(
   return slot.get();
 }
 
-std::string MeshbcastService::respond_plan(const RpcRequest& req, bool& ok) {
+std::string MeshbcastService::respond_plan(const RpcRequest& req, bool& ok,
+                                           StageTrace& trace) {
   const PlanRpc& plan = req.plan;
   if (!known_family(plan.family)) {
     ok = false;
-    return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+    return rpc_error_json(req, rpc_code::kBadRequest,
                           "unknown family: " + plan.family);
   }
   std::string topo_error;
   const TopoEntry* entry = topology_for(plan, topo_error);
   if (entry == nullptr) {
     ok = false;
-    return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
-                          topo_error);
+    return rpc_error_json(req, rpc_code::kBadRequest, topo_error);
   }
   const Topology& topo = *entry->topo;
   if (plan.source >= topo.num_nodes()) {
     ok = false;
     return rpc_error_json(
-        req.has_id, req.id, rpc_code::kBadRequest,
+        req, rpc_code::kBadRequest,
         "source " + std::to_string(plan.source) + " out of range (" +
             std::to_string(topo.num_nodes()) + " nodes)");
   }
@@ -423,6 +574,8 @@ std::string MeshbcastService::respond_plan(const RpcRequest& req, bool& ok) {
   options.packet_bits = plan.packet_bits;
   const PlanFingerprint fingerprint =
       fingerprint_plan_request(entry->digest, source, plan.protocol, options);
+  trace.fp_hi = fingerprint.key.hi;
+  trace.fp_lo = fingerprint.key.lo;
   const auto compile = [&](ResolveReport& report) {
     return plan.protocol == "paper"
                ? paper_plan(topo, source, options, &report)
@@ -467,29 +620,31 @@ std::string MeshbcastService::respond_plan(const RpcRequest& req, bool& ok) {
 }
 
 std::string MeshbcastService::respond_simulate(const RpcRequest& req,
-                                               Simulator& sim, bool& ok) {
+                                               Simulator& sim, bool& ok,
+                                               StageTrace& trace) {
   ScenarioSpec spec;
   std::string error;
   if (!parse_scenario_spec(req.simulate.spec_doc, spec, error)) {
     ok = false;
-    return rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error);
+    return rpc_error_json(req, rpc_code::kInvalidSpec, error);
   }
   JobMatrix matrix;
   if (!expand_jobs(std::move(spec), matrix, error)) {
     ok = false;
-    return rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error);
+    return rpc_error_json(req, rpc_code::kInvalidSpec, error);
   }
+  trace.fp_lo = matrix.fingerprint;
   if (matrix.jobs.size() != 1) {
     ok = false;
     return rpc_error_json(
-        req.has_id, req.id, rpc_code::kBadRequest,
+        req, rpc_code::kBadRequest,
         "simulate expands to " + std::to_string(matrix.jobs.size()) +
             " jobs; use a scenario request for matrices");
   }
   for (const std::unique_ptr<Topology>& topo : matrix.topologies) {
     if (topo->num_nodes() > config_.max_nodes) {
       ok = false;
-      return rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+      return rpc_error_json(req, rpc_code::kBadRequest,
                             "topology exceeds max_nodes");
     }
   }
@@ -500,7 +655,8 @@ std::string MeshbcastService::respond_simulate(const RpcRequest& req,
   return std::move(w).str();
 }
 
-void MeshbcastService::respond_scenario(Work& work, bool& ok) {
+void MeshbcastService::respond_scenario(Work& work, bool& ok,
+                                        StageTrace& trace) {
   const RpcRequest& req = work.req;
   ScenarioSpec spec;
   std::string error;
@@ -508,7 +664,7 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
     ok = false;
     work.pending->write_ok = write_frame(
         work.conn->sock,
-        rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error));
+        rpc_error_json(req, rpc_code::kInvalidSpec, error));
     return;
   }
   JobMatrix matrix;
@@ -516,15 +672,16 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
     ok = false;
     work.pending->write_ok = write_frame(
         work.conn->sock,
-        rpc_error_json(req.has_id, req.id, rpc_code::kInvalidSpec, error));
+        rpc_error_json(req, rpc_code::kInvalidSpec, error));
     return;
   }
+  trace.fp_lo = matrix.fingerprint;
   for (const std::unique_ptr<Topology>& topo : matrix.topologies) {
     if (topo->num_nodes() > config_.max_nodes) {
       ok = false;
       work.pending->write_ok = write_frame(
           work.conn->sock,
-          rpc_error_json(req.has_id, req.id, rpc_code::kBadRequest,
+          rpc_error_json(req, rpc_code::kBadRequest,
                          "topology exceeds max_nodes"));
       return;
     }
@@ -542,10 +699,21 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
   // holding the drain hostage.
   engine_config.cancel = &draining_;
   std::atomic<bool> write_failed{false};
+  // Emission time accumulates across the stream's frames (records are
+  // emitted by the engine's collector, not this thread), in integer
+  // nanoseconds so the adds stay atomic.
+  std::atomic<std::uint64_t> emit_ns{0};
+  const auto timed_write = [&](const std::string& payload) {
+    const auto t = std::chrono::steady_clock::now();
+    const bool wrote = write_frame(work.conn->sock, payload);
+    emit_ns.fetch_add(static_cast<std::uint64_t>(ms_since(t) * 1e6),
+                      std::memory_order_relaxed);
+    return wrote;
+  };
   ScenarioEngine* engine_ptr = nullptr;
   engine_config.on_record = [&](std::size_t, const std::string& line) {
     if (write_failed.load(std::memory_order_relaxed)) return;
-    if (!write_frame(work.conn->sock, line)) {
+    if (!timed_write(line)) {
       // Client gone mid-stream: stop simulating for nobody.
       write_failed.store(true, std::memory_order_relaxed);
       if (engine_ptr != nullptr) engine_ptr->request_cancel();
@@ -559,7 +727,7 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
       .key("header")
       .raw(engine.header_line())
       .end_object();
-  if (!write_frame(work.conn->sock, std::move(begin).str())) {
+  if (!timed_write(std::move(begin).str())) {
     ok = false;
     work.pending->write_ok = false;
     return;
@@ -569,6 +737,7 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
   JsonWriter done;
   done.begin_object().member("type", "scenario.done");
   if (req.has_id) done.member("id", req.id);
+  if (req.seq != 0) done.member("req", req.seq);
   done.member("ok", summary.ok)
       .member("cancelled", summary.cancelled)
       .member("jobs_total", static_cast<std::uint64_t>(summary.jobs_total))
@@ -576,9 +745,11 @@ void MeshbcastService::respond_scenario(Work& work, bool& ok) {
       .member("errors", static_cast<std::uint64_t>(summary.errors));
   if (!summary.ok) done.member("error", summary.error);
   done.end_object();
-  const bool wrote = write_frame(work.conn->sock, std::move(done).str());
+  const bool wrote = timed_write(std::move(done).str());
   work.pending->write_ok =
       wrote && !write_failed.load(std::memory_order_relaxed);
+  trace.emit_ms =
+      static_cast<double>(emit_ns.load(std::memory_order_relaxed)) / 1e6;
 }
 
 std::string MeshbcastService::health_json(const RpcRequest& req) {
@@ -602,12 +773,25 @@ std::string MeshbcastService::health_json(const RpcRequest& req) {
       .member("served", c.served)
       .member("errors", c.errors)
       .member("sheds", c.sheds)
-      .member("bad_frames", c.bad_frames)
-      .end_object();
+      .member("bad_frames", c.bad_frames);
+  if (config_.journal != nullptr) {
+    // Journal-backed lifetime view: the replayed prefix plus this
+    // process -- what the daemon has served across restarts.
+    const JournalLifetime life = config_.journal->lifetime();
+    w.member("lifetime_requests", life.records)
+        .member("lifetime_served", life.served)
+        .member("lifetime_errors", life.errors)
+        .member("lifetime_sheds", life.sheds);
+  }
+  w.end_object();
   return std::move(w).str();
 }
 
 std::string MeshbcastService::metrics_json(const RpcRequest& req) {
+  // A scrape must never be staler than the last request: force the SLO
+  // fold past its throttle and refresh the lifetime gauges.
+  if (slo_) slo_->refresh(true);
+  update_lifetime_gauges();
   JsonWriter w = rpc_response_begin(req);
   if (config_.metrics != nullptr) {
     std::ostringstream doc;

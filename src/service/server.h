@@ -16,8 +16,10 @@
 #include "common/socket.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
+#include "service/journal.h"
 #include "service/rpc.h"
 #include "service/single_flight.h"
+#include "service/slo.h"
 #include "store/fingerprint.h"
 #include "store/plan_store.h"
 #include "topology/topology.h"
@@ -56,6 +58,16 @@
 /// Concurrent cold `plan` requests for one fingerprint are serialized
 /// through a KeyedMutex (service/single_flight.h): the store compiles
 /// exactly once, the losers hit the memory tier.
+///
+/// Request-scoped observability: every successfully parsed frame gets a
+/// unique server request id (`"req"` echoed in responses and errors).
+/// Admitted-lane requests are timed per stage -- admission (frame read
+/// to enqueue), queue wait, execution, emission -- with the stage spans
+/// tagged by the id on the timeline (obs/timeline.h RequestTagScope), a
+/// record appended to the request journal when one is configured, and
+/// the total folded into the rolling SLO gauges (service/slo.h).  With
+/// no journal and the timeline off, the extra cost per request is two
+/// steady-clock reads.
 namespace wsn {
 
 class Simulator;
@@ -83,6 +95,15 @@ struct ServiceConfig {
   /// Metrics mirror (nullable): service.* counters/gauges/histograms,
   /// scraped live by the `metrics` RPC.
   MetricsRegistry* metrics = nullptr;
+  /// Persistent request journal (nullable: no persistence).  Must be
+  /// open()ed by the caller, who keeps ownership; the service appends
+  /// one record per admitted-lane request (sheds included), seeds its
+  /// request-id counter from the replayed max_seq, and publishes the
+  /// journal's lifetime totals as service.lifetime_* gauges.
+  RequestJournal* journal = nullptr;
+  /// Rolling SLO window (requests) behind the service.slo.* gauges;
+  /// only meaningful with a metrics registry.
+  std::size_t slo_window = 2048;
   /// Time-based heartbeat period (0 = off), via obs/heartbeat.h.
   std::size_t heartbeat_ms = 0;
   /// Heartbeat sink; empty = stderr.
@@ -157,6 +178,19 @@ class MeshbcastService {
     RpcRequest req;
     Pending* pending = nullptr;
     std::chrono::steady_clock::time_point admitted;
+    /// Wall clock at admission (journal timestamp).
+    std::uint64_t ts_micros = 0;
+    /// Frame read -> enqueue, measured by the handler.
+    double admission_ms = 0.0;
+  };
+
+  /// Per-request execution trace filled by the respond_* handlers and
+  /// folded into the journal record.
+  struct StageTrace {
+    double exec_ms = 0.0;
+    double emit_ms = 0.0;
+    std::uint64_t fp_hi = 0;
+    std::uint64_t fp_lo = 0;
   };
 
   /// Topologies built once per distinct (family, dims, spacing) and kept
@@ -182,6 +216,10 @@ class MeshbcastService {
     Histogram* plan_ms = nullptr;
     Histogram* simulate_ms = nullptr;
     Histogram* scenario_ms = nullptr;
+    Gauge* lifetime_requests = nullptr;
+    Gauge* lifetime_served = nullptr;
+    Gauge* lifetime_errors = nullptr;
+    Gauge* lifetime_sheds = nullptr;
   };
 
   void accept_loop();
@@ -189,10 +227,14 @@ class MeshbcastService {
   void handle_connection(const std::shared_ptr<Connection>& conn);
   void worker_loop();
   void execute(Work& work, Simulator& sim);
-  [[nodiscard]] std::string respond_plan(const RpcRequest& req, bool& ok);
+  [[nodiscard]] std::string respond_plan(const RpcRequest& req, bool& ok,
+                                         StageTrace& trace);
   [[nodiscard]] std::string respond_simulate(const RpcRequest& req,
-                                             Simulator& sim, bool& ok);
-  void respond_scenario(Work& work, bool& ok);
+                                             Simulator& sim, bool& ok,
+                                             StageTrace& trace);
+  void respond_scenario(Work& work, bool& ok, StageTrace& trace);
+  void journal_append(const JournalRecord& record);
+  void update_lifetime_gauges();
   [[nodiscard]] std::string health_json(const RpcRequest& req);
   [[nodiscard]] std::string metrics_json(const RpcRequest& req);
   [[nodiscard]] const TopoEntry* topology_for(const PlanRpc& plan,
@@ -223,6 +265,10 @@ class MeshbcastService {
   std::chrono::steady_clock::time_point started_at_;
 
   MetricHandles m_;
+  std::unique_ptr<SloTracker> slo_;
+  /// Unique server request ids; seeded past the journal's replayed
+  /// max_seq so ids stay unique across restarts of one journal.
+  std::atomic<std::uint64_t> request_seq_{0};
   std::atomic<std::uint64_t> connections_total_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> served_{0};

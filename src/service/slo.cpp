@@ -1,0 +1,84 @@
+#include "service/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsn {
+
+namespace {
+
+/// Linear-interpolation percentile over a sorted sample set -- the same
+/// convention loadgen uses client-side, so the two views are comparable.
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+SloTracker::SloTracker(MetricsRegistry* metrics, Config config)
+    : config_(config),
+      ring_(std::max<std::size_t>(config.window, 1)),
+      last_refresh_(std::chrono::steady_clock::now()) {
+  if (metrics != nullptr) {
+    p50_ = &metrics->gauge("service.slo.p50_ms");
+    p95_ = &metrics->gauge("service.slo.p95_ms");
+    p99_ = &metrics->gauge("service.slo.p99_ms");
+    error_rate_ = &metrics->gauge("service.slo.error_rate");
+    shed_rate_ = &metrics->gauge("service.slo.shed_rate");
+    window_requests_ = &metrics->gauge("service.slo.window_requests");
+  }
+}
+
+void SloTracker::record(double latency_ms, JournalOutcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_] = Sample{latency_ms, outcome};
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_refresh_ >= std::chrono::milliseconds(config_.refresh_ms)) {
+    last_refresh_ = now;
+    refresh_locked();
+  }
+}
+
+void SloTracker::refresh(bool force) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  if (!force &&
+      now - last_refresh_ < std::chrono::milliseconds(config_.refresh_ms)) {
+    return;
+  }
+  last_refresh_ = now;
+  refresh_locked();
+}
+
+void SloTracker::refresh_locked() {
+  if (p50_ == nullptr) return;
+  std::vector<double> served;
+  served.reserve(count_);
+  std::size_t errors = 0;
+  std::size_t sheds = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Sample& sample = ring_[i];
+    switch (sample.outcome) {
+      case JournalOutcome::kOk: served.push_back(sample.latency_ms); break;
+      case JournalOutcome::kError: errors += 1; break;
+      case JournalOutcome::kShed: sheds += 1; break;
+    }
+  }
+  std::sort(served.begin(), served.end());
+  p50_->set(percentile_sorted(served, 0.50));
+  p95_->set(percentile_sorted(served, 0.95));
+  p99_->set(percentile_sorted(served, 0.99));
+  const double window = count_ == 0 ? 1.0 : static_cast<double>(count_);
+  error_rate_->set(static_cast<double>(errors) / window);
+  shed_rate_->set(static_cast<double>(sheds) / window);
+  window_requests_->set(static_cast<double>(count_));
+}
+
+}  // namespace wsn

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/journal.h"
+
+/// Live SLO tracking for meshbcastd: a rolling window over the most
+/// recent admitted-lane requests, folded into gauges the existing
+/// `metrics` RPC scrapes --
+///
+///   service.slo.p50_ms / p95_ms / p99_ms   latency percentiles over the
+///                                          windowed *served* requests
+///   service.slo.error_rate                 errors / window
+///   service.slo.shed_rate                  sheds / window
+///   service.slo.window_requests            how many requests the gauges
+///                                          currently summarize
+///
+/// Percentiles deliberately cover only kOk outcomes: a shed returns in
+/// microseconds and an error may fail fast, and folding either into the
+/// latency quantiles would make an overloaded daemon look *faster* as it
+/// degrades.  Error and shed rates carry that signal instead.
+///
+/// `record()` is called on every request completion (worker threads plus
+/// the handler shed path), so the fold is throttled: gauges recompute at
+/// most every `refresh_ms` (the scrape path forces one, so `metrics`
+/// responses are never staler than the last request).  With the default
+/// 2048-sample window a refresh sorts ~16 KB -- noise next to a plan
+/// compile.
+namespace wsn {
+
+class SloTracker {
+ public:
+  struct Config {
+    std::size_t window = 2048;
+    std::uint64_t refresh_ms = 250;
+  };
+
+  /// `metrics` may be null: the tracker then records into its ring but
+  /// publishes nothing (keeps call sites unconditional).
+  explicit SloTracker(MetricsRegistry* metrics) : SloTracker(metrics, Config()) {}
+  SloTracker(MetricsRegistry* metrics, Config config);
+
+  void record(double latency_ms, JournalOutcome outcome);
+
+  /// Recomputes the gauges now when forced or the throttle has lapsed.
+  void refresh(bool force = false);
+
+ private:
+  struct Sample {
+    double latency_ms = 0.0;
+    JournalOutcome outcome = JournalOutcome::kOk;
+  };
+
+  void refresh_locked();
+
+  const Config config_;
+  std::mutex mutex_;
+  std::vector<Sample> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::chrono::steady_clock::time_point last_refresh_;
+
+  Gauge* p50_ = nullptr;
+  Gauge* p95_ = nullptr;
+  Gauge* p99_ = nullptr;
+  Gauge* error_rate_ = nullptr;
+  Gauge* shed_rate_ = nullptr;
+  Gauge* window_requests_ = nullptr;
+};
+
+}  // namespace wsn

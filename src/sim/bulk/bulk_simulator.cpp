@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/assert.h"
 #include "obs/profile.h"
@@ -188,6 +189,27 @@ BroadcastOutcome BulkSimulator::run_impl(const ImplicitLattice& lat,
   std::vector<std::uint32_t>& touched = touched_words_;
   std::vector<std::uint32_t> tx_words;
 
+  // Progress is pure observation: it reads R and the wall clock, never
+  // the kernel state, so instrumented runs stay bit-identical.
+  const auto run_start = std::chrono::steady_clock::now();
+  std::uint64_t slots_done = 0;
+  const auto report_progress = [&](Slot slot, std::size_t frontier) {
+    BulkProgress p;
+    p.slot = slot;
+    p.slots_done = slots_done;
+    p.frontier = frontier;
+    p.total_nodes = n;
+    for (const std::uint64_t w : received_) {
+      p.reached += static_cast<std::size_t>(std::popcount(w));
+    }
+    p.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - run_start)
+                      .count();
+    progress_(p);
+  };
+  Slot last_slot = 0;
+  std::size_t last_frontier = 0;
+
   while (!schedule.empty()) {
     auto it = schedule.begin();
     const Slot slot = it->first;
@@ -332,6 +354,18 @@ BroadcastOutcome BulkSimulator::run_impl(const ImplicitLattice& lat,
       twos_[w] = 0;
     }
     for (const NodeId v : transmitters) clear_bit(transmitting_, v);
+
+    ++slots_done;
+    last_slot = slot;
+    last_frontier = transmitters.size();
+    if (progress_ && progress_every_ != 0 &&
+        slots_done % progress_every_ == 0) {
+      report_progress(slot, transmitters.size());
+    }
+  }
+  if (progress_ && slots_done != 0 &&
+      (progress_every_ == 0 || slots_done % progress_every_ != 0)) {
+    report_progress(last_slot, last_frontier);
   }
 
   std::size_t reached = 0;
@@ -354,6 +388,12 @@ BroadcastOutcome BulkSimulator::run(const ImplicitLattice& lat,
                                     const SimOptions& options) {
   WSN_SPAN("sim.bulk_simulate");
   return run_impl(lat, plan, options);
+}
+
+void BulkSimulator::set_progress(BulkProgressFn fn,
+                                 std::uint64_t every_slots) {
+  progress_ = std::move(fn);
+  progress_every_ = every_slots;
 }
 
 BroadcastOutcome bulk_simulate(const ImplicitLattice& lat,

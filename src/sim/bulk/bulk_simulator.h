@@ -1,6 +1,8 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +45,19 @@
 /// and reports the incompatibility before building anything big.
 namespace wsn {
 
+/// Progress snapshot delivered to a BulkSimulator progress callback.
+/// Everything is observed *after* the reported slot finished.
+struct BulkProgress {
+  Slot slot = 0;               // the slot that just completed
+  std::uint64_t slots_done = 0;  // non-empty slots processed so far
+  std::size_t frontier = 0;    // transmitters in that slot
+  std::size_t reached = 0;     // nodes covered so far (popcount of R)
+  std::size_t total_nodes = 0;
+  double elapsed_s = 0.0;      // wall time since run() started
+};
+
+using BulkProgressFn = std::function<void(const BulkProgress&)>;
+
 class BulkSimulator {
  public:
   BulkSimulator() = default;
@@ -60,6 +75,14 @@ class BulkSimulator {
   [[nodiscard]] BroadcastOutcome run(const ImplicitLattice& lat,
                                      const FlatRelayPlan& plan,
                                      const SimOptions& options = {});
+
+  /// Observes long runs without touching the kernel: `fn` is invoked
+  /// every `every_slots` completed slots and once more when the run
+  /// ends.  Observation only -- the outcome stays bit-identical to an
+  /// uninstrumented run (the reached popcount reads R, it never writes).
+  /// Pass a null fn to detach.  The callback runs on the simulating
+  /// thread; keep it cheap.
+  void set_progress(BulkProgressFn fn, std::uint64_t every_slots = 64);
 
  private:
   template <typename PlanT>
@@ -80,6 +103,8 @@ class BulkSimulator {
   std::vector<std::uint32_t> record_of_;  // transmitter -> tx index (per slot)
   std::vector<std::uint32_t> touched_words_;
   std::map<Slot, std::vector<NodeId>> schedule_;
+  BulkProgressFn progress_;
+  std::uint64_t progress_every_ = 64;
 };
 
 /// Stateless convenience over a fresh BulkSimulator (mirrors

@@ -174,6 +174,92 @@ TEST(Attribution, TimelineFileRoundTripsAndRejectsBadInput) {
   EXPECT_NE(error.find("not a meshbcast.timeline"), std::string::npos);
 }
 
+TEST(Attribution, RequestTagRoundTripsThroughTimelineFile) {
+  const TempDir tmp("reqtag");
+  std::vector<TimelineThreadDump> dumps(1);
+  dumps[0].tid = 0;
+  dumps[0].label = "worker/0";
+  dumps[0].records = {{10, 25, "service.plan"}, {30, 40, "service.emit"}};
+  dumps[0].records[0].tag = 5;
+  dumps[0].records[1].tag = 5;
+
+  const std::string path = (tmp.path / "timeline.jsonl").string();
+  {
+    std::ofstream out(path);
+    write_timeline_jsonl(out, dumps);
+  }
+  std::vector<ParsedTimelineThread> parsed;
+  std::string error;
+  ASSERT_TRUE(read_timeline_file(path, parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].spans.size(), 2u);
+  EXPECT_EQ(parsed[0].spans[0].tag, 5u);
+  EXPECT_EQ(parsed[0].spans[1].tag, 5u);
+
+  // from_snapshot carries the tag as well.
+  const std::vector<ParsedTimelineThread> direct = from_snapshot(dumps);
+  EXPECT_EQ(direct[0].spans[0].tag, 5u);
+}
+
+TEST(Attribution, RequestCentricQueriesDecomposeOneRequest) {
+  // Two requests interleaved over a handler and a worker thread, plus an
+  // untagged background span that must never leak into a request view.
+  ParsedTimelineThread handler;
+  handler.tid = 0;
+  handler.label = "handler";
+  ParsedSpan a1 = span("service.admission", 0, 10);
+  a1.tag = 1;
+  ParsedSpan a2 = span("service.admission", 5, 12);
+  a2.tag = 2;
+  handler.spans = {a1, a2};
+
+  ParsedTimelineThread worker;
+  worker.tid = 1;
+  worker.label = "worker/0";
+  ParsedSpan q1 = span("service.queue_wait", 10, 30);
+  q1.tag = 1;
+  ParsedSpan p1 = span("service.plan", 30, 400);
+  p1.tag = 1;
+  ParsedSpan e1 = span("service.emit", 400, 420);
+  e1.tag = 1;
+  ParsedSpan p2 = span("service.plan", 420, 500);
+  p2.tag = 2;
+  ParsedSpan idle = span("queue.pop_wait", 500, 900);
+  worker.spans = {q1, p1, e1, p2, idle};
+
+  const std::vector<ParsedTimelineThread> threads = {handler, worker};
+
+  // Request 1: four stages across both threads, begin-ordered.
+  const std::vector<RequestSpanRow> rows = spans_for_request(threads, 1);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "service.admission");
+  EXPECT_EQ(rows[0].label, "handler");
+  EXPECT_EQ(rows[1].name, "service.queue_wait");
+  EXPECT_EQ(rows[2].name, "service.plan");
+  EXPECT_EQ(rows[3].name, "service.emit");
+  EXPECT_EQ(rows[3].label, "worker/0");
+
+  // Slowest-first extents: request 1 spans 0..420, request 2 5..500.
+  const std::vector<RequestExtent> slowest = slowest_requests(threads, 0);
+  ASSERT_EQ(slowest.size(), 2u);
+  EXPECT_EQ(slowest[0].tag, 2u);
+  EXPECT_EQ(slowest[0].wall_ns(), 495u);
+  EXPECT_EQ(slowest[1].tag, 1u);
+  EXPECT_EQ(slowest[1].wall_ns(), 420u);
+  EXPECT_EQ(slowest[1].spans, 4u);
+  // The limit caps the list.
+  EXPECT_EQ(slowest_requests(threads, 1).size(), 1u);
+
+  // The text breakdown names every stage; an unknown id says so.
+  const std::string text = request_breakdown_text(rows, 1);
+  EXPECT_NE(text.find("request 1"), std::string::npos);
+  EXPECT_NE(text.find("service.plan"), std::string::npos);
+  EXPECT_NE(text.find("worker/0"), std::string::npos);
+  const std::string missing =
+      request_breakdown_text(spans_for_request(threads, 99), 99);
+  EXPECT_NE(missing.find("no tagged spans"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // Acceptance (ISSUE 7): on an instrumented 2-worker engine run, the
 // perf-report JSON attributes >= 90% of every worker's wall time and

@@ -198,6 +198,45 @@ TEST(BulkSimulator, ScratchReuseIsInvisible) {
   expect_identical(fresh_small, reused.run(small, plan_small));
 }
 
+TEST(BulkSimulator, ProgressCallbackObservesWithoutPerturbing) {
+  const ImplicitLattice lat = ImplicitLattice::mesh2d4(16, 12);
+  const RelayPlan plan = flooding_plan(lat.num_nodes(), 0);
+  const BroadcastOutcome reference = bulk_simulate(lat, plan);
+
+  BulkSimulator instrumented;
+  std::vector<BulkProgress> ticks;
+  instrumented.set_progress(
+      [&ticks](const BulkProgress& p) { ticks.push_back(p); }, 2);
+  const BroadcastOutcome observed = instrumented.run(lat, plan);
+
+  // Observation only: the outcome is bit-identical to the silent run.
+  expect_identical(reference, observed);
+
+  ASSERT_FALSE(ticks.empty());
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    const BulkProgress& p = ticks[i];
+    EXPECT_EQ(p.total_nodes, lat.num_nodes());
+    EXPECT_GT(p.frontier, 0u);
+    EXPECT_LE(p.reached, p.total_nodes);
+    EXPECT_GE(p.elapsed_s, 0.0);
+    if (i > 0) {
+      EXPECT_GT(p.slots_done, ticks[i - 1].slots_done);
+      EXPECT_GE(p.reached, ticks[i - 1].reached);  // coverage monotone
+    }
+  }
+  // The final tick always fires and sees the finished broadcast.  (The
+  // last transmitting slot can trail the delay: relays scheduled by the
+  // final deliveries still transmit, reaching nobody new.)
+  EXPECT_EQ(ticks.back().reached, reference.stats.reached);
+  EXPECT_GE(ticks.back().slot, reference.stats.delay);
+
+  // Detaching restores silence; the scratch replays identically again.
+  instrumented.set_progress(nullptr);
+  ticks.clear();
+  expect_identical(reference, instrumented.run(lat, plan));
+  EXPECT_TRUE(ticks.empty());
+}
+
 TEST(BulkSimulator, RejectsUnsupportedOptions) {
   SimOptions options;
   EXPECT_TRUE(BulkSimulator::options_supported(options));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -147,6 +148,73 @@ TEST_F(TimelineTest, ResetDropsRecordsAndLabels) {
     EXPECT_TRUE(t.label.empty());
     EXPECT_EQ(t.dropped, 0u);
   }
+}
+
+TEST_F(TimelineTest, RequestTagScopeTagsSpansAndRestoresOuter) {
+  Timeline& timeline = Timeline::instance();
+  timeline.set_enabled(true);
+
+  timeline.record("test.untagged", 1, 2);
+  {
+    RequestTagScope outer(7);
+    timeline.record("test.outer", 3, 4);
+    { WSN_SPAN("test.macro_inherits"); }
+    {
+      RequestTagScope inner(8);
+      timeline.record("test.inner", 5, 6);
+    }
+    timeline.record("test.outer_again", 7, 8);
+    // Explicit tag beats the ambient scope (cross-thread attribution).
+    timeline.record("test.explicit", 9, 10, 42);
+    timeline.record_wait("test.wait", 100, 43);
+  }
+  // A scope constructed with 0 is inert until set().
+  {
+    RequestTagScope lazy;
+    timeline.record("test.lazy_before", 11, 12);
+    lazy.set(9);
+    timeline.record("test.lazy_after", 13, 14);
+  }
+  timeline.record("test.after", 15, 16);
+
+  std::map<std::string, std::uint64_t> tag_of;
+  for (const TimelineThreadDump& t : timeline.snapshot()) {
+    for (const TimelineRecord& r : t.records) tag_of[r.name] = r.tag;
+  }
+  EXPECT_EQ(tag_of["test.untagged"], 0u);
+  EXPECT_EQ(tag_of["test.outer"], 7u);
+  EXPECT_EQ(tag_of["test.macro_inherits"], 7u);
+  EXPECT_EQ(tag_of["test.inner"], 8u);
+  EXPECT_EQ(tag_of["test.outer_again"], 7u);
+  EXPECT_EQ(tag_of["test.explicit"], 42u);
+  EXPECT_EQ(tag_of["test.wait"], 43u);
+  EXPECT_EQ(tag_of["test.lazy_before"], 0u);
+  EXPECT_EQ(tag_of["test.lazy_after"], 9u);
+  EXPECT_EQ(tag_of["test.after"], 0u);
+}
+
+TEST_F(TimelineTest, JsonlExportCarriesRequestTagWhenSet) {
+  std::vector<TimelineThreadDump> threads(1);
+  threads[0].tid = 0;
+  threads[0].label = "worker/0";
+  threads[0].records = {{10, 20, "service.plan"}, {25, 30, "idle.scan"}};
+  threads[0].records[0].tag = 17;
+
+  std::ostringstream out;
+  write_timeline_jsonl(out, threads);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // thread description
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue tagged;
+  ASSERT_TRUE(parse_json(line, tagged)) << line;
+  EXPECT_EQ(tagged.string_or("name", ""), "service.plan");
+  EXPECT_EQ(tagged.number_or("req", -1), 17.0);
+  ASSERT_TRUE(std::getline(in, line));
+  JsonValue untagged;
+  ASSERT_TRUE(parse_json(line, untagged)) << line;
+  EXPECT_EQ(untagged.find("req"), nullptr);
 }
 
 TEST_F(TimelineTest, JsonlExportCarriesSchemaThreadsAndSpans) {

@@ -214,6 +214,49 @@ TEST(RpcTest, ErrorFrameOmitsIdWhenAbsent) {
   EXPECT_EQ(doc.find("id"), nullptr);
 }
 
+TEST(RpcTest, ErrorFrameCarriesServerRequestId) {
+  const std::string frame =
+      rpc_error_json(true, 12, rpc_code::kOverloaded, "queue full", 77);
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(frame, doc));
+  EXPECT_EQ(doc.number_or("id", -1), 12.0);
+  EXPECT_EQ(doc.number_or("req", -1), 77.0);
+
+  // The request-taking overload forwards has_id/id/seq as a unit.
+  RpcRequest req = parse_ok("{\"type\":\"health\",\"id\":4}");
+  req.seq = 31;
+  JsonValue doc2;
+  ASSERT_TRUE(parse_json(
+      rpc_error_json(req, rpc_code::kInternal, "boom"), doc2));
+  EXPECT_EQ(doc2.number_or("id", -1), 4.0);
+  EXPECT_EQ(doc2.number_or("req", -1), 31.0);
+
+  // seq 0 means "no server id assigned" and must stay absent.
+  JsonValue doc3;
+  ASSERT_TRUE(parse_json(
+      rpc_error_json(false, 0, rpc_code::kBadJson, "nope", 0), doc3));
+  EXPECT_EQ(doc3.find("req"), nullptr);
+}
+
+TEST(RpcTest, ResponseBeginEchoesServerRequestId) {
+  RpcRequest req = parse_ok("{\"type\":\"health\",\"id\":5}");
+  req.seq = 99;
+  JsonWriter w = rpc_response_begin(req);
+  const std::string frame =
+      std::move(w.member("x", true).end_object()).str();
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(frame, doc));
+  EXPECT_EQ(doc.number_or("id", -1), 5.0);
+  EXPECT_EQ(doc.number_or("req", -1), 99.0);
+
+  // Default seq 0: the member is omitted entirely.
+  RpcRequest bare = parse_ok("{\"type\":\"health\"}");
+  JsonWriter w2 = rpc_response_begin(bare);
+  JsonValue doc2;
+  ASSERT_TRUE(parse_json(std::move(w2.end_object()).str(), doc2));
+  EXPECT_EQ(doc2.find("req"), nullptr);
+}
+
 TEST(RpcTest, ResponseBeginEchoesIdAndOk) {
   RpcRequest req = parse_ok("{\"type\":\"health\",\"id\":5}");
   JsonWriter w = rpc_response_begin(req);

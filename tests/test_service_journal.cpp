@@ -1,0 +1,405 @@
+// service/server + service/journal, live over loopback: request-id
+// echo, per-request journaling that balances against client-observed
+// outcomes, lifetime counters resuming across a restart on the same
+// journal file, SLO gauges on the metrics scrape, request-tagged
+// timeline spans, and -- in its own suite so sanitizer filters can
+// treat it separately -- crash recovery: a SIGKILLed daemon process
+// whose journal reopens with the torn tail truncated and the valid
+// prefix intact.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "service/client.h"
+#include "service/journal.h"
+#include "service/server.h"
+#include "store/plan_store.h"
+
+namespace wsn {
+namespace {
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("wsn_test_service_journal_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+std::string plan_request(std::uint64_t id, std::uint64_t source) {
+  std::string req = "{\"type\":\"plan\",\"id\":";
+  req += std::to_string(id);
+  req += ",\"family\":\"2D-4\",\"dims\":[6,4],\"source\":";
+  req += std::to_string(source);
+  req += "}";
+  return req;
+}
+
+RpcClient connect_to(const MeshbcastService& service) {
+  RpcClient client;
+  std::string error;
+  EXPECT_TRUE(client.connect(service.address(), error)) << error;
+  return client;
+}
+
+JsonValue call(RpcClient& client, const std::string& request) {
+  JsonValue response;
+  std::string error;
+  EXPECT_TRUE(client.call_json(request, response, error)) << error;
+  return response;
+}
+
+/// Polls until the journal file holds at least `want` records (the
+/// flusher is asynchronous; responses can beat the batch to disk).
+bool wait_for_records(const std::string& path, std::size_t want,
+                      JournalReadResult& result) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string error;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (read_journal_file(path, result, error) &&
+        result.records.size() >= want) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(ServiceJournalTest, RequestIdEchoedAndEveryAdmittedRequestJournaled) {
+  const TempDir tmp("echo");
+  const std::string journal_path = (tmp.path / "requests.wsnj").string();
+
+  RequestJournal journal;
+  RequestJournal::Config journal_config;
+  journal_config.path = journal_path;
+  std::string error;
+  ASSERT_TRUE(journal.open(journal_config, error)) << error;
+
+  ServiceConfig config;
+  config.journal = &journal;
+  MeshbcastService service(std::move(config));
+  ASSERT_TRUE(service.start(error)) << error;
+  RpcClient client = connect_to(service);
+
+  // Plans, one simulate, and an inline-lane health call.
+  std::vector<double> reqs;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const JsonValue response = call(client, plan_request(i, i - 1));
+    EXPECT_TRUE(response.bool_or("ok", false));
+    reqs.push_back(response.number_or("req", -1));
+  }
+  const JsonValue sim = call(
+      client,
+      "{\"type\":\"simulate\",\"id\":7,\"name\":\"one\","
+      "\"family\":\"2D-4\",\"dims\":[6,4],\"sources\":[3],"
+      "\"protocols\":[\"paper\"]}");
+  EXPECT_TRUE(sim.bool_or("ok", false));
+  reqs.push_back(sim.number_or("req", -1));
+  const JsonValue health = call(client, "{\"type\":\"health\",\"id\":8}");
+  reqs.push_back(health.number_or("req", -1));
+
+  // Every response carries a server request id, strictly increasing.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_GT(reqs[i], 0.0) << "response " << i << " lacks req";
+    if (i > 0) {
+      EXPECT_GT(reqs[i], reqs[i - 1]);
+    }
+  }
+  // A structured execution error carries the id too, and lands in the
+  // journal as an error outcome.
+  const JsonValue bad = call(
+      client,
+      "{\"type\":\"plan\",\"id\":9,\"family\":\"9D-X\",\"dims\":[6,4],"
+      "\"source\":0}");
+  EXPECT_EQ(bad.string_or("type", ""), "error");
+  EXPECT_GT(bad.number_or("req", -1), reqs.back());
+  // A frame that fails to parse never gets a server id: there is no
+  // request to attribute it to.
+  const JsonValue unparsed = call(client, "{\"type\":\"teleport\"}");
+  EXPECT_EQ(unparsed.string_or("type", ""), "error");
+  EXPECT_EQ(unparsed.number_or("req", -1), -1.0);
+
+  service.shutdown();
+  journal.close();
+
+  // The journal holds exactly the admitted-lane requests: three plans,
+  // one simulate, one failed plan.  health and the parse failure never
+  // ran on the admission lane, so they are absent by design.
+  JournalReadResult result;
+  ASSERT_TRUE(read_journal_file(journal_path, result, error)) << error;
+  ASSERT_EQ(result.records.size(), 5u);
+  EXPECT_EQ(result.torn_bytes, 0u);
+  EXPECT_EQ(result.records[4].outcome, JournalOutcome::kError);
+  EXPECT_EQ(result.records[4].method, JournalMethod::kPlan);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const JournalRecord& r = result.records[i];
+    EXPECT_EQ(static_cast<double>(r.seq), reqs[i]) << i;
+    EXPECT_EQ(r.outcome, JournalOutcome::kOk) << i;
+    EXPECT_EQ(r.method,
+              i < 3 ? JournalMethod::kPlan : JournalMethod::kSimulate)
+        << i;
+    EXPECT_NE(r.flags & kJournalHasClientId, 0) << i;
+    EXPECT_GT(r.ts_micros, 0u) << i;
+    // Stage decomposition: total is the sum of its parts, and the
+    // request did measurable work.
+    EXPECT_NEAR(r.total_ms,
+                r.admission_ms + r.queue_ms + r.exec_ms + r.emit_ms, 1e-9)
+        << i;
+    EXPECT_GT(r.exec_ms, 0.0) << i;
+    EXPECT_NE(r.fp_lo, 0u) << i;  // plan/spec fingerprint recorded
+  }
+  // Plan fingerprints are full 128-bit keys; simulate carries the
+  // matrix fingerprint in fp_lo only.
+  EXPECT_NE(result.records[0].fp_hi, 0u);
+  EXPECT_EQ(result.records[3].fp_hi, 0u);
+}
+
+TEST(ServiceJournalTest, LifetimeCountersResumeAcrossRestart) {
+  const TempDir tmp("restart");
+  const std::string journal_path = (tmp.path / "requests.wsnj").string();
+  std::string error;
+  double last_req = 0.0;
+
+  {
+    RequestJournal journal;
+    RequestJournal::Config journal_config;
+    journal_config.path = journal_path;
+    ASSERT_TRUE(journal.open(journal_config, error)) << error;
+    ServiceConfig config;
+    config.journal = &journal;
+    MeshbcastService service(std::move(config));
+    ASSERT_TRUE(service.start(error)) << error;
+    RpcClient client = connect_to(service);
+    for (std::uint64_t i = 1; i <= 2; ++i) {
+      const JsonValue response = call(client, plan_request(i, i));
+      EXPECT_TRUE(response.bool_or("ok", false));
+      last_req = response.number_or("req", -1);
+    }
+    service.shutdown();
+    journal.close();
+  }
+
+  // Second daemon generation on the same journal file.
+  RequestJournal journal;
+  RequestJournal::Config journal_config;
+  journal_config.path = journal_path;
+  ASSERT_TRUE(journal.open(journal_config, error)) << error;
+  EXPECT_EQ(journal.replay().records, 2u);
+  EXPECT_EQ(static_cast<double>(journal.replay().max_seq), last_req);
+
+  MetricsRegistry metrics;
+  ServiceConfig config;
+  config.journal = &journal;
+  config.metrics = &metrics;
+  MeshbcastService service(std::move(config));
+  ASSERT_TRUE(service.start(error)) << error;
+  RpcClient client = connect_to(service);
+
+  // Request ids continue after the replayed prefix -- no reuse.
+  const JsonValue response = call(client, plan_request(9, 3));
+  EXPECT_TRUE(response.bool_or("ok", false));
+  EXPECT_GT(response.number_or("req", -1), last_req);
+
+  // The health report exposes lifetime (pre-crash + current) totals.
+  const JsonValue health = call(client, "{\"type\":\"health\"}");
+  EXPECT_EQ(health.number_or("lifetime_requests", -1), 3.0);
+  EXPECT_EQ(health.number_or("lifetime_served", -1), 3.0);
+  EXPECT_EQ(health.number_or("lifetime_errors", -1), 0.0);
+
+  // And the metrics scrape carries the same as gauges.
+  std::string raw;
+  ASSERT_TRUE(client.call("{\"type\":\"metrics\"}", raw, error)) << error;
+  EXPECT_NE(raw.find("service.lifetime_served"), std::string::npos);
+
+  service.shutdown();
+  journal.close();
+  EXPECT_EQ(journal.lifetime().records, 3u);
+  EXPECT_EQ(journal.lifetime().served, 3u);
+}
+
+TEST(ServiceJournalTest, SloGaugesExposedOnMetricsScrape) {
+  MetricsRegistry metrics;
+  ServiceConfig config;
+  config.metrics = &metrics;
+  config.slo_window = 64;
+  MeshbcastService service(std::move(config));
+  std::string error;
+  ASSERT_TRUE(service.start(error)) << error;
+  RpcClient client = connect_to(service);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    EXPECT_TRUE(call(client, plan_request(i, i)).bool_or("ok", false));
+  }
+
+  std::string raw;
+  ASSERT_TRUE(client.call("{\"type\":\"metrics\"}", raw, error)) << error;
+  for (const char* name :
+       {"service.slo.p50_ms", "service.slo.p95_ms", "service.slo.p99_ms",
+        "service.slo.error_rate", "service.slo.shed_rate",
+        "service.slo.window_requests"}) {
+    EXPECT_NE(raw.find(name), std::string::npos) << name;
+  }
+
+  // Four served requests, no errors: the window says so.
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(raw, doc));
+  const JsonValue* gauges = doc.find("metrics")->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->number_or("service.slo.window_requests", -1), 4.0);
+  EXPECT_EQ(gauges->number_or("service.slo.error_rate", -1), 0.0);
+  EXPECT_GT(gauges->number_or("service.slo.p50_ms", -1), 0.0);
+  service.shutdown();
+}
+
+TEST(ServiceJournalTest, TimelineSpansCarryTheRequestTag) {
+  Timeline::instance().reset();
+  Timeline::instance().set_enabled(true);
+
+  MeshbcastService service(ServiceConfig{});
+  std::string error;
+  ASSERT_TRUE(service.start(error)) << error;
+  RpcClient client = connect_to(service);
+  const JsonValue response = call(client, plan_request(1, 5));
+  EXPECT_TRUE(response.bool_or("ok", false));
+  const auto req = static_cast<std::uint64_t>(response.number_or("req", 0));
+  ASSERT_GT(req, 0u);
+  service.shutdown();
+  Timeline::instance().set_enabled(false);
+
+  // The request decomposes into its stages, all tagged with its id.
+  std::vector<std::string> tagged;
+  for (const TimelineThreadDump& thread : Timeline::instance().snapshot()) {
+    for (const TimelineRecord& record : thread.records) {
+      if (record.tag == req) tagged.emplace_back(record.name);
+    }
+  }
+  for (const char* stage : {"service.admission", "service.queue_wait",
+                            "service.plan", "service.emit"}) {
+    EXPECT_NE(std::find(tagged.begin(), tagged.end(), stage), tagged.end())
+        << stage << " missing from tagged spans";
+  }
+  Timeline::instance().reset();
+}
+
+// Crash recovery proper: a child daemon process is SIGKILLed mid-load
+// and its journal must reopen clean.  Kept out of ServiceJournalTest so
+// the TSan suite filter (which runs Journal*/ServiceJournal*) never
+// forks under the sanitizer.
+TEST(CrashRecoveryTest, SigkilledDaemonJournalReopensTruncated) {
+  const TempDir tmp("sigkill");
+  const std::string journal_path = (tmp.path / "requests.wsnj").string();
+  const std::string socket_path = (tmp.path / "daemon.sock").string();
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: a daemon with an eager flusher, parked until SIGKILL.
+    RequestJournal journal;
+    RequestJournal::Config journal_config;
+    journal_config.path = journal_path;
+    journal_config.flush_batch = 1;
+    journal_config.flush_interval_ms = 1;
+    std::string error;
+    if (!journal.open(journal_config, error)) ::_exit(3);
+    ServiceConfig config;
+    config.journal = &journal;
+    config.unix_path = socket_path;
+    MeshbcastService service(std::move(config));
+    if (!service.start(error)) ::_exit(4);
+    for (;;) ::pause();
+  }
+
+  // Parent: wait for the socket, drive a handful of plans through.
+  RpcClient client;
+  std::string error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool connected = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (client.connect("unix:" + socket_path, error)) {
+      connected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!connected) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    FAIL() << "daemon never came up: " << error;
+  }
+  constexpr std::uint64_t kRequests = 6;
+  for (std::uint64_t i = 1; i <= kRequests; ++i) {
+    const JsonValue response = call(client, plan_request(i, i % 24));
+    EXPECT_TRUE(response.bool_or("ok", false));
+  }
+  // All six responses are in hand; wait for the eager flusher to land
+  // them, then kill without warning.
+  JournalReadResult before;
+  ASSERT_TRUE(wait_for_records(journal_path, kRequests, before));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  ASSERT_EQ(::waitpid(child, nullptr, 0), child);
+
+  // Simulate the torn append a crash can leave: a half-written record
+  // (SIGKILL itself lands between writes, so the tear is synthesized to
+  // make the truncation path deterministic).
+  {
+    JournalRecord torn;
+    torn.seq = kRequests + 1;
+    std::ofstream out(journal_path,
+                      std::ios::binary | std::ios::app);
+    out << encode_journal_record(torn).substr(0, kJournalRecordSize / 2);
+  }
+  JournalReadResult after;
+  ASSERT_TRUE(read_journal_file(journal_path, after, error)) << error;
+  EXPECT_EQ(after.torn_bytes, kJournalRecordSize / 2);
+
+  // Restart generation: open truncates the tear, replays the prefix,
+  // and the next daemon continues the id sequence past it.
+  RequestJournal journal;
+  RequestJournal::Config journal_config;
+  journal_config.path = journal_path;
+  ASSERT_TRUE(journal.open(journal_config, error)) << error;
+  EXPECT_EQ(journal.replay().records, kRequests);
+  EXPECT_EQ(journal.replay().max_seq, kRequests);
+  EXPECT_EQ(journal.replay().served, kRequests);
+  EXPECT_EQ(journal.replay().truncated_bytes, kJournalRecordSize / 2);
+
+  ServiceConfig config;
+  config.journal = &journal;
+  MeshbcastService service(std::move(config));
+  ASSERT_TRUE(service.start(error)) << error;
+  RpcClient survivor = connect_to(service);
+  const JsonValue response = call(survivor, plan_request(99, 0));
+  EXPECT_TRUE(response.bool_or("ok", false));
+  EXPECT_EQ(response.number_or("req", -1),
+            static_cast<double>(kRequests + 1));
+  service.shutdown();
+  journal.close();
+
+  // And the file itself is clean again: prefix + one new record.
+  JournalReadResult final_state;
+  ASSERT_TRUE(read_journal_file(journal_path, final_state, error)) << error;
+  EXPECT_EQ(final_state.records.size(), kRequests + 1);
+  EXPECT_EQ(final_state.torn_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace wsn

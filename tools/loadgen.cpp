@@ -19,6 +19,12 @@
 // outrun the queue and count the structured `overloaded` errors.
 // `runs_per_sec` rows are gated by bench_gate; latency percentiles and
 // `shed_rate` ride along as advisory metrics.
+//
+// After each phase one `meshbcast.loadgen` v1 JSON line is printed to
+// stdout -- the client-observed view (sent/ok/shed/error counts and
+// latency percentiles) that meshbcast_journal --verify-loadgen diffs
+// against the server's journal.  --summary-out writes the same phases
+// into one JSON document for scripting.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -151,6 +157,38 @@ bool run_phase(const std::string& address, std::size_t connections,
   return true;
 }
 
+/// The journal method the phase's requests land under server-side.
+std::string_view method_for_phase(std::string_view phase) {
+  return phase == "simulate" ? "simulate" : "plan";
+}
+
+/// One `meshbcast.loadgen` v1 phase object: the client-side view of a
+/// phase, keyed the way the journal verifier wants it.
+std::string phase_summary_json(const std::string& name,
+                               const PhaseStats& stats) {
+  const std::uint64_t total = stats.ok + stats.sheds + stats.errors;
+  JsonWriter w;
+  w.begin_object()
+      .member("schema", "meshbcast.loadgen")
+      .member("version", std::uint64_t{1})
+      .member("phase", name)
+      .member("method", method_for_phase(name))
+      .member("requests", total)
+      .member("ok", stats.ok)
+      .member("sheds", stats.sheds)
+      .member("errors", stats.errors)
+      .member("elapsed_s", stats.elapsed_s)
+      .member("runs_per_sec",
+              stats.elapsed_s > 0.0
+                  ? static_cast<double>(stats.ok) / stats.elapsed_s
+                  : 0.0)
+      .member("p50_ms", stats.percentile(0.50))
+      .member("p95_ms", stats.percentile(0.95))
+      .member("p99_ms", stats.percentile(0.99))
+      .end_object();
+  return std::move(w).str();
+}
+
 void append_row(JsonWriter& w, const std::string& name,
                 const PhaseStats& stats) {
   const std::uint64_t total = stats.ok + stats.sheds + stats.errors;
@@ -193,6 +231,9 @@ int main(int argc, char** argv) {
                  "comma list from {warm,cold,sim}", "warm,cold,sim");
   cli.add_option("out", "write meshbcast.bench.service JSON here ('' = "
                         "skip)", "BENCH_service.json");
+  cli.add_option("summary-out",
+                 "write the meshbcast.loadgen phase summaries here"
+                 " ('' = skip)", "");
   cli.add_flag("shutdown", "send a shutdown RPC when done");
   if (!cli.parse(argc, argv)) return 2;
 
@@ -263,6 +304,7 @@ int main(int argc, char** argv) {
     return false;
   };
 
+  std::vector<std::string> phase_summaries;
   JsonWriter doc;
   doc.begin_object()
       .member("schema", "meshbcast.bench.service")
@@ -298,6 +340,9 @@ int main(int argc, char** argv) {
                               : 0.0,
         stats.percentile(0.50), stats.percentile(0.95),
         stats.percentile(0.99));
+    const std::string summary = phase_summary_json(workload.name, stats);
+    std::printf("%s\n", summary.c_str());
+    phase_summaries.push_back(summary);
     append_row(doc, workload.name, stats);
     any = true;
   }
@@ -305,6 +350,28 @@ int main(int argc, char** argv) {
   if (!any) {
     std::fprintf(stderr, "loadgen: no phases selected\n");
     return 2;
+  }
+
+  const std::string summary_out = cli.get("summary-out");
+  if (!summary_out.empty()) {
+    std::ofstream file(summary_out, std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n",
+                   summary_out.c_str());
+      return 1;
+    }
+    JsonWriter w;
+    w.begin_object()
+        .member("schema", "meshbcast.loadgen")
+        .member("version", std::uint64_t{1})
+        .member("connections", static_cast<std::uint64_t>(connections))
+        .member("rate", rate)
+        .key("phases")
+        .begin_array();
+    for (const std::string& phase : phase_summaries) w.raw(phase);
+    w.end_array().end_object();
+    file << std::move(w).str() << '\n';
+    std::printf("wrote %s\n", summary_out.c_str());
   }
 
   if (cli.get_flag("shutdown")) {

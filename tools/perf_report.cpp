@@ -3,6 +3,7 @@
 //   $ perf_report --timeline run.timeline.jsonl
 //       [--metrics metrics.json] [--json-out perf_report.json]
 //       [--check] [--min-attribution 0.9]
+//       [--request <id>] [--slowest N]
 //
 // Ingests a `meshbcast.timeline` v1 dump (scenario_runner
 // --timeline-out), folds it into a per-thread wall-time decomposition --
@@ -17,6 +18,13 @@
 // at least one worker thread and every worker's attributed share reaches
 // --min-attribution.  Exit status: 0 ok, 1 check failed, 2 usage/IO
 // errors.
+//
+// Service timelines (meshbcastd --timeline-out) tag every span with the
+// request id the daemon assigned; --request <id> prints that request's
+// stage decomposition -- admission, queue wait, execution, emission --
+// across the handler and worker threads, and --slowest N lists the N
+// largest request wall extents so slow outliers can be picked out
+// without knowing their ids up front.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -91,6 +99,11 @@ int main(int argc, char** argv) {
   cli.add_flag("check",
                "gate mode: fail unless workers exist and reach the"
                " attribution floor");
+  cli.add_option("request",
+                 "decompose one request id from a tagged service timeline"
+                 " (0 = off)", "0");
+  cli.add_option("slowest",
+                 "list the N slowest tagged requests (0 = off)", "0");
   if (!cli.parse(argc, argv)) return 2;
 
   const std::string timeline_path = cli.get("timeline");
@@ -109,6 +122,37 @@ int main(int argc, char** argv) {
   if (!wsn::read_timeline_file(timeline_path, threads, &error)) {
     std::fprintf(stderr, "perf_report: %s\n", error.c_str());
     return 2;
+  }
+
+  // Request-centric modes short-circuit the per-thread report: they
+  // answer "what happened to request N", not "where did the workers go".
+  const std::uint64_t request_id = cli.get_u64("request");
+  const std::uint64_t slowest = cli.get_u64("slowest");
+  if (request_id != 0 || slowest != 0) {
+    if (slowest != 0) {
+      const auto extents = wsn::slowest_requests(
+          threads, static_cast<std::size_t>(slowest));
+      if (extents.empty()) {
+        std::fprintf(stderr, "perf_report: no tagged request spans in %s\n",
+                     timeline_path.c_str());
+        return 1;
+      }
+      std::printf("slowest requests (%zu of the tagged set):\n",
+                  extents.size());
+      std::printf("  request      wall_ms  spans\n");
+      for (const wsn::RequestExtent& e : extents) {
+        std::printf("  %-10llu %9.2f  %5llu\n",
+                    static_cast<unsigned long long>(e.tag),
+                    static_cast<double>(e.wall_ns()) / 1e6,
+                    static_cast<unsigned long long>(e.spans));
+      }
+    }
+    if (request_id != 0) {
+      const auto rows = wsn::spans_for_request(threads, request_id);
+      std::printf("%s", wsn::request_breakdown_text(rows, request_id).c_str());
+      if (rows.empty()) return 1;
+    }
+    return 0;
   }
 
   const wsn::AttributionReport report = wsn::attribute_timeline(threads);
